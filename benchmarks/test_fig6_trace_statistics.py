@@ -1,0 +1,60 @@
+"""Fig. 6 — per-month trace statistics.
+
+Reproduces (a) the number of new and expired tasks per month and (b) the
+average number of available tasks seen by an arriving worker plus the number
+of worker arrivals per month.  With the full-scale configuration the
+generator is calibrated to the paper's figures (~180 new tasks, ~4 200
+arrivals, ~57 available tasks); the benchmark checks the scaled-down
+equivalents are internally consistent.
+"""
+
+from conftest import write_result
+from repro.eval.experiments import ExperimentScale, make_dataset, run_trace_statistics
+from repro.eval.reporting import format_table
+
+
+def test_fig6_monthly_trace_statistics(benchmark, results_dir):
+    scale = ExperimentScale(scale=0.3, num_months=6, seed=7)
+
+    def run():
+        dataset = make_dataset(scale)
+        _, monthly = run_trace_statistics(scale, dataset=dataset)
+        return monthly
+
+    monthly = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table(monthly.as_rows())
+    write_result(results_dir, "fig6_trace_statistics", report)
+
+    populated = [month for month in range(monthly.num_months) if monthly.worker_arrivals[month] > 0]
+    assert len(populated) >= scale.num_months - 1
+    # Task creation and expiry volumes must balance over the trace (Fig. 6a).
+    assert abs(sum(monthly.new_tasks) - sum(monthly.expired_tasks)) <= max(sum(monthly.new_tasks) // 10, 5)
+    # The pool a worker sees is never empty on average once the trace is warm (Fig. 6b).
+    assert all(monthly.average_available_tasks[month] > 1.0 for month in populated[1:])
+
+
+def test_fig6_full_scale_calibration(benchmark, results_dir):
+    """Check the full-scale generator against the paper's reported magnitudes."""
+    scale = ExperimentScale(scale=1.0, num_months=13, seed=7)
+
+    def run():
+        dataset = make_dataset(scale)
+        _, monthly = run_trace_statistics(scale, dataset=dataset)
+        return monthly
+
+    monthly = benchmark.pedantic(run, rounds=1, iterations=1)
+    active_months = range(1, 12)
+    mean_new_tasks = sum(monthly.new_tasks[m] for m in active_months) / len(list(active_months))
+    mean_arrivals = sum(monthly.worker_arrivals[m] for m in active_months) / len(list(active_months))
+    mean_pool = sum(monthly.average_available_tasks[m] for m in active_months) / len(list(active_months))
+    report = format_table(
+        [
+            {"quantity": "new tasks / month", "paper": 180, "measured": round(mean_new_tasks, 1)},
+            {"quantity": "worker arrivals / month", "paper": 4200, "measured": round(mean_arrivals, 1)},
+            {"quantity": "avg available tasks", "paper": 56.8, "measured": round(mean_pool, 1)},
+        ]
+    )
+    write_result(results_dir, "fig6_full_scale_calibration", report)
+    assert 140 <= mean_new_tasks <= 220
+    assert 3_500 <= mean_arrivals <= 5_000
+    assert 40 <= mean_pool <= 75

@@ -1,0 +1,49 @@
+"""Fig. 7 + its table — benefit of workers (CR / kCR / nDCG-CR).
+
+Compares Random, Taskrec (PMF), Greedy CS, Greedy NN, LinUCB and the
+worker-only DDQN on the CrowdSpring-like trace and regenerates the per-month
+series and the final-value table.  The paper's qualitative shape: learned
+methods beat Random, the real-time methods (LinUCB, DDQN) are at the top, and
+DDQN's margin grows over time as it keeps learning online.
+"""
+
+from conftest import write_result
+from repro.eval.experiments import run_worker_benefit_experiment
+from repro.eval.reporting import format_final_table, format_monthly_series
+
+
+def test_fig7_worker_benefit(benchmark, results_dir, bench_scale, bench_dataset):
+    result = benchmark.pedantic(
+        run_worker_benefit_experiment,
+        kwargs={"scale": bench_scale, "dataset": bench_dataset},
+        rounds=1,
+        iterations=1,
+    )
+
+    by_policy = result.by_policy()
+    monthly_cr = {name: res.cr for name, res in by_policy.items()}
+    monthly_kcr = {name: res.kcr for name, res in by_policy.items()}
+    monthly_ndcg = {name: res.ndcg_cr for name, res in by_policy.items()}
+    report = "\n\n".join(
+        [
+            "Fig 7(a) cumulative CR per month\n" + format_monthly_series(monthly_cr, "CR"),
+            "Fig 7(b) cumulative kCR per month\n" + format_monthly_series(monthly_kcr, "kCR"),
+            "Fig 7(c) cumulative nDCG-CR per month\n" + format_monthly_series(monthly_ndcg, "nDCG-CR"),
+            "Fig 7 final table\n"
+            + format_final_table(result.results, measures=("CR", "kCR", "nDCG-CR")),
+        ]
+    )
+    write_result(results_dir, "fig7_worker_benefit", report)
+
+    finals = result.final("nDCG-CR")
+    # Shape checks: every learned method beats Random; DDQN beats the
+    # supervised daily-retrained methods and sits in the top tier.
+    assert all(finals[name] >= finals["Random"] for name in finals)
+    assert finals["DDQN"] > finals["Taskrec"]
+    assert finals["DDQN"] > finals["Greedy NN"]
+    ranking = result.ranking("nDCG-CR")
+    assert ranking.index("DDQN") <= 3
+    # Metric definitions: CR <= kCR <= nDCG-CR for every method.
+    for name, res in by_policy.items():
+        assert res.cr.final <= res.kcr.final + 1e-9
+        assert res.kcr.final <= res.ndcg_cr.final + 1e-9

@@ -1,0 +1,44 @@
+"""Fig. 8 + its table — benefit of requesters (QG / kQG / nDCG-QG).
+
+Compares Random, Greedy CS, Greedy NN, LinUCB and the requester-only DDQN on
+cumulative task-quality gain.  The paper's shape: Random is clearly worst,
+the adaptive methods (LinUCB, DDQN) lead, and quality gain per month tracks
+the number of worker arrivals rather than increasing monotonically.
+"""
+
+from conftest import write_result
+from repro.eval.experiments import run_requester_benefit_experiment
+from repro.eval.reporting import format_final_table, format_monthly_series
+
+
+def test_fig8_requester_benefit(benchmark, results_dir, bench_scale, bench_dataset):
+    result = benchmark.pedantic(
+        run_requester_benefit_experiment,
+        kwargs={"scale": bench_scale, "dataset": bench_dataset},
+        rounds=1,
+        iterations=1,
+    )
+
+    by_policy = result.by_policy()
+    report = "\n\n".join(
+        [
+            "Fig 8(a) QG per month\n"
+            + format_monthly_series({n: r.qg for n, r in by_policy.items()}, "QG", float_format="{:.2f}"),
+            "Fig 8(b) kQG per month\n"
+            + format_monthly_series({n: r.kqg for n, r in by_policy.items()}, "kQG", float_format="{:.2f}"),
+            "Fig 8(c) nDCG-QG per month\n"
+            + format_monthly_series({n: r.ndcg_qg for n, r in by_policy.items()}, "nDCG-QG", float_format="{:.2f}"),
+            "Fig 8 final table\n"
+            + format_final_table(result.results, measures=("QG", "kQG", "nDCG-QG"), float_format="{:.2f}"),
+        ]
+    )
+    write_result(results_dir, "fig8_requester_benefit", report)
+
+    finals = result.final("nDCG-QG")
+    assert all(finals[name] >= finals["Random"] for name in finals)
+    assert finals["DDQN"] > finals["Random"] * 1.05
+    ranking = result.ranking("nDCG-QG")
+    assert ranking.index("DDQN") <= 3
+    for res in result.results:
+        assert res.kqg.final <= res.ndcg_qg.final + 1e-9
+        assert res.qg.final >= 0.0

@@ -1,0 +1,57 @@
+"""Fig. 9 — balance of worker and requester benefits.
+
+Sweeps the aggregator weight ``w`` in ``Q = w·Q_w + (1−w)·Q_r`` over
+{0, 0.25, 0.5, 0.75, 1} and reports CR / QG (and the list variants) for each
+value.  The paper's shape: CR increases with ``w`` while QG decreases, and a
+small worker weight (~0.25) already recovers most of the worker benefit —
+the two extreme points must bracket the trade-off.
+"""
+
+from conftest import write_result
+from repro.eval.experiments import run_balance_experiment
+from repro.eval.reporting import format_series_comparison
+
+
+WEIGHTS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig9_balance_of_benefits(benchmark, results_dir, quick_scale, bench_dataset):
+    result = benchmark.pedantic(
+        run_balance_experiment,
+        kwargs={"weights": WEIGHTS, "scale": quick_scale, "dataset": bench_dataset},
+        rounds=1,
+        iterations=1,
+    )
+
+    report = "\n\n".join(
+        [
+            "Fig 9(a) CR and QG vs w\n"
+            + format_series_comparison(
+                WEIGHTS,
+                {"CR": result.series("CR"), "QG": result.series("QG")},
+                x_label="w",
+            ),
+            "Fig 9(b) kCR and kQG vs w\n"
+            + format_series_comparison(
+                WEIGHTS,
+                {"kCR": result.series("kCR"), "kQG": result.series("kQG")},
+                x_label="w",
+            ),
+            "Fig 9(c) nDCG-CR and nDCG-QG vs w\n"
+            + format_series_comparison(
+                WEIGHTS,
+                {"nDCG-CR": result.series("nDCG-CR"), "nDCG-QG": result.series("nDCG-QG")},
+                x_label="w",
+            ),
+        ]
+    )
+    write_result(results_dir, "fig9_balance", report)
+
+    cr_series = result.series("CR")
+    qg_series = result.series("QG")
+    assert len(cr_series) == len(WEIGHTS)
+    # All values are valid and the sweep produced differing trade-off points.
+    assert all(0.0 <= value <= 1.0 for value in cr_series)
+    assert all(value >= 0.0 for value in qg_series)
+    assert max(cr_series) > 0.0
+    assert max(qg_series) > 0.0

@@ -1,0 +1,58 @@
+"""Balancing worker and requester benefits (the paper's Fig. 9 scenario).
+
+A commercial platform profits from completed tasks, so it must trade off the
+workers' completion rate against the requesters' task-quality gain.  This
+example sweeps the aggregator weight ``w`` in ``Q = w·Q_w + (1−w)·Q_r`` and
+prints the CR / QG trade-off curve, showing how a small worker weight already
+recovers most of the worker-side benefit.
+
+Run with::
+
+    python examples/balance_worker_requester.py
+"""
+
+from __future__ import annotations
+
+from repro.core import FrameworkConfig, TaskArrangementFramework
+from repro.datasets import generate_crowdspring
+from repro.eval import RunnerConfig, SimulationRunner, format_series_comparison
+
+
+def main() -> None:
+    dataset = generate_crowdspring(scale=0.05, num_months=3, seed=7)
+    runner = SimulationRunner(dataset, RunnerConfig(seed=0, max_arrivals=300))
+
+    weights = (0.0, 0.25, 0.5, 0.75, 1.0)
+    completion_rates = []
+    quality_gains = []
+    for weight in weights:
+        framework = TaskArrangementFramework.balanced(
+            dataset.schema,
+            worker_weight=weight,
+            config=FrameworkConfig(
+                hidden_dim=32, num_heads=2, batch_size=12, train_interval=3,
+                learning_rate=3e-3, seed=0,
+            ),
+        )
+        result = runner.run(framework)
+        completion_rates.append(result.cr.final)
+        quality_gains.append(result.qg.final)
+        print(
+            f"w={weight:<4} -> CR={result.cr.final:.3f}  QG={result.qg.final:.1f}  "
+            f"(arrivals={result.arrivals})"
+        )
+
+    print("\nTrade-off summary (Fig. 9 shape):")
+    print(
+        format_series_comparison(
+            weights, {"CR": completion_rates, "QG": quality_gains}, x_label="w"
+        )
+    )
+    print(
+        "\nw=1 optimises only the workers' completion rate, w=0 only the requesters'\n"
+        "quality gain; the paper finds w≈0.25 to be the sweet spot for the platform."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: train the DDQN task-arrangement framework on a small trace.
+
+Generates a scaled-down CrowdSpring-like dataset, runs the worker-only DDQN
+through the simulation runner and prints the monthly completion-rate metrics
+plus a comparison with a random recommender.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import RandomPolicy
+from repro.core import FrameworkConfig, TaskArrangementFramework
+from repro.datasets import generate_crowdspring
+from repro.eval import RunnerConfig, SimulationRunner, format_final_table, format_monthly_series
+
+
+def main() -> None:
+    # 1. Generate a small synthetic CrowdSpring-like trace (4 months, ~5 % of
+    #    the paper's arrival volume) — the first month is the warm-up.
+    dataset = generate_crowdspring(scale=0.05, num_months=4, seed=42)
+    print(
+        f"dataset: {len(dataset.tasks)} tasks, {len(dataset.workers)} workers, "
+        f"{len(dataset.trace)} events"
+    )
+
+    # 2. Build the DDQN framework (worker benefit only, CPU-friendly sizes).
+    config = FrameworkConfig(
+        hidden_dim=32,
+        num_heads=2,
+        batch_size=12,
+        train_interval=2,
+        learning_rate=3e-3,
+        seed=0,
+    )
+    ddqn = TaskArrangementFramework.worker_only(dataset.schema, config)
+
+    # 3. Replay the trace: every worker arrival gets a recommendation, the
+    #    simulated worker responds, and the framework learns online.
+    runner = SimulationRunner(dataset, RunnerConfig(seed=0, max_arrivals=600))
+    ddqn_result = runner.run(ddqn)
+    random_result = runner.run(RandomPolicy(seed=0))
+
+    # 4. Report the paper's worker-benefit measures.
+    print("\nCumulative completion rate (CR) per month:")
+    print(format_monthly_series({"DDQN": ddqn_result.cr, "Random": random_result.cr}, "CR"))
+    print("\nFinal values:")
+    print(format_final_table([ddqn_result, random_result], measures=("CR", "kCR", "nDCG-CR")))
+    print(
+        f"\nDDQN trained {ddqn.agent_w.diagnostics.train_steps} gradient steps, "
+        f"mean update time {ddqn_result.mean_update_seconds * 1000:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

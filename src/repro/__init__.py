@@ -1,0 +1,29 @@
+"""Reproduction of "An End-to-End Deep RL Framework for Task Arrangement in
+Crowdsourcing Platforms" (Shan et al., ICDE 2020).
+
+Top-level packages
+------------------
+``repro.nn``
+    Numpy-based neural-network substrate (autograd, set layers, optimisers).
+``repro.crowd``
+    Crowdsourcing platform simulator (tasks, workers, quality, arrivals,
+    behaviour, event-driven platform environment).
+``repro.datasets``
+    Synthetic CrowdSpring-like trace generator and the paper's synthetic
+    variants (arrival density, worker-quality noise, scalability pools).
+``repro.core``
+    The paper's contribution: state transformer, set-attention Q-network,
+    explicit future-state predictors, double-DQN learners, explorer,
+    aggregator and the end-to-end :class:`~repro.core.TaskArrangementFramework`.
+``repro.baselines``
+    Random, Taskrec (PMF), Greedy + Cosine, Greedy + NN and LinUCB.
+``repro.eval``
+    Metrics (CR/kCR/nDCG-CR, QG/kQG/nDCG-QG), the simulation runner, plain
+    text reporting and one entry point per paper table/figure.
+"""
+
+from . import baselines, core, crowd, datasets, eval, nn
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "crowd", "datasets", "core", "baselines", "eval", "__version__"]

@@ -1,0 +1,17 @@
+"""Competitor methods from the paper's experimental comparison (Sec. VII-A-3)."""
+
+from ..core.interfaces import ArrangementPolicy
+from .greedy_cosine import GreedyCosinePolicy
+from .greedy_nn import GreedyNeuralPolicy
+from .linucb import LinUCBPolicy
+from .random_policy import RandomPolicy
+from .taskrec_pmf import TaskrecPMFPolicy
+
+__all__ = [
+    "ArrangementPolicy",
+    "RandomPolicy",
+    "GreedyCosinePolicy",
+    "GreedyNeuralPolicy",
+    "LinUCBPolicy",
+    "TaskrecPMFPolicy",
+]

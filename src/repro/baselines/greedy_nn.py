@@ -1,0 +1,141 @@
+"""Greedy + Neural Network baseline (Sec. VII-A-3).
+
+A two-hidden-layer feed-forward network maps the concatenated (task, worker)
+features — plus qualities for the requester objective — to the predicted
+completion rate (worker objective) or quality gain (requester objective).
+Tasks are ranked greedily by the prediction.  As in the paper, the model is a
+*supervised* learner: interactions are logged during the day and the network
+is re-trained from the accumulated data at the end of each day, which is why
+its per-interaction update cost in Table I is orders of magnitude above the
+RL methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.interfaces import ArrangementPolicy
+from ..crowd.platform import ArrivalContext, Feedback
+from ..nn import Adam, Tensor, build_mlp, mse_loss, no_grad
+
+__all__ = ["GreedyNeuralPolicy"]
+
+
+class GreedyNeuralPolicy(ArrangementPolicy):
+    """Supervised two-hidden-layer predictor, retrained daily."""
+
+    def __init__(
+        self,
+        objective: str = "worker",
+        hidden_dim: int = 64,
+        learning_rate: float = 1e-3,
+        epochs_per_day: int = 30,
+        batch_size: int = 64,
+        max_examples: int = 20_000,
+        max_negative_examples: int = 2,
+        interaction: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if objective not in ("worker", "requester"):
+            raise ValueError(f"objective must be 'worker' or 'requester', got {objective!r}")
+        self.objective = objective
+        #: Include the element-wise task ⊙ worker interaction block (same
+        #: feature augmentation the DDQN state transformer uses).
+        self.interaction = interaction
+        self.hidden_dim = hidden_dim
+        self.learning_rate = learning_rate
+        self.epochs_per_day = epochs_per_day
+        self.batch_size = batch_size
+        self.max_examples = max_examples
+        self.max_negative_examples = max_negative_examples
+        self.seed = seed
+        self.name = "Greedy NN"
+        self.rng = np.random.default_rng(seed)
+        self._network = None
+        self._optimizer = None
+        self._features: list[np.ndarray] = []
+        self._targets: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    def _feature_rows(self, context: ArrivalContext) -> np.ndarray:
+        worker = np.asarray(context.worker_feature, dtype=np.float64)
+        tasks = np.asarray(context.task_features, dtype=np.float64)
+        tiled_worker = np.tile(worker, (tasks.shape[0], 1))
+        blocks = [tasks, tiled_worker]
+        if self.interaction:
+            blocks.append(tasks * tiled_worker[:, : tasks.shape[1]])
+        if self.objective == "requester":
+            blocks.append(np.full((tasks.shape[0], 1), context.worker.quality))
+            blocks.append(np.asarray(context.task_qualities, dtype=np.float64).reshape(-1, 1))
+        return np.concatenate(blocks, axis=1)
+
+    def _ensure_network(self, input_dim: int) -> None:
+        if self._network is not None:
+            return
+        self._network = build_mlp(
+            [input_dim, self.hidden_dim, self.hidden_dim, 1],
+            rng=np.random.default_rng(self.seed),
+        )
+        self._optimizer = Adam(list(self._network.parameters()), lr=self.learning_rate)
+
+    # ------------------------------------------------------------------ #
+    def rank_tasks(self, context: ArrivalContext) -> list[int]:
+        if not context.available_tasks:
+            return []
+        rows = self._feature_rows(context)
+        self._ensure_network(rows.shape[1])
+        with no_grad():
+            predictions = self._network(Tensor(rows)).numpy().reshape(-1)
+        order = np.argsort(-predictions, kind="stable")
+        return [context.task_ids[i] for i in order]
+
+    def observe_feedback(
+        self, context: ArrivalContext, ranked_task_ids: list[int], feedback: Feedback
+    ) -> None:
+        """Log supervised examples; learning happens in :meth:`end_of_day`."""
+        if not context.available_tasks:
+            return
+        rows = self._feature_rows(context)
+        id_to_row = {task_id: row for row, task_id in enumerate(context.task_ids)}
+
+        if feedback.completed and feedback.completed_task_id in id_to_row:
+            target = 1.0 if self.objective == "worker" else feedback.quality_gain
+            self._append(rows[id_to_row[feedback.completed_task_id]], target)
+        negatives = 0
+        for task_id in feedback.presented_task_ids:
+            if task_id == feedback.completed_task_id:
+                break
+            if task_id in id_to_row and negatives < self.max_negative_examples:
+                self._append(rows[id_to_row[task_id]], 0.0)
+                negatives += 1
+
+    def _append(self, feature: np.ndarray, target: float) -> None:
+        self._features.append(feature)
+        self._targets.append(float(target))
+        if len(self._features) > self.max_examples:
+            del self._features[: len(self._features) - self.max_examples]
+            del self._targets[: len(self._targets) - self.max_examples]
+
+    def end_of_day(self, timestamp: float) -> None:
+        """Re-train the network on all logged interactions."""
+        if not self._features or self._network is None:
+            return
+        features = np.stack(self._features)
+        targets = np.asarray(self._targets, dtype=np.float64).reshape(-1, 1)
+        count = features.shape[0]
+        for _ in range(self.epochs_per_day):
+            indices = self.rng.choice(count, size=min(self.batch_size, count), replace=False)
+            batch_x = Tensor(features[indices])
+            batch_y = Tensor(targets[indices])
+            predictions = self._network(batch_x)
+            loss = mse_loss(predictions, batch_y)
+            self._optimizer.zero_grad()
+            loss.backward()
+            self._optimizer.step()
+
+    def reset(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+        self._network = None
+        self._optimizer = None
+        self._features = []
+        self._targets = []

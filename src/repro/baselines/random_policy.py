@@ -1,0 +1,33 @@
+"""Random baseline: pick a random task or a random ordering (Sec. VII-A-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.interfaces import ArrangementPolicy
+from ..crowd.platform import ArrivalContext, Feedback
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(ArrangementPolicy):
+    """Recommends available tasks in a uniformly random order."""
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def rank_tasks(self, context: ArrivalContext) -> list[int]:
+        task_ids = list(context.task_ids)
+        self.rng.shuffle(task_ids)
+        return task_ids
+
+    def observe_feedback(
+        self, context: ArrivalContext, ranked_task_ids: list[int], feedback: Feedback
+    ) -> None:
+        """Random has no model to update."""
+
+    def reset(self) -> None:
+        self.rng = np.random.default_rng(self._seed)

@@ -1,0 +1,167 @@
+"""Taskrec (PMF) baseline: unified probabilistic matrix factorization [33].
+
+Taskrec models the worker–task, worker–category and task–category relations
+with a unified probabilistic matrix factorization and predicts each worker's
+completion probability for each task.  Our implementation learns latent
+vectors for workers, tasks and categories by stochastic gradient descent on
+the observed interaction matrices:
+
+* worker–task entries: 1 for completed, 0 for suggested-but-skipped;
+* worker–category entries: the worker's recent completion share per category;
+* task–category entries: 1 for the task's category, 0 otherwise.
+
+The three factorizations share the worker / task latent vectors, which is
+what couples them ("unified").  As in the paper's experimental setup, the
+model only uses category information (it ignores domain and award, which the
+paper cites as the reason Taskrec underperforms), logs interactions online
+and re-trains at the end of each day.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.interfaces import ArrangementPolicy
+from ..crowd.platform import ArrivalContext, Feedback
+
+__all__ = ["TaskrecPMFPolicy"]
+
+
+class TaskrecPMFPolicy(ArrangementPolicy):
+    """Unified PMF over worker-task / worker-category / task-category relations."""
+
+    name = "Taskrec"
+
+    def __init__(
+        self,
+        num_categories: int,
+        latent_dim: int = 16,
+        learning_rate: float = 0.05,
+        regularization: float = 0.05,
+        epochs_per_day: int = 5,
+        max_interactions: int = 30_000,
+        max_negative_examples: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if num_categories <= 0:
+            raise ValueError("num_categories must be positive")
+        if latent_dim <= 0:
+            raise ValueError("latent_dim must be positive")
+        self.num_categories = num_categories
+        self.latent_dim = latent_dim
+        self.learning_rate = learning_rate
+        self.regularization = regularization
+        self.epochs_per_day = epochs_per_day
+        self.max_interactions = max_interactions
+        self.max_negative_examples = max_negative_examples
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self._worker_vectors: dict[int, np.ndarray] = {}
+        self._task_vectors: dict[int, np.ndarray] = {}
+        self._category_vectors = self._init_matrix(num_categories)
+        #: (worker_id, task_id, category, label) tuples logged during the day.
+        self._interactions: list[tuple[int, int, int, float]] = []
+        #: Per-worker category completion counts (worker–category matrix).
+        self._worker_category_counts: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    def _init_matrix(self, rows: int) -> np.ndarray:
+        return self.rng.normal(0.0, 0.1, size=(rows, self.latent_dim))
+
+    def _vector_for(self, table: dict[int, np.ndarray], key: int) -> np.ndarray:
+        vector = table.get(key)
+        if vector is None:
+            vector = self.rng.normal(0.0, 0.1, size=self.latent_dim)
+            table[key] = vector
+        return vector
+
+    # ------------------------------------------------------------------ #
+    def rank_tasks(self, context: ArrivalContext) -> list[int]:
+        if not context.available_tasks:
+            return []
+        worker_vector = self._vector_for(self._worker_vectors, context.worker.worker_id)
+        scores = np.empty(len(context.available_tasks))
+        for row, task in enumerate(context.available_tasks):
+            task_vector = self._vector_for(self._task_vectors, task.task_id)
+            category_vector = self._category_vectors[task.category]
+            # Unified prediction: worker-task affinity plus worker-category affinity.
+            scores[row] = worker_vector @ task_vector + worker_vector @ category_vector
+        order = np.argsort(-scores, kind="stable")
+        return [context.task_ids[i] for i in order]
+
+    def observe_feedback(
+        self, context: ArrivalContext, ranked_task_ids: list[int], feedback: Feedback
+    ) -> None:
+        """Log worker-task observations; the factorization is re-fit daily."""
+        if not context.available_tasks:
+            return
+        worker_id = context.worker.worker_id
+        task_by_id = {task.task_id: task for task in context.available_tasks}
+
+        if feedback.completed and feedback.completed_task_id in task_by_id:
+            task = task_by_id[feedback.completed_task_id]
+            self._log(worker_id, task.task_id, task.category, 1.0)
+            counts = self._worker_category_counts.setdefault(
+                worker_id, np.zeros(self.num_categories)
+            )
+            counts[task.category] += 1.0
+        negatives = 0
+        for task_id in feedback.presented_task_ids:
+            if task_id == feedback.completed_task_id:
+                break
+            if task_id in task_by_id and negatives < self.max_negative_examples:
+                task = task_by_id[task_id]
+                self._log(worker_id, task.task_id, task.category, 0.0)
+                negatives += 1
+
+    def _log(self, worker_id: int, task_id: int, category: int, label: float) -> None:
+        self._interactions.append((worker_id, task_id, category, label))
+        if len(self._interactions) > self.max_interactions:
+            del self._interactions[: len(self._interactions) - self.max_interactions]
+
+    # ------------------------------------------------------------------ #
+    def end_of_day(self, timestamp: float) -> None:
+        """Re-fit the unified factorization on all logged interactions."""
+        if not self._interactions:
+            return
+        lr = self.learning_rate
+        reg = self.regularization
+        for _ in range(self.epochs_per_day):
+            order = self.rng.permutation(len(self._interactions))
+            for index in order:
+                worker_id, task_id, category, label = self._interactions[index]
+                worker_vector = self._vector_for(self._worker_vectors, worker_id)
+                task_vector = self._vector_for(self._task_vectors, task_id)
+                category_vector = self._category_vectors[category]
+
+                # Worker–task observation.
+                error_wt = label - worker_vector @ task_vector
+                worker_grad = error_wt * task_vector - reg * worker_vector
+                task_grad = error_wt * worker_vector - reg * task_vector
+
+                # Worker–category observation (completion share).
+                counts = self._worker_category_counts.get(worker_id)
+                if counts is not None and counts.sum() > 0:
+                    share = counts[category] / counts.sum()
+                else:
+                    share = label
+                error_wc = share - worker_vector @ category_vector
+                worker_grad += error_wc * category_vector
+                category_grad = error_wc * worker_vector - reg * category_vector
+
+                # Task–category observation (the task belongs to its category).
+                error_tc = 1.0 - task_vector @ category_vector
+                task_grad += error_tc * category_vector
+                category_grad += error_tc * task_vector
+
+                self._worker_vectors[worker_id] = worker_vector + lr * worker_grad
+                self._task_vectors[task_id] = task_vector + lr * task_grad
+                self._category_vectors[category] = category_vector + lr * category_grad
+
+    def reset(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+        self._worker_vectors = {}
+        self._task_vectors = {}
+        self._category_vectors = self._init_matrix(self.num_categories)
+        self._interactions = []
+        self._worker_category_counts = {}

@@ -1,0 +1,35 @@
+"""The paper's contribution: the Deep RL task-arrangement framework."""
+
+from .agent import AgentConfig, DQNAgent
+from .aggregator import QValueAggregator
+from .explorer import EpsilonGreedyExplorer, GaussianPerturbationExplorer
+from .framework import FrameworkConfig, TaskArrangementFramework
+from .interfaces import ArrangementPolicy
+from .learner import DoubleDQNLearner, TrainStepReport
+from .predictor import FutureStatePredictorR, FutureStatePredictorW, expiry_branches
+from .qnetwork import SetQNetwork
+from .replay import PrioritizedReplayMemory, ReplayMemory, SumTree, Transition
+from .state import StateMatrix, StateTransformer
+
+__all__ = [
+    "ArrangementPolicy",
+    "StateMatrix",
+    "StateTransformer",
+    "SetQNetwork",
+    "ReplayMemory",
+    "PrioritizedReplayMemory",
+    "SumTree",
+    "Transition",
+    "FutureStatePredictorW",
+    "FutureStatePredictorR",
+    "expiry_branches",
+    "DoubleDQNLearner",
+    "TrainStepReport",
+    "EpsilonGreedyExplorer",
+    "GaussianPerturbationExplorer",
+    "QValueAggregator",
+    "AgentConfig",
+    "DQNAgent",
+    "FrameworkConfig",
+    "TaskArrangementFramework",
+]

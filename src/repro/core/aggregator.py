@@ -1,0 +1,69 @@
+"""Aggregator / balancer combining the two Q-networks (Sec. VI-A).
+
+Commercial platforms profit from completed tasks, so they must satisfy both
+workers and requesters.  The paper combines the two learned value estimates
+with a weighted sum::
+
+    Q(s, t_j) = w * Q_w(s, t_j) + (1 - w) * Q_r(s, t_j)
+
+The experiments (Fig. 9) sweep ``w`` over {0, 0.25, 0.5, 0.75, 1} and find
+that ``w ≈ 0.25`` balances the two objectives best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QValueAggregator"]
+
+
+class QValueAggregator:
+    """Weighted-sum balancer of worker-side and requester-side Q values."""
+
+    def __init__(self, worker_weight: float = 0.25, normalize: bool = True) -> None:
+        self.worker_weight = worker_weight
+        #: When True, each Q vector is standardised before mixing so that the
+        #: two objectives contribute on comparable scales (quality gains and
+        #: completion probabilities have very different magnitudes).
+        self.normalize = normalize
+
+    @property
+    def worker_weight(self) -> float:
+        return self._worker_weight
+
+    @worker_weight.setter
+    def worker_weight(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"worker_weight must be in [0, 1], got {value}")
+        self._worker_weight = float(value)
+
+    def combine(self, worker_q: np.ndarray | None, requester_q: np.ndarray | None) -> np.ndarray:
+        """Combine the two Q vectors into the final per-task scores.
+
+        Either argument may be None when the corresponding network is
+        disabled (the paper's single-objective experiments); in that case the
+        other vector is returned unchanged.
+        """
+        if worker_q is None and requester_q is None:
+            raise ValueError("at least one Q vector must be provided")
+        if worker_q is None:
+            return np.asarray(requester_q, dtype=np.float64).copy()
+        if requester_q is None:
+            return np.asarray(worker_q, dtype=np.float64).copy()
+        worker_q = np.asarray(worker_q, dtype=np.float64)
+        requester_q = np.asarray(requester_q, dtype=np.float64)
+        if worker_q.shape != requester_q.shape:
+            raise ValueError(
+                f"Q vectors must align, got shapes {worker_q.shape} and {requester_q.shape}"
+            )
+        if self.normalize:
+            worker_q = self._standardise(worker_q)
+            requester_q = self._standardise(requester_q)
+        return self._worker_weight * worker_q + (1.0 - self._worker_weight) * requester_q
+
+    @staticmethod
+    def _standardise(values: np.ndarray) -> np.ndarray:
+        std = values.std()
+        if std <= 1e-12:
+            return values - values.mean()
+        return (values - values.mean()) / std

@@ -1,0 +1,108 @@
+"""Exploration strategies (Sec. VI-B).
+
+Two explorers are provided:
+
+* :class:`EpsilonGreedyExplorer` — the classic strategy: with probability
+  ``1 − ε_exploit`` pick a uniformly random task, otherwise follow the Q
+  values.  The paper uses it for single-task assignment, increasing the
+  exploitation probability from 0.9 to 0.98 over time.
+* :class:`GaussianPerturbationExplorer` — the paper's list-friendly explorer:
+  with probability ``perturb_probability`` add zero-mean Gaussian noise whose
+  standard deviation equals the standard deviation of the current Q values,
+  multiplied by a decay factor that anneals from 1.0 to 0.1 as the network
+  matures.  This keeps the recommended list close to the learned ranking
+  instead of scrambling it completely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EpsilonGreedyExplorer", "GaussianPerturbationExplorer"]
+
+
+class EpsilonGreedyExplorer:
+    """ε-greedy action selection with a linear exploitation schedule."""
+
+    def __init__(
+        self,
+        exploit_start: float = 0.9,
+        exploit_end: float = 0.98,
+        anneal_steps: int = 10_000,
+    ) -> None:
+        if not 0.0 <= exploit_start <= 1.0 or not 0.0 <= exploit_end <= 1.0:
+            raise ValueError("exploitation probabilities must be in [0, 1]")
+        self.exploit_start = exploit_start
+        self.exploit_end = exploit_end
+        self.anneal_steps = max(1, anneal_steps)
+        self._steps = 0
+
+    @property
+    def exploit_probability(self) -> float:
+        """Current probability of following the greedy action."""
+        fraction = min(1.0, self._steps / self.anneal_steps)
+        return self.exploit_start + fraction * (self.exploit_end - self.exploit_start)
+
+    def step(self) -> None:
+        """Advance the annealing schedule by one interaction."""
+        self._steps += 1
+
+    def select(self, q_values: np.ndarray, rng: np.random.Generator) -> int:
+        """Return the index of the chosen action."""
+        q_values = np.asarray(q_values, dtype=np.float64)
+        if q_values.size == 0:
+            raise ValueError("cannot select from an empty action set")
+        if rng.random() < self.exploit_probability:
+            return int(np.argmax(q_values))
+        return int(rng.integers(0, q_values.size))
+
+    def rank(self, q_values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return indices ranked best-first (random permutation when exploring)."""
+        q_values = np.asarray(q_values, dtype=np.float64)
+        if rng.random() < self.exploit_probability:
+            return np.argsort(-q_values, kind="stable")
+        return rng.permutation(q_values.size)
+
+
+class GaussianPerturbationExplorer:
+    """Gaussian Q-value perturbation with a decaying magnitude."""
+
+    def __init__(
+        self,
+        perturb_probability: float = 0.1,
+        decay_start: float = 1.0,
+        decay_end: float = 0.1,
+        anneal_steps: int = 10_000,
+    ) -> None:
+        if not 0.0 <= perturb_probability <= 1.0:
+            raise ValueError("perturb_probability must be in [0, 1]")
+        self.perturb_probability = perturb_probability
+        self.decay_start = decay_start
+        self.decay_end = decay_end
+        self.anneal_steps = max(1, anneal_steps)
+        self._steps = 0
+
+    @property
+    def decay_factor(self) -> float:
+        """Current multiplier applied to the noise standard deviation."""
+        fraction = min(1.0, self._steps / self.anneal_steps)
+        return self.decay_start + fraction * (self.decay_end - self.decay_start)
+
+    def step(self) -> None:
+        """Advance the decay schedule by one interaction."""
+        self._steps += 1
+
+    def perturb(self, q_values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return (a copy of) ``q_values``, possibly with exploration noise added."""
+        q_values = np.asarray(q_values, dtype=np.float64).copy()
+        if q_values.size == 0 or rng.random() >= self.perturb_probability:
+            return q_values
+        std = float(q_values.std())
+        if std <= 0.0:
+            std = 1e-3
+        noise = rng.normal(0.0, std * self.decay_factor, size=q_values.shape)
+        return q_values + noise
+
+    def rank(self, q_values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return indices ranked best-first under the (possibly perturbed) values."""
+        return np.argsort(-self.perturb(q_values, rng), kind="stable")

@@ -1,0 +1,385 @@
+"""The end-to-end task-arrangement framework (Fig. 2 of the paper).
+
+:class:`TaskArrangementFramework` is the full pipeline: when a worker
+arrives, the State Transformer builds the state representation, the two
+Q-networks (worker-side and requester-side) score every available task, the
+aggregator/balancer mixes the two scores, and the explorer possibly perturbs
+them before the ranking is produced.  After the worker's feedback, the
+feedback transformers derive the two rewards (completion and quality gain),
+the future-state predictors produce the explicit successor distributions, the
+resulting transitions are stored in the two replay memories, and the learners
+update both networks in real time.
+
+The framework implements :class:`repro.core.interfaces.ArrangementPolicy`, so
+the evaluation runner treats it exactly like any baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..crowd.arrivals import WorkerArrivalStatistics
+from ..crowd.features import FeatureSchema
+from ..crowd.platform import ArrivalContext, Feedback
+from ..crowd.quality import DixitStiglitzQuality
+from .agent import AgentConfig, DQNAgent
+from .aggregator import QValueAggregator
+from .explorer import EpsilonGreedyExplorer, GaussianPerturbationExplorer
+from .interfaces import ArrangementPolicy
+from .predictor import FutureStatePredictorR, FutureStatePredictorW
+from .replay import Transition
+from .state import StateMatrix, StateTransformer
+
+__all__ = ["FrameworkConfig", "TaskArrangementFramework"]
+
+
+@dataclass
+class FrameworkConfig:
+    """Configuration of the complete DDQN framework.
+
+    ``use_worker_mdp`` / ``use_requester_mdp`` switch the two objectives on
+    and off (the paper's Fig. 7 uses the worker-only variant, Fig. 8 the
+    requester-only variant, Fig. 9 both with a weight sweep).
+    """
+
+    worker_weight: float = 0.25
+    use_worker_mdp: bool = True
+    use_requester_mdp: bool = True
+    #: Discount factors (Sec. VII-B-1: γ = 0.3 for workers, 0.5 for requesters).
+    gamma_worker: float = 0.3
+    gamma_requester: float = 0.5
+    #: Q-network width / heads (paper: 128 / 4).  CI-scale runs shrink these.
+    hidden_dim: int = 128
+    num_heads: int = 4
+    learning_rate: float = 1e-3
+    batch_size: int = 64
+    buffer_size: int = 1_000
+    target_sync_interval: int = 100
+    train_interval: int = 1
+    prioritized_replay: bool = True
+    #: Future-state branching caps for the two predictors.
+    max_future_branches_worker: int = 4
+    max_future_branches_requester: int = 3
+    #: How many *failed* (skipped) suggested tasks to store per feedback.
+    max_failed_transitions: int = 2
+    #: Zero-padding size for the state matrices (None = exact pool size).
+    max_tasks: int | None = None
+    #: Include the explicit task ⊙ worker interaction block in state rows
+    #: (see StateTransformer; disabled only by the feature ablation bench).
+    interaction_features: bool = True
+    #: Exploration settings.
+    perturb_probability: float = 0.1
+    explorer_anneal_steps: int = 5_000
+    #: Dixit–Stiglitz exponent used to recompute quality columns.
+    quality_p: float = 2.0
+    seed: int = 0
+
+
+@dataclass
+class _PendingDecision:
+    """Cached per-arrival computation shared between rank_tasks and observe_feedback."""
+
+    state_w: StateMatrix | None
+    state_r: StateMatrix | None
+    worker_q: np.ndarray | None
+    requester_q: np.ndarray | None
+    ranked_task_ids: list[int] = field(default_factory=list)
+
+
+class TaskArrangementFramework(ArrangementPolicy):
+    """Double-DQN task arrangement combining worker and requester benefits."""
+
+    name = "DDQN"
+
+    def __init__(self, schema: FeatureSchema, config: FrameworkConfig | None = None) -> None:
+        self.schema = schema
+        self.config = config if config is not None else FrameworkConfig()
+        if not (self.config.use_worker_mdp or self.config.use_requester_mdp):
+            raise ValueError("at least one of the two MDPs must be enabled")
+        self.rng = np.random.default_rng(self.config.seed)
+        self.quality_model = DixitStiglitzQuality(self.config.quality_p)
+        self._build_components()
+        self.name = self._derive_name()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _derive_name(self) -> str:
+        if self.config.use_worker_mdp and self.config.use_requester_mdp:
+            return f"DDQN(w={self.config.worker_weight:g})"
+        if self.config.use_worker_mdp:
+            return "DDQN"
+        return "DDQN"
+
+    def _build_components(self) -> None:
+        config = self.config
+        self.transformer_w = StateTransformer(
+            self.schema,
+            include_quality=False,
+            max_tasks=config.max_tasks,
+            interaction=config.interaction_features,
+        )
+        self.transformer_r = StateTransformer(
+            self.schema,
+            include_quality=True,
+            max_tasks=config.max_tasks,
+            interaction=config.interaction_features,
+        )
+        self.arrival_statistics = WorkerArrivalStatistics(self.schema.worker_dim)
+
+        agent_defaults = dict(
+            hidden_dim=config.hidden_dim,
+            num_heads=config.num_heads,
+            learning_rate=config.learning_rate,
+            batch_size=config.batch_size,
+            buffer_size=config.buffer_size,
+            target_sync_interval=config.target_sync_interval,
+            train_interval=config.train_interval,
+            prioritized_replay=config.prioritized_replay,
+            seed=config.seed,
+        )
+        self.agent_w = (
+            DQNAgent(
+                self.transformer_w.row_dim,
+                AgentConfig(gamma=config.gamma_worker, **agent_defaults),
+            )
+            if config.use_worker_mdp
+            else None
+        )
+        self.agent_r = (
+            DQNAgent(
+                self.transformer_r.row_dim,
+                AgentConfig(gamma=config.gamma_requester, **agent_defaults),
+            )
+            if config.use_requester_mdp
+            else None
+        )
+        self.predictor_w = FutureStatePredictorW(
+            self.transformer_w,
+            self.arrival_statistics,
+            max_branches=config.max_future_branches_worker,
+        )
+        self.predictor_r = FutureStatePredictorR(
+            self.transformer_r,
+            self.arrival_statistics,
+            max_branches=config.max_future_branches_requester,
+        )
+        self.aggregator = QValueAggregator(config.worker_weight)
+        self.explorer = GaussianPerturbationExplorer(
+            perturb_probability=config.perturb_probability,
+            anneal_steps=config.explorer_anneal_steps,
+        )
+        self.assign_explorer = EpsilonGreedyExplorer(anneal_steps=config.explorer_anneal_steps)
+
+        #: Per-worker bookkeeping maintained by the policy itself (it cannot
+        #: peek at the platform internals): last seen feature and quality.
+        self._worker_features: dict[int, np.ndarray] = {}
+        self._worker_qualities: dict[int, float] = {}
+        self._pending: dict[tuple[float, int], _PendingDecision] = {}
+
+    # ------------------------------------------------------------------ #
+    # ArrangementPolicy API
+    # ------------------------------------------------------------------ #
+    def rank_tasks(self, context: ArrivalContext) -> list[int]:
+        """Score the pool with both Q-networks and return the ranked task ids."""
+        if not context.available_tasks:
+            return []
+        state_w, state_r = self._build_states(context)
+        worker_q = self.agent_w.q_values(state_w) if self.agent_w is not None else None
+        requester_q = self.agent_r.q_values(state_r) if self.agent_r is not None else None
+        combined = self.aggregator.combine(worker_q, requester_q)
+        perturbed = self.explorer.perturb(combined, self.rng)
+        order = np.argsort(-perturbed, kind="stable")
+        ranked = [context.task_ids[i] for i in order]
+
+        self._pending[(context.timestamp, context.worker.worker_id)] = _PendingDecision(
+            state_w=state_w,
+            state_r=state_r,
+            worker_q=worker_q,
+            requester_q=requester_q,
+            ranked_task_ids=ranked,
+        )
+        self.explorer.step()
+        self.assign_explorer.step()
+        return ranked
+
+    def observe_feedback(
+        self, context: ArrivalContext, ranked_task_ids: list[int], feedback: Feedback
+    ) -> None:
+        """Transform the feedback into transitions, store them and learn."""
+        key = (context.timestamp, context.worker.worker_id)
+        decision = self._pending.pop(key, None)
+        if decision is None:
+            # rank_tasks was not called for this arrival (should not happen in
+            # normal runs); rebuild the states so learning can still proceed.
+            state_w, state_r = self._build_states(context)
+            decision = _PendingDecision(state_w, state_r, None, None, list(ranked_task_ids))
+
+        self._record_arrival(context)
+        updated_feature = (
+            feedback.updated_worker_feature
+            if feedback.updated_worker_feature is not None
+            else context.worker_feature
+        )
+        self._worker_features[context.worker.worker_id] = np.asarray(updated_feature)
+        self._worker_qualities[context.worker.worker_id] = context.worker.quality
+
+        deadlines = {task.task_id: task.deadline for task in context.available_tasks}
+        action_indices = self._action_indices(decision, ranked_task_ids, feedback)
+
+        if self.agent_w is not None and decision.state_w is not None:
+            self._learn_worker_mdp(decision.state_w, action_indices, feedback, context, deadlines, updated_feature)
+        if self.agent_r is not None and decision.state_r is not None:
+            self._learn_requester_mdp(decision.state_r, action_indices, feedback, context, deadlines)
+
+    def end_of_day(self, timestamp: float) -> None:
+        """The DDQN updates in real time; nothing happens at day boundaries."""
+
+    def reset(self) -> None:
+        """Re-initialise networks, memories and statistics."""
+        self._build_components()
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _build_states(self, context: ArrivalContext) -> tuple[StateMatrix | None, StateMatrix | None]:
+        state_w = None
+        state_r = None
+        if self.config.use_worker_mdp:
+            state_w = self.transformer_w.transform(
+                context.worker_feature, context.task_features, context.task_ids
+            )
+        if self.config.use_requester_mdp:
+            state_r = self.transformer_r.transform(
+                context.worker_feature,
+                context.task_features,
+                context.task_ids,
+                worker_quality=context.worker.quality,
+                task_qualities=context.task_qualities,
+            )
+        return state_w, state_r
+
+    def _record_arrival(self, context: ArrivalContext) -> None:
+        self.arrival_statistics.record_arrival(
+            context.worker.worker_id, context.timestamp, context.worker_feature
+        )
+
+    def _lookup_worker_feature(self, worker_id: int) -> np.ndarray:
+        feature = self._worker_features.get(worker_id)
+        if feature is None:
+            return np.zeros(self.schema.worker_dim, dtype=np.float64)
+        return feature
+
+    def _action_indices(
+        self,
+        decision: _PendingDecision,
+        ranked_task_ids: list[int],
+        feedback: Feedback,
+    ) -> list[tuple[int, bool]]:
+        """Determine which (task, success) pairs become stored transitions.
+
+        The completed task (if any) becomes a successful transition; the
+        suggested-but-skipped tasks that were ranked above it become failed
+        transitions with zero reward, bounded by ``max_failed_transitions``.
+        """
+        reference = decision.state_w if decision.state_w is not None else decision.state_r
+        id_to_index = {task_id: i for i, task_id in enumerate(reference.task_ids)}
+
+        pairs: list[tuple[int, bool]] = []
+        if feedback.completed and feedback.completed_task_id in id_to_index:
+            pairs.append((id_to_index[feedback.completed_task_id], True))
+        skipped: list[int] = []
+        for task_id in feedback.presented_task_ids:
+            if task_id == feedback.completed_task_id:
+                break
+            if task_id in id_to_index:
+                skipped.append(id_to_index[task_id])
+        if not feedback.completed:
+            skipped = skipped[: self.config.max_failed_transitions]
+        else:
+            skipped = skipped[: self.config.max_failed_transitions]
+        pairs.extend((index, False) for index in skipped)
+        return pairs
+
+    def _learn_worker_mdp(
+        self,
+        state: StateMatrix,
+        action_indices: list[tuple[int, bool]],
+        feedback: Feedback,
+        context: ArrivalContext,
+        deadlines: dict[int, float],
+        updated_feature: np.ndarray,
+    ) -> None:
+        future = self.predictor_w.predict(state, context.timestamp, deadlines, updated_feature)
+        for action_index, success in action_indices:
+            transition = Transition(
+                state=state,
+                action_index=action_index,
+                reward=feedback.completion_reward if success else 0.0,
+                future_states=future,
+                timestamp=context.timestamp,
+            )
+            self.agent_w.store_and_train(transition)
+
+    def _learn_requester_mdp(
+        self,
+        state: StateMatrix,
+        action_indices: list[tuple[int, bool]],
+        feedback: Feedback,
+        context: ArrivalContext,
+        deadlines: dict[int, float],
+    ) -> None:
+        base_state = state
+        if feedback.completed and feedback.completed_task_id is not None:
+            task = context.task_by_id(feedback.completed_task_id)
+            # The quality column of the completed task reflects the new quality.
+            base_state = self.transformer_r.replace_task_quality(
+                state, feedback.completed_task_id, task.quality + feedback.quality_gain
+            )
+        future = self.predictor_r.predict(
+            base_state, context.timestamp, deadlines, self._lookup_worker_feature
+        )
+        for action_index, success in action_indices:
+            transition = Transition(
+                state=state,
+                action_index=action_index,
+                reward=feedback.quality_gain if success else 0.0,
+                future_states=future,
+                timestamp=context.timestamp,
+            )
+            self.agent_r.store_and_train(transition)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def worker_only(
+        cls, schema: FeatureSchema, config: FrameworkConfig | None = None
+    ) -> "TaskArrangementFramework":
+        """Variant optimising only the workers' benefit (Fig. 7)."""
+        base = config if config is not None else FrameworkConfig()
+        return cls(schema, replace(base, use_worker_mdp=True, use_requester_mdp=False, worker_weight=1.0))
+
+    @classmethod
+    def requester_only(
+        cls, schema: FeatureSchema, config: FrameworkConfig | None = None
+    ) -> "TaskArrangementFramework":
+        """Variant optimising only the requesters' benefit (Fig. 8)."""
+        base = config if config is not None else FrameworkConfig()
+        return cls(schema, replace(base, use_worker_mdp=False, use_requester_mdp=True, worker_weight=0.0))
+
+    @classmethod
+    def balanced(
+        cls,
+        schema: FeatureSchema,
+        worker_weight: float,
+        config: FrameworkConfig | None = None,
+    ) -> "TaskArrangementFramework":
+        """Variant combining both objectives with the given weight (Fig. 9)."""
+        base = config if config is not None else FrameworkConfig()
+        return cls(
+            schema,
+            replace(base, use_worker_mdp=True, use_requester_mdp=True, worker_weight=worker_weight),
+        )

@@ -1,0 +1,50 @@
+"""Policy interface shared by the DRL framework and all baselines.
+
+The evaluation runner (:mod:`repro.eval.runner`) interacts with every method
+through this interface: the policy ranks the available tasks for an arriving
+worker, is informed of the worker's feedback, and may perform periodic
+(daily) re-training.  The DDQN framework, the bandit baseline and the
+supervised baselines all implement it, which is what makes the paper's
+head-to-head comparison possible.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..crowd.platform import ArrivalContext, Feedback
+
+__all__ = ["ArrangementPolicy"]
+
+
+class ArrangementPolicy(abc.ABC):
+    """A task-arrangement method evaluated by the simulation runner."""
+
+    #: Human-readable method name used in reports (e.g. "DDQN", "LinUCB").
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def rank_tasks(self, context: ArrivalContext) -> list[int]:
+        """Return the available task ids ranked best-first for this arrival.
+
+        The runner derives every action mode from this ranking: the single
+        assigned task is the first element, the top-*k* list is the first *k*
+        elements, and the full recommended list is the whole ranking.
+        """
+
+    @abc.abstractmethod
+    def observe_feedback(
+        self, context: ArrivalContext, ranked_task_ids: list[int], feedback: Feedback
+    ) -> None:
+        """Incorporate the worker's feedback for the presented ranking.
+
+        Reinforcement-learning methods update their model immediately inside
+        this call; supervised methods typically only log the interaction here
+        and re-train in :meth:`end_of_day`.
+        """
+
+    def end_of_day(self, timestamp: float) -> None:
+        """Hook invoked once per simulated day (supervised baselines re-train here)."""
+
+    def reset(self) -> None:
+        """Forget all learned state (used when replaying a fresh trace)."""

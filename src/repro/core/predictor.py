@@ -1,0 +1,174 @@
+"""Explicit future-state prediction (Sec. IV-D and V-D).
+
+DQN normally learns transition dynamics implicitly, but the huge state space
+(arriving worker × pool of available tasks) makes transitions extremely
+sparse.  The paper instead *predicts* the distribution of the future state at
+feedback time using the empirically maintained arrival-gap histograms:
+
+* :class:`FutureStatePredictorW` — MDP(w).  The future state occurs when the
+  *same* worker returns; its arrival time follows ``φ(g)`` with support up to
+  one week.  Between now and that return some available tasks expire, so the
+  prediction enumerates the (few) distinct pools induced by expiry
+  breakpoints — the paper notes that ``max_a' Q`` can change only when a task
+  expires, so at most ``maxT`` evaluations are needed; we additionally cap the
+  number of branches.
+* :class:`FutureStatePredictorR` — MDP(r).  The future state occurs when the
+  *next* worker (any worker) arrives, within ``ϕ(g)``'s 60-minute support.
+  The next worker's identity is uncertain; following the paper's speed-up we
+  use the *expectation* of the next worker's feature under the next-worker
+  distribution instead of enumerating workers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..crowd.arrivals import WorkerArrivalStatistics
+from .state import StateMatrix, StateTransformer
+
+__all__ = ["FutureStatePredictorW", "FutureStatePredictorR", "expiry_branches"]
+
+
+def expiry_branches(
+    gap_centers: np.ndarray,
+    gap_probabilities: np.ndarray,
+    expiry_offsets: dict[int, float],
+    max_branches: int,
+) -> list[tuple[float, set[int]]]:
+    """Group arrival-gap probability mass by the set of tasks that have expired.
+
+    Parameters
+    ----------
+    gap_centers, gap_probabilities:
+        The support and probabilities of the arrival-gap histogram.
+    expiry_offsets:
+        Mapping ``task_id -> minutes until the task expires`` (relative to now).
+    max_branches:
+        Upper bound on the number of returned branches; the earliest
+        ``max_branches - 1`` expiry breakpoints are kept distinct and all
+        later mass is merged into the final branch.
+
+    Returns
+    -------
+    A list of ``(probability, expired_task_ids)`` pairs whose probabilities
+    sum to 1 (up to floating point).
+    """
+    if max_branches <= 0:
+        raise ValueError("max_branches must be positive")
+    offsets = sorted(set(expiry_offsets.values()))
+    # Keep only breakpoints inside the histogram support.
+    max_gap = float(gap_centers[-1]) if len(gap_centers) else 0.0
+    offsets = [offset for offset in offsets if 0.0 < offset <= max_gap]
+    if len(offsets) >= max_branches:
+        offsets = offsets[: max_branches - 1]
+    boundaries = offsets + [np.inf]
+
+    branches: list[tuple[float, set[int]]] = []
+    previous = 0.0
+    for boundary in boundaries:
+        in_interval = (gap_centers > previous) & (gap_centers <= boundary)
+        probability = float(gap_probabilities[in_interval].sum())
+        if previous == 0.0:
+            # Include mass exactly at / below the first centre.
+            probability += float(gap_probabilities[gap_centers <= previous].sum())
+        if probability > 0.0:
+            expired = {
+                task_id for task_id, offset in expiry_offsets.items() if offset <= previous
+            }
+            branches.append((probability, expired))
+        previous = boundary
+    total = sum(probability for probability, _ in branches)
+    if total > 0:
+        branches = [(probability / total, expired) for probability, expired in branches]
+    return branches
+
+
+class FutureStatePredictorW:
+    """Predicts MDP(w) future states: the same worker returns later.
+
+    The future worker feature is the (possibly updated) feature of the
+    current worker; the future pool is the current pool minus the tasks that
+    expire before the predicted return.
+    """
+
+    def __init__(
+        self,
+        transformer: StateTransformer,
+        statistics: WorkerArrivalStatistics,
+        max_branches: int = 4,
+    ) -> None:
+        self.transformer = transformer
+        self.statistics = statistics
+        self.max_branches = max_branches
+
+    def predict(
+        self,
+        state: StateMatrix,
+        now: float,
+        task_deadlines: dict[int, float],
+        updated_worker_feature: np.ndarray,
+    ) -> list[tuple[float, StateMatrix]]:
+        """Return ``(probability, future StateMatrix)`` branches."""
+        base = self.transformer.replace_worker_feature(state, updated_worker_feature)
+        histogram = self.statistics.same_worker_gaps
+        centers = histogram.bucket_centers()
+        probabilities = histogram.probabilities()
+        offsets = {
+            task_id: task_deadlines[task_id] - now
+            for task_id in state.task_ids
+            if task_id in task_deadlines
+        }
+        branches = expiry_branches(centers, probabilities, offsets, self.max_branches)
+        return [
+            (probability, base.without_tasks(expired) if expired else base)
+            for probability, expired in branches
+        ]
+
+
+class FutureStatePredictorR:
+    """Predicts MDP(r) future states: the next (any) worker arrives soon.
+
+    Uses the expectation of the next worker's feature (Sec. V-D speed-up 2)
+    and the short-support ``ϕ(g)`` histogram for expiries; the completed
+    task's quality column is assumed to have been updated by the caller.
+    """
+
+    def __init__(
+        self,
+        transformer: StateTransformer,
+        statistics: WorkerArrivalStatistics,
+        max_branches: int = 3,
+        max_workers: int | None = 50,
+    ) -> None:
+        self.transformer = transformer
+        self.statistics = statistics
+        self.max_branches = max_branches
+        self.max_workers = max_workers
+
+    def predict(
+        self,
+        state: StateMatrix,
+        now: float,
+        task_deadlines: dict[int, float],
+        feature_lookup: Callable[[int], np.ndarray],
+    ) -> list[tuple[float, StateMatrix]]:
+        """Return ``(probability, future StateMatrix)`` branches."""
+        expected_feature = self.statistics.expected_next_worker_feature(
+            now, feature_lookup, max_workers=self.max_workers
+        )
+        base = self.transformer.replace_worker_feature(state, expected_feature)
+        histogram = self.statistics.any_worker_gaps
+        centers = histogram.bucket_centers()
+        probabilities = histogram.probabilities()
+        offsets = {
+            task_id: task_deadlines[task_id] - now
+            for task_id in state.task_ids
+            if task_id in task_deadlines
+        }
+        branches = expiry_branches(centers, probabilities, offsets, self.max_branches)
+        return [
+            (probability, base.without_tasks(expired) if expired else base)
+            for probability, expired in branches
+        ]

@@ -1,0 +1,118 @@
+"""The permutation-invariant set Q-network (Sec. IV-B, Fig. 3).
+
+Input: the state matrix whose rows are (task feature ‖ worker feature [...]).
+Architecture, following the paper:
+
+1. two row-wise feed-forward layers lift each task-worker pair to a
+   ``hidden_dim``-dimensional embedding;
+2. a multi-head self-attention layer computes pairwise interactions between
+   the tasks in the pool, followed by a residual row-wise layer that keeps
+   the network stable;
+3. a second self-attention layer captures higher-order interactions;
+4. a final row-wise linear layer (no activation) reduces each row to a single
+   Q value ``Q(s, t_j)``.
+
+Because all layers are permutation-invariant over rows, reordering the
+available tasks permutes the output Q values identically, and padding rows
+are masked out of the attention softmax so they cannot influence real tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    Module,
+    MultiHeadSelfAttention,
+    RowwiseFeedForward,
+    Tensor,
+    no_grad,
+)
+from .state import StateMatrix
+
+__all__ = ["SetQNetwork"]
+
+
+class SetQNetwork(Module):
+    """Estimates one Q value per available task from a state matrix.
+
+    Parameters
+    ----------
+    input_dim:
+        Row dimensionality of the state matrix (from the StateTransformer).
+    hidden_dim:
+        Width of the internal embeddings (128 in the paper).
+    num_heads:
+        Number of attention heads (the paper's Fig. 3 shows ``h = 4``).
+    seed:
+        Seed for parameter initialisation, making runs reproducible.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int = 128,
+        num_heads: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        rng = np.random.default_rng(seed)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+
+        self.embed_1 = RowwiseFeedForward(input_dim, hidden_dim, rng=rng)
+        self.embed_2 = RowwiseFeedForward(hidden_dim, hidden_dim, rng=rng)
+        self.attention_1 = MultiHeadSelfAttention(hidden_dim, num_heads, rng=rng)
+        self.post_attention = RowwiseFeedForward(hidden_dim, hidden_dim, rng=rng)
+        self.attention_2 = MultiHeadSelfAttention(hidden_dim, num_heads, rng=rng)
+        self.value_head = RowwiseFeedForward(hidden_dim, 1, activation=False, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, state: Tensor | np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+        """Return a tensor of shape ``(rows,)`` with one Q value per row."""
+        x = state if isinstance(state, Tensor) else Tensor(state)
+        hidden = self.embed_1(x)
+        hidden = self.embed_2(hidden)
+        attended = self.attention_1(hidden, mask=mask)
+        # Residual connection + row-wise layer ("helps keeping the network stable").
+        hidden = self.post_attention(attended + hidden)
+        hidden = self.attention_2(hidden, mask=mask) + hidden
+        values = self.value_head(hidden)
+        return values.reshape(values.shape[0])
+
+    # ------------------------------------------------------------------ #
+    def q_values(self, state: StateMatrix) -> np.ndarray:
+        """Inference helper: Q values for the *real* tasks of ``state`` (no grad)."""
+        if state.num_tasks == 0:
+            return np.zeros(0, dtype=np.float64)
+        with no_grad():
+            values = self.forward(Tensor(state.matrix), mask=state.mask)
+        return values.numpy()[: state.num_tasks].copy()
+
+    def max_q(self, state: StateMatrix) -> float:
+        """``max_a Q(s, a)`` over the real tasks (0 when the pool is empty)."""
+        values = self.q_values(state)
+        return float(values.max()) if values.size else 0.0
+
+    def greedy_action(self, state: StateMatrix) -> int | None:
+        """Index (into ``state.task_ids``) of the best task, or None if empty."""
+        values = self.q_values(state)
+        if values.size == 0:
+            return None
+        return int(np.argmax(values))
+
+    def clone(self) -> "SetQNetwork":
+        """Create a structurally identical network with copied parameters.
+
+        Used to build the target network Q̃ of double Q-learning.
+        """
+        twin = SetQNetwork(
+            input_dim=self.input_dim,
+            hidden_dim=self.hidden_dim,
+            num_heads=self.num_heads,
+        )
+        twin.load_state_dict(self.state_dict())
+        return twin

@@ -1,0 +1,215 @@
+"""Experience replay memories.
+
+The paper stores transitions ``(s_i, a_i, r_i, s_{i+1})`` in a bounded buffer
+ordered by occurrence time (Sec. II-C) and trains with **prioritized
+experience replay** [25] (Sec. IV-D).  Because the framework predicts future
+states explicitly, a stored transition carries a *distribution* over future
+states — a small list of ``(probability, StateMatrix)`` branches produced by
+the predictor — rather than a single successor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .state import StateMatrix
+
+__all__ = ["Transition", "ReplayMemory", "PrioritizedReplayMemory", "SumTree"]
+
+
+@dataclass
+class Transition:
+    """One stored interaction.
+
+    ``action_index`` indexes into ``state.task_ids`` (the recommended /
+    completed task for successful transitions, or a skipped suggested task
+    for failed ones).  ``future_states`` is the explicit distribution over
+    successor states predicted at feedback time; probabilities sum to ≤ 1
+    (branches below the truncation threshold are dropped).
+    """
+
+    state: StateMatrix
+    action_index: int
+    reward: float
+    future_states: list[tuple[float, StateMatrix]] = field(default_factory=list)
+    timestamp: float = 0.0
+
+
+class ReplayMemory:
+    """Uniform-sampling ring buffer (the paper's buffer size is 1 000)."""
+
+    def __init__(self, capacity: int = 1_000, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.rng = np.random.default_rng(seed)
+        self._storage: list[Transition] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def push(self, transition: Transition) -> None:
+        """Insert a transition, overwriting the oldest once at capacity."""
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> tuple[list[Transition], np.ndarray, np.ndarray]:
+        """Sample ``batch_size`` transitions uniformly.
+
+        Returns ``(transitions, indices, weights)`` where the importance
+        weights are all 1 (uniform sampling needs no correction); the
+        signature matches :class:`PrioritizedReplayMemory` so learners can
+        use either interchangeably.
+        """
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay memory")
+        count = min(batch_size, len(self._storage))
+        indices = self.rng.choice(len(self._storage), size=count, replace=False)
+        transitions = [self._storage[int(i)] for i in indices]
+        return transitions, indices, np.ones(count, dtype=np.float64)
+
+    def update_priorities(self, indices: np.ndarray, priorities: np.ndarray) -> None:
+        """No-op for uniform replay (keeps the learner code generic)."""
+
+    def clear(self) -> None:
+        self._storage.clear()
+        self._cursor = 0
+
+
+class SumTree:
+    """A binary indexed tree storing priorities, supporting O(log n) sampling."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        # The tree is laid out as a complete binary tree, so the leaf count is
+        # rounded up to the next power of two; the extra leaves keep priority 0
+        # and are therefore never selected.
+        self._leaf_count = 1
+        while self._leaf_count < capacity:
+            self._leaf_count *= 2
+        self._tree = np.zeros(2 * self._leaf_count, dtype=np.float64)
+
+    @property
+    def total(self) -> float:
+        """Sum of all stored priorities."""
+        return float(self._tree[1])
+
+    def update(self, index: int, priority: float) -> None:
+        """Set the priority of leaf ``index``."""
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"leaf index {index} out of range [0, {self.capacity})")
+        if priority < 0:
+            raise ValueError("priorities must be non-negative")
+        node = index + self._leaf_count
+        delta = priority - self._tree[node]
+        while node >= 1:
+            self._tree[node] += delta
+            node //= 2
+
+    def get(self, index: int) -> float:
+        return float(self._tree[index + self._leaf_count])
+
+    def find(self, value: float) -> int:
+        """Return the leaf index whose cumulative priority range contains ``value``."""
+        node = 1
+        while node < self._leaf_count:
+            left = 2 * node
+            if value <= self._tree[left] or self._tree[left + 1] <= 0.0:
+                node = left
+            else:
+                value -= self._tree[left]
+                node = left + 1
+        return node - self._leaf_count
+
+
+class PrioritizedReplayMemory:
+    """Proportional prioritized experience replay (Schaul et al., 2015).
+
+    Sampling probability of transition *i* is ``p_i^alpha / sum_j p_j^alpha``
+    where ``p_i = |TD error| + eps``; importance-sampling weights
+    ``(N * P(i))^-beta`` (normalised by their maximum) correct the induced
+    bias, with ``beta`` annealed from ``beta_start`` to 1.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1_000,
+        alpha: float = 0.6,
+        beta_start: float = 0.4,
+        beta_increment: float = 1e-3,
+        epsilon: float = 1e-2,
+        seed: int = 0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        self.capacity = capacity
+        self.alpha = alpha
+        self.beta = beta_start
+        self.beta_increment = beta_increment
+        self.epsilon = epsilon
+        self.rng = np.random.default_rng(seed)
+        self._tree = SumTree(capacity)
+        self._storage: list[Transition] = []
+        self._cursor = 0
+        self._max_priority = 1.0
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def push(self, transition: Transition) -> None:
+        """Insert with maximal priority so new transitions are replayed soon."""
+        priority = self._max_priority**self.alpha
+        if len(self._storage) < self.capacity:
+            index = len(self._storage)
+            self._storage.append(transition)
+        else:
+            index = self._cursor
+            self._storage[index] = transition
+            self._cursor = (self._cursor + 1) % self.capacity
+        self._tree.update(index, priority)
+
+    def sample(self, batch_size: int) -> tuple[list[Transition], np.ndarray, np.ndarray]:
+        """Priority-proportional sample with importance-sampling weights."""
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay memory")
+        count = min(batch_size, len(self._storage))
+        total = self._tree.total
+        segment = total / count
+        indices = np.empty(count, dtype=np.int64)
+        priorities = np.empty(count, dtype=np.float64)
+        for slot in range(count):
+            target = self.rng.uniform(slot * segment, (slot + 1) * segment)
+            index = self._tree.find(target)
+            index = min(index, len(self._storage) - 1)
+            indices[slot] = index
+            priorities[slot] = max(self._tree.get(index), 1e-12)
+
+        probabilities = priorities / total
+        weights = (len(self._storage) * probabilities) ** (-self.beta)
+        weights /= weights.max()
+        self.beta = min(1.0, self.beta + self.beta_increment)
+        transitions = [self._storage[int(i)] for i in indices]
+        return transitions, indices, weights
+
+    def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
+        """Refresh priorities with the latest absolute TD errors."""
+        for index, error in zip(np.asarray(indices), np.asarray(td_errors)):
+            priority = float(abs(error)) + self.epsilon
+            self._max_priority = max(self._max_priority, priority)
+            self._tree.update(int(index), priority**self.alpha)
+
+    def clear(self) -> None:
+        self._storage.clear()
+        self._cursor = 0
+        self._tree = SumTree(self.capacity)
+        self._max_priority = 1.0

@@ -1,0 +1,40 @@
+"""Crowdsourcing platform simulator: entities, quality, arrivals, behaviour, platform."""
+
+from .arrivals import (
+    ANY_WORKER_MAX_GAP,
+    SAME_WORKER_MAX_GAP,
+    GapHistogram,
+    WorkerArrivalStatistics,
+)
+from .behavior import BehaviorOutcome, CascadeBehavior, InterestModel
+from .entities import MINUTES_PER_DAY, MINUTES_PER_MONTH, Completion, Requester, Task, Worker
+from .events import Event, EventTrace, EventType
+from .features import FeatureSchema, WorkerFeatureTracker
+from .platform import ArrivalContext, CrowdsourcingPlatform, Feedback
+from .quality import DixitStiglitzQuality, quality_gain
+
+__all__ = [
+    "Task",
+    "Worker",
+    "Requester",
+    "Completion",
+    "MINUTES_PER_DAY",
+    "MINUTES_PER_MONTH",
+    "DixitStiglitzQuality",
+    "quality_gain",
+    "GapHistogram",
+    "WorkerArrivalStatistics",
+    "SAME_WORKER_MAX_GAP",
+    "ANY_WORKER_MAX_GAP",
+    "InterestModel",
+    "CascadeBehavior",
+    "BehaviorOutcome",
+    "FeatureSchema",
+    "WorkerFeatureTracker",
+    "Event",
+    "EventTrace",
+    "EventType",
+    "ArrivalContext",
+    "CrowdsourcingPlatform",
+    "Feedback",
+]

@@ -1,0 +1,246 @@
+"""Worker-arrival statistics: empirical gap histograms and next-worker prediction.
+
+Two distributions drive the paper's explicit future-state prediction
+(Sec. IV-D and V-D):
+
+* ``φ(g)`` — the probability that the *same* worker returns after a gap of
+  ``g`` minutes (support 1 … 10 080 minutes, i.e. one week), used by the
+  MDP(w) predictor.
+* ``ϕ(g)`` — the probability that the *next* worker (any worker) arrives
+  after a gap of ``g`` minutes (support 0 … 60 minutes, covering 99 % of the
+  observed gaps), used by the MDP(r) predictor.
+
+Both are maintained as online histograms: initialised from the warm-up month
+and updated each time a new gap is observed.  :class:`WorkerArrivalStatistics`
+additionally tracks per-worker last-arrival times, the empirical new-worker
+rate and the average worker feature, from which it derives the next-worker
+distribution of Sec. V-D.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = [
+    "GapHistogram",
+    "SAME_WORKER_MAX_GAP",
+    "ANY_WORKER_MAX_GAP",
+    "WorkerArrivalStatistics",
+]
+
+#: φ(g) support: 1 … 10 080 minutes (one week), per Sec. IV-D.
+SAME_WORKER_MAX_GAP = 10_080
+#: ϕ(g) support: 0 … 60 minutes, per Sec. V-D.
+ANY_WORKER_MAX_GAP = 60
+
+
+class GapHistogram:
+    """Online histogram over time gaps (in minutes) with bucketing.
+
+    Parameters
+    ----------
+    max_gap:
+        Gaps above this value are ignored (the paper truncates both φ and ϕ).
+    bucket_width:
+        Width of a histogram bucket in minutes.  Buckets keep the support of
+        φ manageable (10 080 one-minute bins would be extremely sparse) while
+        preserving the shape of the distribution.
+    smoothing:
+        Additive (Laplace) smoothing applied when converting counts to
+        probabilities, so unseen gaps retain a small non-zero probability.
+    """
+
+    def __init__(self, max_gap: int, bucket_width: int = 10, smoothing: float = 1e-3) -> None:
+        if max_gap <= 0:
+            raise ValueError(f"max_gap must be positive, got {max_gap}")
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        self.max_gap = int(max_gap)
+        self.bucket_width = int(bucket_width)
+        self.smoothing = smoothing
+        self.num_buckets = int(np.ceil(self.max_gap / self.bucket_width))
+        self._counts = np.zeros(self.num_buckets, dtype=np.float64)
+        self.total_observations = 0
+
+    # ------------------------------------------------------------------ #
+    def _bucket_of(self, gap: float) -> int | None:
+        if gap < 0 or gap > self.max_gap:
+            return None
+        index = int(gap // self.bucket_width)
+        return min(index, self.num_buckets - 1)
+
+    def observe(self, gap: float) -> None:
+        """Record one observed gap (ignored when outside the support)."""
+        bucket = self._bucket_of(gap)
+        if bucket is None:
+            return
+        self._counts[bucket] += 1.0
+        self.total_observations += 1
+
+    def observe_many(self, gaps: Iterable[float]) -> None:
+        for gap in gaps:
+            self.observe(gap)
+
+    def probabilities(self) -> np.ndarray:
+        """Return the smoothed probability of each bucket (sums to 1)."""
+        smoothed = self._counts + self.smoothing
+        return smoothed / smoothed.sum()
+
+    def probability_of_gap(self, gap: float) -> float:
+        """Probability mass of the bucket containing ``gap`` (0 outside support)."""
+        bucket = self._bucket_of(gap)
+        if bucket is None:
+            return 0.0
+        return float(self.probabilities()[bucket])
+
+    def bucket_centers(self) -> np.ndarray:
+        """Representative gap value (bucket centre, minutes) for each bucket."""
+        edges = np.arange(self.num_buckets) * self.bucket_width
+        return edges + self.bucket_width / 2.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Sample a gap from the histogram (bucket centre)."""
+        probs = self.probabilities()
+        bucket = rng.choice(self.num_buckets, p=probs)
+        return float(self.bucket_centers()[bucket])
+
+    def expected_gap(self) -> float:
+        """Mean gap under the current histogram."""
+        return float(np.dot(self.probabilities(), self.bucket_centers()))
+
+    def top_buckets(self, count: int) -> list[tuple[float, float]]:
+        """Return the ``count`` most probable (gap_center, probability) pairs."""
+        probs = self.probabilities()
+        centers = self.bucket_centers()
+        order = np.argsort(probs)[::-1][:count]
+        return [(float(centers[i]), float(probs[i])) for i in order]
+
+
+class WorkerArrivalStatistics:
+    """Aggregated arrival statistics used by both future-state predictors.
+
+    Responsibilities (Sec. IV-D and V-D):
+
+    * maintain ``φ(g)`` (same-worker return gaps) and ``ϕ(g)`` (any-worker
+      inter-arrival gaps) as online histograms;
+    * remember the last arrival time of every known worker;
+    * track the rate of arrivals that belong to previously unseen workers
+      (``p_new``) and the running average worker feature, which stands in for
+      the feature of a not-yet-seen worker.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int,
+        same_worker_bucket: int = 60,
+        any_worker_bucket: int = 2,
+    ) -> None:
+        self.same_worker_gaps = GapHistogram(SAME_WORKER_MAX_GAP, bucket_width=same_worker_bucket)
+        self.any_worker_gaps = GapHistogram(ANY_WORKER_MAX_GAP, bucket_width=any_worker_bucket)
+        self.feature_dim = feature_dim
+        self.last_arrival_by_worker: dict[int, float] = {}
+        self.last_arrival_time: float | None = None
+        self.total_arrivals = 0
+        self.new_worker_arrivals = 0
+        self._feature_sum = np.zeros(feature_dim, dtype=np.float64)
+        self._feature_count = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def new_worker_rate(self) -> float:
+        """Empirical probability that the next arrival is a brand-new worker."""
+        if self.total_arrivals == 0:
+            return 0.0
+        return self.new_worker_arrivals / self.total_arrivals
+
+    def average_worker_feature(self) -> np.ndarray:
+        """Mean feature of observed workers (proxy feature for new workers)."""
+        if self._feature_count == 0:
+            return np.zeros(self.feature_dim, dtype=np.float64)
+        return self._feature_sum / self._feature_count
+
+    def record_arrival(
+        self,
+        worker_id: int,
+        timestamp: float,
+        worker_feature: np.ndarray | None = None,
+    ) -> None:
+        """Update all statistics with one worker arrival."""
+        self.total_arrivals += 1
+        if self.last_arrival_time is not None:
+            self.any_worker_gaps.observe(timestamp - self.last_arrival_time)
+        self.last_arrival_time = timestamp
+
+        previous = self.last_arrival_by_worker.get(worker_id)
+        if previous is None:
+            self.new_worker_arrivals += 1
+        else:
+            self.same_worker_gaps.observe(timestamp - previous)
+        self.last_arrival_by_worker[worker_id] = timestamp
+
+        if worker_feature is not None:
+            feature = np.asarray(worker_feature, dtype=np.float64)
+            if feature.shape != (self.feature_dim,):
+                raise ValueError(
+                    f"worker feature has shape {feature.shape}, expected ({self.feature_dim},)"
+                )
+            self._feature_sum += feature
+            self._feature_count += 1
+
+    # ------------------------------------------------------------------ #
+    def same_worker_return_probability(self, worker_id: int, now: float) -> float:
+        """φ(g) evaluated at the worker's current time-since-last-arrival."""
+        last = self.last_arrival_by_worker.get(worker_id)
+        if last is None:
+            return 0.0
+        return self.same_worker_gaps.probability_of_gap(now - last)
+
+    def next_worker_distribution(
+        self,
+        now: float,
+        feature_lookup: Callable[[int], np.ndarray],
+        max_workers: int | None = None,
+    ) -> list[tuple[int | None, float, np.ndarray]]:
+        """Distribution over the identity of the next arriving worker (Sec. V-D).
+
+        Returns a list of ``(worker_id, probability, feature)`` triples; the
+        entry with ``worker_id=None`` represents "a new worker" and carries
+        the average worker feature.  ``max_workers`` truncates to the most
+        probable known workers (the paper's first speed-up).
+        """
+        known: list[tuple[int, float]] = []
+        for worker_id, last in self.last_arrival_by_worker.items():
+            weight = self.same_worker_gaps.probability_of_gap(now - last)
+            if weight > 0.0:
+                known.append((worker_id, weight))
+        known.sort(key=lambda item: item[1], reverse=True)
+        if max_workers is not None:
+            known = known[:max_workers]
+
+        p_new = self.new_worker_rate
+        result: list[tuple[int | None, float, np.ndarray]] = []
+        total_known_weight = sum(weight for _, weight in known)
+        if total_known_weight > 0.0:
+            for worker_id, weight in known:
+                probability = (1.0 - p_new) * weight / total_known_weight
+                result.append((worker_id, probability, np.asarray(feature_lookup(worker_id))))
+        else:
+            # No informative history: everything goes to the "new worker" entry.
+            p_new = 1.0
+        result.append((None, p_new, self.average_worker_feature()))
+        return result
+
+    def expected_next_worker_feature(
+        self,
+        now: float,
+        feature_lookup: Callable[[int], np.ndarray],
+        max_workers: int | None = None,
+    ) -> np.ndarray:
+        """Expectation of the next worker's feature (the paper's second speed-up)."""
+        distribution = self.next_worker_distribution(now, feature_lookup, max_workers)
+        expectation = np.zeros(self.feature_dim, dtype=np.float64)
+        for _, probability, feature in distribution:
+            expectation += probability * feature
+        return expectation

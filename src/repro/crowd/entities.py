@@ -1,0 +1,111 @@
+"""Domain entities of the crowdsourcing platform: tasks, workers, requesters.
+
+Time is measured in **minutes** since the beginning of the trace, matching the
+paper's arrival-gap analysis (Fig. 5) which is expressed in minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Task", "Worker", "Requester", "Completion", "MINUTES_PER_DAY", "MINUTES_PER_MONTH"]
+
+MINUTES_PER_DAY = 1_440
+#: The trace uses 30-day months so that 12 months cover Feb 2018 – Jan 2019.
+MINUTES_PER_MONTH = 30 * MINUTES_PER_DAY
+
+
+@dataclass
+class Completion:
+    """A single completion of a task by a worker."""
+
+    worker_id: int
+    timestamp: float
+    worker_quality: float
+
+
+@dataclass
+class Task:
+    """A crowdsourcing task posted by a requester.
+
+    Attributes mirror the feature construction of Sec. IV-A: the award (the
+    remuneration motive), the category (task autonomy / type of work) and the
+    domain (skill variety).
+    """
+
+    task_id: int
+    requester_id: int
+    category: int
+    domain: int
+    award: float
+    created_at: float
+    deadline: float
+    quality: float = 0.0
+    completions: list[Completion] = field(default_factory=list)
+
+    def is_available(self, now: float) -> bool:
+        """A task can be recommended between its creation time and deadline."""
+        return self.created_at <= now < self.deadline
+
+    def is_expired(self, now: float) -> bool:
+        """True once the deadline has passed."""
+        return now >= self.deadline
+
+    def record_completion(self, worker_id: int, timestamp: float, worker_quality: float) -> None:
+        """Append a completion event; quality must be recomputed by the caller."""
+        self.completions.append(Completion(worker_id, timestamp, worker_quality))
+
+    @property
+    def completion_count(self) -> int:
+        return len(self.completions)
+
+    def contributor_qualities(self) -> list[float]:
+        """Qualities of all workers that completed this task (with repetition)."""
+        return [completion.worker_quality for completion in self.completions]
+
+
+@dataclass
+class Worker:
+    """A crowd worker with preferences, skill quality and a completion history.
+
+    ``category_preference`` and ``domain_preference`` are probability vectors
+    describing how attractive each category/domain is to the worker;
+    ``award_sensitivity`` in [0, 1] interpolates between a purely
+    interest-driven worker (0) and a purely payment-driven worker (1)
+    (Sec. IV-C of the paper).
+    """
+
+    worker_id: int
+    quality: float
+    category_preference: np.ndarray
+    domain_preference: np.ndarray
+    award_sensitivity: float = 0.5
+    history: list[int] = field(default_factory=list)
+    last_arrival: float | None = None
+    arrival_count: int = 0
+
+    def record_arrival(self, timestamp: float) -> float | None:
+        """Record an arrival, returning the gap (minutes) since the previous one."""
+        gap = None if self.last_arrival is None else timestamp - self.last_arrival
+        self.last_arrival = timestamp
+        self.arrival_count += 1
+        return gap
+
+    def record_completion(self, task_id: int, max_history: int = 50) -> None:
+        """Append ``task_id`` to the recent-completion history (bounded)."""
+        self.history.append(task_id)
+        if len(self.history) > max_history:
+            del self.history[: len(self.history) - max_history]
+
+
+@dataclass
+class Requester:
+    """A requester that publishes tasks on the platform."""
+
+    requester_id: int
+    task_ids: list[int] = field(default_factory=list)
+
+    def register_task(self, task_id: int) -> None:
+        self.task_ids.append(task_id)

@@ -1,0 +1,117 @@
+"""Event model of the platform trace.
+
+A trace is a time-ordered sequence of three event types — task creation, task
+expiry and worker arrival — exactly the stream the paper replays ("We order
+the dataset, i.e., creation of tasks, expiration of tasks and arrival of
+workers by time", Sec. VII-B-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Sequence
+
+from .entities import MINUTES_PER_MONTH
+
+__all__ = ["EventType", "Event", "EventTrace"]
+
+
+class EventType(Enum):
+    """Kinds of events occurring on the platform."""
+
+    TASK_CREATED = "task_created"
+    TASK_EXPIRED = "task_expired"
+    WORKER_ARRIVAL = "worker_arrival"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single timestamped event.
+
+    ``subject_id`` is a task id for task events and a worker id for arrivals.
+    """
+
+    timestamp: float
+    event_type: EventType
+    subject_id: int
+
+    def month_index(self, origin: float = 0.0) -> int:
+        """0-based month index of this event relative to ``origin``."""
+        return int((self.timestamp - origin) // MINUTES_PER_MONTH)
+
+
+class EventTrace:
+    """An immutable, time-ordered sequence of events with slicing helpers."""
+
+    def __init__(self, events: Sequence[Event]) -> None:
+        self._events: list[Event] = sorted(
+            events, key=lambda event: (event.timestamp, _event_priority(event.event_type))
+        )
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    @property
+    def start_time(self) -> float:
+        return self._events[0].timestamp if self._events else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self._events[-1].timestamp if self._events else 0.0
+
+    def num_months(self, origin: float = 0.0) -> int:
+        """Number of (30-day) months spanned by the trace."""
+        if not self._events:
+            return 0
+        return self._events[-1].month_index(origin) + 1
+
+    # ------------------------------------------------------------------ #
+    def of_type(self, event_type: EventType) -> list[Event]:
+        """All events of a given type, in time order."""
+        return [event for event in self._events if event.event_type is event_type]
+
+    def between(self, start: float, end: float) -> "EventTrace":
+        """Sub-trace of events with ``start <= timestamp < end``."""
+        return EventTrace([e for e in self._events if start <= e.timestamp < end])
+
+    def split_warmup(self, warmup_end: float) -> tuple["EventTrace", "EventTrace"]:
+        """Split into (warm-up, online) traces at ``warmup_end`` minutes."""
+        warm = [e for e in self._events if e.timestamp < warmup_end]
+        online = [e for e in self._events if e.timestamp >= warmup_end]
+        return EventTrace(warm), EventTrace(online)
+
+    def monthly_counts(self, event_type: EventType, origin: float = 0.0) -> list[int]:
+        """Number of events of ``event_type`` per month (Fig. 6-style series)."""
+        months = self.num_months(origin)
+        counts = [0] * months
+        for event in self._events:
+            if event.event_type is event_type:
+                counts[event.month_index(origin)] += 1
+        return counts
+
+
+def _event_priority(event_type: EventType) -> int:
+    """Tie-breaking order for simultaneous events.
+
+    Expiries are applied before arrivals at the same timestamp (an expired
+    task must not be recommended), and creations before arrivals (a task
+    created "now" is available).
+    """
+    order = {
+        EventType.TASK_EXPIRED: 0,
+        EventType.TASK_CREATED: 1,
+        EventType.WORKER_ARRIVAL: 2,
+    }
+    return order[event_type]

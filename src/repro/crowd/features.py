@@ -1,0 +1,141 @@
+"""Feature construction for tasks and workers (Sec. IV-A and V-A).
+
+Task features follow the paper's top-3 worker motivations: the **award**
+(remuneration, a continuous attribute discretised into bins and one-hot
+encoded), the **category** (task autonomy) and the **domain** (skill
+variety), both categorical and one-hot encoded.
+
+Worker features are "the distribution of recently completed tasks" — we
+represent a worker by the normalised histogram of the features of their
+recent completions, which lives in the same space as a task feature and can
+be updated online each time the worker completes a task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .entities import Task, Worker
+
+__all__ = ["FeatureSchema", "WorkerFeatureTracker"]
+
+
+@dataclass
+class FeatureSchema:
+    """Describes the discrete feature space of a trace.
+
+    Parameters
+    ----------
+    num_categories, num_domains:
+        Sizes of the categorical vocabularies.
+    award_bins:
+        Ascending bin edges used to discretise the award attribute.  A value
+        falls in bin ``i`` when ``edges[i-1] <= award < edges[i]``; values
+        above the last edge fall in the final bin.
+    """
+
+    num_categories: int
+    num_domains: int
+    award_bins: tuple[float, ...] = (5.0, 25.0, 100.0, 250.0, 500.0, 1000.0)
+
+    def __post_init__(self) -> None:
+        if self.num_categories <= 0 or self.num_domains <= 0:
+            raise ValueError("category/domain vocabulary sizes must be positive")
+        edges = tuple(float(edge) for edge in self.award_bins)
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("award_bins must be strictly increasing")
+        object.__setattr__(self, "award_bins", edges)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_award_bins(self) -> int:
+        return len(self.award_bins) + 1
+
+    @property
+    def task_dim(self) -> int:
+        """Dimension of a task feature vector."""
+        return self.num_categories + self.num_domains + self.num_award_bins
+
+    @property
+    def worker_dim(self) -> int:
+        """Dimension of a worker feature vector (same space as tasks)."""
+        return self.task_dim
+
+    # ------------------------------------------------------------------ #
+    def award_bin(self, award: float) -> int:
+        """Index of the award bin containing ``award``."""
+        return int(np.searchsorted(np.asarray(self.award_bins), award, side="right"))
+
+    def task_features(self, task: Task) -> np.ndarray:
+        """One-hot concatenation [category | domain | award bin]."""
+        if not 0 <= task.category < self.num_categories:
+            raise ValueError(f"task category {task.category} outside schema range")
+        if not 0 <= task.domain < self.num_domains:
+            raise ValueError(f"task domain {task.domain} outside schema range")
+        vector = np.zeros(self.task_dim, dtype=np.float64)
+        vector[task.category] = 1.0
+        vector[self.num_categories + task.domain] = 1.0
+        vector[self.num_categories + self.num_domains + self.award_bin(task.award)] = 1.0
+        return vector
+
+    def empty_worker_features(self) -> np.ndarray:
+        return np.zeros(self.worker_dim, dtype=np.float64)
+
+
+class WorkerFeatureTracker:
+    """Maintains online worker features as a decayed completion histogram.
+
+    Each time a worker completes a task, the task's feature vector is folded
+    into the worker's feature with exponential decay, so the feature tracks
+    the *recent* completion distribution (the paper uses "last week or
+    month").  Features are L1-normalised so that they remain comparable
+    across workers with different activity levels.
+    """
+
+    def __init__(self, schema: FeatureSchema, decay: float = 0.9) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.schema = schema
+        self.decay = decay
+        self._raw: dict[int, np.ndarray] = {}
+
+    def features_of(self, worker_id: int) -> np.ndarray:
+        """Return the (normalised) current feature of ``worker_id``."""
+        raw = self._raw.get(worker_id)
+        if raw is None:
+            return self.schema.empty_worker_features()
+        total = raw.sum()
+        if total <= 0.0:
+            return self.schema.empty_worker_features()
+        return raw / total
+
+    def known_workers(self) -> list[int]:
+        return list(self._raw)
+
+    def observe_completion(self, worker: Worker | int, task: Task) -> np.ndarray:
+        """Fold a completed task into the worker's feature and return the update."""
+        worker_id = worker.worker_id if isinstance(worker, Worker) else int(worker)
+        task_vector = self.schema.task_features(task)
+        raw = self._raw.get(worker_id)
+        if raw is None:
+            raw = np.zeros(self.schema.worker_dim, dtype=np.float64)
+        raw = self.decay * raw + task_vector
+        self._raw[worker_id] = raw
+        return self.features_of(worker_id)
+
+    def bootstrap(self, worker_id: int, tasks: list[Task]) -> np.ndarray:
+        """Initialise a worker feature from a list of previously completed tasks.
+
+        The paper initialises features from the first (warm-up) month and
+        solves the cold-start problem for new workers with their first five
+        completions.
+        """
+        for task in tasks:
+            self.observe_completion(worker_id, task)
+        return self.features_of(worker_id)
+
+    def reset(self) -> None:
+        """Forget all tracked worker features."""
+        self._raw.clear()

@@ -1,0 +1,265 @@
+"""The crowdsourcing platform environment.
+
+:class:`CrowdsourcingPlatform` is the "environment" half of the paper's
+Fig. 2: it maintains the pool of currently available tasks as creation and
+expiry events stream in, exposes each worker arrival together with the pool
+snapshot, simulates the worker's response to the policy's recommendation
+(through :mod:`repro.crowd.behavior`), and applies the resulting bookkeeping
+— task quality update (Dixit–Stiglitz), worker feature update, and the
+arrival statistics needed by the future-state predictors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .arrivals import WorkerArrivalStatistics
+from .behavior import BehaviorOutcome, CascadeBehavior
+from .entities import Task, Worker
+from .events import Event, EventTrace, EventType
+from .features import FeatureSchema, WorkerFeatureTracker
+from .quality import DixitStiglitzQuality
+
+__all__ = ["ArrivalContext", "Feedback", "CrowdsourcingPlatform"]
+
+
+@dataclass
+class ArrivalContext:
+    """Snapshot presented to a policy when a worker arrives.
+
+    Attributes
+    ----------
+    timestamp:
+        Arrival time in minutes.
+    worker:
+        The arriving worker entity.
+    worker_feature:
+        The worker's current feature vector (completion-history distribution).
+    available_tasks:
+        The tasks the worker could be shown, in task-id order.
+    task_features:
+        Matrix of task feature vectors aligned with ``available_tasks``.
+    task_qualities:
+        Current Dixit–Stiglitz quality of each available task.
+    """
+
+    timestamp: float
+    worker: Worker
+    worker_feature: np.ndarray
+    available_tasks: list[Task]
+    task_features: np.ndarray
+    task_qualities: np.ndarray
+
+    @property
+    def task_ids(self) -> list[int]:
+        return [task.task_id for task in self.available_tasks]
+
+    def task_by_id(self, task_id: int) -> Task:
+        for task in self.available_tasks:
+            if task.task_id == task_id:
+                return task
+        raise KeyError(f"task {task_id} is not available at t={self.timestamp}")
+
+
+@dataclass
+class Feedback:
+    """Outcome of one recommendation, in the vocabulary of both MDPs.
+
+    ``completion_reward`` is the MDP(w) reward (1 if any recommended task was
+    completed); ``quality_gain`` is the MDP(r) reward (Dixit–Stiglitz gain of
+    the completed task, 0 if skipped).
+    """
+
+    timestamp: float
+    worker_id: int
+    presented_task_ids: list[int]
+    completed_task_id: int | None
+    completed_rank: int | None
+    completion_reward: float
+    quality_gain: float
+    updated_worker_feature: np.ndarray | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_task_id is not None
+
+
+@dataclass
+class PlatformStatistics:
+    """Aggregate counters for Fig. 6-style reporting."""
+
+    arrivals: int = 0
+    completions: int = 0
+    pool_size_samples: list[int] = field(default_factory=list)
+
+    @property
+    def average_pool_size(self) -> float:
+        if not self.pool_size_samples:
+            return 0.0
+        return float(np.mean(self.pool_size_samples))
+
+
+class CrowdsourcingPlatform:
+    """Event-driven simulator of the crowdsourcing platform.
+
+    Parameters
+    ----------
+    tasks, workers:
+        Entity dictionaries keyed by id; the platform mutates these (quality,
+        completion history, arrival times) as it replays events.
+    schema:
+        Feature schema used to derive task/worker feature vectors.
+    behavior:
+        The worker decision model used to simulate feedback.
+    quality_model:
+        Dixit–Stiglitz aggregator (``p=2`` in the paper's experiments).
+    seed:
+        Seed for the behaviour randomness, so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        tasks: dict[int, Task],
+        workers: dict[int, Worker],
+        schema: FeatureSchema,
+        behavior: CascadeBehavior,
+        quality_model: DixitStiglitzQuality | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.tasks = tasks
+        self.workers = workers
+        self.schema = schema
+        self.behavior = behavior
+        self.quality_model = quality_model if quality_model is not None else DixitStiglitzQuality(2.0)
+        self.rng = np.random.default_rng(seed)
+        self.feature_tracker = WorkerFeatureTracker(schema)
+        self.arrival_statistics = WorkerArrivalStatistics(schema.worker_dim)
+        self.statistics = PlatformStatistics()
+        self._available: dict[int, Task] = {}
+        self.current_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Event processing
+    # ------------------------------------------------------------------ #
+    @property
+    def available_tasks(self) -> list[Task]:
+        """Currently available tasks in ascending task-id order."""
+        return [self._available[task_id] for task_id in sorted(self._available)]
+
+    def apply_event(self, event: Event) -> ArrivalContext | None:
+        """Apply one event; worker arrivals return an :class:`ArrivalContext`."""
+        self.current_time = event.timestamp
+        if event.event_type is EventType.TASK_CREATED:
+            task = self.tasks[event.subject_id]
+            self._available[task.task_id] = task
+            return None
+        if event.event_type is EventType.TASK_EXPIRED:
+            self._available.pop(event.subject_id, None)
+            return None
+        return self._handle_arrival(event)
+
+    def _handle_arrival(self, event: Event) -> ArrivalContext:
+        worker = self.workers[event.subject_id]
+        worker.record_arrival(event.timestamp)
+        worker_feature = self.feature_tracker.features_of(worker.worker_id)
+        self.arrival_statistics.record_arrival(worker.worker_id, event.timestamp, worker_feature)
+        tasks = self.available_tasks
+        self.statistics.arrivals += 1
+        self.statistics.pool_size_samples.append(len(tasks))
+        if tasks:
+            task_features = np.stack([self.schema.task_features(task) for task in tasks])
+            task_qualities = np.array([task.quality for task in tasks], dtype=np.float64)
+        else:
+            task_features = np.zeros((0, self.schema.task_dim))
+            task_qualities = np.zeros(0)
+        return ArrivalContext(
+            timestamp=event.timestamp,
+            worker=worker,
+            worker_feature=worker_feature,
+            available_tasks=tasks,
+            task_features=task_features,
+            task_qualities=task_qualities,
+        )
+
+    def replay(self, trace: EventTrace):
+        """Yield an :class:`ArrivalContext` for every worker arrival in ``trace``."""
+        for event in trace:
+            context = self.apply_event(event)
+            if context is not None:
+                yield context
+
+    # ------------------------------------------------------------------ #
+    # Feedback simulation
+    # ------------------------------------------------------------------ #
+    def submit_single(self, context: ArrivalContext, task_id: int) -> Feedback:
+        """Assign one task to the arrived worker and simulate the response."""
+        task = context.task_by_id(task_id)
+        outcome = self.behavior.respond_to_single(context.worker, task, self.rng)
+        return self._apply_outcome(context, [task_id], outcome)
+
+    def submit_list(self, context: ArrivalContext, ranked_task_ids: list[int]) -> Feedback:
+        """Show a ranked list of tasks and simulate cascade browsing."""
+        tasks = [context.task_by_id(task_id) for task_id in ranked_task_ids]
+        outcome = self.behavior.respond_to_list(context.worker, tasks, self.rng)
+        return self._apply_outcome(context, ranked_task_ids, outcome)
+
+    def _apply_outcome(
+        self,
+        context: ArrivalContext,
+        presented: list[int],
+        outcome: BehaviorOutcome,
+    ) -> Feedback:
+        if not outcome.completed:
+            return Feedback(
+                timestamp=context.timestamp,
+                worker_id=context.worker.worker_id,
+                presented_task_ids=list(presented),
+                completed_task_id=None,
+                completed_rank=None,
+                completion_reward=0.0,
+                quality_gain=0.0,
+            )
+
+        task = self.tasks[outcome.completed_task_id]
+        worker = context.worker
+        gain = self.quality_model.gain(task.contributor_qualities(), worker.quality)
+        task.record_completion(worker.worker_id, context.timestamp, worker.quality)
+        task.quality = self.quality_model.aggregate(task.contributor_qualities())
+        worker.record_completion(task.task_id)
+        updated_feature = self.feature_tracker.observe_completion(worker, task)
+        self.statistics.completions += 1
+        return Feedback(
+            timestamp=context.timestamp,
+            worker_id=worker.worker_id,
+            presented_task_ids=list(presented),
+            completed_task_id=task.task_id,
+            completed_rank=outcome.completed_rank,
+            completion_reward=1.0,
+            quality_gain=gain,
+            updated_worker_feature=updated_feature,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Warm-up helpers
+    # ------------------------------------------------------------------ #
+    def warm_up(self, trace: EventTrace) -> int:
+        """Replay a warm-up trace with *self-selected* completions.
+
+        During the warm-up month the paper initialises worker/task features
+        and the learning model from historical behaviour, i.e. workers picked
+        tasks themselves.  We simulate that by letting each arriving worker
+        browse the pool in their own preferred order.
+
+        Returns the number of completions generated.
+        """
+        completions = 0
+        for context in self.replay(trace):
+            if not context.available_tasks:
+                continue
+            preferred = self.behavior.preferred_order(context.worker, context.available_tasks)
+            feedback = self.submit_list(context, preferred)
+            if feedback.completed:
+                completions += 1
+        return completions

@@ -1,0 +1,24 @@
+"""Dataset generators and trace statistics for the reproduction experiments."""
+
+from .crowdspring import CrowdDataset, CrowdSpringConfig, CrowdSpringGenerator, generate_crowdspring
+from .statistics import (
+    ArrivalGapStatistics,
+    MonthlyTraceStatistics,
+    compute_arrival_gaps,
+    compute_monthly_statistics,
+)
+from .synthetic import add_worker_quality_noise, resample_arrival_density, scalability_snapshot
+
+__all__ = [
+    "CrowdDataset",
+    "CrowdSpringConfig",
+    "CrowdSpringGenerator",
+    "generate_crowdspring",
+    "ArrivalGapStatistics",
+    "MonthlyTraceStatistics",
+    "compute_arrival_gaps",
+    "compute_monthly_statistics",
+    "add_worker_quality_noise",
+    "resample_arrival_density",
+    "scalability_snapshot",
+]

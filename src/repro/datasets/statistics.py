@@ -1,0 +1,141 @@
+"""Trace statistics reproducing the paper's data-description figures.
+
+Fig. 5 plots histograms of (a, b) the time gap between two consecutive
+arrivals *of the same worker* and (c) the gap between two consecutive
+arrivals of *any* worker.  Fig. 6 plots per-month counts of new and expired
+tasks, the average number of available tasks seen by an arriving worker and
+the number of worker arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..crowd.entities import MINUTES_PER_MONTH
+from ..crowd.events import EventTrace, EventType
+from .crowdspring import CrowdDataset
+
+__all__ = [
+    "ArrivalGapStatistics",
+    "MonthlyTraceStatistics",
+    "compute_arrival_gaps",
+    "compute_monthly_statistics",
+]
+
+
+@dataclass
+class ArrivalGapStatistics:
+    """Raw gap samples plus binned histograms (Fig. 5)."""
+
+    same_worker_gaps: np.ndarray
+    any_worker_gaps: np.ndarray
+
+    def same_worker_histogram(self, max_minutes: int, bin_width: int) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of same-worker gaps up to ``max_minutes`` (Fig. 5a/5b)."""
+        return _histogram(self.same_worker_gaps, max_minutes, bin_width)
+
+    def any_worker_histogram(self, max_minutes: int, bin_width: int) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of any-worker gaps up to ``max_minutes`` (Fig. 5c)."""
+        return _histogram(self.any_worker_gaps, max_minutes, bin_width)
+
+    @property
+    def median_same_worker_gap(self) -> float:
+        """Median same-worker return gap (the paper reports ~1 day)."""
+        if len(self.same_worker_gaps) == 0:
+            return 0.0
+        return float(np.median(self.same_worker_gaps))
+
+    def fraction_any_worker_below(self, minutes: float) -> float:
+        """Fraction of any-worker gaps below ``minutes`` (paper: 99 % < 60 min)."""
+        if len(self.any_worker_gaps) == 0:
+            return 0.0
+        return float(np.mean(self.any_worker_gaps < minutes))
+
+
+@dataclass
+class MonthlyTraceStatistics:
+    """Per-month counts reproducing Fig. 6."""
+
+    new_tasks: list[int]
+    expired_tasks: list[int]
+    worker_arrivals: list[int]
+    average_available_tasks: list[float]
+
+    @property
+    def num_months(self) -> int:
+        return len(self.new_tasks)
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Row-per-month representation convenient for printing tables."""
+        return [
+            {
+                "month": month,
+                "new_tasks": self.new_tasks[month],
+                "expired_tasks": self.expired_tasks[month],
+                "worker_arrivals": self.worker_arrivals[month],
+                "avg_available_tasks": self.average_available_tasks[month],
+            }
+            for month in range(self.num_months)
+        ]
+
+
+def compute_arrival_gaps(trace: EventTrace) -> ArrivalGapStatistics:
+    """Compute same-worker and any-worker arrival gaps from a trace."""
+    last_by_worker: dict[int, float] = {}
+    last_any: float | None = None
+    same_gaps: list[float] = []
+    any_gaps: list[float] = []
+    for event in trace:
+        if event.event_type is not EventType.WORKER_ARRIVAL:
+            continue
+        if last_any is not None:
+            any_gaps.append(event.timestamp - last_any)
+        last_any = event.timestamp
+        previous = last_by_worker.get(event.subject_id)
+        if previous is not None:
+            same_gaps.append(event.timestamp - previous)
+        last_by_worker[event.subject_id] = event.timestamp
+    return ArrivalGapStatistics(
+        same_worker_gaps=np.asarray(same_gaps, dtype=np.float64),
+        any_worker_gaps=np.asarray(any_gaps, dtype=np.float64),
+    )
+
+
+def compute_monthly_statistics(dataset: CrowdDataset) -> MonthlyTraceStatistics:
+    """Compute the Fig. 6 per-month series for ``dataset``."""
+    trace = dataset.trace
+    months = trace.num_months()
+    new_tasks = trace.monthly_counts(EventType.TASK_CREATED)
+    expired_tasks = trace.monthly_counts(EventType.TASK_EXPIRED)
+    arrivals = trace.monthly_counts(EventType.WORKER_ARRIVAL)
+
+    # Average pool size at arrival instants, per month.
+    pool: set[int] = set()
+    sums = [0.0] * months
+    counts = [0] * months
+    for event in trace:
+        if event.event_type is EventType.TASK_CREATED:
+            pool.add(event.subject_id)
+        elif event.event_type is EventType.TASK_EXPIRED:
+            pool.discard(event.subject_id)
+        else:
+            month = min(int(event.timestamp // MINUTES_PER_MONTH), months - 1)
+            sums[month] += len(pool)
+            counts[month] += 1
+    averages = [sums[m] / counts[m] if counts[m] else 0.0 for m in range(months)]
+
+    return MonthlyTraceStatistics(
+        new_tasks=new_tasks,
+        expired_tasks=expired_tasks,
+        worker_arrivals=arrivals,
+        average_available_tasks=averages,
+    )
+
+
+def _histogram(samples: np.ndarray, max_minutes: int, bin_width: int) -> tuple[np.ndarray, np.ndarray]:
+    edges = np.arange(0, max_minutes + bin_width, bin_width)
+    counts, _ = np.histogram(samples[samples <= max_minutes], bins=edges)
+    centers = edges[:-1] + bin_width / 2.0
+    return centers, counts

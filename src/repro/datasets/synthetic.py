@@ -1,0 +1,145 @@
+"""Synthetic dataset variants used by the paper's Sec. VII-C experiments.
+
+Three transformations of a base trace are studied:
+
+* **Arrival density** (Fig. 10a–b): resample the worker arrivals with
+  replacement at a rate in [0.5, 2.0].  Arrivals sampled more than once are
+  jittered by a normal delta (mean and std of one day) so timestamps stay
+  distinct, exactly as described in the paper.
+* **Worker quality noise** (Fig. 10c): add Gaussian noise N(µ, 0.2) to worker
+  qualities, for µ ∈ {−0.4, −0.2, 0.0, 0.2}, clipping back into [0, 1].
+* **Scalability pools** (Fig. 10d): construct a snapshot with a given number
+  of available tasks (10 … 5 000) to measure per-update cost of the RL
+  methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..crowd.entities import MINUTES_PER_DAY, Task, Worker
+from ..crowd.events import Event, EventTrace, EventType
+from ..crowd.features import FeatureSchema
+from .crowdspring import CrowdDataset
+
+__all__ = [
+    "resample_arrival_density",
+    "add_worker_quality_noise",
+    "scalability_snapshot",
+]
+
+
+def resample_arrival_density(
+    dataset: CrowdDataset,
+    rate: float,
+    seed: int = 0,
+    jitter_mean_days: float = 1.0,
+    jitter_std_days: float = 1.0,
+) -> CrowdDataset:
+    """Return a copy of ``dataset`` whose worker arrivals are resampled at ``rate``.
+
+    ``rate=1.0`` draws as many arrivals (with replacement) as the original
+    trace, ``rate=0.5`` half of them, ``rate=2.0`` twice as many.  Duplicated
+    arrivals are shifted by ``N(jitter_mean_days, jitter_std_days)`` days so
+    their timestamps are distinct (Sec. VII-C-1).
+    """
+    if rate <= 0:
+        raise ValueError(f"sampling rate must be positive, got {rate}")
+    rng = np.random.default_rng(seed)
+    arrivals = dataset.trace.of_type(EventType.WORKER_ARRIVAL)
+    other_events = [
+        event for event in dataset.trace if event.event_type is not EventType.WORKER_ARRIVAL
+    ]
+    if not arrivals:
+        return dataset
+
+    target_count = int(round(len(arrivals) * rate))
+    chosen_indices = rng.integers(0, len(arrivals), size=target_count)
+    seen_counts: dict[int, int] = {}
+    horizon = dataset.trace.end_time
+    resampled: list[Event] = []
+    for index in chosen_indices:
+        event = arrivals[int(index)]
+        occurrence = seen_counts.get(int(index), 0)
+        seen_counts[int(index)] = occurrence + 1
+        timestamp = event.timestamp
+        if occurrence > 0:
+            delta = rng.normal(jitter_mean_days, jitter_std_days) * MINUTES_PER_DAY
+            timestamp = float(np.clip(timestamp + delta, 0.0, horizon))
+        resampled.append(Event(timestamp, EventType.WORKER_ARRIVAL, event.subject_id))
+
+    new_trace = EventTrace(other_events + resampled)
+    return replace_dataset(dataset, trace=new_trace)
+
+
+def add_worker_quality_noise(
+    dataset: CrowdDataset,
+    noise_mean: float,
+    noise_std: float = 0.2,
+    seed: int = 0,
+) -> CrowdDataset:
+    """Return a copy of ``dataset`` with noisy worker qualities (Sec. VII-C-2)."""
+    rng = np.random.default_rng(seed)
+    noisy_workers = {}
+    for worker_id, worker in dataset.workers.items():
+        noise = rng.normal(noise_mean, noise_std)
+        quality = float(np.clip(worker.quality + noise, 0.0, 1.0))
+        noisy_workers[worker_id] = Worker(
+            worker_id=worker.worker_id,
+            quality=quality,
+            category_preference=worker.category_preference.copy(),
+            domain_preference=worker.domain_preference.copy(),
+            award_sensitivity=worker.award_sensitivity,
+        )
+    return replace_dataset(dataset, workers=noisy_workers)
+
+
+def scalability_snapshot(
+    num_tasks: int,
+    schema: FeatureSchema | None = None,
+    seed: int = 0,
+) -> tuple[list[Task], Worker, FeatureSchema]:
+    """Build a pool of ``num_tasks`` available tasks plus one worker (Fig. 10d).
+
+    The snapshot is used to measure the per-update cost of RL methods as a
+    function of the number of available tasks.
+    """
+    if num_tasks <= 0:
+        raise ValueError("num_tasks must be positive")
+    rng = np.random.default_rng(seed)
+    schema = schema if schema is not None else FeatureSchema(num_categories=12, num_domains=8)
+    tasks = [
+        Task(
+            task_id=task_id,
+            requester_id=0,
+            category=int(rng.integers(0, schema.num_categories)),
+            domain=int(rng.integers(0, schema.num_domains)),
+            award=float(np.exp(rng.normal(5.5, 0.6))),
+            created_at=0.0,
+            deadline=30 * MINUTES_PER_DAY,
+        )
+        for task_id in range(num_tasks)
+    ]
+    worker = Worker(
+        worker_id=0,
+        quality=float(rng.beta(4.0, 2.0)),
+        category_preference=rng.dirichlet(np.full(schema.num_categories, 0.5)),
+        domain_preference=rng.dirichlet(np.full(schema.num_domains, 0.5)),
+        award_sensitivity=0.5,
+    )
+    return tasks, worker, schema
+
+
+def replace_dataset(dataset: CrowdDataset, **updates) -> CrowdDataset:
+    """Shallow-copy a :class:`CrowdDataset`, overriding selected fields."""
+    return CrowdDataset(
+        config=updates.get("config", dataset.config),
+        schema=updates.get("schema", dataset.schema),
+        tasks=updates.get("tasks", dataset.tasks),
+        workers=updates.get("workers", dataset.workers),
+        requesters=updates.get("requesters", dataset.requesters),
+        trace=updates.get("trace", dataset.trace),
+        bootstrap_completions=updates.get("bootstrap_completions", dataset.bootstrap_completions),
+    )

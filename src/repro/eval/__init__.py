@@ -1,0 +1,31 @@
+"""Evaluation harness: measures, simulation runner, reporting and experiments."""
+
+from .metrics import (
+    EvaluationResult,
+    MetricSeries,
+    RequesterBenefitTracker,
+    WorkerBenefitTracker,
+    rank_discount,
+)
+from .reporting import (
+    format_final_table,
+    format_monthly_series,
+    format_series_comparison,
+    format_table,
+)
+from .runner import RunnerConfig, SimulationRunner, evaluate_policy
+
+__all__ = [
+    "rank_discount",
+    "MetricSeries",
+    "WorkerBenefitTracker",
+    "RequesterBenefitTracker",
+    "EvaluationResult",
+    "RunnerConfig",
+    "SimulationRunner",
+    "evaluate_policy",
+    "format_table",
+    "format_monthly_series",
+    "format_final_table",
+    "format_series_comparison",
+]

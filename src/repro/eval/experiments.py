@@ -1,0 +1,422 @@
+"""One entry point per paper table / figure.
+
+Each function builds the policies involved, runs the simulation(s) and
+returns a structured result object that both the benchmark harness and the
+examples print.  The functions accept a ``scale`` (fraction of the paper's
+full CrowdSpring volume) and ``num_months`` so that CI runs stay fast while
+full-scale reproductions remain a single call away.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import (
+    GreedyCosinePolicy,
+    GreedyNeuralPolicy,
+    LinUCBPolicy,
+    RandomPolicy,
+    TaskrecPMFPolicy,
+)
+from ..core import FrameworkConfig, TaskArrangementFramework
+from ..core.interfaces import ArrangementPolicy
+from ..crowd.entities import MINUTES_PER_DAY, Worker
+from ..crowd.platform import ArrivalContext
+from ..datasets import (
+    CrowdDataset,
+    add_worker_quality_noise,
+    compute_arrival_gaps,
+    compute_monthly_statistics,
+    generate_crowdspring,
+    resample_arrival_density,
+    scalability_snapshot,
+)
+from .metrics import EvaluationResult
+from .runner import RunnerConfig, SimulationRunner
+
+__all__ = [
+    "ExperimentScale",
+    "benchmark_framework_config",
+    "make_dataset",
+    "worker_benefit_policies",
+    "requester_benefit_policies",
+    "run_worker_benefit_experiment",
+    "run_requester_benefit_experiment",
+    "run_balance_experiment",
+    "run_efficiency_experiment",
+    "run_arrival_density_experiment",
+    "run_quality_noise_experiment",
+    "run_scalability_experiment",
+    "run_trace_statistics",
+    "BenefitExperimentResult",
+    "BalanceExperimentResult",
+    "EfficiencyResult",
+    "ScalabilityResult",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaling knobs shared by the experiment entry points.
+
+    ``paper()`` reproduces the full 13-month, full-volume setting; ``ci()``
+    is the scaled-down configuration used by the benchmark suite (recorded in
+    EXPERIMENTS.md together with the resulting numbers).
+    """
+
+    scale: float = 1.0
+    num_months: int = 13
+    hidden_dim: int = 128
+    num_heads: int = 4
+    batch_size: int = 64
+    train_interval: int = 1
+    learning_rate: float = 1e-3
+    perturb_probability: float = 0.1
+    max_arrivals: int | None = None
+    seed: int = 7
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        return cls()
+
+    @classmethod
+    def ci(cls) -> "ExperimentScale":
+        return cls(
+            scale=0.06,
+            num_months=5,
+            hidden_dim=32,
+            num_heads=2,
+            batch_size=12,
+            train_interval=2,
+            learning_rate=3e-3,
+            perturb_probability=0.05,
+            max_arrivals=900,
+        )
+
+
+def make_dataset(scale: ExperimentScale) -> CrowdDataset:
+    """Generate the CrowdSpring-like dataset for the given scale."""
+    return generate_crowdspring(scale=scale.scale, num_months=scale.num_months, seed=scale.seed)
+
+
+def benchmark_framework_config(scale: ExperimentScale, **overrides) -> FrameworkConfig:
+    """Framework configuration matched to the experiment scale."""
+    base = FrameworkConfig(
+        hidden_dim=scale.hidden_dim,
+        num_heads=scale.num_heads,
+        batch_size=scale.batch_size,
+        train_interval=scale.train_interval,
+        learning_rate=scale.learning_rate,
+        perturb_probability=scale.perturb_probability,
+        seed=scale.seed,
+    )
+    for key, value in overrides.items():
+        setattr(base, key, value)
+    return base
+
+
+# --------------------------------------------------------------------- #
+# Policy line-ups
+# --------------------------------------------------------------------- #
+def worker_benefit_policies(
+    dataset: CrowdDataset, scale: ExperimentScale
+) -> list[ArrangementPolicy]:
+    """The six methods compared in Fig. 7 (worker benefit)."""
+    return [
+        RandomPolicy(seed=scale.seed),
+        TaskrecPMFPolicy(num_categories=dataset.schema.num_categories, seed=scale.seed),
+        GreedyCosinePolicy(objective="worker"),
+        GreedyNeuralPolicy(objective="worker", seed=scale.seed),
+        LinUCBPolicy(objective="worker"),
+        TaskArrangementFramework.worker_only(
+            dataset.schema, benchmark_framework_config(scale)
+        ),
+    ]
+
+
+def requester_benefit_policies(
+    dataset: CrowdDataset, scale: ExperimentScale
+) -> list[ArrangementPolicy]:
+    """The five methods compared in Fig. 8 (requester benefit)."""
+    return [
+        RandomPolicy(seed=scale.seed),
+        GreedyCosinePolicy(objective="requester"),
+        GreedyNeuralPolicy(objective="requester", seed=scale.seed),
+        LinUCBPolicy(objective="requester"),
+        TaskArrangementFramework.requester_only(
+            dataset.schema, benchmark_framework_config(scale)
+        ),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Fig. 7 / Fig. 8 — benefit of workers / requesters
+# --------------------------------------------------------------------- #
+@dataclass
+class BenefitExperimentResult:
+    """Results of a multi-policy comparison run."""
+
+    results: list[EvaluationResult]
+
+    def by_policy(self) -> dict[str, EvaluationResult]:
+        return {result.policy_name: result for result in self.results}
+
+    def final(self, measure: str) -> dict[str, float]:
+        """Final value of ``measure`` ('CR', 'kCR', ..., 'nDCG-QG') per policy."""
+        return {
+            result.policy_name: float(result.summary_row()[measure]) for result in self.results
+        }
+
+    def ranking(self, measure: str) -> list[str]:
+        """Policy names sorted best-first on the final value of ``measure``."""
+        finals = self.final(measure)
+        return sorted(finals, key=finals.get, reverse=True)
+
+
+def _run_policies(
+    dataset: CrowdDataset,
+    policies: list[ArrangementPolicy],
+    scale: ExperimentScale,
+    runner_config: RunnerConfig | None = None,
+) -> BenefitExperimentResult:
+    config = runner_config if runner_config is not None else RunnerConfig(
+        seed=scale.seed, max_arrivals=scale.max_arrivals
+    )
+    runner = SimulationRunner(dataset, config)
+    return BenefitExperimentResult([runner.run(policy) for policy in policies])
+
+
+def run_worker_benefit_experiment(
+    scale: ExperimentScale | None = None,
+    dataset: CrowdDataset | None = None,
+) -> BenefitExperimentResult:
+    """Fig. 7: CR / kCR / nDCG-CR for the six worker-benefit methods."""
+    scale = scale if scale is not None else ExperimentScale.ci()
+    dataset = dataset if dataset is not None else make_dataset(scale)
+    return _run_policies(dataset, worker_benefit_policies(dataset, scale), scale)
+
+
+def run_requester_benefit_experiment(
+    scale: ExperimentScale | None = None,
+    dataset: CrowdDataset | None = None,
+) -> BenefitExperimentResult:
+    """Fig. 8: QG / kQG / nDCG-QG for the five requester-benefit methods."""
+    scale = scale if scale is not None else ExperimentScale.ci()
+    dataset = dataset if dataset is not None else make_dataset(scale)
+    return _run_policies(dataset, requester_benefit_policies(dataset, scale), scale)
+
+
+# --------------------------------------------------------------------- #
+# Fig. 9 — balance of benefits
+# --------------------------------------------------------------------- #
+@dataclass
+class BalanceExperimentResult:
+    """CR/QG trade-off as a function of the aggregation weight w."""
+
+    weights: list[float]
+    results: list[EvaluationResult]
+
+    def series(self, measure: str) -> list[float]:
+        return [float(result.summary_row()[measure]) for result in self.results]
+
+
+def run_balance_experiment(
+    weights: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    scale: ExperimentScale | None = None,
+    dataset: CrowdDataset | None = None,
+) -> BalanceExperimentResult:
+    """Fig. 9: sweep the aggregator weight w over {0, 0.25, 0.5, 0.75, 1}."""
+    scale = scale if scale is not None else ExperimentScale.ci()
+    dataset = dataset if dataset is not None else make_dataset(scale)
+    runner = SimulationRunner(
+        dataset, RunnerConfig(seed=scale.seed, max_arrivals=scale.max_arrivals)
+    )
+    results = []
+    for weight in weights:
+        policy = TaskArrangementFramework.balanced(
+            dataset.schema, worker_weight=weight, config=benchmark_framework_config(scale)
+        )
+        results.append(runner.run(policy))
+    return BalanceExperimentResult(weights=list(weights), results=results)
+
+
+# --------------------------------------------------------------------- #
+# Table I — efficiency (model update time)
+# --------------------------------------------------------------------- #
+@dataclass
+class EfficiencyResult:
+    """Mean per-update seconds for each method (Table I)."""
+
+    per_feedback_seconds: dict[str, float]
+    per_retrain_seconds: dict[str, float]
+
+    def reported_update_seconds(self) -> dict[str, float]:
+        """Table I semantics: supervised methods report the daily re-training
+        time, RL methods report the per-feedback update time."""
+        combined: dict[str, float] = {}
+        for name, retrain in self.per_retrain_seconds.items():
+            feedback = self.per_feedback_seconds.get(name, 0.0)
+            combined[name] = retrain if retrain > feedback else feedback
+        return combined
+
+
+def run_efficiency_experiment(
+    scale: ExperimentScale | None = None,
+    dataset: CrowdDataset | None = None,
+) -> EfficiencyResult:
+    """Table I: average model-update time of Taskrec, Greedy NN, LinUCB, DDQN."""
+    scale = scale if scale is not None else ExperimentScale.ci()
+    dataset = dataset if dataset is not None else make_dataset(scale)
+    policies: list[ArrangementPolicy] = [
+        TaskrecPMFPolicy(num_categories=dataset.schema.num_categories, seed=scale.seed),
+        GreedyNeuralPolicy(objective="worker", seed=scale.seed),
+        LinUCBPolicy(objective="worker"),
+        TaskArrangementFramework.worker_only(dataset.schema, benchmark_framework_config(scale)),
+    ]
+    result = _run_policies(dataset, policies, scale)
+    per_feedback = {r.policy_name: r.mean_update_seconds for r in result.results}
+    per_retrain = {r.policy_name: r.mean_retrain_seconds for r in result.results}
+    return EfficiencyResult(per_feedback_seconds=per_feedback, per_retrain_seconds=per_retrain)
+
+
+# --------------------------------------------------------------------- #
+# Fig. 10(a,b) — arrival density, Fig. 10(c) — worker-quality noise
+# --------------------------------------------------------------------- #
+def run_arrival_density_experiment(
+    sampling_rates: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0),
+    scale: ExperimentScale | None = None,
+    policies_factory=None,
+) -> dict[float, BenefitExperimentResult]:
+    """Fig. 10(a,b): CR and QG as the worker-arrival volume is resampled."""
+    scale = scale if scale is not None else ExperimentScale.ci()
+    base_dataset = make_dataset(scale)
+    outcomes: dict[float, BenefitExperimentResult] = {}
+    for rate in sampling_rates:
+        dataset = resample_arrival_density(base_dataset, rate, seed=scale.seed)
+        factory = policies_factory if policies_factory is not None else _density_policies
+        outcomes[rate] = _run_policies(dataset, factory(dataset, scale), scale)
+    return outcomes
+
+
+def _density_policies(dataset: CrowdDataset, scale: ExperimentScale) -> list[ArrangementPolicy]:
+    """The five methods shown in Fig. 10: Random, Greedy CS, LinUCB, Greedy NN, DDQN."""
+    return [
+        RandomPolicy(seed=scale.seed),
+        GreedyCosinePolicy(objective="worker"),
+        LinUCBPolicy(objective="worker"),
+        GreedyNeuralPolicy(objective="worker", seed=scale.seed),
+        TaskArrangementFramework.worker_only(dataset.schema, benchmark_framework_config(scale)),
+    ]
+
+
+def run_quality_noise_experiment(
+    noise_means: tuple[float, ...] = (-0.4, -0.2, 0.0, 0.2),
+    scale: ExperimentScale | None = None,
+) -> dict[float, BenefitExperimentResult]:
+    """Fig. 10(c): QG as Gaussian noise N(µ, 0.2) is added to worker qualities."""
+    scale = scale if scale is not None else ExperimentScale.ci()
+    base_dataset = make_dataset(scale)
+    outcomes: dict[float, BenefitExperimentResult] = {}
+    for mean in noise_means:
+        dataset = add_worker_quality_noise(base_dataset, mean, seed=scale.seed)
+        outcomes[mean] = _run_policies(
+            dataset, requester_benefit_policies(dataset, scale), scale
+        )
+    return outcomes
+
+
+# --------------------------------------------------------------------- #
+# Fig. 10(d) — scalability of the per-update cost
+# --------------------------------------------------------------------- #
+@dataclass
+class ScalabilityResult:
+    """Per-update seconds versus the number of available tasks."""
+
+    pool_sizes: list[int]
+    seconds_by_policy: dict[str, list[float]] = field(default_factory=dict)
+
+
+def run_scalability_experiment(
+    pool_sizes: tuple[int, ...] = (10, 50, 100, 500, 1_000),
+    hidden_dim: int = 32,
+    repeats: int = 3,
+    seed: int = 0,
+) -> ScalabilityResult:
+    """Fig. 10(d): update cost of LinUCB and DDQN as the pool grows.
+
+    For each pool size a synthetic snapshot of available tasks is built, one
+    recommendation round is simulated, and the time of one model update
+    (``observe_feedback``) is measured.
+    """
+    result = ScalabilityResult(pool_sizes=list(pool_sizes))
+    result.seconds_by_policy = {"LinUCB": [], "DDQN": []}
+    for pool_size in pool_sizes:
+        tasks, worker, schema = scalability_snapshot(pool_size, seed=seed)
+        context = _snapshot_context(tasks, worker, schema)
+        linucb = LinUCBPolicy(objective="worker")
+        ddqn = TaskArrangementFramework.worker_only(
+            schema,
+            FrameworkConfig(
+                hidden_dim=hidden_dim,
+                num_heads=2,
+                batch_size=8,
+                train_interval=1,
+                seed=seed,
+            ),
+        )
+        result.seconds_by_policy["LinUCB"].append(
+            _measure_update(linucb, context, repeats=repeats)
+        )
+        result.seconds_by_policy["DDQN"].append(_measure_update(ddqn, context, repeats=repeats))
+    return result
+
+
+def _snapshot_context(tasks, worker: Worker, schema) -> ArrivalContext:
+    task_features = np.stack([schema.task_features(task) for task in tasks])
+    return ArrivalContext(
+        timestamp=MINUTES_PER_DAY,
+        worker=worker,
+        worker_feature=schema.empty_worker_features(),
+        available_tasks=list(tasks),
+        task_features=task_features,
+        task_qualities=np.zeros(len(tasks)),
+    )
+
+
+def _measure_update(policy: ArrangementPolicy, context: ArrivalContext, repeats: int) -> float:
+    """Mean seconds of one ``observe_feedback`` call (the model update)."""
+    from ..crowd.platform import Feedback
+
+    ranked = policy.rank_tasks(context)
+    feedback = Feedback(
+        timestamp=context.timestamp,
+        worker_id=context.worker.worker_id,
+        presented_task_ids=ranked,
+        completed_task_id=ranked[0],
+        completed_rank=0,
+        completion_reward=1.0,
+        quality_gain=0.5,
+        updated_worker_feature=context.worker_feature,
+    )
+    durations = []
+    for _ in range(repeats):
+        policy.rank_tasks(context)
+        started = time.perf_counter()
+        policy.observe_feedback(context, ranked, feedback)
+        durations.append(time.perf_counter() - started)
+    return float(np.mean(durations))
+
+
+# --------------------------------------------------------------------- #
+# Fig. 5 / Fig. 6 — trace statistics
+# --------------------------------------------------------------------- #
+def run_trace_statistics(scale: ExperimentScale | None = None, dataset: CrowdDataset | None = None):
+    """Fig. 5 and Fig. 6: arrival-gap histograms and per-month trace counts."""
+    scale = scale if scale is not None else ExperimentScale.ci()
+    dataset = dataset if dataset is not None else make_dataset(scale)
+    gaps = compute_arrival_gaps(dataset.trace)
+    monthly = compute_monthly_statistics(dataset)
+    return gaps, monthly

@@ -1,0 +1,206 @@
+"""Evaluation measures (Sec. VII-A-2, Eq. 8–13).
+
+Worker-benefit measures:
+
+* **CR** — completion rate when one task is assigned per arrival.
+* **kCR** — discounted completion rate when a list of *k* tasks is shown; the
+  completed task at rank *r* (1-based) contributes ``1 / log2(1 + r)``.
+* **nDCG-CR** — same discounting applied to the full recommended list.
+
+Requester-benefit measures:
+
+* **QG** — cumulative quality gain when one task is assigned.
+* **kQG / nDCG-QG** — discounted quality gains over top-*k* / full lists.
+
+CR-style measures are normalised by the number of timestamps (worker
+arrivals); QG-style measures are cumulative absolute values, exactly as in
+the paper (which is why Fig. 10(b) grows with the arrival sampling rate while
+Fig. 10(a) does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "rank_discount",
+    "MetricSeries",
+    "WorkerBenefitTracker",
+    "RequesterBenefitTracker",
+    "EvaluationResult",
+]
+
+
+def rank_discount(rank: int) -> float:
+    """Discount ``1 / log2(1 + r)`` for a 1-based rank ``r`` (Eq. 9/10/12/13)."""
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    return float(1.0 / np.log2(1.0 + rank))
+
+
+@dataclass
+class MetricSeries:
+    """A per-month series plus the overall (final) value of one measure."""
+
+    monthly: list[float]
+    final: float
+
+    def __iter__(self):
+        return iter(self.monthly)
+
+
+@dataclass
+class _Accumulator:
+    """Sum of per-arrival contributions, grouped by month."""
+
+    totals: dict[int, float] = field(default_factory=dict)
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def add(self, month: int, value: float) -> None:
+        self.totals[month] = self.totals.get(month, 0.0) + value
+        self.counts[month] = self.counts.get(month, 0) + 1
+
+    def months(self) -> list[int]:
+        return sorted(set(self.totals) | set(self.counts))
+
+    def series(self, normalise: bool, cumulative_rate: bool) -> MetricSeries:
+        """Build a :class:`MetricSeries`.
+
+        ``normalise=True`` produces rates (per-arrival averages);
+        ``cumulative_rate=True`` makes each monthly point the cumulative rate
+        up to and including that month (the paper plots cumulative CR), while
+        ``False`` reports the per-month value (the paper plots per-month QG).
+        """
+        months = self.months()
+        monthly: list[float] = []
+        running_total = 0.0
+        running_count = 0
+        overall_total = sum(self.totals.values())
+        overall_count = sum(self.counts.values())
+        for month in months:
+            total = self.totals.get(month, 0.0)
+            count = self.counts.get(month, 0)
+            running_total += total
+            running_count += count
+            if normalise:
+                if cumulative_rate:
+                    monthly.append(running_total / max(running_count, 1))
+                else:
+                    monthly.append(total / max(count, 1))
+            else:
+                monthly.append(total)
+        final = overall_total / max(overall_count, 1) if normalise else overall_total
+        return MetricSeries(monthly=monthly, final=final)
+
+
+class WorkerBenefitTracker:
+    """Accumulates CR, kCR and nDCG-CR over a simulation run."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._cr = _Accumulator()
+        self._kcr = _Accumulator()
+        self._ndcg = _Accumulator()
+
+    def record(self, month: int, completed_rank: int | None) -> None:
+        """Record one arrival; ``completed_rank`` is 0-based or None when skipped.
+
+        The same recommended ranking is scored under all three measures: CR
+        counts only a completion of the top task, kCR discounts completions
+        inside the top-*k*, and nDCG-CR discounts completions anywhere in the
+        list.
+        """
+        cr_value = 1.0 if completed_rank == 0 else 0.0
+        if completed_rank is None:
+            k_value = 0.0
+            ndcg_value = 0.0
+        else:
+            rank = completed_rank + 1
+            ndcg_value = rank_discount(rank)
+            k_value = ndcg_value if rank <= self.k else 0.0
+        self._cr.add(month, cr_value)
+        self._kcr.add(month, k_value)
+        self._ndcg.add(month, ndcg_value)
+
+    def completion_rate(self) -> MetricSeries:
+        return self._cr.series(normalise=True, cumulative_rate=True)
+
+    def top_k_completion_rate(self) -> MetricSeries:
+        return self._kcr.series(normalise=True, cumulative_rate=True)
+
+    def ndcg_completion_rate(self) -> MetricSeries:
+        return self._ndcg.series(normalise=True, cumulative_rate=True)
+
+
+class RequesterBenefitTracker:
+    """Accumulates QG, kQG and nDCG-QG over a simulation run."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._qg = _Accumulator()
+        self._kqg = _Accumulator()
+        self._ndcg = _Accumulator()
+
+    def record(self, month: int, completed_rank: int | None, quality_gain: float) -> None:
+        """Record one arrival's quality gain at the given completed rank."""
+        qg_value = quality_gain if completed_rank == 0 else 0.0
+        if completed_rank is None:
+            k_value = 0.0
+            ndcg_value = 0.0
+        else:
+            rank = completed_rank + 1
+            discount = rank_discount(rank)
+            ndcg_value = discount * quality_gain
+            k_value = ndcg_value if rank <= self.k else 0.0
+        self._qg.add(month, qg_value)
+        self._kqg.add(month, k_value)
+        self._ndcg.add(month, ndcg_value)
+
+    def quality_gain(self) -> MetricSeries:
+        return self._qg.series(normalise=False, cumulative_rate=False)
+
+    def top_k_quality_gain(self) -> MetricSeries:
+        return self._kqg.series(normalise=False, cumulative_rate=False)
+
+    def ndcg_quality_gain(self) -> MetricSeries:
+        return self._ndcg.series(normalise=False, cumulative_rate=False)
+
+
+@dataclass
+class EvaluationResult:
+    """All measures for one (policy, trace) evaluation run."""
+
+    policy_name: str
+    arrivals: int
+    completions: int
+    cr: MetricSeries
+    kcr: MetricSeries
+    ndcg_cr: MetricSeries
+    qg: MetricSeries
+    kqg: MetricSeries
+    ndcg_qg: MetricSeries
+    #: Mean seconds spent in ``observe_feedback`` per arrival (RL methods learn here).
+    mean_update_seconds: float
+    #: Mean seconds spent in ``rank_tasks``.
+    mean_decision_seconds: float
+    #: Mean seconds of one end-of-day re-training pass (supervised methods learn here).
+    mean_retrain_seconds: float = 0.0
+
+    def summary_row(self) -> dict[str, float | str]:
+        """Flat dict used by the reporting helpers."""
+        return {
+            "policy": self.policy_name,
+            "CR": self.cr.final,
+            "kCR": self.kcr.final,
+            "nDCG-CR": self.ndcg_cr.final,
+            "QG": self.qg.final,
+            "kQG": self.kqg.final,
+            "nDCG-QG": self.ndcg_qg.final,
+            "update_s": self.mean_update_seconds,
+        }

@@ -1,0 +1,96 @@
+"""Plain-text reporting of experiment results (tables and ASCII series).
+
+Every paper figure is a line chart over months or a small table; since the
+reproduction environment is head-less, the reporting helpers render the same
+content as monospaced tables that the benchmark harness prints and that
+EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .metrics import EvaluationResult, MetricSeries
+
+__all__ = [
+    "format_table",
+    "format_monthly_series",
+    "format_final_table",
+    "format_series_comparison",
+]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dict rows as an aligned monospaced table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: list[list[str]] = [[_format_cell(row.get(col, ""), float_format) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        " | ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def _format_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def format_monthly_series(
+    series_by_policy: Mapping[str, MetricSeries],
+    metric_name: str,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render per-month values of one metric for several policies (Fig. 7/8 style)."""
+    months = max((len(series.monthly) for series in series_by_policy.values()), default=0)
+    rows = []
+    for policy, series in series_by_policy.items():
+        row: dict[str, object] = {"policy": policy}
+        for month in range(months):
+            value = series.monthly[month] if month < len(series.monthly) else float("nan")
+            row[f"M{month + 1}"] = value
+        row[f"final {metric_name}"] = series.final
+        rows.append(row)
+    return format_table(rows, float_format=float_format)
+
+
+def format_final_table(
+    results: Iterable[EvaluationResult],
+    measures: Sequence[str] = ("CR", "kCR", "nDCG-CR", "QG", "kQG", "nDCG-QG"),
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render the paper's final-value tables (the tables inside Fig. 7 and 8)."""
+    rows = []
+    for result in results:
+        summary = result.summary_row()
+        rows.append({"policy": summary["policy"], **{m: summary[m] for m in measures}})
+    return format_table(rows, float_format=float_format)
+
+
+def format_series_comparison(
+    x_values: Sequence[object],
+    series_by_policy: Mapping[str, Sequence[float]],
+    x_label: str,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a metric as a function of a swept parameter (Fig. 9/10 style)."""
+    rows = []
+    for policy, values in series_by_policy.items():
+        row: dict[str, object] = {"policy": policy}
+        for x, value in zip(x_values, values):
+            row[f"{x_label}={x}"] = value
+        rows.append(row)
+    return format_table(rows, float_format=float_format)

@@ -1,0 +1,194 @@
+"""Simulation runner: replays a trace against a policy and collects metrics.
+
+The run mirrors the paper's protocol (Sec. VII-B-1): the first month of the
+trace is a warm-up used to initialise worker/task features (workers pick
+tasks themselves); the remaining months are replayed online — every worker
+arrival triggers a recommendation, simulated feedback, metric updates and a
+policy update.  Supervised baselines additionally re-train at every simulated
+day boundary through :meth:`ArrangementPolicy.end_of_day`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.interfaces import ArrangementPolicy
+from ..crowd.behavior import CascadeBehavior, InterestModel
+from ..crowd.entities import MINUTES_PER_DAY, MINUTES_PER_MONTH
+from ..crowd.platform import CrowdsourcingPlatform
+from ..crowd.quality import DixitStiglitzQuality
+from ..datasets.crowdspring import CrowdDataset
+from .metrics import EvaluationResult, RequesterBenefitTracker, WorkerBenefitTracker
+
+__all__ = ["RunnerConfig", "SimulationRunner", "evaluate_policy"]
+
+
+@dataclass
+class RunnerConfig:
+    """Options controlling one evaluation run."""
+
+    #: Action mode: "list" shows the full ranked list (cascade model), "single"
+    #: assigns only the top-ranked task, "topk" shows the first ``k`` tasks.
+    mode: str = "list"
+    #: List length for the kCR / kQG measures.
+    k: int = 5
+    #: Dixit–Stiglitz exponent (the paper's experiments use p = 2).
+    quality_p: float = 2.0
+    #: Behaviour-model randomness seed (shared across policies so every method
+    #: faces the same workers).
+    seed: int = 0
+    #: Worker-behaviour parameters.
+    interest_sharpness: float = 6.0
+    position_decay: float = 0.85
+    #: Stop after this many online arrivals (None = full trace).
+    max_arrivals: int | None = None
+    #: When True, the policy also observes the warm-up month's (self-selected)
+    #: interactions, mirroring the paper's "initialize ... the learning model"
+    #: from the first month of data.
+    learn_from_warmup: bool = True
+    #: Cap on warm-up interactions fed to the policy (None = all of them).
+    max_warmup_observations: int | None = 300
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("list", "single", "topk"):
+            raise ValueError(f"mode must be 'list', 'single' or 'topk', got {self.mode!r}")
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+
+
+class SimulationRunner:
+    """Evaluates one policy on one dataset."""
+
+    def __init__(self, dataset: CrowdDataset, config: RunnerConfig | None = None) -> None:
+        self.dataset = dataset
+        self.config = config if config is not None else RunnerConfig()
+
+    # ------------------------------------------------------------------ #
+    def run(self, policy: ArrangementPolicy) -> EvaluationResult:
+        """Replay the dataset against ``policy`` and return all measures."""
+        config = self.config
+        tasks, workers = self.dataset.fresh_entities()
+        behavior = CascadeBehavior(
+            InterestModel(sharpness=config.interest_sharpness),
+            position_decay=config.position_decay,
+        )
+        platform = CrowdsourcingPlatform(
+            tasks,
+            workers,
+            self.dataset.schema,
+            behavior,
+            quality_model=DixitStiglitzQuality(config.quality_p),
+            seed=config.seed,
+        )
+        self._bootstrap_features(platform, tasks)
+
+        warm_trace, online_trace = self.dataset.trace.split_warmup(self.dataset.warmup_end)
+        policy.reset()
+        self._warm_up(platform, behavior, warm_trace, policy)
+
+        worker_metrics = WorkerBenefitTracker(k=config.k)
+        requester_metrics = RequesterBenefitTracker(k=config.k)
+        arrivals = 0
+        completions = 0
+        decision_seconds = 0.0
+        update_seconds = 0.0
+        retrain_seconds: list[float] = []
+        next_day_boundary = self.dataset.warmup_end + MINUTES_PER_DAY
+
+        for context in platform.replay(online_trace):
+            while context.timestamp >= next_day_boundary:
+                started = time.perf_counter()
+                policy.end_of_day(next_day_boundary)
+                retrain_seconds.append(time.perf_counter() - started)
+                next_day_boundary += MINUTES_PER_DAY
+            if not context.available_tasks:
+                continue
+
+            started = time.perf_counter()
+            ranked = policy.rank_tasks(context)
+            decision_seconds += time.perf_counter() - started
+            if not ranked:
+                continue
+
+            presented = self._presented(ranked)
+            if config.mode == "single":
+                feedback = platform.submit_single(context, presented[0])
+            else:
+                feedback = platform.submit_list(context, presented)
+
+            month = self._month_of(context.timestamp)
+            worker_metrics.record(month, feedback.completed_rank)
+            requester_metrics.record(month, feedback.completed_rank, feedback.quality_gain)
+            arrivals += 1
+            completions += int(feedback.completed)
+
+            started = time.perf_counter()
+            policy.observe_feedback(context, presented, feedback)
+            update_seconds += time.perf_counter() - started
+
+            if config.max_arrivals is not None and arrivals >= config.max_arrivals:
+                break
+
+        mean_retrain = sum(retrain_seconds) / len(retrain_seconds) if retrain_seconds else 0.0
+        return EvaluationResult(
+            policy_name=policy.name,
+            arrivals=arrivals,
+            completions=completions,
+            cr=worker_metrics.completion_rate(),
+            kcr=worker_metrics.top_k_completion_rate(),
+            ndcg_cr=worker_metrics.ndcg_completion_rate(),
+            qg=requester_metrics.quality_gain(),
+            kqg=requester_metrics.top_k_quality_gain(),
+            ndcg_qg=requester_metrics.ndcg_quality_gain(),
+            mean_update_seconds=update_seconds / max(arrivals, 1),
+            mean_decision_seconds=decision_seconds / max(arrivals, 1),
+            mean_retrain_seconds=mean_retrain,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _presented(self, ranked: list[int]) -> list[int]:
+        if self.config.mode == "single":
+            return ranked[:1]
+        if self.config.mode == "topk":
+            return ranked[: self.config.k]
+        return ranked
+
+    def _month_of(self, timestamp: float) -> int:
+        """Month index of an online timestamp, with month 0 = first online month."""
+        return max(0, int((timestamp - self.dataset.warmup_end) // MINUTES_PER_MONTH))
+
+    def _warm_up(self, platform, behavior, warm_trace, policy: ArrangementPolicy) -> None:
+        """Replay the warm-up month with self-selected completions.
+
+        Workers browse the pool in their own preferred order (they picked
+        tasks themselves before the recommender existed); the policy observes
+        these interactions so that, like in the paper, the first month
+        initialises both the features and the learning model.
+        """
+        observed = 0
+        limit = self.config.max_warmup_observations
+        for context in platform.replay(warm_trace):
+            if not context.available_tasks:
+                continue
+            preferred = behavior.preferred_order(context.worker, context.available_tasks)
+            feedback = platform.submit_list(context, preferred)
+            if self.config.learn_from_warmup and (limit is None or observed < limit):
+                policy.observe_feedback(context, preferred, feedback)
+                observed += 1
+
+    def _bootstrap_features(self, platform: CrowdsourcingPlatform, tasks) -> None:
+        """Initialise worker features from the dataset's bootstrap completions."""
+        for worker_id, task_ids in self.dataset.bootstrap_completions.items():
+            bootstrap_tasks = [tasks[task_id] for task_id in task_ids if task_id in tasks]
+            if bootstrap_tasks:
+                platform.feature_tracker.bootstrap(worker_id, bootstrap_tasks)
+
+
+def evaluate_policy(
+    dataset: CrowdDataset,
+    policy: ArrangementPolicy,
+    config: RunnerConfig | None = None,
+) -> EvaluationResult:
+    """Convenience wrapper: run ``policy`` on ``dataset`` with ``config``."""
+    return SimulationRunner(dataset, config).run(policy)

@@ -1,0 +1,67 @@
+"""Minimal neural-network substrate (numpy autograd, layers, optimisers).
+
+The paper implements its Q-networks in PyTorch; this package provides the
+equivalent functionality needed by :mod:`repro.core` without any deep-learning
+dependency: a reverse-mode autograd :class:`~repro.nn.tensor.Tensor`,
+permutation-invariant set layers (row-wise feed-forward and multi-head
+self-attention), optimisers and checkpoint serialization.
+"""
+
+from .functional import (
+    huber_loss,
+    linear,
+    mse_loss,
+    relu,
+    scaled_dot_product_attention,
+    sigmoid,
+    softmax,
+    tanh,
+    weighted_mse_loss,
+)
+from .layers import (
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadSelfAttention,
+    Parameter,
+    ReLU,
+    RowwiseFeedForward,
+    Sequential,
+    build_mlp,
+)
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .serialization import load_module, load_state_dict, save_module, save_state_dict
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "RowwiseFeedForward",
+    "MultiHeadSelfAttention",
+    "LayerNorm",
+    "Sequential",
+    "build_mlp",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "relu",
+    "softmax",
+    "sigmoid",
+    "tanh",
+    "linear",
+    "mse_loss",
+    "weighted_mse_loss",
+    "huber_loss",
+    "scaled_dot_product_attention",
+    "save_module",
+    "load_module",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,124 @@
+"""Functional building blocks for :mod:`repro.nn`.
+
+These helpers operate on :class:`repro.nn.tensor.Tensor` objects and return
+tensors wired into the autograd graph.  Losses and attention primitives used
+by the Q-network live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu",
+    "softmax",
+    "sigmoid",
+    "tanh",
+    "linear",
+    "mse_loss",
+    "huber_loss",
+    "weighted_mse_loss",
+    "scaled_dot_product_attention",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Element-wise rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    return as_tensor(x).softmax(axis=axis)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Element-wise logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Element-wise hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight + bias``."""
+    out = as_tensor(x) @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error between ``prediction`` and ``target``."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target).detach()
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def weighted_mse_loss(prediction: Tensor, target: Tensor, weights: np.ndarray) -> Tensor:
+    """Importance-weighted mean squared error.
+
+    Used with prioritized experience replay, where each sampled transition
+    carries an importance-sampling weight correcting the non-uniform sampling
+    distribution.
+    """
+    prediction = as_tensor(prediction)
+    target = as_tensor(target).detach()
+    weights = np.asarray(weights, dtype=np.float64).reshape(prediction.shape)
+    diff = prediction - target
+    return (Tensor(weights) * diff * diff).mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber (smooth L1) loss, robust to occasional large TD errors."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target).detach()
+    diff = prediction - target
+    abs_diff = np.abs(diff.data)
+    quadratic_mask = abs_diff <= delta
+    # Quadratic branch: 0.5 * diff^2 ; linear branch: delta * (|diff| - 0.5*delta)
+    quadratic = diff * diff * 0.5
+    sign = np.sign(diff.data)
+    linear_branch = diff * Tensor(sign * delta) - (0.5 * delta * delta)
+    combined = quadratic * Tensor(quadratic_mask.astype(np.float64)) + linear_branch * Tensor(
+        (~quadratic_mask).astype(np.float64)
+    )
+    return combined.mean()
+
+
+def scaled_dot_product_attention(
+    queries: Tensor,
+    keys: Tensor,
+    values: Tensor,
+    mask: np.ndarray | None = None,
+) -> Tensor:
+    """Attention ``softmax(Q K^T / sqrt(d)) V`` as in Fig. 4 of the paper.
+
+    Parameters
+    ----------
+    queries, keys, values:
+        Tensors of shape ``(n, d)`` (a single set) — the Q-network applies
+        self-attention over the rows of the padded state matrix.
+    mask:
+        Optional boolean array of shape ``(n,)`` marking padded rows.  Padded
+        keys are excluded from the softmax so that zero-padding does not
+        influence real tasks; padded query rows still produce (ignored)
+        outputs.
+    """
+    queries = as_tensor(queries)
+    keys = as_tensor(keys)
+    values = as_tensor(values)
+    d_k = queries.shape[-1]
+    scores = (queries @ keys.T) * (1.0 / float(np.sqrt(d_k)))
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        # Broadcast mask across query rows: mask[j] True means key j is padding.
+        key_mask = np.broadcast_to(mask[np.newaxis, :], scores.shape)
+        scores = scores.masked_fill(key_mask, -1e9)
+    weights = scores.softmax(axis=-1)
+    return weights @ values

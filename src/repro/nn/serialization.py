@@ -1,0 +1,46 @@
+"""Saving and loading of module parameters.
+
+State dicts are persisted in numpy's ``.npz`` format so that trained
+Q-networks (or baseline models) can be checkpointed and restored without any
+external dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_module", "load_module", "save_state_dict", "load_state_dict"]
+
+
+def save_state_dict(state: dict[str, np.ndarray], path: str | Path) -> Path:
+    """Write a state dict to ``path`` (``.npz``), returning the resolved path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state)
+    return path
+
+
+def load_state_dict(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path) as archive:
+        return {name: archive[name].copy() for name in archive.files}
+
+
+def save_module(module: Module, path: str | Path) -> Path:
+    """Persist ``module``'s parameters to ``path``."""
+    return save_state_dict(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Load parameters from ``path`` into ``module`` (in place) and return it."""
+    module.load_state_dict(load_state_dict(path))
+    return module

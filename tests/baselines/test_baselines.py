@@ -1,0 +1,269 @@
+"""Tests for the five baseline policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GreedyCosinePolicy,
+    GreedyNeuralPolicy,
+    LinUCBPolicy,
+    RandomPolicy,
+    TaskrecPMFPolicy,
+)
+from repro.crowd import (
+    ArrivalContext,
+    FeatureSchema,
+    Feedback,
+    Task,
+    Worker,
+)
+
+
+@pytest.fixture
+def schema():
+    return FeatureSchema(num_categories=3, num_domains=2, award_bins=(100.0,))
+
+
+def make_context(schema, num_tasks=5, worker_feature=None, timestamp=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    tasks = [
+        Task(
+            task_id=i,
+            requester_id=0,
+            category=i % schema.num_categories,
+            domain=i % schema.num_domains,
+            award=50.0 + 100.0 * i,
+            created_at=0.0,
+            deadline=10_000.0,
+        )
+        for i in range(num_tasks)
+    ]
+    worker = Worker(
+        worker_id=1,
+        quality=0.8,
+        category_preference=rng.dirichlet(np.ones(schema.num_categories)),
+        domain_preference=rng.dirichlet(np.ones(schema.num_domains)),
+        award_sensitivity=0.4,
+    )
+    if worker_feature is None:
+        worker_feature = rng.dirichlet(np.ones(schema.worker_dim))
+    if tasks:
+        task_features = np.stack([schema.task_features(task) for task in tasks])
+    else:
+        task_features = np.zeros((0, schema.task_dim))
+    return ArrivalContext(
+        timestamp=timestamp,
+        worker=worker,
+        worker_feature=np.asarray(worker_feature),
+        available_tasks=tasks,
+        task_features=task_features,
+        task_qualities=rng.random(num_tasks),
+    )
+
+
+def make_feedback(context, ranked, completed_rank=0, quality_gain=0.5):
+    completed_id = ranked[completed_rank] if completed_rank is not None else None
+    return Feedback(
+        timestamp=context.timestamp,
+        worker_id=context.worker.worker_id,
+        presented_task_ids=list(ranked),
+        completed_task_id=completed_id,
+        completed_rank=completed_rank,
+        completion_reward=1.0 if completed_id is not None else 0.0,
+        quality_gain=quality_gain if completed_id is not None else 0.0,
+        updated_worker_feature=context.worker_feature,
+    )
+
+
+ALL_POLICIES = [
+    lambda schema: RandomPolicy(seed=0),
+    lambda schema: GreedyCosinePolicy(),
+    lambda schema: GreedyNeuralPolicy(seed=0),
+    lambda schema: LinUCBPolicy(),
+    lambda schema: TaskrecPMFPolicy(num_categories=schema.num_categories, seed=0),
+]
+
+
+class TestPolicyInterfaceContract:
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_rank_returns_permutation_of_available_tasks(self, schema, factory):
+        policy = factory(schema)
+        context = make_context(schema, num_tasks=6)
+        ranked = policy.rank_tasks(context)
+        assert sorted(ranked) == context.task_ids
+
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_empty_pool_returns_empty_ranking(self, schema, factory):
+        policy = factory(schema)
+        context = make_context(schema, num_tasks=0)
+        assert policy.rank_tasks(context) == []
+
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_observe_feedback_and_end_of_day_do_not_crash(self, schema, factory):
+        policy = factory(schema)
+        context = make_context(schema, num_tasks=4)
+        ranked = policy.rank_tasks(context)
+        policy.observe_feedback(context, ranked, make_feedback(context, ranked))
+        policy.observe_feedback(context, ranked, make_feedback(context, ranked, completed_rank=None))
+        policy.end_of_day(1_440.0)
+        policy.reset()
+        assert sorted(policy.rank_tasks(context)) == context.task_ids
+
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_policies_have_names(self, schema, factory):
+        assert isinstance(factory(schema).name, str) and factory(schema).name
+
+
+class TestRandomPolicy:
+    def test_ranking_varies_across_calls(self, schema):
+        policy = RandomPolicy(seed=0)
+        context = make_context(schema, num_tasks=8)
+        rankings = {tuple(policy.rank_tasks(context)) for _ in range(10)}
+        assert len(rankings) > 1
+
+    def test_reset_restores_seed(self, schema):
+        policy = RandomPolicy(seed=5)
+        context = make_context(schema, num_tasks=6)
+        first = policy.rank_tasks(context)
+        policy.reset()
+        assert policy.rank_tasks(context) == first
+
+
+class TestGreedyCosine:
+    def test_prefers_tasks_matching_worker_history(self, schema):
+        # Worker history concentrated on category 0 / domain 0 / low award bin.
+        worker_feature = np.zeros(schema.worker_dim)
+        worker_feature[0] = 0.6
+        worker_feature[schema.num_categories] = 0.3
+        worker_feature[schema.num_categories + schema.num_domains] = 0.1
+        policy = GreedyCosinePolicy(objective="worker")
+        context = make_context(schema, num_tasks=6, worker_feature=worker_feature)
+        ranked = policy.rank_tasks(context)
+        top_task = context.task_by_id(ranked[0])
+        assert top_task.category == 0
+
+    def test_requester_objective_weights_quality_gain(self, schema):
+        policy = GreedyCosinePolicy(objective="requester")
+        context = make_context(schema, num_tasks=4)
+        ranked = policy.rank_tasks(context)
+        assert sorted(ranked) == context.task_ids
+
+    def test_invalid_objective(self):
+        with pytest.raises(ValueError):
+            GreedyCosinePolicy(objective="platform")
+
+
+class TestLinUCB:
+    def test_learns_to_prefer_rewarded_category(self, schema):
+        policy = LinUCBPolicy(objective="worker", alpha=0.1)
+        worker_feature = np.zeros(schema.worker_dim)
+        worker_feature[0] = 1.0
+        context = make_context(schema, num_tasks=6, worker_feature=worker_feature)
+        rewarded = {tid for tid in context.task_ids if context.task_by_id(tid).category == 0}
+        for _ in range(40):
+            ranked = policy.rank_tasks(context)
+            completed = next(tid for tid in ranked if tid in rewarded)
+            rank = ranked.index(completed)
+            policy.observe_feedback(context, ranked, make_feedback(context, ranked, completed_rank=rank))
+        final = policy.rank_tasks(context)
+        assert final[0] in rewarded
+
+    def test_requester_objective_adds_quality_dimensions(self, schema):
+        worker_policy = LinUCBPolicy(objective="worker")
+        requester_policy = LinUCBPolicy(objective="requester")
+        context = make_context(schema, num_tasks=3)
+        worker_policy.rank_tasks(context)
+        requester_policy.rank_tasks(context)
+        assert requester_policy._dim == worker_policy._dim + 2
+
+    def test_reset_clears_model(self, schema):
+        policy = LinUCBPolicy()
+        context = make_context(schema, num_tasks=3)
+        policy.rank_tasks(context)
+        policy.reset()
+        assert policy._A is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LinUCBPolicy(objective="nope")
+        with pytest.raises(ValueError):
+            LinUCBPolicy(alpha=-1.0)
+
+    def test_sherman_morrison_inverse_stays_consistent(self, schema):
+        policy = LinUCBPolicy(alpha=0.0)
+        context = make_context(schema, num_tasks=4)
+        ranked = policy.rank_tasks(context)
+        for _ in range(10):
+            policy.observe_feedback(context, ranked, make_feedback(context, ranked))
+        np.testing.assert_allclose(policy._A @ policy._A_inv, np.eye(policy._dim), atol=1e-6)
+
+
+class TestGreedyNN:
+    def test_daily_retraining_learns_reward_signal(self, schema):
+        policy = GreedyNeuralPolicy(objective="worker", epochs_per_day=80, seed=0)
+        worker_feature = np.zeros(schema.worker_dim)
+        worker_feature[1] = 1.0
+        context = make_context(schema, num_tasks=6, worker_feature=worker_feature)
+        rewarded = {tid for tid in context.task_ids if context.task_by_id(tid).category == 1}
+        for _ in range(30):
+            ranked = policy.rank_tasks(context)
+            completed = next(tid for tid in ranked if tid in rewarded)
+            rank = ranked.index(completed)
+            policy.observe_feedback(context, ranked, make_feedback(context, ranked, completed_rank=rank))
+        policy.end_of_day(1_440.0)
+        final = policy.rank_tasks(context)
+        assert final[0] in rewarded
+
+    def test_end_of_day_without_data_is_safe(self, schema):
+        GreedyNeuralPolicy(seed=0).end_of_day(1_440.0)
+
+    def test_example_buffer_is_bounded(self, schema):
+        policy = GreedyNeuralPolicy(max_examples=10, seed=0)
+        context = make_context(schema, num_tasks=4)
+        ranked = policy.rank_tasks(context)
+        for _ in range(30):
+            policy.observe_feedback(context, ranked, make_feedback(context, ranked))
+        assert len(policy._features) <= 10
+
+    def test_invalid_objective(self):
+        with pytest.raises(ValueError):
+            GreedyNeuralPolicy(objective="bad")
+
+
+class TestTaskrecPMF:
+    def test_daily_retraining_learns_worker_task_affinity(self, schema):
+        policy = TaskrecPMFPolicy(num_categories=schema.num_categories, epochs_per_day=30, seed=0)
+        context = make_context(schema, num_tasks=6)
+        rewarded = {tid for tid in context.task_ids if context.task_by_id(tid).category == 2}
+        for _ in range(30):
+            ranked = policy.rank_tasks(context)
+            completed = next(tid for tid in ranked if tid in rewarded)
+            rank = ranked.index(completed)
+            policy.observe_feedback(context, ranked, make_feedback(context, ranked, completed_rank=rank))
+        policy.end_of_day(1_440.0)
+        final = policy.rank_tasks(context)
+        assert final[0] in rewarded
+
+    def test_interaction_log_is_bounded(self, schema):
+        policy = TaskrecPMFPolicy(num_categories=schema.num_categories, max_interactions=20, seed=0)
+        context = make_context(schema, num_tasks=4)
+        ranked = policy.rank_tasks(context)
+        for _ in range(50):
+            policy.observe_feedback(context, ranked, make_feedback(context, ranked))
+        assert len(policy._interactions) <= 20
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TaskrecPMFPolicy(num_categories=0)
+        with pytest.raises(ValueError):
+            TaskrecPMFPolicy(num_categories=3, latent_dim=0)
+
+    def test_reset_clears_latent_vectors(self, schema):
+        policy = TaskrecPMFPolicy(num_categories=schema.num_categories, seed=0)
+        context = make_context(schema, num_tasks=3)
+        ranked = policy.rank_tasks(context)
+        policy.observe_feedback(context, ranked, make_feedback(context, ranked))
+        policy.end_of_day(1_440.0)
+        policy.reset()
+        assert policy._worker_vectors == {}
+        assert policy._interactions == []

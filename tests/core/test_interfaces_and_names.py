@@ -1,0 +1,63 @@
+"""Cross-cutting integration tests: policy interface contract for the framework,
+checkpointing of trained Q-networks, and package metadata."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import FrameworkConfig, SetQNetwork, StateTransformer, TaskArrangementFramework
+from repro.core.interfaces import ArrangementPolicy
+from repro.crowd import FeatureSchema
+from repro.nn import load_module, save_module
+
+
+@pytest.fixture
+def schema():
+    return FeatureSchema(num_categories=3, num_domains=2, award_bins=(100.0,))
+
+
+class TestPackageSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_subpackages_are_importable(self):
+        for name in ("nn", "crowd", "datasets", "core", "baselines", "eval"):
+            assert hasattr(repro, name)
+
+    def test_framework_is_an_arrangement_policy(self, schema):
+        framework = TaskArrangementFramework.worker_only(
+            schema, FrameworkConfig(hidden_dim=16, num_heads=2)
+        )
+        assert isinstance(framework, ArrangementPolicy)
+
+    def test_framework_names_identify_variants(self, schema):
+        config = FrameworkConfig(hidden_dim=16, num_heads=2)
+        worker_only = TaskArrangementFramework.worker_only(schema, config)
+        balanced = TaskArrangementFramework.balanced(schema, 0.5, config)
+        assert worker_only.name == "DDQN"
+        assert "0.5" in balanced.name
+
+
+class TestCheckpointing:
+    def test_trained_qnetwork_round_trips_through_disk(self, schema, tmp_path):
+        transformer = StateTransformer(schema)
+        network = SetQNetwork(transformer.row_dim, hidden_dim=16, num_heads=2, seed=0)
+        rng = np.random.default_rng(0)
+        worker = rng.dirichlet(np.ones(schema.worker_dim))
+        tasks = np.zeros((4, schema.task_dim))
+        tasks[np.arange(4), rng.integers(0, schema.num_categories, size=4)] = 1.0
+        state = transformer.transform(worker, tasks, [0, 1, 2, 3])
+        expected = network.q_values(state)
+
+        path = save_module(network, tmp_path / "q.npz")
+        restored = SetQNetwork(transformer.row_dim, hidden_dim=16, num_heads=2, seed=99)
+        load_module(restored, path)
+        np.testing.assert_allclose(restored.q_values(state), expected)
+
+    def test_framework_agents_share_no_parameters(self, schema):
+        framework = TaskArrangementFramework(
+            schema, FrameworkConfig(hidden_dim=16, num_heads=2)
+        )
+        worker_params = {id(p) for p in framework.agent_w.network.parameters()}
+        requester_params = {id(p) for p in framework.agent_r.network.parameters()}
+        assert worker_params.isdisjoint(requester_params)

@@ -1,0 +1,305 @@
+"""Tests for arrival statistics, behaviour models and the event trace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd import (
+    ANY_WORKER_MAX_GAP,
+    SAME_WORKER_MAX_GAP,
+    CascadeBehavior,
+    Event,
+    EventTrace,
+    EventType,
+    GapHistogram,
+    InterestModel,
+    Task,
+    Worker,
+    WorkerArrivalStatistics,
+)
+
+
+def make_worker(category_pref=None, domain_pref=None, award_sensitivity=0.0, quality=0.8):
+    category_pref = category_pref if category_pref is not None else np.array([0.9, 0.05, 0.05])
+    domain_pref = domain_pref if domain_pref is not None else np.array([0.8, 0.2])
+    return Worker(
+        worker_id=0,
+        quality=quality,
+        category_preference=np.asarray(category_pref, dtype=float),
+        domain_preference=np.asarray(domain_pref, dtype=float),
+        award_sensitivity=award_sensitivity,
+    )
+
+
+def make_task(task_id=0, category=0, domain=0, award=200.0):
+    return Task(
+        task_id=task_id,
+        requester_id=0,
+        category=category,
+        domain=domain,
+        award=award,
+        created_at=0.0,
+        deadline=10_000.0,
+    )
+
+
+class TestGapHistogram:
+    def test_probabilities_sum_to_one(self):
+        hist = GapHistogram(max_gap=100, bucket_width=10)
+        hist.observe_many([5, 15, 15, 95])
+        assert hist.probabilities().sum() == pytest.approx(1.0)
+
+    def test_out_of_range_gaps_are_ignored(self):
+        hist = GapHistogram(max_gap=100, bucket_width=10)
+        hist.observe(500.0)
+        hist.observe(-3.0)
+        assert hist.total_observations == 0
+
+    def test_probability_concentrates_on_observed_bucket(self):
+        hist = GapHistogram(max_gap=100, bucket_width=10, smoothing=1e-6)
+        for _ in range(100):
+            hist.observe(25.0)
+        assert hist.probability_of_gap(22.0) > 0.99
+        assert hist.probability_of_gap(85.0) < 0.01
+
+    def test_expected_gap_tracks_observations(self):
+        hist = GapHistogram(max_gap=100, bucket_width=10, smoothing=1e-9)
+        for _ in range(50):
+            hist.observe(45.0)
+        assert hist.expected_gap() == pytest.approx(45.0, abs=5.0)
+
+    def test_sample_within_support(self):
+        hist = GapHistogram(max_gap=60, bucket_width=5)
+        hist.observe_many([10, 20, 30])
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert 0 <= hist.sample(rng) <= 60
+
+    def test_top_buckets_ordering(self):
+        hist = GapHistogram(max_gap=100, bucket_width=10, smoothing=1e-9)
+        hist.observe_many([15] * 10 + [55] * 3)
+        top = hist.top_buckets(2)
+        assert top[0][1] >= top[1][1]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GapHistogram(max_gap=0)
+        with pytest.raises(ValueError):
+            GapHistogram(max_gap=10, bucket_width=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(gaps=st.lists(st.floats(min_value=0, max_value=100), min_size=0, max_size=50))
+    def test_probabilities_always_normalised(self, gaps):
+        hist = GapHistogram(max_gap=100, bucket_width=7)
+        hist.observe_many(gaps)
+        assert hist.probabilities().sum() == pytest.approx(1.0)
+
+
+class TestWorkerArrivalStatistics:
+    def test_same_and_any_worker_gaps_are_separated(self):
+        stats = WorkerArrivalStatistics(feature_dim=3)
+        stats.record_arrival(1, 0.0)
+        stats.record_arrival(2, 10.0)
+        stats.record_arrival(1, 30.0)
+        # Any-worker gaps: 10 and 20; same-worker gap for worker 1: 30.
+        assert stats.any_worker_gaps.total_observations == 2
+        assert stats.same_worker_gaps.total_observations == 1
+
+    def test_new_worker_rate(self):
+        stats = WorkerArrivalStatistics(feature_dim=2)
+        stats.record_arrival(1, 0.0)
+        stats.record_arrival(2, 5.0)
+        stats.record_arrival(1, 9.0)
+        assert stats.new_worker_rate == pytest.approx(2.0 / 3.0)
+
+    def test_average_feature(self):
+        stats = WorkerArrivalStatistics(feature_dim=2)
+        stats.record_arrival(1, 0.0, np.array([1.0, 0.0]))
+        stats.record_arrival(2, 1.0, np.array([0.0, 1.0]))
+        np.testing.assert_allclose(stats.average_worker_feature(), [0.5, 0.5])
+
+    def test_feature_dimension_is_validated(self):
+        stats = WorkerArrivalStatistics(feature_dim=2)
+        with pytest.raises(ValueError):
+            stats.record_arrival(1, 0.0, np.zeros(3))
+
+    def test_next_worker_distribution_sums_to_one(self):
+        stats = WorkerArrivalStatistics(feature_dim=2)
+        for t in range(5):
+            stats.record_arrival(t % 2, float(t * 30), np.array([1.0, 0.0]))
+        distribution = stats.next_worker_distribution(200.0, lambda w: np.array([1.0, 0.0]))
+        total = sum(probability for _, probability, _ in distribution)
+        assert total == pytest.approx(1.0)
+
+    def test_expected_next_worker_feature_shape(self):
+        stats = WorkerArrivalStatistics(feature_dim=3)
+        stats.record_arrival(1, 0.0, np.array([1.0, 0.0, 0.0]))
+        stats.record_arrival(2, 20.0, np.array([0.0, 1.0, 0.0]))
+        expectation = stats.expected_next_worker_feature(40.0, lambda w: np.eye(3)[w % 3])
+        assert expectation.shape == (3,)
+        assert np.all(expectation >= 0)
+
+    def test_support_constants(self):
+        assert SAME_WORKER_MAX_GAP == 10_080
+        assert ANY_WORKER_MAX_GAP == 60
+
+
+class TestInterestModel:
+    def test_preferred_category_scores_higher(self):
+        model = InterestModel()
+        worker = make_worker()
+        liked = make_task(category=0, domain=0)
+        disliked = make_task(category=2, domain=1)
+        assert model.completion_probability(worker, liked) > model.completion_probability(
+            worker, disliked
+        )
+
+    def test_payment_driven_worker_prefers_high_award(self):
+        model = InterestModel()
+        worker = make_worker(award_sensitivity=1.0)
+        cheap = make_task(award=10.0)
+        expensive = make_task(award=900.0)
+        assert model.completion_probability(worker, expensive) > model.completion_probability(
+            worker, cheap
+        )
+
+    def test_probability_in_unit_interval(self):
+        model = InterestModel()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            worker = make_worker(
+                category_pref=rng.dirichlet(np.ones(3)),
+                domain_pref=rng.dirichlet(np.ones(2)),
+                award_sensitivity=rng.random(),
+            )
+            task = make_task(category=int(rng.integers(3)), domain=int(rng.integers(2)))
+            probability = model.completion_probability(worker, task)
+            assert 0.0 <= probability <= 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            InterestModel(sharpness=0.0)
+        with pytest.raises(ValueError):
+            InterestModel(base_rate=1.5)
+
+
+class TestCascadeBehavior:
+    def test_single_response_respects_probability_extremes(self):
+        rng = np.random.default_rng(0)
+        behavior = CascadeBehavior(InterestModel(base_rate=0.0, sharpness=20.0))
+        worker = make_worker()
+        liked = make_task(category=0, domain=0)
+        outcomes = [behavior.respond_to_single(worker, liked, rng).completed for _ in range(100)]
+        assert sum(outcomes) > 50
+
+    def test_list_response_returns_valid_rank(self):
+        rng = np.random.default_rng(1)
+        behavior = CascadeBehavior(InterestModel())
+        worker = make_worker()
+        tasks = [make_task(task_id=i, category=i % 3) for i in range(5)]
+        outcome = behavior.respond_to_list(worker, tasks, rng)
+        if outcome.completed:
+            assert 0 <= outcome.completed_rank < 5
+            assert outcome.completed_task_id == tasks[outcome.completed_rank].task_id
+
+    def test_empty_list_is_always_skipped(self):
+        rng = np.random.default_rng(2)
+        behavior = CascadeBehavior(InterestModel())
+        outcome = behavior.respond_to_list(make_worker(), [], rng)
+        assert not outcome.completed
+
+    def test_preferred_order_puts_matching_tasks_first(self):
+        behavior = CascadeBehavior(InterestModel())
+        worker = make_worker()
+        tasks = [make_task(task_id=0, category=2, domain=1), make_task(task_id=1, category=0, domain=0)]
+        order = behavior.preferred_order(worker, tasks)
+        assert order[0] == 1
+
+    def test_better_ranking_yields_more_top_completions(self):
+        """A ranking aligned with preferences completes more often at rank 0."""
+        rng_good = np.random.default_rng(3)
+        rng_bad = np.random.default_rng(3)
+        behavior = CascadeBehavior(InterestModel())
+        worker = make_worker()
+        tasks = [make_task(task_id=i, category=i % 3, domain=i % 2) for i in range(6)]
+        good_order = [tasks[i] for i in np.argsort([-worker.category_preference[t.category] for t in tasks])]
+        bad_order = list(reversed(good_order))
+        good_top = sum(
+            behavior.respond_to_list(worker, good_order, rng_good).completed_rank == 0
+            for _ in range(200)
+        )
+        bad_top = sum(
+            behavior.respond_to_list(worker, bad_order, rng_bad).completed_rank == 0
+            for _ in range(200)
+        )
+        assert good_top > bad_top
+
+    def test_invalid_position_decay(self):
+        with pytest.raises(ValueError):
+            CascadeBehavior(InterestModel(), position_decay=0.0)
+
+
+class TestEventTrace:
+    def test_events_are_sorted_by_time(self):
+        trace = EventTrace(
+            [
+                Event(50.0, EventType.WORKER_ARRIVAL, 1),
+                Event(10.0, EventType.TASK_CREATED, 2),
+                Event(30.0, EventType.TASK_EXPIRED, 3),
+            ]
+        )
+        assert [event.timestamp for event in trace] == [10.0, 30.0, 50.0]
+
+    def test_simultaneous_events_apply_expiry_before_arrival(self):
+        trace = EventTrace(
+            [
+                Event(10.0, EventType.WORKER_ARRIVAL, 1),
+                Event(10.0, EventType.TASK_EXPIRED, 2),
+                Event(10.0, EventType.TASK_CREATED, 3),
+            ]
+        )
+        assert [event.event_type for event in trace] == [
+            EventType.TASK_EXPIRED,
+            EventType.TASK_CREATED,
+            EventType.WORKER_ARRIVAL,
+        ]
+
+    def test_split_warmup(self):
+        trace = EventTrace(
+            [Event(float(t), EventType.WORKER_ARRIVAL, t) for t in range(10)]
+        )
+        warm, online = trace.split_warmup(5.0)
+        assert len(warm) == 5
+        assert len(online) == 5
+
+    def test_monthly_counts(self):
+        from repro.crowd.entities import MINUTES_PER_MONTH
+
+        trace = EventTrace(
+            [
+                Event(1.0, EventType.TASK_CREATED, 0),
+                Event(MINUTES_PER_MONTH + 1.0, EventType.TASK_CREATED, 1),
+                Event(MINUTES_PER_MONTH + 2.0, EventType.TASK_CREATED, 2),
+            ]
+        )
+        assert trace.monthly_counts(EventType.TASK_CREATED) == [1, 2]
+
+    def test_between_filters_inclusive_exclusive(self):
+        trace = EventTrace([Event(float(t), EventType.WORKER_ARRIVAL, t) for t in range(5)])
+        assert len(trace.between(1.0, 3.0)) == 2
+
+    def test_of_type(self):
+        trace = EventTrace(
+            [
+                Event(1.0, EventType.TASK_CREATED, 0),
+                Event(2.0, EventType.WORKER_ARRIVAL, 1),
+            ]
+        )
+        assert len(trace.of_type(EventType.WORKER_ARRIVAL)) == 1
+
+    def test_empty_trace(self):
+        trace = EventTrace([])
+        assert len(trace) == 0
+        assert trace.num_months() == 0
+        assert trace.start_time == 0.0

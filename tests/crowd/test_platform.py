@@ -1,0 +1,183 @@
+"""Tests for the event-driven platform environment."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    CascadeBehavior,
+    CrowdsourcingPlatform,
+    DixitStiglitzQuality,
+    Event,
+    EventTrace,
+    EventType,
+    FeatureSchema,
+    InterestModel,
+    Task,
+    Worker,
+)
+
+
+def build_platform(num_tasks=4, num_workers=2, seed=0):
+    schema = FeatureSchema(num_categories=3, num_domains=2, award_bins=(100.0,))
+    tasks = {
+        i: Task(
+            task_id=i,
+            requester_id=0,
+            category=i % 3,
+            domain=i % 2,
+            award=50.0 + 100.0 * i,
+            created_at=0.0,
+            deadline=1_000.0,
+        )
+        for i in range(num_tasks)
+    }
+    rng = np.random.default_rng(seed)
+    workers = {
+        i: Worker(
+            worker_id=i,
+            quality=0.5 + 0.1 * i,
+            category_preference=rng.dirichlet(np.ones(3)),
+            domain_preference=rng.dirichlet(np.ones(2)),
+            award_sensitivity=0.3,
+        )
+        for i in range(num_workers)
+    }
+    platform = CrowdsourcingPlatform(
+        tasks, workers, schema, CascadeBehavior(InterestModel()), seed=seed
+    )
+    return platform, tasks, workers, schema
+
+
+class TestEventHandling:
+    def test_task_creation_and_expiry_update_pool(self):
+        platform, *_ = build_platform()
+        platform.apply_event(Event(0.0, EventType.TASK_CREATED, 0))
+        platform.apply_event(Event(0.0, EventType.TASK_CREATED, 1))
+        assert [task.task_id for task in platform.available_tasks] == [0, 1]
+        platform.apply_event(Event(10.0, EventType.TASK_EXPIRED, 0))
+        assert [task.task_id for task in platform.available_tasks] == [1]
+
+    def test_expiring_unknown_task_is_a_noop(self):
+        platform, *_ = build_platform()
+        platform.apply_event(Event(10.0, EventType.TASK_EXPIRED, 99))
+        assert platform.available_tasks == []
+
+    def test_arrival_returns_context_with_features(self):
+        platform, _, _, schema = build_platform()
+        platform.apply_event(Event(0.0, EventType.TASK_CREATED, 0))
+        context = platform.apply_event(Event(5.0, EventType.WORKER_ARRIVAL, 1))
+        assert context is not None
+        assert context.worker.worker_id == 1
+        assert context.task_features.shape == (1, schema.task_dim)
+        assert context.task_ids == [0]
+
+    def test_arrival_with_empty_pool(self):
+        platform, *_ = build_platform()
+        context = platform.apply_event(Event(5.0, EventType.WORKER_ARRIVAL, 0))
+        assert context.available_tasks == []
+        assert context.task_features.shape == (0, platform.schema.task_dim)
+
+    def test_replay_yields_only_arrivals(self):
+        platform, *_ = build_platform()
+        trace = EventTrace(
+            [
+                Event(0.0, EventType.TASK_CREATED, 0),
+                Event(1.0, EventType.WORKER_ARRIVAL, 0),
+                Event(2.0, EventType.WORKER_ARRIVAL, 1),
+            ]
+        )
+        contexts = list(platform.replay(trace))
+        assert len(contexts) == 2
+
+    def test_arrival_statistics_are_updated(self):
+        platform, *_ = build_platform()
+        platform.apply_event(Event(0.0, EventType.WORKER_ARRIVAL, 0))
+        platform.apply_event(Event(30.0, EventType.WORKER_ARRIVAL, 0))
+        assert platform.arrival_statistics.total_arrivals == 2
+        assert platform.arrival_statistics.same_worker_gaps.total_observations == 1
+
+
+class TestFeedback:
+    def test_completed_feedback_updates_quality_and_history(self):
+        platform, tasks, workers, _ = build_platform(seed=3)
+        platform.apply_event(Event(0.0, EventType.TASK_CREATED, 0))
+        # Force completion by making the behaviour deterministic.
+        platform.behavior.interest_model.base_rate = 0.999
+        context = platform.apply_event(Event(5.0, EventType.WORKER_ARRIVAL, 0))
+        feedback = platform.submit_single(context, 0)
+        assert feedback.completed
+        assert feedback.completion_reward == 1.0
+        assert feedback.quality_gain > 0.0
+        assert tasks[0].completion_count == 1
+        assert tasks[0].quality == pytest.approx(
+            DixitStiglitzQuality(2.0).aggregate([workers[0].quality])
+        )
+        assert workers[0].history == [0]
+        assert feedback.updated_worker_feature is not None
+
+    def test_skipped_feedback_changes_nothing(self):
+        platform, tasks, workers, _ = build_platform(seed=3)
+        platform.apply_event(Event(0.0, EventType.TASK_CREATED, 0))
+        platform.behavior.interest_model.base_rate = 0.0
+        platform.behavior.interest_model.sharpness = 50.0
+        # Make the worker hate every category so completion probability ~ 0.
+        workers[0].category_preference = np.array([0.0, 0.0, 1.0])
+        workers[0].domain_preference = np.array([0.0, 1.0])
+        workers[0].award_sensitivity = 0.0
+        context = platform.apply_event(Event(5.0, EventType.WORKER_ARRIVAL, 0))
+        feedback = platform.submit_single(context, 0)
+        assert not feedback.completed
+        assert feedback.completion_reward == 0.0
+        assert feedback.quality_gain == 0.0
+        assert tasks[0].completion_count == 0
+
+    def test_submit_unavailable_task_raises(self):
+        platform, *_ = build_platform()
+        platform.apply_event(Event(0.0, EventType.TASK_CREATED, 0))
+        context = platform.apply_event(Event(5.0, EventType.WORKER_ARRIVAL, 0))
+        with pytest.raises(KeyError):
+            platform.submit_single(context, 99)
+
+    def test_list_feedback_reports_rank(self):
+        platform, *_ = build_platform(seed=1)
+        for task_id in range(3):
+            platform.apply_event(Event(0.0, EventType.TASK_CREATED, task_id))
+        platform.behavior.interest_model.base_rate = 0.999
+        context = platform.apply_event(Event(5.0, EventType.WORKER_ARRIVAL, 0))
+        feedback = platform.submit_list(context, [2, 0, 1])
+        assert feedback.completed
+        assert feedback.completed_rank == 0
+        assert feedback.completed_task_id == 2
+
+    def test_quality_accumulates_over_multiple_completions(self):
+        platform, tasks, _, _ = build_platform(seed=5)
+        platform.apply_event(Event(0.0, EventType.TASK_CREATED, 0))
+        platform.behavior.interest_model.base_rate = 0.999
+        first = platform.apply_event(Event(5.0, EventType.WORKER_ARRIVAL, 0))
+        platform.submit_single(first, 0)
+        quality_after_one = tasks[0].quality
+        second = platform.apply_event(Event(10.0, EventType.WORKER_ARRIVAL, 1))
+        feedback = platform.submit_single(second, 0)
+        assert tasks[0].quality > quality_after_one
+        assert feedback.quality_gain == pytest.approx(tasks[0].quality - quality_after_one)
+
+    def test_statistics_counters(self):
+        platform, *_ = build_platform(seed=2)
+        platform.apply_event(Event(0.0, EventType.TASK_CREATED, 0))
+        platform.behavior.interest_model.base_rate = 0.999
+        context = platform.apply_event(Event(5.0, EventType.WORKER_ARRIVAL, 0))
+        platform.submit_single(context, 0)
+        assert platform.statistics.arrivals == 1
+        assert platform.statistics.completions == 1
+        assert platform.statistics.average_pool_size == pytest.approx(1.0)
+
+
+class TestWarmUp:
+    def test_warm_up_generates_completions(self):
+        platform, *_ = build_platform(num_tasks=4, num_workers=2, seed=0)
+        platform.behavior.interest_model.base_rate = 0.9
+        events = [Event(0.0, EventType.TASK_CREATED, i) for i in range(4)]
+        events += [Event(float(10 + i), EventType.WORKER_ARRIVAL, i % 2) for i in range(20)]
+        completions = platform.warm_up(EventTrace(events))
+        assert completions > 0
+        assert platform.statistics.completions == completions

@@ -1,0 +1,216 @@
+"""Tests for the Dixit–Stiglitz quality model and feature construction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd import (
+    DixitStiglitzQuality,
+    FeatureSchema,
+    Task,
+    Worker,
+    WorkerFeatureTracker,
+    quality_gain,
+)
+
+
+def make_task(task_id=0, category=1, domain=2, award=150.0):
+    return Task(
+        task_id=task_id,
+        requester_id=0,
+        category=category,
+        domain=domain,
+        award=award,
+        created_at=0.0,
+        deadline=1_000.0,
+    )
+
+
+class TestDixitStiglitzQuality:
+    def test_empty_quality_is_zero(self):
+        assert DixitStiglitzQuality(2.0).aggregate([]) == 0.0
+
+    def test_p_one_is_sum(self):
+        model = DixitStiglitzQuality(1.0)
+        assert model.aggregate([0.5, 0.3, 0.2]) == pytest.approx(1.0)
+
+    def test_p_infinity_is_max(self):
+        model = DixitStiglitzQuality(math.inf)
+        assert model.aggregate([0.5, 0.9, 0.2]) == pytest.approx(0.9)
+
+    def test_p_two_matches_euclidean_norm(self):
+        model = DixitStiglitzQuality(2.0)
+        assert model.aggregate([0.6, 0.8]) == pytest.approx(1.0)
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            DixitStiglitzQuality(0.5)
+
+    def test_rejects_negative_qualities(self):
+        with pytest.raises(ValueError):
+            DixitStiglitzQuality(2.0).aggregate([-0.1])
+
+    def test_gain_is_difference(self):
+        model = DixitStiglitzQuality(2.0)
+        gain = model.gain([0.6], 0.8)
+        assert gain == pytest.approx(1.0 - 0.6)
+
+    def test_quality_gain_helper(self):
+        assert quality_gain([], 0.7) == pytest.approx(0.7)
+
+    def test_marginal_series_diminishes_for_equal_workers(self):
+        model = DixitStiglitzQuality(2.0)
+        gains = model.marginal_series([0.5] * 5)
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(gains, gains[1:]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        qualities=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=8),
+        new_quality=st.floats(min_value=0.0, max_value=1.0),
+        p=st.floats(min_value=1.0, max_value=6.0),
+    )
+    def test_gain_is_non_negative_and_bounded(self, qualities, new_quality, p):
+        """Adding a worker never reduces quality and never adds more than q_w (p>=1)."""
+        model = DixitStiglitzQuality(p)
+        gain = model.gain(qualities, new_quality)
+        assert gain >= -1e-9
+        assert gain <= new_quality + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        qualities=st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=8),
+        p=st.floats(min_value=1.0, max_value=6.0),
+    )
+    def test_aggregate_bounded_by_sum_and_max(self, qualities, p):
+        """max(q) <= aggregate <= sum(q) for any p >= 1."""
+        value = DixitStiglitzQuality(p).aggregate(qualities)
+        assert max(qualities) - 1e-9 <= value <= sum(qualities) + 1e-9
+
+
+class TestFeatureSchema:
+    def test_dimensions(self):
+        schema = FeatureSchema(num_categories=5, num_domains=3, award_bins=(10.0, 100.0))
+        assert schema.num_award_bins == 3
+        assert schema.task_dim == 5 + 3 + 3
+        assert schema.worker_dim == schema.task_dim
+
+    def test_task_features_are_triple_one_hot(self):
+        schema = FeatureSchema(num_categories=5, num_domains=3, award_bins=(10.0, 100.0))
+        features = schema.task_features(make_task(category=2, domain=1, award=50.0))
+        assert features.sum() == pytest.approx(3.0)
+        assert features[2] == 1.0
+        assert features[5 + 1] == 1.0
+        assert features[5 + 3 + 1] == 1.0  # 10 <= 50 < 100 -> middle bin
+
+    def test_award_bin_edges(self):
+        schema = FeatureSchema(num_categories=2, num_domains=2, award_bins=(10.0, 100.0))
+        assert schema.award_bin(5.0) == 0
+        assert schema.award_bin(10.0) == 1
+        assert schema.award_bin(99.9) == 1
+        assert schema.award_bin(1_000.0) == 2
+
+    def test_rejects_out_of_range_category(self):
+        schema = FeatureSchema(num_categories=2, num_domains=2)
+        with pytest.raises(ValueError):
+            schema.task_features(make_task(category=5))
+
+    def test_rejects_non_increasing_bins(self):
+        with pytest.raises(ValueError):
+            FeatureSchema(num_categories=2, num_domains=2, award_bins=(10.0, 10.0))
+
+    def test_rejects_empty_vocabularies(self):
+        with pytest.raises(ValueError):
+            FeatureSchema(num_categories=0, num_domains=2)
+
+
+class TestWorkerFeatureTracker:
+    def make_schema(self):
+        return FeatureSchema(num_categories=4, num_domains=2, award_bins=(100.0,))
+
+    def test_unknown_worker_has_zero_features(self):
+        tracker = WorkerFeatureTracker(self.make_schema())
+        np.testing.assert_allclose(tracker.features_of(42), np.zeros(4 + 2 + 2))
+
+    def test_features_are_normalised(self):
+        schema = self.make_schema()
+        tracker = WorkerFeatureTracker(schema)
+        tracker.observe_completion(1, make_task(category=0, domain=0, award=50.0))
+        tracker.observe_completion(1, make_task(category=1, domain=1, award=200.0))
+        features = tracker.features_of(1)
+        assert features.sum() == pytest.approx(1.0)
+
+    def test_decay_weights_recent_completions_higher(self):
+        schema = self.make_schema()
+        tracker = WorkerFeatureTracker(schema, decay=0.5)
+        tracker.observe_completion(1, make_task(category=0, domain=0))
+        tracker.observe_completion(1, make_task(category=1, domain=0))
+        features = tracker.features_of(1)
+        assert features[1] > features[0]
+
+    def test_bootstrap_initialises_history(self):
+        schema = self.make_schema()
+        tracker = WorkerFeatureTracker(schema)
+        tracker.bootstrap(3, [make_task(category=2, domain=1)])
+        assert tracker.features_of(3)[2] > 0
+
+    def test_reset_clears_everything(self):
+        schema = self.make_schema()
+        tracker = WorkerFeatureTracker(schema)
+        tracker.observe_completion(1, make_task(category=0, domain=0))
+        tracker.reset()
+        assert tracker.known_workers() == []
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            WorkerFeatureTracker(self.make_schema(), decay=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(categories=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=20))
+    def test_features_always_normalised_after_any_history(self, categories):
+        schema = self.make_schema()
+        tracker = WorkerFeatureTracker(schema)
+        for index, category in enumerate(categories):
+            tracker.observe_completion(7, make_task(task_id=index, category=category, domain=0))
+        assert tracker.features_of(7).sum() == pytest.approx(1.0)
+
+
+class TestEntities:
+    def test_task_availability_window(self):
+        task = make_task()
+        assert task.is_available(0.0)
+        assert task.is_available(999.0)
+        assert not task.is_available(1_000.0)
+        assert task.is_expired(1_000.0)
+
+    def test_record_completion_tracks_contributors(self):
+        task = make_task()
+        task.record_completion(worker_id=1, timestamp=5.0, worker_quality=0.7)
+        task.record_completion(worker_id=2, timestamp=6.0, worker_quality=0.4)
+        assert task.completion_count == 2
+        assert task.contributor_qualities() == [0.7, 0.4]
+
+    def test_worker_arrival_gap(self):
+        worker = Worker(
+            worker_id=1,
+            quality=0.5,
+            category_preference=np.ones(3) / 3,
+            domain_preference=np.ones(2) / 2,
+        )
+        assert worker.record_arrival(100.0) is None
+        assert worker.record_arrival(160.0) == pytest.approx(60.0)
+        assert worker.arrival_count == 2
+
+    def test_worker_history_is_bounded(self):
+        worker = Worker(
+            worker_id=1,
+            quality=0.5,
+            category_preference=np.ones(3) / 3,
+            domain_preference=np.ones(2) / 2,
+        )
+        for task_id in range(60):
+            worker.record_completion(task_id, max_history=50)
+        assert len(worker.history) == 50
+        assert worker.history[0] == 10

@@ -1,0 +1,170 @@
+"""Tests for the CrowdSpring-like generator, synthetic variants and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import EventType
+from repro.datasets import (
+    CrowdSpringConfig,
+    CrowdSpringGenerator,
+    add_worker_quality_noise,
+    compute_arrival_gaps,
+    compute_monthly_statistics,
+    generate_crowdspring,
+    resample_arrival_density,
+    scalability_snapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return generate_crowdspring(scale=0.04, num_months=3, seed=11)
+
+
+class TestCrowdSpringConfig:
+    def test_scaled_reduces_volume(self):
+        config = CrowdSpringConfig().scaled(0.1)
+        assert config.num_workers < CrowdSpringConfig().num_workers
+        assert config.arrivals_per_month < CrowdSpringConfig().arrivals_per_month
+
+    def test_scaled_keeps_pool_meaningful(self):
+        """Task volume shrinks slower than arrivals so the pool stays non-trivial."""
+        config = CrowdSpringConfig().scaled(0.04)
+        assert config.tasks_per_month >= 8
+        assert config.tasks_per_month > CrowdSpringConfig().tasks_per_month * 0.04
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            CrowdSpringConfig().scaled(0.0)
+
+    def test_scaled_overrides_months(self):
+        config = CrowdSpringConfig().scaled(0.5, num_months=4)
+        assert config.num_months == 4
+
+
+class TestCrowdSpringGenerator:
+    def test_entities_are_consistent(self, small_dataset):
+        dataset = small_dataset
+        assert len(dataset.workers) == dataset.config.num_workers
+        for task in dataset.tasks.values():
+            assert 0 <= task.category < dataset.config.num_categories
+            assert 0 <= task.domain < dataset.config.num_domains
+            assert task.deadline > task.created_at
+            assert task.award > 0
+
+    def test_trace_contains_all_event_types(self, small_dataset):
+        trace = small_dataset.trace
+        assert len(trace.of_type(EventType.TASK_CREATED)) == len(small_dataset.tasks)
+        assert len(trace.of_type(EventType.TASK_EXPIRED)) == len(small_dataset.tasks)
+        assert len(trace.of_type(EventType.WORKER_ARRIVAL)) > 0
+
+    def test_arrival_volume_matches_config(self, small_dataset):
+        arrivals = small_dataset.trace.of_type(EventType.WORKER_ARRIVAL)
+        expected = small_dataset.config.arrivals_per_month * small_dataset.config.num_months
+        assert abs(len(arrivals) - expected) / expected < 0.2
+
+    def test_worker_preferences_are_distributions(self, small_dataset):
+        for worker in small_dataset.workers.values():
+            np.testing.assert_allclose(worker.category_preference.sum(), 1.0)
+            np.testing.assert_allclose(worker.domain_preference.sum(), 1.0)
+            assert 0.0 <= worker.quality <= 1.0
+            assert 0.0 <= worker.award_sensitivity <= 1.0
+
+    def test_bootstrap_completions_reference_real_tasks(self, small_dataset):
+        for worker_id, task_ids in small_dataset.bootstrap_completions.items():
+            assert worker_id in small_dataset.workers
+            assert all(task_id in small_dataset.tasks for task_id in task_ids)
+            assert len(task_ids) >= 1
+
+    def test_generation_is_deterministic_per_seed(self):
+        first = generate_crowdspring(scale=0.03, num_months=2, seed=5)
+        second = generate_crowdspring(scale=0.03, num_months=2, seed=5)
+        assert len(first.trace) == len(second.trace)
+        assert first.trace[0].timestamp == second.trace[0].timestamp
+        third = generate_crowdspring(scale=0.03, num_months=2, seed=6)
+        assert len(third.trace) != len(first.trace) or third.trace[0].timestamp != first.trace[0].timestamp
+
+    def test_fresh_entities_are_independent_copies(self, small_dataset):
+        tasks, workers = small_dataset.fresh_entities()
+        task_id = next(iter(tasks))
+        tasks[task_id].quality = 123.0
+        assert small_dataset.tasks[task_id].quality != 123.0
+        worker_id = next(iter(workers))
+        workers[worker_id].record_completion(0)
+        assert small_dataset.workers[worker_id].history == []
+
+
+class TestMonthlyStatistics:
+    def test_monthly_counts_have_expected_shape(self, small_dataset):
+        stats = compute_monthly_statistics(small_dataset)
+        assert stats.num_months >= small_dataset.config.num_months
+        assert all(count >= 0 for count in stats.new_tasks)
+        assert all(size >= 0 for size in stats.average_available_tasks)
+
+    def test_as_rows_round_trip(self, small_dataset):
+        stats = compute_monthly_statistics(small_dataset)
+        rows = stats.as_rows()
+        assert len(rows) == stats.num_months
+        assert rows[0]["new_tasks"] == stats.new_tasks[0]
+
+    def test_arrival_gap_statistics(self, small_dataset):
+        gaps = compute_arrival_gaps(small_dataset.trace)
+        arrivals = len(small_dataset.trace.of_type(EventType.WORKER_ARRIVAL))
+        assert len(gaps.any_worker_gaps) == arrivals - 1
+        assert (gaps.any_worker_gaps >= 0).all()
+        assert (gaps.same_worker_gaps >= 0).all()
+        assert 0.0 <= gaps.fraction_any_worker_below(60.0) <= 1.0
+
+    def test_histogram_output_shapes(self, small_dataset):
+        gaps = compute_arrival_gaps(small_dataset.trace)
+        centers, counts = gaps.any_worker_histogram(max_minutes=210, bin_width=10)
+        assert len(centers) == len(counts) == 21
+
+
+class TestSyntheticVariants:
+    def test_resample_density_changes_arrival_count(self, small_dataset):
+        doubled = resample_arrival_density(small_dataset, 2.0, seed=0)
+        halved = resample_arrival_density(small_dataset, 0.5, seed=0)
+        base = len(small_dataset.trace.of_type(EventType.WORKER_ARRIVAL))
+        assert len(doubled.trace.of_type(EventType.WORKER_ARRIVAL)) == 2 * base
+        assert len(halved.trace.of_type(EventType.WORKER_ARRIVAL)) == base // 2
+
+    def test_resample_keeps_task_events(self, small_dataset):
+        resampled = resample_arrival_density(small_dataset, 1.5, seed=0)
+        assert len(resampled.trace.of_type(EventType.TASK_CREATED)) == len(
+            small_dataset.trace.of_type(EventType.TASK_CREATED)
+        )
+
+    def test_resample_rejects_bad_rate(self, small_dataset):
+        with pytest.raises(ValueError):
+            resample_arrival_density(small_dataset, 0.0)
+
+    def test_quality_noise_shifts_mean(self, small_dataset):
+        noisy_down = add_worker_quality_noise(small_dataset, -0.4, seed=0)
+        noisy_up = add_worker_quality_noise(small_dataset, 0.2, seed=0)
+        base_mean = np.mean([w.quality for w in small_dataset.workers.values()])
+        down_mean = np.mean([w.quality for w in noisy_down.workers.values()])
+        up_mean = np.mean([w.quality for w in noisy_up.workers.values()])
+        assert down_mean < base_mean
+        assert up_mean >= base_mean - 0.05
+
+    def test_quality_noise_stays_in_unit_interval(self, small_dataset):
+        noisy = add_worker_quality_noise(small_dataset, -0.6, seed=0)
+        for worker in noisy.workers.values():
+            assert 0.0 <= worker.quality <= 1.0
+
+    def test_quality_noise_does_not_mutate_original(self, small_dataset):
+        before = [w.quality for w in small_dataset.workers.values()]
+        add_worker_quality_noise(small_dataset, 0.3, seed=0)
+        after = [w.quality for w in small_dataset.workers.values()]
+        assert before == after
+
+    def test_scalability_snapshot(self):
+        tasks, worker, schema = scalability_snapshot(100, seed=0)
+        assert len(tasks) == 100
+        assert len({task.task_id for task in tasks}) == 100
+        assert worker.category_preference.shape == (schema.num_categories,)
+
+    def test_scalability_snapshot_rejects_zero(self):
+        with pytest.raises(ValueError):
+            scalability_snapshot(0)

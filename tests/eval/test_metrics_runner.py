@@ -1,0 +1,212 @@
+"""Tests for evaluation metrics, reporting and the simulation runner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GreedyCosinePolicy, RandomPolicy
+from repro.datasets import generate_crowdspring
+from repro.eval import (
+    RequesterBenefitTracker,
+    RunnerConfig,
+    SimulationRunner,
+    WorkerBenefitTracker,
+    evaluate_policy,
+    format_final_table,
+    format_monthly_series,
+    format_series_comparison,
+    format_table,
+    rank_discount,
+)
+
+
+class TestRankDiscount:
+    def test_rank_one_has_no_discount(self):
+        assert rank_discount(1) == pytest.approx(1.0)
+
+    def test_discount_decreases_with_rank(self):
+        values = [rank_discount(r) for r in range(1, 10)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            rank_discount(0)
+
+
+class TestWorkerBenefitTracker:
+    def test_cr_counts_only_top_rank_completions(self):
+        tracker = WorkerBenefitTracker(k=3)
+        tracker.record(0, completed_rank=0)
+        tracker.record(0, completed_rank=2)
+        tracker.record(0, completed_rank=None)
+        assert tracker.completion_rate().final == pytest.approx(1.0 / 3.0)
+
+    def test_kcr_discounts_and_cuts_at_k(self):
+        tracker = WorkerBenefitTracker(k=2)
+        tracker.record(0, completed_rank=1)   # rank 2 -> 1/log2(3)
+        tracker.record(0, completed_rank=4)   # beyond k -> 0
+        expected = (1.0 / np.log2(3.0)) / 2.0
+        assert tracker.top_k_completion_rate().final == pytest.approx(expected)
+
+    def test_ndcg_counts_any_rank(self):
+        tracker = WorkerBenefitTracker(k=1)
+        tracker.record(0, completed_rank=4)
+        assert tracker.ndcg_completion_rate().final == pytest.approx(1.0 / np.log2(6.0))
+
+    def test_monthly_series_is_cumulative(self):
+        tracker = WorkerBenefitTracker()
+        tracker.record(0, completed_rank=0)
+        tracker.record(0, completed_rank=None)
+        tracker.record(1, completed_rank=0)
+        series = tracker.completion_rate()
+        assert series.monthly[0] == pytest.approx(0.5)
+        assert series.monthly[1] == pytest.approx(2.0 / 3.0)
+        assert series.final == pytest.approx(2.0 / 3.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            WorkerBenefitTracker(k=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ranks=st.lists(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=20)), min_size=1, max_size=50
+        )
+    )
+    def test_metric_ordering_invariant(self, ranks):
+        """For any outcome sequence: CR <= kCR <= nDCG-CR <= 1."""
+        tracker = WorkerBenefitTracker(k=5)
+        for rank in ranks:
+            tracker.record(0, completed_rank=rank)
+        cr = tracker.completion_rate().final
+        kcr = tracker.top_k_completion_rate().final
+        ndcg = tracker.ndcg_completion_rate().final
+        assert cr <= kcr + 1e-12
+        assert kcr <= ndcg + 1e-12
+        assert ndcg <= 1.0 + 1e-12
+
+
+class TestRequesterBenefitTracker:
+    def test_qg_accumulates_top_rank_gains(self):
+        tracker = RequesterBenefitTracker(k=3)
+        tracker.record(0, completed_rank=0, quality_gain=0.5)
+        tracker.record(0, completed_rank=1, quality_gain=0.4)
+        tracker.record(0, completed_rank=None, quality_gain=0.0)
+        assert tracker.quality_gain().final == pytest.approx(0.5)
+
+    def test_ndcg_qg_discounts_by_rank(self):
+        tracker = RequesterBenefitTracker(k=5)
+        tracker.record(0, completed_rank=1, quality_gain=1.0)
+        assert tracker.ndcg_quality_gain().final == pytest.approx(1.0 / np.log2(3.0))
+
+    def test_monthly_values_are_per_month_not_cumulative(self):
+        tracker = RequesterBenefitTracker()
+        tracker.record(0, completed_rank=0, quality_gain=1.0)
+        tracker.record(1, completed_rank=0, quality_gain=2.0)
+        series = tracker.quality_gain()
+        assert series.monthly == [1.0, 2.0]
+        assert series.final == pytest.approx(3.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        outcomes=st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_qg_bounded_by_ndcg_qg_bound(self, outcomes):
+        """kQG and nDCG-QG never exceed the undiscounted total gain."""
+        tracker = RequesterBenefitTracker(k=5)
+        total_gain = 0.0
+        for rank, gain in outcomes:
+            tracker.record(0, completed_rank=rank, quality_gain=gain if rank is not None else 0.0)
+            if rank is not None:
+                total_gain += gain
+        assert tracker.ndcg_quality_gain().final <= total_gain + 1e-9
+        assert tracker.top_k_quality_gain().final <= tracker.ndcg_quality_gain().final + 1e-9
+
+
+class TestReporting:
+    def test_format_table_alignment_and_content(self):
+        table = format_table([{"policy": "DDQN", "CR": 0.4381}, {"policy": "Random", "CR": 0.154}])
+        assert "DDQN" in table and "Random" in table
+        assert "0.438" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_monthly_series(self):
+        from repro.eval.metrics import MetricSeries
+
+        text = format_monthly_series(
+            {"DDQN": MetricSeries([0.1, 0.2], 0.2), "Random": MetricSeries([0.05, 0.1], 0.1)},
+            metric_name="CR",
+        )
+        assert "M1" in text and "M2" in text and "final CR" in text
+
+    def test_format_series_comparison(self):
+        text = format_series_comparison(
+            [0.5, 1.0], {"DDQN": [0.3, 0.4], "LinUCB": [0.25, 0.35]}, x_label="rate"
+        )
+        assert "rate=0.5" in text and "LinUCB" in text
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return generate_crowdspring(scale=0.03, num_months=2, seed=21)
+
+
+class TestSimulationRunner:
+    def test_runner_config_validation(self):
+        with pytest.raises(ValueError):
+            RunnerConfig(mode="bogus")
+        with pytest.raises(ValueError):
+            RunnerConfig(k=0)
+
+    def test_run_produces_complete_result(self, tiny_dataset):
+        config = RunnerConfig(seed=0, max_arrivals=60)
+        result = evaluate_policy(tiny_dataset, RandomPolicy(seed=0), config)
+        assert result.policy_name == "Random"
+        assert 0 < result.arrivals <= 60
+        assert 0.0 <= result.cr.final <= 1.0
+        assert result.kcr.final <= result.ndcg_cr.final + 1e-12
+        assert result.qg.final >= 0.0
+        assert result.mean_decision_seconds >= 0.0
+        summary = result.summary_row()
+        assert set(summary) >= {"policy", "CR", "kCR", "nDCG-CR", "QG", "kQG", "nDCG-QG"}
+
+    def test_single_mode_presents_only_top_task(self, tiny_dataset):
+        config = RunnerConfig(mode="single", seed=0, max_arrivals=40)
+        result = evaluate_policy(tiny_dataset, RandomPolicy(seed=0), config)
+        # In single mode a completion can only happen at rank 0, so CR == kCR == nDCG.
+        assert result.cr.final == pytest.approx(result.kcr.final)
+        assert result.cr.final == pytest.approx(result.ndcg_cr.final)
+
+    def test_topk_mode_limits_presented_list(self, tiny_dataset):
+        config = RunnerConfig(mode="topk", k=2, seed=0, max_arrivals=40)
+        result = evaluate_policy(tiny_dataset, RandomPolicy(seed=0), config)
+        assert result.kcr.final == pytest.approx(result.ndcg_cr.final)
+
+    def test_same_seed_same_policy_is_deterministic(self, tiny_dataset):
+        config = RunnerConfig(seed=4, max_arrivals=50)
+        first = evaluate_policy(tiny_dataset, RandomPolicy(seed=1), config)
+        second = evaluate_policy(tiny_dataset, RandomPolicy(seed=1), config)
+        assert first.cr.final == pytest.approx(second.cr.final)
+        assert first.qg.final == pytest.approx(second.qg.final)
+
+    def test_informed_policy_beats_random_on_ndcg(self, tiny_dataset):
+        """Sanity check of the whole pipeline: cosine ranking > random ranking."""
+        config = RunnerConfig(seed=0, max_arrivals=150)
+        random_result = evaluate_policy(tiny_dataset, RandomPolicy(seed=0), config)
+        cosine_result = evaluate_policy(tiny_dataset, GreedyCosinePolicy(), config)
+        assert cosine_result.ndcg_cr.final >= random_result.ndcg_cr.final
+
+    def test_max_arrivals_is_respected(self, tiny_dataset):
+        config = RunnerConfig(seed=0, max_arrivals=10)
+        result = evaluate_policy(tiny_dataset, RandomPolicy(seed=0), config)
+        assert result.arrivals <= 10

@@ -1,0 +1,218 @@
+"""Unit and property-based tests for nn layers, including permutation invariance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadSelfAttention,
+    Parameter,
+    ReLU,
+    RowwiseFeedForward,
+    Sequential,
+    Tensor,
+    build_mlp,
+    scaled_dot_product_attention,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModuleInfrastructure:
+    def test_parameters_are_registered(self):
+        layer = Linear(3, 2, rng=rng())
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_module_parameters(self):
+        model = Sequential(Linear(3, 4, rng=rng()), ReLU(), Linear(4, 2, rng=rng()))
+        assert len(list(model.parameters())) == 4
+
+    def test_state_dict_round_trip(self):
+        model = Sequential(Linear(3, 4, rng=rng()), Linear(4, 2, rng=rng()))
+        state = model.state_dict()
+        clone = Sequential(Linear(3, 4, rng=np.random.default_rng(9)), Linear(4, 2, rng=np.random.default_rng(8)))
+        clone.load_state_dict(state)
+        x = Tensor(rng().normal(size=(5, 3)))
+        np.testing.assert_allclose(model(x).numpy(), clone(x).numpy())
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        model = Linear(3, 2, rng=rng())
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.zeros((3, 2))})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = Linear(3, 2, rng=rng())
+        state = model.state_dict()
+        state["weight"] = np.zeros((2, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_copy_from_hard(self):
+        source = Linear(3, 2, rng=rng())
+        target = Linear(3, 2, rng=np.random.default_rng(5))
+        target.copy_from(source, tau=1.0)
+        np.testing.assert_allclose(target.weight.data, source.weight.data)
+
+    def test_copy_from_soft(self):
+        source = Linear(2, 2, rng=rng())
+        target = Linear(2, 2, rng=np.random.default_rng(5))
+        original = target.weight.data.copy()
+        target.copy_from(source, tau=0.5)
+        np.testing.assert_allclose(
+            target.weight.data, 0.5 * original + 0.5 * source.weight.data
+        )
+
+    def test_zero_grad_clears_all(self):
+        model = Linear(3, 2, rng=rng())
+        out = model(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2, rng=rng()), ReLU())
+        model.eval()
+        assert all(not m.training for m in model)
+        model.train()
+        assert all(m.training for m in model)
+
+
+class TestLinearAndFeedForward:
+    def test_linear_forward_matches_manual(self):
+        layer = Linear(3, 2, rng=rng())
+        x = rng().normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_linear_without_bias(self):
+        layer = Linear(3, 2, bias=False, rng=rng())
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_rowwise_ff_applies_relu(self):
+        layer = RowwiseFeedForward(3, 2, rng=rng())
+        out = layer(Tensor(rng().normal(size=(6, 3))))
+        assert (out.numpy() >= 0).all()
+
+    def test_rowwise_ff_no_activation_can_be_negative(self):
+        layer = RowwiseFeedForward(3, 2, activation=False, rng=rng())
+        out = layer(Tensor(rng().normal(size=(200, 3))))
+        assert (out.numpy() < 0).any()
+
+    def test_rowwise_ff_rows_are_independent(self):
+        layer = RowwiseFeedForward(3, 4, rng=rng())
+        x = rng().normal(size=(5, 3))
+        full = layer(Tensor(x)).numpy()
+        single = layer(Tensor(x[2:3])).numpy()
+        np.testing.assert_allclose(full[2:3], single)
+
+    def test_build_mlp_shapes(self):
+        model = build_mlp([5, 8, 3], rng=rng())
+        out = model(Tensor(np.zeros((2, 5))))
+        assert out.shape == (2, 3)
+
+
+class TestAttention:
+    def test_attention_output_shape(self):
+        layer = MultiHeadSelfAttention(8, num_heads=2, rng=rng())
+        out = layer(Tensor(rng().normal(size=(5, 8))))
+        assert out.shape == (5, 8)
+
+    def test_embed_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, num_heads=3, rng=rng())
+
+    def test_scaled_dot_product_attention_uniform_when_identical(self):
+        values = np.eye(3)
+        out = scaled_dot_product_attention(
+            Tensor(np.ones((3, 4))), Tensor(np.ones((3, 4))), Tensor(values)
+        )
+        np.testing.assert_allclose(out.numpy(), np.full((3, 3), 1.0 / 3.0), atol=1e-12)
+
+    def test_mask_excludes_padded_keys(self):
+        q = rng().normal(size=(4, 6))
+        layer_input = Tensor(q)
+        mask = np.array([False, False, True, True])
+        out_masked = scaled_dot_product_attention(layer_input, layer_input, layer_input, mask=mask)
+        # Real rows must not depend on the padded rows' content.
+        q2 = q.copy()
+        q2[2:] = 123.0
+        out_masked_2 = scaled_dot_product_attention(Tensor(q2), Tensor(q2), Tensor(q2), mask=mask)
+        np.testing.assert_allclose(out_masked.numpy()[:2], out_masked_2.numpy()[:2], atol=1e-9)
+
+    def test_gradients_flow_through_all_projections(self):
+        layer = MultiHeadSelfAttention(8, num_heads=4, rng=rng())
+        out = layer(Tensor(rng().normal(size=(3, 8))))
+        (out * out).mean().backward()
+        for name, param in layer.named_parameters():
+            assert param.grad is not None, f"no gradient for {name}"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_attention_is_permutation_invariant(self, rows, seed):
+        """Permuting the input rows permutes the output rows identically (Proof 2)."""
+        generator = np.random.default_rng(seed)
+        layer = MultiHeadSelfAttention(8, num_heads=2, rng=np.random.default_rng(0))
+        x = generator.normal(size=(rows, 8))
+        permutation = generator.permutation(rows)
+        out = layer(Tensor(x)).numpy()
+        out_permuted = layer(Tensor(x[permutation])).numpy()
+        np.testing.assert_allclose(out[permutation], out_permuted, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_rowwise_ff_is_permutation_invariant(self, rows, seed):
+        """Row-wise feed-forward layers commute with row permutations (Proof 1)."""
+        generator = np.random.default_rng(seed)
+        layer = RowwiseFeedForward(5, 7, rng=np.random.default_rng(0))
+        x = generator.normal(size=(rows, 5))
+        permutation = generator.permutation(rows)
+        out = layer(Tensor(x)).numpy()
+        out_permuted = layer(Tensor(x[permutation])).numpy()
+        np.testing.assert_allclose(out[permutation], out_permuted, atol=1e-12)
+
+
+class TestLayerNorm:
+    def test_normalises_last_dimension(self):
+        layer = LayerNorm(6)
+        out = layer(Tensor(rng().normal(size=(4, 6)) * 10 + 3)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_learnable_parameters_exist(self):
+        layer = LayerNorm(6)
+        assert {name for name, _ in layer.named_parameters()} == {"gamma", "beta"}
+
+
+class TestParameter:
+    def test_parameter_requires_grad(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+    def test_custom_module_registration(self):
+        class Custom(Module):
+            def __init__(self):
+                super().__init__()
+                self.p = Parameter(np.zeros(2))
+                self.child = Linear(2, 2, rng=rng())
+
+            def forward(self, x):
+                return self.child(x) + self.p
+
+        module = Custom()
+        names = {name for name, _ in module.named_parameters()}
+        assert names == {"p", "child.weight", "child.bias"}

@@ -1,0 +1,179 @@
+"""Tests for optimisers, losses and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Linear,
+    Sequential,
+    Tensor,
+    build_mlp,
+    clip_grad_norm,
+    huber_loss,
+    load_module,
+    load_state_dict,
+    mse_loss,
+    save_module,
+    save_state_dict,
+    weighted_mse_loss,
+)
+from repro.nn.layers import Parameter
+
+
+def quadratic_parameters():
+    return [Parameter(np.array([5.0, -3.0]))]
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        params = quadratic_parameters()
+        optimizer = SGD(params, lr=0.1)
+        for _ in range(200):
+            loss = (params[0] * params[0]).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(params[0].data, [0.0, 0.0], atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        plain = quadratic_parameters()
+        momentum = quadratic_parameters()
+        sgd = SGD(plain, lr=0.01)
+        sgd_momentum = SGD(momentum, lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for params, opt in ((plain, sgd), (momentum, sgd_momentum)):
+                loss = (params[0] * params[0]).sum()
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        assert np.abs(momentum[0].data).sum() < np.abs(plain[0].data).sum()
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(quadratic_parameters(), lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(quadratic_parameters(), lr=0.1, momentum=1.5)
+
+    def test_rejects_empty_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_parameters_without_gradients(self):
+        params = quadratic_parameters()
+        optimizer = SGD(params, lr=0.1)
+        before = params[0].data.copy()
+        optimizer.step()
+        np.testing.assert_allclose(params[0].data, before)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        params = quadratic_parameters()
+        optimizer = Adam(params, lr=0.1)
+        for _ in range(300):
+            loss = (params[0] * params[0]).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(params[0].data, [0.0, 0.0], atol=1e-3)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam(quadratic_parameters(), lr=0.1, betas=(1.0, 0.999))
+
+    def test_weight_decay_shrinks_weights(self):
+        params = [Parameter(np.array([1.0]))]
+        optimizer = Adam(params, lr=0.01, weight_decay=0.5)
+        for _ in range(100):
+            loss = (params[0] * 0.0).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert abs(params[0].data[0]) < 1.0
+
+    def test_trains_regression_model(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        true_w = np.array([[1.0], [-2.0], [0.5]])
+        y = x @ true_w
+        model = build_mlp([3, 16, 1], rng=rng)
+        optimizer = Adam(list(model.parameters()), lr=0.01)
+        first_loss = None
+        for _ in range(200):
+            loss = mse_loss(model(Tensor(x)), Tensor(y))
+            if first_loss is None:
+                first_loss = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.1
+
+
+class TestGradientClipping:
+    def test_clips_large_gradients(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 100.0)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(200.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_leaves_small_gradients_untouched(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 0.1)
+        clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, np.full(4, 0.1))
+
+    def test_handles_missing_gradients(self):
+        assert clip_grad_norm([Parameter(np.zeros(2))], max_norm=1.0) == 0.0
+
+
+class TestLosses:
+    def test_mse_loss_value(self):
+        loss = mse_loss(Tensor([1.0, 2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_weighted_mse_loss(self):
+        loss = weighted_mse_loss(Tensor([1.0, 2.0]), Tensor([0.0, 0.0]), np.array([1.0, 0.0]))
+        assert loss.item() == pytest.approx(0.5)
+
+    def test_huber_matches_mse_for_small_errors(self):
+        prediction = Tensor([0.1, -0.2])
+        target = Tensor([0.0, 0.0])
+        huber = huber_loss(prediction, target, delta=1.0)
+        half_mse = mse_loss(prediction, target).item() / 2.0
+        assert huber.item() == pytest.approx(half_mse, rel=1e-6)
+
+    def test_huber_is_linear_for_large_errors(self):
+        loss = huber_loss(Tensor([10.0]), Tensor([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(9.5)
+
+    def test_loss_gradients_do_not_reach_targets(self):
+        target = Tensor([1.0], requires_grad=True)
+        prediction = Tensor([2.0], requires_grad=True)
+        mse_loss(prediction, target).backward()
+        assert prediction.grad is not None
+        assert target.grad is None
+
+
+class TestSerialization:
+    def test_state_dict_round_trip_through_disk(self, tmp_path):
+        model = Sequential(Linear(3, 4, rng=np.random.default_rng(0)), Linear(4, 2, rng=np.random.default_rng(1)))
+        path = save_module(model, tmp_path / "model.npz")
+        clone = Sequential(Linear(3, 4, rng=np.random.default_rng(7)), Linear(4, 2, rng=np.random.default_rng(8)))
+        load_module(clone, path)
+        x = Tensor(np.random.default_rng(2).normal(size=(5, 3)))
+        np.testing.assert_allclose(model(x).numpy(), clone(x).numpy())
+
+    def test_appends_npz_suffix(self, tmp_path):
+        path = save_state_dict({"w": np.ones(3)}, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        loaded = load_state_dict(path)
+        np.testing.assert_allclose(loaded["w"], np.ones(3))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state_dict(tmp_path / "nope.npz")
