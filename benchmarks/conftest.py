@@ -20,6 +20,14 @@ from repro.eval.experiments import ExperimentScale, make_dataset
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: tiny-shape smoke run of the perf microbenchmark harness "
+        "(benchmarks/perf/bench_engine.py)",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
     """The CI-scale configuration used by the method-comparison benchmarks."""

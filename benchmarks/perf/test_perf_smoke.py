@@ -1,0 +1,30 @@
+"""Smoke test for the perf harness: tiny shapes, runs in seconds.
+
+The full harness (``python -m benchmarks.perf.bench_engine``) is the
+reproducible perf-regression command; this test only checks that the quick
+configuration runs end-to-end and produces a well-formed report, so tier-1
+stays fast.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.perf.bench_engine import main
+
+EXPECTED_OPS = {"forward", "train_step", "replay_update", "replay_sample"}
+
+
+@pytest.mark.perf_smoke
+def test_quick_bench_runs_and_writes_report(tmp_path):
+    output = tmp_path / "BENCH_engine.json"
+    report = main(["--quick", "--output", str(output)])
+
+    assert output.exists()
+    on_disk = json.loads(output.read_text())
+    assert on_disk["mode"] == "quick"
+    assert set(on_disk["results"]) == EXPECTED_OPS
+    for entry in report["results"].values():
+        assert entry["before_s"] > 0
+        assert entry["after_s"] > 0
+        assert entry["speedup"] > 0

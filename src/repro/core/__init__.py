@@ -7,7 +7,7 @@ from .framework import FrameworkConfig, TaskArrangementFramework
 from .interfaces import ArrangementPolicy
 from .learner import DoubleDQNLearner, TrainStepReport
 from .predictor import FutureStatePredictorR, FutureStatePredictorW, expiry_branches
-from .qnetwork import SetQNetwork
+from .qnetwork import SetQNetwork, pad_state_batch
 from .replay import PrioritizedReplayMemory, ReplayMemory, SumTree, Transition
 from .state import StateMatrix, StateTransformer
 
@@ -16,6 +16,7 @@ __all__ = [
     "StateMatrix",
     "StateTransformer",
     "SetQNetwork",
+    "pad_state_batch",
     "ReplayMemory",
     "PrioritizedReplayMemory",
     "SumTree",

@@ -17,6 +17,7 @@ parameter copy every ``target_sync_interval`` updates (the paper copies
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,6 +42,12 @@ class TrainStepReport:
 class DoubleDQNLearner:
     """Optimises a :class:`SetQNetwork` from a replay memory."""
 
+    # Source of globally unique target-cache tokens: transitions may be
+    # shared between learner instances (or a learner may be rebuilt over a
+    # persisted memory), so a plain per-learner counter could collide and
+    # serve another learner's cached target values.
+    _cache_tokens = itertools.count(1)
+
     def __init__(
         self,
         network: SetQNetwork,
@@ -64,22 +71,91 @@ class DoubleDQNLearner:
         self.grad_clip = grad_clip
         self.optimizer = Adam(list(network.parameters()), lr=learning_rate)
         self.updates = 0
+        # Refreshed on every hard target sync; invalidates the per-transition
+        # target-network caches (see Transition.target_cache).
+        self._target_version = next(DoubleDQNLearner._cache_tokens)
 
     # ------------------------------------------------------------------ #
+    @no_grad()
     def td_target(self, transition: Transition) -> float:
         """Compute the revised Bellman target for one transition (no grad)."""
         if not transition.future_states:
             return float(transition.reward)
         expected_future = 0.0
-        with no_grad():
-            for probability, future_state in transition.future_states:
+        for probability, future_state in transition.future_states:
+            if future_state.num_tasks == 0:
+                continue
+            online_values = self.online.q_values(future_state)
+            best_action = int(np.argmax(online_values))
+            target_values = self.target.q_values(future_state)
+            expected_future += probability * float(target_values[best_action])
+        return float(transition.reward) + self.gamma * expected_future
+
+    @no_grad()
+    def td_targets_batch(self, transitions: list[Transition]) -> np.ndarray:
+        """Revised Bellman targets for a whole batch in two batched forwards.
+
+        Every non-empty future-state branch of every transition is flattened
+        into one padded mega-batch; a single batched *online* forward selects
+        the best future action per branch and the *target* network evaluates
+        it (double Q-learning), instead of two forwards per branch.  Target
+        Q-vectors are additionally memoised on the transition (the target
+        network is frozen between hard syncs and ``future_states`` is
+        immutable), so in steady state only branches that have never been
+        seen since the last sync cost a target forward.  Matches
+        :meth:`td_target` to float tolerance.
+        """
+        rewards = np.array([t.reward for t in transitions], dtype=np.float64)
+        branch_states = []
+        branch_owner: list[int] = []
+        branch_prob: list[float] = []
+        branch_source: list[tuple[Transition, int]] = []
+        for i, transition in enumerate(transitions):
+            for slot, (probability, future_state) in enumerate(transition.future_states):
                 if future_state.num_tasks == 0:
                     continue
-                online_values = self.online.q_values(future_state)
-                best_action = int(np.argmax(online_values))
-                target_values = self.target.q_values(future_state)
-                expected_future += probability * float(target_values[best_action])
-        return float(transition.reward) + self.gamma * expected_future
+                branch_states.append(future_state)
+                branch_owner.append(i)
+                branch_prob.append(probability)
+                branch_source.append((transition, slot))
+        if not branch_states:
+            return rewards
+
+        total = len(branch_states)
+        version = self._target_version
+        uncached = [
+            j
+            for j, (transition, _) in enumerate(branch_source)
+            if transition.target_cache_version != version
+        ]
+        if uncached:
+            fresh = self.target.forward_batch([branch_states[j] for j in uncached]).numpy()
+            for row, j in enumerate(uncached):
+                transition, slot = branch_source[j]
+                if transition.target_cache_version != version:
+                    transition.target_cache = [None] * len(transition.future_states)
+                    transition.target_cache_version = version
+                transition.target_cache[slot] = fresh[row, : branch_states[j].num_tasks].copy()
+
+        online_values = self.online.forward_batch(branch_states).numpy()
+
+        # Restrict the argmax to each branch's real tasks (rows beyond
+        # num_tasks are padding added by the batching).
+        counts = np.array([state.num_tasks for state in branch_states])
+        columns = np.arange(online_values.shape[1])
+        padded = columns[np.newaxis, :] >= counts[:, np.newaxis]
+        best_actions = np.argmax(np.where(padded, -np.inf, online_values), axis=1)
+        branch_values = np.empty(total, dtype=np.float64)
+        for j, (transition, slot) in enumerate(branch_source):
+            branch_values[j] = transition.target_cache[slot][best_actions[j]]
+
+        expected_future = np.zeros(len(transitions), dtype=np.float64)
+        np.add.at(
+            expected_future,
+            np.asarray(branch_owner),
+            np.asarray(branch_prob) * branch_values,
+        )
+        return rewards + self.gamma * expected_future
 
     def td_error(self, transition: Transition) -> float:
         """Signed TD error of ``transition`` under the current networks."""
@@ -93,7 +169,39 @@ class DoubleDQNLearner:
     ) -> TrainStepReport | None:
         """Sample a batch, perform one gradient step, refresh priorities.
 
+        This is the batched engine: all TD targets come from two batched
+        forwards (:meth:`td_targets_batch`) and all predictions plus the
+        weighted loss form **one** autograd graph over a padded
+        ``(B, rows, dim)`` mega-batch, instead of ``O(batch_size)`` separate
+        graphs.  Numerically it matches :meth:`train_step_unbatched` (same
+        RNG draws, same targets to float tolerance).
+
         Returns ``None`` when the memory is still empty.
+        """
+        if len(memory) == 0:
+            return None
+        transitions, indices, weights = memory.sample(self.batch_size)
+
+        targets = self.td_targets_batch(transitions)
+
+        values = self.online.forward_batch([t.state for t in transitions])
+        actions = np.array([t.action_index for t in transitions], dtype=np.int64)
+        stacked = values[np.arange(len(transitions)), actions]
+
+        weight_tensor = Tensor(np.asarray(weights, dtype=np.float64))
+        diff = stacked - Tensor(targets)
+        loss = (weight_tensor * diff * diff).mean()
+
+        return self._apply_update(memory, loss, targets, stacked.numpy(), indices, len(transitions))
+
+    def train_step_unbatched(
+        self, memory: ReplayMemory | PrioritizedReplayMemory
+    ) -> TrainStepReport | None:
+        """Reference per-sample implementation of :meth:`train_step`.
+
+        Kept for the equivalence tests and the perf benchmark: it builds one
+        autograd graph per sampled transition and two forwards per future
+        branch, exactly like the original learner.
         """
         if len(memory) == 0:
             return None
@@ -113,12 +221,24 @@ class DoubleDQNLearner:
         diff = stacked - Tensor(targets)
         loss = (weight_tensor * diff * diff).mean()
 
+        return self._apply_update(memory, loss, targets, stacked.numpy(), indices, len(transitions))
+
+    def _apply_update(
+        self,
+        memory: ReplayMemory | PrioritizedReplayMemory,
+        loss: Tensor,
+        targets: np.ndarray,
+        predictions: np.ndarray,
+        indices: np.ndarray,
+        batch_size: int,
+    ) -> TrainStepReport:
+        """Backprop ``loss``, clip, step, refresh priorities and sync targets."""
         self.optimizer.zero_grad()
         loss.backward()
         gradient_norm = clip_grad_norm(self.optimizer.parameters, self.grad_clip)
         self.optimizer.step()
 
-        td_errors = targets - stacked.numpy()
+        td_errors = targets - predictions
         memory.update_priorities(indices, np.abs(td_errors))
 
         self.updates += 1
@@ -128,10 +248,12 @@ class DoubleDQNLearner:
         return TrainStepReport(
             loss=float(loss.item()),
             mean_abs_td_error=float(np.mean(np.abs(td_errors))),
-            batch_size=len(transitions),
+            batch_size=batch_size,
             gradient_norm=gradient_norm,
         )
 
     def sync_target(self) -> None:
         """Hard-copy online parameters into the target network (θ̃ ← θ)."""
         self.target.load_state_dict(self.online.state_dict())
+        # Invalidate every per-transition target cache (lazily, by token).
+        self._target_version = next(DoubleDQNLearner._cache_tokens)

@@ -19,6 +19,8 @@ are masked out of the attention softmax so they cannot influence real tasks.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..nn import (
@@ -30,7 +32,33 @@ from ..nn import (
 )
 from .state import StateMatrix
 
-__all__ = ["SetQNetwork"]
+__all__ = ["SetQNetwork", "pad_state_batch"]
+
+
+def pad_state_batch(states: Sequence[StateMatrix]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack a list of :class:`StateMatrix` into one padded ``(B, rows, dim)`` batch.
+
+    States are zero-padded to the largest row count in the batch (at least 1,
+    so that the attention softmax always has a key axis to normalise over);
+    the returned boolean mask of shape ``(B, rows)`` marks padding rows —
+    both rows added here and rows that were already padding inside a state.
+    """
+    if not states:
+        raise ValueError("pad_state_batch requires at least one state")
+    rows = max(1, max(state.matrix.shape[0] for state in states))
+    row_dim = states[0].matrix.shape[1]
+    batch = np.zeros((len(states), rows, row_dim), dtype=np.float64)
+    mask = np.ones((len(states), rows), dtype=bool)
+    for i, state in enumerate(states):
+        count = state.matrix.shape[0]
+        if state.matrix.shape[1] != row_dim:
+            raise ValueError(
+                f"state {i} has row dim {state.matrix.shape[1]}, expected {row_dim}"
+            )
+        if count:
+            batch[i, :count] = state.matrix
+            mask[i, :count] = state.mask
+    return batch, mask
 
 
 class SetQNetwork(Module):
@@ -72,7 +100,13 @@ class SetQNetwork(Module):
 
     # ------------------------------------------------------------------ #
     def forward(self, state: Tensor | np.ndarray, mask: np.ndarray | None = None) -> Tensor:
-        """Return a tensor of shape ``(rows,)`` with one Q value per row."""
+        """Return one Q value per row.
+
+        ``state`` is a single state matrix ``(rows, input_dim)`` (returning a
+        ``(rows,)`` tensor) or a padded batch ``(batch, rows, input_dim)``
+        (returning ``(batch, rows)``); ``mask`` has the matching leading
+        shape and marks padding rows.
+        """
         x = state if isinstance(state, Tensor) else Tensor(state)
         hidden = self.embed_1(x)
         hidden = self.embed_2(hidden)
@@ -81,16 +115,36 @@ class SetQNetwork(Module):
         hidden = self.post_attention(attended + hidden)
         hidden = self.attention_2(hidden, mask=mask) + hidden
         values = self.value_head(hidden)
-        return values.reshape(values.shape[0])
+        return values.reshape(values.shape[:-1])
+
+    def forward_batch(self, states: Sequence[StateMatrix]) -> Tensor:
+        """One forward pass for a whole list of states.
+
+        States are padded to a common row count (see :func:`pad_state_batch`)
+        and pushed through the network as a single ``(B, rows, input_dim)``
+        batch, so the entire batch costs a handful of BLAS calls instead of
+        ``B`` separate graphs.  Returns a ``(B, rows)`` tensor; only entries
+        ``[i, : states[i].num_tasks]`` are meaningful.
+        """
+        batch, mask = pad_state_batch(states)
+        return self.forward(Tensor(batch), mask=mask)
 
     # ------------------------------------------------------------------ #
+    @no_grad()
     def q_values(self, state: StateMatrix) -> np.ndarray:
         """Inference helper: Q values for the *real* tasks of ``state`` (no grad)."""
         if state.num_tasks == 0:
             return np.zeros(0, dtype=np.float64)
-        with no_grad():
-            values = self.forward(Tensor(state.matrix), mask=state.mask)
+        values = self.forward(Tensor(state.matrix), mask=state.mask)
         return values.numpy()[: state.num_tasks].copy()
+
+    @no_grad()
+    def q_values_batch(self, states: Sequence[StateMatrix]) -> list[np.ndarray]:
+        """Batched inference helper: per-state Q value arrays for the real tasks."""
+        if not states:
+            return []
+        values = self.forward_batch(states).numpy()
+        return [values[i, : state.num_tasks].copy() for i, state in enumerate(states)]
 
     def max_q(self, state: StateMatrix) -> float:
         """``max_a Q(s, a)`` over the real tasks (0 when the pool is empty)."""

@@ -35,6 +35,15 @@ class Transition:
     reward: float
     future_states: list[tuple[float, StateMatrix]] = field(default_factory=list)
     timestamp: float = 0.0
+    # Per-branch target-network Q-vector cache, maintained by
+    # :class:`repro.core.learner.DoubleDQNLearner`.  The target network is
+    # frozen between hard syncs, and ``future_states`` never changes once the
+    # transition is stored, so the target Q values of each branch can be
+    # computed once per sync epoch and reused on every resample.  The cache
+    # is evicted together with the transition when the ring buffer overwrites
+    # it.
+    target_cache_version: int = field(default=-1, repr=False, compare=False)
+    target_cache: list = field(default_factory=list, repr=False, compare=False)
 
 
 class ReplayMemory:
@@ -114,8 +123,43 @@ class SumTree:
             self._tree[node] += delta
             node //= 2
 
+    def update_batch(self, indices: np.ndarray, priorities: np.ndarray) -> None:
+        """Set many leaf priorities at once.
+
+        Leaves are written directly and the ancestor sums are rebuilt with
+        one vectorized level-by-level propagation (each parent is recomputed
+        as the sum of its two children), so a batch of ``k`` updates costs
+        ``O(log n)`` numpy calls instead of ``k`` Python tree walks.
+        Duplicate indices behave like sequential scalar updates: the last
+        value wins.
+        """
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        priorities = np.asarray(priorities, dtype=np.float64).reshape(-1)
+        if indices.shape != priorities.shape:
+            raise ValueError("indices and priorities must have matching lengths")
+        if indices.size == 0:
+            return
+        if indices.min() < 0 or indices.max() >= self.capacity:
+            raise IndexError(f"leaf indices out of range [0, {self.capacity})")
+        if priorities.min() < 0:
+            raise ValueError("priorities must be non-negative")
+        # Keep only the last occurrence of each index (last write wins):
+        # first occurrence in the reversed array = last occurrence overall.
+        reversed_first = np.unique(indices[::-1], return_index=True)[1]
+        keep = indices.size - 1 - reversed_first
+        nodes = indices[keep] + self._leaf_count
+        self._tree[nodes] = priorities[keep]
+        parents = np.unique(nodes // 2)
+        while parents.size and parents[0] >= 1:
+            self._tree[parents] = self._tree[2 * parents] + self._tree[2 * parents + 1]
+            parents = np.unique(parents // 2)
+
     def get(self, index: int) -> float:
         return float(self._tree[index + self._leaf_count])
+
+    def get_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`get` for an array of leaf indices."""
+        return self._tree[np.asarray(indices, dtype=np.int64) + self._leaf_count]
 
     def find(self, value: float) -> int:
         """Return the leaf index whose cumulative priority range contains ``value``."""
@@ -128,6 +172,24 @@ class SumTree:
                 value -= self._tree[left]
                 node = left + 1
         return node - self._leaf_count
+
+    def find_batch(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`find`: descend all queries one tree level at a time.
+
+        The tree is complete, so every query sits at the same depth and the
+        descent is ``log2(leaf_count)`` rounds of vectorized comparisons.
+        """
+        values = np.array(values, dtype=np.float64, copy=True).reshape(-1)
+        nodes = np.ones(values.shape, dtype=np.int64)
+        if values.size == 0:
+            return nodes
+        while nodes[0] < self._leaf_count:
+            left = 2 * nodes
+            left_sums = self._tree[left]
+            go_left = (values <= left_sums) | (self._tree[left + 1] <= 0.0)
+            nodes = np.where(go_left, left, left + 1)
+            values = np.where(go_left, values, values - left_sums)
+        return nodes - self._leaf_count
 
 
 class PrioritizedReplayMemory:
@@ -185,14 +247,12 @@ class PrioritizedReplayMemory:
         count = min(batch_size, len(self._storage))
         total = self._tree.total
         segment = total / count
-        indices = np.empty(count, dtype=np.int64)
-        priorities = np.empty(count, dtype=np.float64)
-        for slot in range(count):
-            target = self.rng.uniform(slot * segment, (slot + 1) * segment)
-            index = self._tree.find(target)
-            index = min(index, len(self._storage) - 1)
-            indices[slot] = index
-            priorities[slot] = max(self._tree.get(index), 1e-12)
+        # One vectorized draw per stratification segment (same RNG stream as
+        # the former per-slot scalar draws), then a batched tree descent.
+        lows = np.arange(count, dtype=np.float64) * segment
+        targets = self.rng.uniform(lows, lows + segment)
+        indices = np.minimum(self._tree.find_batch(targets), len(self._storage) - 1)
+        priorities = np.maximum(self._tree.get_batch(indices), 1e-12)
 
         probabilities = priorities / total
         weights = (len(self._storage) * probabilities) ** (-self.beta)
@@ -202,11 +262,13 @@ class PrioritizedReplayMemory:
         return transitions, indices, weights
 
     def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
-        """Refresh priorities with the latest absolute TD errors."""
-        for index, error in zip(np.asarray(indices), np.asarray(td_errors)):
-            priority = float(abs(error)) + self.epsilon
-            self._max_priority = max(self._max_priority, priority)
-            self._tree.update(int(index), priority**self.alpha)
+        """Refresh priorities with the latest absolute TD errors (batched)."""
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        priorities = np.abs(np.asarray(td_errors, dtype=np.float64).reshape(-1)) + self.epsilon
+        if indices.size == 0:
+            return
+        self._max_priority = max(self._max_priority, float(priorities.max()))
+        self._tree.update_batch(indices, priorities**self.alpha)
 
     def clear(self) -> None:
         self._storage.clear()

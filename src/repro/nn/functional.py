@@ -102,23 +102,29 @@ def scaled_dot_product_attention(
     Parameters
     ----------
     queries, keys, values:
-        Tensors of shape ``(n, d)`` (a single set) — the Q-network applies
-        self-attention over the rows of the padded state matrix.
+        Tensors of shape ``(..., n, d)``.  A single set is ``(n, d)``; the
+        batched engine stacks sets (and heads) into leading dimensions, e.g.
+        ``(heads, n, d)`` or ``(batch, heads, n, d)``, and the attention is
+        computed independently per leading slice in one batched matmul.
     mask:
-        Optional boolean array of shape ``(n,)`` marking padded rows.  Padded
-        keys are excluded from the softmax so that zero-padding does not
-        influence real tasks; padded query rows still produce (ignored)
-        outputs.
+        Optional boolean array marking padded *key* rows (True = padding).
+        Any shape broadcastable against the score matrix ``(..., n, n)`` with
+        the key axis last is accepted — ``(n,)`` for a single set, or e.g.
+        ``(batch, 1, 1, n)`` for per-sample masks shared across heads and
+        query rows.  Padded keys are excluded from the softmax so that
+        zero-padding does not influence real tasks; padded query rows still
+        produce (ignored) outputs.
     """
     queries = as_tensor(queries)
     keys = as_tensor(keys)
     values = as_tensor(values)
     d_k = queries.shape[-1]
-    scores = (queries @ keys.T) * (1.0 / float(np.sqrt(d_k)))
+    scores = (queries @ keys.swapaxes(-1, -2)) * (1.0 / float(np.sqrt(d_k)))
     if mask is not None:
         mask = np.asarray(mask, dtype=bool)
-        # Broadcast mask across query rows: mask[j] True means key j is padding.
-        key_mask = np.broadcast_to(mask[np.newaxis, :], scores.shape)
+        # Broadcast across query rows (and any leading batch/head axes):
+        # a trailing-True entry means that key column is padding everywhere.
+        key_mask = np.broadcast_to(mask, scores.shape)
         scores = scores.masked_fill(key_mask, -1e9)
     weights = scores.softmax(axis=-1)
     return weights @ values

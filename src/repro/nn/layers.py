@@ -156,9 +156,17 @@ class Linear(Module):
         self.bias = Parameter(initializers.zeros((out_features,)), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        # Flatten leading (batch) dims so the product is one large GEMM —
+        # numpy's N-D matmul would otherwise loop tiny GEMMs per batch item,
+        # which dominates the batched engine's runtime.
+        lead = x.shape[:-1]
+        if x.ndim > 2:
+            x = x.reshape((-1, self.in_features))
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
+        if len(lead) > 1:
+            out = out.reshape(lead + (self.out_features,))
         return out
 
 
@@ -224,20 +232,40 @@ class MultiHeadSelfAttention(Module):
         self.output_proj = Linear(embed_dim, embed_dim, rng=rng)
 
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Attend over the rows of ``x``.
+
+        ``x`` is either a single set ``(rows, embed_dim)`` or a batch of sets
+        ``(batch, rows, embed_dim)``; ``mask`` (True = padding row) has shape
+        ``(rows,)`` respectively ``(batch, rows)``.  All heads are computed in
+        one reshaped batched matmul — ``(heads, rows, head_dim)`` for a single
+        set, ``(batch, heads, rows, head_dim)`` for a batch — instead of a
+        Python loop over column slices.
+        """
         queries = self.query_proj(x)
         keys = self.key_proj(x)
         values = self.value_proj(x)
 
-        head_outputs = []
-        for head in range(self.num_heads):
-            start = head * self.head_dim
-            end = start + self.head_dim
-            head_out = scaled_dot_product_attention(
-                queries[:, start:end], keys[:, start:end], values[:, start:end], mask=mask
-            )
-            head_outputs.append(head_out)
-        concatenated = Tensor.concatenate(head_outputs, axis=-1)
-        return self.output_proj(concatenated)
+        lead = x.shape[:-2]
+        rows = x.shape[-2]
+        n_lead = len(lead)
+        # (..., rows, embed) -> (..., rows, heads, head_dim) -> (..., heads, rows, head_dim)
+        split_axes = tuple(range(n_lead)) + (n_lead + 1, n_lead, n_lead + 2)
+
+        def split_heads(t: Tensor) -> Tensor:
+            return t.reshape(lead + (rows, self.num_heads, self.head_dim)).transpose(split_axes)
+
+        key_mask = None
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            # Key mask broadcast over heads and query rows: (..., 1, 1, rows).
+            key_mask = mask[..., np.newaxis, np.newaxis, :]
+
+        attended = scaled_dot_product_attention(
+            split_heads(queries), split_heads(keys), split_heads(values), mask=key_mask
+        )
+        # (..., heads, rows, head_dim) -> (..., rows, heads, head_dim) -> (..., rows, embed)
+        merged = attended.transpose(split_axes).reshape(lead + (rows, self.embed_dim))
+        return self.output_proj(merged)
 
 
 class LayerNorm(Module):

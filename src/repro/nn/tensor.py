@@ -15,6 +15,7 @@ topological sort of that implicit graph and accumulates gradients.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -26,10 +27,17 @@ _GRAD_ENABLED = True
 
 
 class no_grad:
-    """Context manager that disables gradient tracking.
+    """Context manager *and* decorator that disables gradient tracking.
 
     Used by inference paths (action selection, target-network evaluation) so
-    that no computation graph is retained.
+    that no computation graph is retained.  Mirrors torch semantics::
+
+        with no_grad():
+            ...
+
+        @no_grad()
+        def inference(...):
+            ...
     """
 
     def __enter__(self) -> "no_grad":
@@ -41,6 +49,15 @@ class no_grad:
     def __exit__(self, exc_type, exc_val, exc_tb) -> None:
         global _GRAD_ENABLED
         _GRAD_ENABLED = self._previous
+
+    def __call__(self, func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            # A fresh context per call keeps the decorator reentrant.
+            with no_grad():
+                return func(*args, **kwargs)
+
+        return wrapper
 
 
 def is_grad_enabled() -> bool:
@@ -118,7 +135,11 @@ class Tensor:
 
     def item(self) -> float:
         """Return the value of a single-element tensor as a python float."""
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a single-element tensor, got shape {self.data.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
@@ -150,13 +171,19 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        The first accumulation copies ``grad`` into an owned, writable buffer
+        so that later contributions can be added in-place — the backward pass
+        calls this in a hot loop, and avoiding a fresh allocation per
+        accumulation is measurable on large graphs.
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
             self.grad = np.array(grad, dtype=np.float64, copy=True)
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
 
     def backward(self, grad: np.ndarray | float | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -347,6 +374,7 @@ class Tensor:
             axes = tuple(reversed(range(self.data.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
+        axes = tuple(ax + self.data.ndim if ax < 0 else ax for ax in axes)
         data = self.data.transpose(axes)
         inverse = np.argsort(axes)
 
@@ -354,6 +382,14 @@ class Tensor:
             self._accumulate(grad.transpose(inverse))
 
         return self._make_child(data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Exchange two axes (used for batched matrix transposes)."""
+        axes = list(range(self.data.ndim))
+        axis1 %= self.data.ndim
+        axis2 %= self.data.ndim
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
 
     @property
     def T(self) -> "Tensor":

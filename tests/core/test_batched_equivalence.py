@@ -1,0 +1,302 @@
+"""Batched-vs-unbatched equivalence tests for the execution engine.
+
+The batched engine (``SetQNetwork.forward_batch``, the two-forward TD-target
+computation and the vectorized prioritized replay) must be a pure
+performance change: every result has to match the per-sample reference path
+to float tolerance (≤ 1e-9), with the same RNG draws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DoubleDQNLearner,
+    PrioritizedReplayMemory,
+    SetQNetwork,
+    StateTransformer,
+    SumTree,
+    Transition,
+    pad_state_batch,
+)
+from repro.crowd import FeatureSchema
+
+TOL = 1e-9
+
+
+@pytest.fixture
+def schema():
+    return FeatureSchema(num_categories=4, num_domains=3, award_bins=(100.0, 300.0))
+
+
+def random_state(schema, transformer, num_tasks, seed):
+    rng = np.random.default_rng(seed)
+    worker = rng.dirichlet(np.ones(schema.worker_dim))
+    tasks = np.zeros((num_tasks, schema.task_dim))
+    for row in range(num_tasks):
+        tasks[row, rng.integers(0, schema.num_categories)] = 1.0
+        tasks[row, schema.num_categories + rng.integers(0, schema.num_domains)] = 1.0
+    return transformer.transform(worker, tasks, list(range(num_tasks)))
+
+
+def build_learner_and_memory(schema, transformer, seed=7, count=60, max_branches=3):
+    network = SetQNetwork(transformer.row_dim, hidden_dim=32, num_heads=4, seed=3)
+    learner = DoubleDQNLearner(network, gamma=0.5, batch_size=16, target_sync_interval=4)
+    memory = PrioritizedReplayMemory(capacity=200, seed=seed)
+    rng = np.random.default_rng(seed)
+    for i in range(count):
+        state = random_state(schema, transformer, int(rng.integers(1, 8)), 100 + i)
+        branches = []
+        for b in range(int(rng.integers(0, max_branches + 1))):
+            # Include empty-pool branches: they contribute nothing to targets.
+            branches.append(
+                (float(rng.random()) / max_branches,
+                 random_state(schema, transformer, int(rng.integers(0, 6)), 1000 + 10 * i + b))
+            )
+        memory.push(
+            Transition(
+                state=state,
+                action_index=int(rng.integers(0, state.num_tasks)),
+                reward=float(rng.random()),
+                future_states=branches,
+            )
+        )
+    return learner, memory
+
+
+class TestForwardBatchEquivalence:
+    def test_forward_batch_matches_per_state_forward(self, schema):
+        transformer = StateTransformer(schema)
+        network = SetQNetwork(transformer.row_dim, hidden_dim=32, num_heads=4, seed=0)
+        states = [random_state(schema, transformer, n, seed) for seed, n in
+                  enumerate([3, 7, 1, 5, 2, 6])]
+        batched = network.q_values_batch(states)
+        assert len(batched) == len(states)
+        for state, q_batched in zip(states, batched):
+            np.testing.assert_allclose(network.q_values(state), q_batched, atol=TOL)
+
+    def test_forward_batch_with_internally_padded_states(self, schema):
+        """Mixing states padded to different max_tasks still matches."""
+        padded = StateTransformer(schema, max_tasks=9)
+        unpadded = StateTransformer(schema)
+        network = SetQNetwork(padded.row_dim, hidden_dim=32, num_heads=4, seed=1)
+        states = [
+            random_state(schema, padded, 4, 0),
+            random_state(schema, unpadded, 2, 1),
+            random_state(schema, padded, 6, 2),
+        ]
+        batched = network.q_values_batch(states)
+        for state, q_batched in zip(states, batched):
+            assert q_batched.shape == (state.num_tasks,)
+            np.testing.assert_allclose(network.q_values(state), q_batched, atol=TOL)
+
+    def test_forward_batch_with_empty_state_in_batch(self, schema):
+        transformer = StateTransformer(schema)
+        network = SetQNetwork(transformer.row_dim, hidden_dim=32, num_heads=4, seed=2)
+        states = [
+            random_state(schema, transformer, 3, 0),
+            random_state(schema, transformer, 0, 1),
+        ]
+        batched = network.q_values_batch(states)
+        np.testing.assert_allclose(network.q_values(states[0]), batched[0], atol=TOL)
+        assert batched[1].shape == (0,)
+
+    def test_q_values_batch_empty_input(self, schema):
+        transformer = StateTransformer(schema)
+        network = SetQNetwork(transformer.row_dim, hidden_dim=32, num_heads=4, seed=0)
+        assert network.q_values_batch([]) == []
+
+    def test_pad_state_batch_shapes_and_masks(self, schema):
+        transformer = StateTransformer(schema)
+        states = [random_state(schema, transformer, n, n) for n in (2, 5, 3)]
+        batch, mask = pad_state_batch(states)
+        assert batch.shape == (3, 5, transformer.row_dim)
+        assert mask.shape == (3, 5)
+        np.testing.assert_array_equal(mask[0], [False, False, True, True, True])
+        np.testing.assert_allclose(batch[0, 2:], 0.0)
+
+    def test_pad_state_batch_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            pad_state_batch([])
+
+
+class TestTrainStepEquivalence:
+    def test_td_targets_batch_matches_scalar_td_target(self, schema):
+        transformer = StateTransformer(schema)
+        learner, memory = build_learner_and_memory(schema, transformer)
+        transitions, _, _ = memory.sample(16)
+        batched = learner.td_targets_batch(transitions)
+        scalar = np.array([learner.td_target(t) for t in transitions])
+        np.testing.assert_allclose(batched, scalar, atol=TOL)
+
+    def test_td_targets_cache_is_invalidated_on_sync(self, schema):
+        transformer = StateTransformer(schema)
+        learner, memory = build_learner_and_memory(schema, transformer)
+        transitions, _, _ = memory.sample(8)
+        first = learner.td_targets_batch(transitions)
+        np.testing.assert_allclose(first, learner.td_targets_batch(transitions), atol=TOL)
+        # Perturb online weights and hard-sync: cached target values must refresh.
+        for param in learner.online.parameters():
+            param.data = param.data + 0.05
+        learner.sync_target()
+        refreshed = learner.td_targets_batch(transitions)
+        scalar = np.array([learner.td_target(t) for t in transitions])
+        np.testing.assert_allclose(refreshed, scalar, atol=TOL)
+        assert not np.allclose(first, refreshed)
+
+    def test_learners_sharing_transitions_do_not_share_caches(self, schema):
+        """Two learners over the same memory must not serve each other's
+        cached target values (cache tokens are globally unique)."""
+        transformer = StateTransformer(schema)
+        _, memory = build_learner_and_memory(schema, transformer)
+        network_a = SetQNetwork(transformer.row_dim, hidden_dim=32, num_heads=4, seed=1)
+        network_b = SetQNetwork(transformer.row_dim, hidden_dim=32, num_heads=4, seed=2)
+        learner_a = DoubleDQNLearner(network_a, gamma=0.5, batch_size=16)
+        learner_b = DoubleDQNLearner(network_b, gamma=0.5, batch_size=16)
+        transitions, _, _ = memory.sample(16)
+        targets_a = learner_a.td_targets_batch(transitions)
+        targets_b = learner_b.td_targets_batch(transitions)
+        scalar_a = np.array([learner_a.td_target(t) for t in transitions])
+        scalar_b = np.array([learner_b.td_target(t) for t in transitions])
+        np.testing.assert_allclose(targets_a, scalar_a, atol=TOL)
+        np.testing.assert_allclose(targets_b, scalar_b, atol=TOL)
+
+    def test_train_step_matches_unbatched_reference(self, schema):
+        """Same RNG draws, same loss and same post-step parameters."""
+        transformer = StateTransformer(schema)
+        learner_a, memory_a = build_learner_and_memory(schema, transformer)
+        learner_b, memory_b = build_learner_and_memory(schema, transformer)
+        for step in range(6):  # crosses a target sync (interval 4)
+            report_a = learner_a.train_step(memory_a)
+            report_b = learner_b.train_step_unbatched(memory_b)
+            assert report_a.batch_size == report_b.batch_size
+            assert abs(report_a.loss - report_b.loss) <= TOL, step
+            assert abs(report_a.mean_abs_td_error - report_b.mean_abs_td_error) <= TOL
+            assert abs(report_a.gradient_norm - report_b.gradient_norm) <= 1e-6
+        params_a = learner_a.online.state_dict()
+        params_b = learner_b.online.state_dict()
+        for name in params_a:
+            np.testing.assert_allclose(params_a[name], params_b[name], atol=TOL)
+
+    def test_train_step_gradients_match_reference(self, schema):
+        """One step: parameter gradients agree before the optimizer update."""
+        transformer = StateTransformer(schema)
+        learner_a, memory_a = build_learner_and_memory(schema, transformer)
+        learner_b, memory_b = build_learner_and_memory(schema, transformer)
+        # Capture gradients by disabling the update: lr has to stay positive,
+        # so use a tiny value and compare grads directly after the step.
+        grads = {}
+        for learner, memory, key in ((learner_a, memory_a, "batched"),
+                                     (learner_b, memory_b, "unbatched")):
+            if key == "batched":
+                learner.train_step(memory)
+            else:
+                learner.train_step_unbatched(memory)
+            grads[key] = {
+                name: param.grad.copy()
+                for name, param in learner.online.named_parameters()
+                if param.grad is not None
+            }
+        assert grads["batched"].keys() == grads["unbatched"].keys()
+        assert grads["batched"], "expected non-empty gradients"
+        for name in grads["batched"]:
+            np.testing.assert_allclose(
+                grads["batched"][name], grads["unbatched"][name], atol=TOL, err_msg=name
+            )
+
+    def test_train_step_with_no_future_branches(self, schema):
+        transformer = StateTransformer(schema)
+        learner, memory = build_learner_and_memory(schema, transformer, max_branches=0)
+        report = learner.train_step(memory)
+        assert report is not None
+        transitions, _, _ = memory.sample(8)
+        targets = learner.td_targets_batch(transitions)
+        np.testing.assert_allclose(targets, [t.reward for t in transitions], atol=TOL)
+
+
+class TestVectorizedSumTree:
+    def test_update_batch_matches_scalar_updates(self):
+        rng = np.random.default_rng(0)
+        for capacity in (1, 5, 16, 33):
+            scalar_tree, batch_tree = SumTree(capacity), SumTree(capacity)
+            indices = rng.integers(0, capacity, size=4 * capacity)
+            priorities = rng.random(4 * capacity) * 10
+            for index, priority in zip(indices, priorities):
+                scalar_tree.update(int(index), float(priority))
+            batch_tree.update_batch(indices, priorities)
+            np.testing.assert_allclose(scalar_tree._tree, batch_tree._tree, atol=1e-12)
+
+    def test_update_batch_duplicate_indices_last_write_wins(self):
+        tree = SumTree(8)
+        tree.update_batch(np.array([2, 2, 2]), np.array([1.0, 5.0, 3.0]))
+        assert tree.get(2) == 3.0
+        assert tree.total == pytest.approx(3.0)
+
+    def test_find_batch_matches_scalar_find(self):
+        rng = np.random.default_rng(1)
+        tree = SumTree(20)
+        tree.update_batch(np.arange(20), rng.random(20) * 3)
+        queries = rng.uniform(0, tree.total, size=200)
+        scalar = np.array([tree.find(float(v)) for v in queries])
+        np.testing.assert_array_equal(scalar, tree.find_batch(queries))
+
+    def test_randomized_interleaved_update_find_sequences(self):
+        rng = np.random.default_rng(2)
+        scalar_tree, batch_tree = SumTree(12), SumTree(12)
+        for _ in range(30):
+            k = int(rng.integers(1, 6))
+            indices = rng.integers(0, 12, size=k)
+            priorities = rng.random(k)
+            for index, priority in zip(indices, priorities):
+                scalar_tree.update(int(index), float(priority))
+            batch_tree.update_batch(indices, priorities)
+            if scalar_tree.total > 0:
+                queries = rng.uniform(0, scalar_tree.total, size=8)
+                expected = np.array([scalar_tree.find(float(v)) for v in queries])
+                np.testing.assert_array_equal(expected, batch_tree.find_batch(queries))
+
+    def test_update_batch_validates_input(self):
+        tree = SumTree(4)
+        with pytest.raises(IndexError):
+            tree.update_batch(np.array([4]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            tree.update_batch(np.array([0]), np.array([-1.0]))
+        with pytest.raises(ValueError):
+            tree.update_batch(np.array([0, 1]), np.array([1.0]))
+        tree.update_batch(np.array([], dtype=np.int64), np.array([]))  # no-op
+
+
+class TestVectorizedReplaySampling:
+    def test_sample_draws_match_scalar_reference_stream(self, schema):
+        """The vectorized stratified draw consumes the RNG identically."""
+        transformer = StateTransformer(schema)
+        _, memory = build_learner_and_memory(schema, transformer, seed=11)
+        reference_rng = np.random.default_rng(11)
+        # Advance the reference stream exactly as the memory's rng was used
+        # so far: it has not been used before the first sample() call.
+        count = 16
+        total = memory._tree.total
+        segment = total / count
+        expected_targets = np.array(
+            [reference_rng.uniform(slot * segment, (slot + 1) * segment) for slot in range(count)]
+        )
+        expected_indices = np.minimum(
+            np.array([memory._tree.find(float(v)) for v in expected_targets]),
+            len(memory) - 1,
+        )
+        _, indices, _ = memory.sample(count)
+        np.testing.assert_array_equal(indices, expected_indices)
+
+    def test_update_priorities_matches_scalar_semantics(self, schema):
+        transformer = StateTransformer(schema)
+        _, memory_a = build_learner_and_memory(schema, transformer, seed=5)
+        _, memory_b = build_learner_and_memory(schema, transformer, seed=5)
+        indices = np.array([0, 3, 3, 7])
+        errors = np.array([0.5, 1.5, 0.25, 2.0])
+        # Scalar reference (the seed implementation).
+        for index, error in zip(indices, errors):
+            priority = float(abs(error)) + memory_a.epsilon
+            memory_a._max_priority = max(memory_a._max_priority, priority)
+            memory_a._tree.update(int(index), priority**memory_a.alpha)
+        memory_b.update_priorities(indices, errors)
+        assert memory_a._max_priority == pytest.approx(memory_b._max_priority)
+        np.testing.assert_allclose(memory_a._tree._tree, memory_b._tree._tree, atol=1e-12)

@@ -1,0 +1,199 @@
+"""Tests for the batched (3-D / leading-dim) tensor engine in :mod:`repro.nn`.
+
+The batched execution engine pushes whole ``(batch, rows, features)`` stacks
+through the same autograd ops that previously only saw single ``(rows,
+features)`` sets.  These tests pin down (a) that the N-D ops compute the same
+values and gradients as per-sample loops, and (b) the satellite fixes around
+``item()``, in-place gradient accumulation and the ``no_grad`` decorator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    MultiHeadSelfAttention,
+    Tensor,
+    is_grad_enabled,
+    no_grad,
+    scaled_dot_product_attention,
+)
+
+
+class TestBatchedTensorOps:
+    def test_batched_matmul_with_shared_weight_gradients(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((3, 4, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((5, 2)), requires_grad=True)
+        out = x @ w
+        assert out.shape == (3, 4, 2)
+        upstream = rng.standard_normal((3, 4, 2))
+        out.backward(upstream)
+
+        # Reference: per-sample matmuls accumulate into the shared weight.
+        expected_w = np.zeros_like(w.data)
+        for b in range(3):
+            expected_w += x.data[b].T @ upstream[b]
+            np.testing.assert_allclose(x.grad[b], upstream[b] @ w.data.T, atol=1e-12)
+        np.testing.assert_allclose(w.grad, expected_w, atol=1e-12)
+
+    def test_batched_softmax_matches_per_sample(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((4, 3, 3))
+        batched = Tensor(data, requires_grad=True)
+        out = batched.softmax(axis=-1)
+        for b in range(4):
+            single = Tensor(data[b]).softmax(axis=-1)
+            np.testing.assert_allclose(out.numpy()[b], single.numpy(), atol=1e-12)
+
+    def test_masked_fill_broadcasts_trailing_mask(self):
+        rng = np.random.default_rng(2)
+        scores = Tensor(rng.standard_normal((2, 3, 3)), requires_grad=True)
+        mask = np.zeros((2, 1, 3), dtype=bool)
+        mask[1, 0, 2] = True
+        out = scores.masked_fill(np.broadcast_to(mask, scores.shape), -1e9)
+        assert (out.numpy()[1, :, 2] == -1e9).all()
+        out.sum().backward()
+        assert (scores.grad[1, :, 2] == 0.0).all()
+        assert (scores.grad[0] == 1.0).all()
+
+    def test_getitem_fancy_index_gathers_and_scatters(self):
+        rng = np.random.default_rng(3)
+        values = Tensor(rng.standard_normal((5, 4)), requires_grad=True)
+        rows = np.arange(5)
+        cols = np.array([0, 3, 1, 1, 2])
+        picked = values[rows, cols]
+        assert picked.shape == (5,)
+        picked.sum().backward()
+        expected = np.zeros((5, 4))
+        expected[rows, cols] = 1.0
+        np.testing.assert_allclose(values.grad, expected)
+
+    def test_swapaxes_and_transpose_negative_axes(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        swapped = x.swapaxes(-1, -2)
+        assert swapped.shape == (2, 4, 3)
+        swapped.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3, 4)))
+
+    def test_concatenate_on_batched_tensors(self):
+        rng = np.random.default_rng(5)
+        a = Tensor(rng.standard_normal((2, 3, 2)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3, 5)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=-1)
+        assert out.shape == (2, 3, 7)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(a.shape))
+        np.testing.assert_allclose(b.grad, np.ones(b.shape))
+
+
+class TestBatchedAttention:
+    def test_3d_attention_matches_per_sample_2d(self):
+        rng = np.random.default_rng(6)
+        q = rng.standard_normal((4, 5, 8))
+        k = rng.standard_normal((4, 5, 8))
+        v = rng.standard_normal((4, 5, 8))
+        masks = np.zeros((4, 5), dtype=bool)
+        masks[0, 3:] = True
+        masks[2, 4:] = True
+
+        batched = scaled_dot_product_attention(
+            Tensor(q), Tensor(k), Tensor(v), mask=masks[:, np.newaxis, :]
+        )
+        for b in range(4):
+            single = scaled_dot_product_attention(
+                Tensor(q[b]), Tensor(k[b]), Tensor(v[b]), mask=masks[b]
+            )
+            np.testing.assert_allclose(batched.numpy()[b], single.numpy(), atol=1e-12)
+
+    def test_vectorized_heads_match_per_head_loop(self):
+        """The one-matmul head computation equals the original per-head slicing."""
+        rng = np.random.default_rng(7)
+        layer = MultiHeadSelfAttention(embed_dim=12, num_heads=3, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((6, 12)))
+        mask = np.array([False, False, False, False, True, True])
+
+        out = layer(x, mask=mask)
+
+        # Reference: the seed implementation looped heads over column slices.
+        queries = layer.query_proj(x)
+        keys = layer.key_proj(x)
+        values = layer.value_proj(x)
+        head_outputs = []
+        for head in range(layer.num_heads):
+            start = head * layer.head_dim
+            end = start + layer.head_dim
+            head_outputs.append(
+                scaled_dot_product_attention(
+                    queries[:, start:end], keys[:, start:end], values[:, start:end], mask=mask
+                )
+            )
+        reference = layer.output_proj(Tensor.concatenate(head_outputs, axis=-1))
+        np.testing.assert_allclose(out.numpy(), reference.numpy(), atol=1e-10)
+
+    def test_batched_attention_layer_matches_per_sample(self):
+        rng = np.random.default_rng(8)
+        layer = MultiHeadSelfAttention(embed_dim=8, num_heads=2, rng=np.random.default_rng(1))
+        x = rng.standard_normal((3, 5, 8))
+        masks = np.zeros((3, 5), dtype=bool)
+        masks[1, 2:] = True
+
+        batched = layer(Tensor(x), mask=masks)
+        assert batched.shape == (3, 5, 8)
+        for b in range(3):
+            single = layer(Tensor(x[b]), mask=masks[b])
+            np.testing.assert_allclose(batched.numpy()[b], single.numpy(), atol=1e-10)
+
+    def test_batched_linear_matches_per_sample(self):
+        rng = np.random.default_rng(9)
+        layer = Linear(6, 4, rng=np.random.default_rng(2))
+        x = rng.standard_normal((5, 3, 6))
+        batched = layer(Tensor(x))
+        assert batched.shape == (5, 3, 4)
+        for b in range(5):
+            np.testing.assert_allclose(
+                batched.numpy()[b], layer(Tensor(x[b])).numpy(), atol=1e-12
+            )
+
+
+class TestSatelliteFixes:
+    def test_item_raises_clear_error_on_multi_element_tensor(self):
+        with pytest.raises(ValueError, match="single-element"):
+            Tensor(np.zeros((2, 2))).item()
+
+    def test_item_on_scalar_tensor(self):
+        assert Tensor(np.array([[3.5]])).item() == 3.5
+
+    def test_accumulate_owns_buffer_and_does_not_mutate_seed_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        out = x + x  # two accumulation paths into x
+        seed = np.full(3, 2.0)
+        out.backward(seed)
+        np.testing.assert_allclose(x.grad, np.full(3, 4.0))
+        # The externally provided seed gradient must stay untouched.
+        np.testing.assert_allclose(seed, np.full(3, 2.0))
+
+    def test_no_grad_as_decorator(self):
+        @no_grad()
+        def inference(t):
+            assert not is_grad_enabled()
+            return (t * 2.0).sum()
+
+        t = Tensor(np.ones(4), requires_grad=True)
+        out = inference(t)
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_decorator_is_reentrant(self):
+        @no_grad()
+        def inner():
+            return is_grad_enabled()
+
+        @no_grad()
+        def outer():
+            first = inner()
+            return first, is_grad_enabled()
+
+        assert outer() == (False, False)
+        assert is_grad_enabled()
