@@ -2,9 +2,11 @@
 
 A commercial platform profits from completed tasks, so it must trade off the
 workers' completion rate against the requesters' task-quality gain.  This
-example sweeps the aggregator weight ``w`` in ``Q = w·Q_w + (1−w)·Q_r`` and
-prints the CR / QG trade-off curve, showing how a small worker weight already
-recovers most of the worker-side benefit.
+example expresses the weight sweep as one declarative
+:class:`repro.api.ExperimentSpec` — one ``ddqn`` registry entry per value of
+the aggregator weight ``w`` in ``Q = w·Q_w + (1−w)·Q_r`` — and prints the
+CR / QG trade-off curve, showing how a small worker weight already recovers
+most of the worker-side benefit.
 
 Run with::
 
@@ -13,32 +15,34 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import FrameworkConfig, TaskArrangementFramework
-from repro.datasets import generate_crowdspring
-from repro.eval import RunnerConfig, SimulationRunner, format_series_comparison
+from repro.api import DatasetSpec, ExperimentSpec, PolicySpec, run_spec
+from repro.eval import RunnerConfig, format_series_comparison
 
 
 def main() -> None:
-    dataset = generate_crowdspring(scale=0.05, num_months=3, seed=7)
-    runner = SimulationRunner(dataset, RunnerConfig(seed=0, max_arrivals=300))
-
     weights = (0.0, 0.25, 0.5, 0.75, 1.0)
+    ddqn_kwargs = dict(
+        hidden_dim=32, num_heads=2, batch_size=12, train_interval=3,
+        learning_rate=3e-3, seed=0,
+    )
+    spec = ExperimentSpec(
+        name="balance-demo",
+        dataset=DatasetSpec(scale=0.05, num_months=3, seed=7),
+        runner=RunnerConfig(seed=0, max_arrivals=300),
+        policies=[
+            PolicySpec("ddqn", {"worker_weight": weight, **ddqn_kwargs}, label=f"w={weight:g}")
+            for weight in weights
+        ],
+    )
+
+    results = run_spec(spec)
     completion_rates = []
     quality_gains = []
-    for weight in weights:
-        framework = TaskArrangementFramework.balanced(
-            dataset.schema,
-            worker_weight=weight,
-            config=FrameworkConfig(
-                hidden_dim=32, num_heads=2, batch_size=12, train_interval=3,
-                learning_rate=3e-3, seed=0,
-            ),
-        )
-        result = runner.run(framework)
+    for label, result in results.items():
         completion_rates.append(result.cr.final)
         quality_gains.append(result.qg.final)
         print(
-            f"w={weight:<4} -> CR={result.cr.final:.3f}  QG={result.qg.final:.1f}  "
+            f"{label:<6} -> CR={result.cr.final:.3f}  QG={result.qg.final:.1f}  "
             f"(arrivals={result.arrivals})"
         )
 

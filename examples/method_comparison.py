@@ -2,9 +2,10 @@
 
 Runs the six worker-benefit methods of the paper — Random, Taskrec (PMF),
 Greedy + Cosine, Greedy + NN, LinUCB and the worker-only DDQN — on the same
-synthetic CrowdSpring-like trace and prints the per-month and final values of
-CR, kCR and nDCG-CR, plus each method's model-update cost (Table I's
-quantity).
+synthetic CrowdSpring-like trace.  The line-up comes from the declarative
+spec layer (`repro.eval.experiments.worker_benefit_spec`), so the exact same
+experiment can be exported to JSON and replayed with
+``python -m repro run`` — this script prints the equivalent spec first.
 
 Run with::
 
@@ -15,31 +16,33 @@ from __future__ import annotations
 
 import time
 
+from repro.api import run_spec
 from repro.eval.experiments import (
+    BenefitExperimentResult,
     ExperimentScale,
-    make_dataset,
-    run_worker_benefit_experiment,
+    worker_benefit_spec,
 )
 from repro.eval.reporting import format_final_table, format_monthly_series, format_table
 
 
 def main() -> None:
     scale = ExperimentScale.ci()
-    dataset = make_dataset(scale)
-    print(
-        f"dataset: {len(dataset.tasks)} tasks, {len(dataset.workers)} workers, "
-        f"{scale.max_arrivals} online arrivals evaluated"
-    )
+    spec = worker_benefit_spec(scale)
+    print(f"spec '{spec.name}': {len(spec.policies)} policies — "
+          + ", ".join(entry.policy for entry in spec.policies))
+    print(f"(export with spec.save('worker_benefit.json') and replay via "
+          f"`python -m repro run worker_benefit.json`)\n")
 
     started = time.time()
-    outcome = run_worker_benefit_experiment(scale, dataset=dataset)
-    print(f"ran {len(outcome.results)} methods in {time.time() - started:.0f}s\n")
+    outcome = BenefitExperimentResult(list(run_spec(spec).values()))
+    results = outcome.results
+    print(f"ran {len(results)} methods in {time.time() - started:.0f}s\n")
 
     print("Cumulative nDCG-CR per month (Fig. 7c):")
-    print(format_monthly_series({r.policy_name: r.ndcg_cr for r in outcome.results}, "nDCG-CR"))
+    print(format_monthly_series({r.policy_name: r.ndcg_cr for r in results}, "nDCG-CR"))
 
     print("\nFinal worker-benefit table (Fig. 7 table):")
-    print(format_final_table(outcome.results, measures=("CR", "kCR", "nDCG-CR")))
+    print(format_final_table(results, measures=("CR", "kCR", "nDCG-CR")))
 
     print("\nModel update cost (Table I quantity):")
     print(
@@ -50,7 +53,7 @@ def main() -> None:
                     "per-feedback (ms)": r.mean_update_seconds * 1_000,
                     "daily retrain (s)": r.mean_retrain_seconds,
                 }
-                for r in outcome.results
+                for r in results
             ],
             float_format="{:.3f}",
         )

@@ -3,8 +3,10 @@
 The other examples use the evaluation runner; this one shows the raw control
 loop a platform integration would use — processing events one by one, asking
 the framework for a ranking at every worker arrival, sending the simulated
-feedback back, and saving / restoring the trained Q-network with the
-checkpoint helpers.
+feedback back, and persisting the *complete* framework (both agents' online +
+target networks, Adam state, replay memories, explorer schedules and RNG
+state) with ``TaskArrangementFramework.save`` / ``.load``, so a restarted
+service resumes exactly where it stopped.
 
 Run with::
 
@@ -16,10 +18,10 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.core import FrameworkConfig, TaskArrangementFramework
+from repro.api import build_policy
+from repro.core import TaskArrangementFramework
 from repro.crowd import CascadeBehavior, CrowdsourcingPlatform, InterestModel
 from repro.datasets import generate_crowdspring
-from repro.nn import load_module, save_module
 
 
 def main() -> None:
@@ -28,19 +30,26 @@ def main() -> None:
     platform = CrowdsourcingPlatform(
         tasks, workers, dataset.schema, CascadeBehavior(InterestModel()), seed=0
     )
-    framework = TaskArrangementFramework.worker_only(
-        dataset.schema,
-        FrameworkConfig(hidden_dim=32, num_heads=2, batch_size=8, train_interval=2, seed=0),
+    framework = build_policy(
+        "ddqn-worker",
+        dataset,
+        hidden_dim=32,
+        num_heads=2,
+        batch_size=8,
+        train_interval=2,
+        seed=0,
     )
 
     completions = 0
     arrivals = 0
+    last_context = None
     for context in platform.replay(dataset.trace):
         if not context.available_tasks:
             continue
         ranked = framework.rank_tasks(context)          # platform asks for a ranking
         feedback = platform.submit_list(context, ranked)  # worker browses and responds
         framework.observe_feedback(context, ranked, feedback)  # framework learns online
+        last_context = context
         arrivals += 1
         completions += int(feedback.completed)
         if arrivals % 100 == 0:
@@ -54,17 +63,18 @@ def main() -> None:
 
     print(f"\nfinished: {completions}/{arrivals} recommendations completed")
 
-    # Persist the trained worker-side Q-network and restore it into a fresh
-    # framework (e.g. after a service restart).
+    # Persist the complete trained framework and restore it (e.g. after a
+    # service restart): the restored instance produces the same rankings and
+    # keeps training deterministically.
     with tempfile.TemporaryDirectory() as tmp:
-        checkpoint = Path(tmp) / "qnetwork_w.npz"
-        save_module(framework.agent_w.network, checkpoint)
-        restored = TaskArrangementFramework.worker_only(
-            dataset.schema,
-            FrameworkConfig(hidden_dim=32, num_heads=2, seed=123),
+        checkpoint = framework.save(Path(tmp) / "framework.npz")
+        restored = TaskArrangementFramework.load(checkpoint)
+        assert last_context is not None
+        assert framework.rank_tasks(last_context) == restored.rank_tasks(last_context)
+        print(
+            f"full-framework checkpoint round-trip through {checkpoint.name} succeeded "
+            f"({restored.agent_w.diagnostics.train_steps} train steps restored)"
         )
-        load_module(restored.agent_w.network, checkpoint)
-        print(f"checkpoint round-trip through {checkpoint.name} succeeded")
 
 
 if __name__ == "__main__":

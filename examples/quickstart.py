@@ -1,8 +1,8 @@
 """Quickstart: train the DDQN task-arrangement framework on a small trace.
 
-Generates a scaled-down CrowdSpring-like dataset, runs the worker-only DDQN
-through the simulation runner and prints the monthly completion-rate metrics
-plus a comparison with a random recommender.
+Generates a scaled-down CrowdSpring-like dataset, builds the worker-only DDQN
+and a random recommender through the policy registry (`repro.api`), runs both
+through the simulation runner and prints the monthly completion-rate metrics.
 
 Run with::
 
@@ -11,8 +11,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.baselines import RandomPolicy
-from repro.core import FrameworkConfig, TaskArrangementFramework
+from repro.api import build_policy
 from repro.datasets import generate_crowdspring
 from repro.eval import RunnerConfig, SimulationRunner, format_final_table, format_monthly_series
 
@@ -26,8 +25,11 @@ def main() -> None:
         f"{len(dataset.trace)} events"
     )
 
-    # 2. Build the DDQN framework (worker benefit only, CPU-friendly sizes).
-    config = FrameworkConfig(
+    # 2. Build the policies through the registry (worker-only DDQN with
+    #    CPU-friendly sizes, plus the random baseline for comparison).
+    ddqn = build_policy(
+        "ddqn-worker",
+        dataset,
         hidden_dim=32,
         num_heads=2,
         batch_size=12,
@@ -35,13 +37,13 @@ def main() -> None:
         learning_rate=3e-3,
         seed=0,
     )
-    ddqn = TaskArrangementFramework.worker_only(dataset.schema, config)
+    random_policy = build_policy("random", dataset, seed=0)
 
     # 3. Replay the trace: every worker arrival gets a recommendation, the
     #    simulated worker responds, and the framework learns online.
     runner = SimulationRunner(dataset, RunnerConfig(seed=0, max_arrivals=600))
     ddqn_result = runner.run(ddqn)
-    random_result = runner.run(RandomPolicy(seed=0))
+    random_result = runner.run(random_policy)
 
     # 4. Report the paper's worker-benefit measures.
     print("\nCumulative completion rate (CR) per month:")

@@ -20,10 +20,13 @@ Top-level packages
 ``repro.eval``
     Metrics (CR/kCR/nDCG-CR, QG/kQG/nDCG-QG), the simulation runner, plain
     text reporting and one entry point per paper table/figure.
+``repro.api``
+    The unified experiment API: policy registry, declarative experiment
+    specs (JSON ⇄ dataclass) and the ``python -m repro`` CLI.
 """
 
-from . import baselines, core, crowd, datasets, eval, nn
+from . import api, baselines, core, crowd, datasets, eval, nn
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["nn", "crowd", "datasets", "core", "baselines", "eval", "__version__"]
+__all__ = ["nn", "crowd", "datasets", "core", "baselines", "eval", "api", "__version__"]

@@ -1,0 +1,48 @@
+"""The unified experiment API: the canonical front door to the reproduction.
+
+Three pieces:
+
+* the **policy registry** (:func:`register_policy` / :func:`build_policy`) —
+  one stable name per method, covering the DDQN framework variants and all
+  five baselines;
+* the **declarative spec layer** (:class:`ExperimentSpec` ⇄ JSON,
+  :func:`run_spec`) — a whole head-to-head run as plain data;
+* the **CLI** (``python -m repro run|compare|bench|policies``) built on both.
+
+Quickstart::
+
+    from repro.api import ExperimentSpec, PolicySpec, DatasetSpec, run_spec
+
+    spec = ExperimentSpec(
+        name="demo",
+        dataset=DatasetSpec(scale=0.05, num_months=3, seed=7),
+        policies=[
+            PolicySpec("random", {"seed": 0}),
+            PolicySpec("ddqn-worker", {"hidden_dim": 32, "num_heads": 2}),
+        ],
+    )
+    results = run_spec(spec)        # {"Random": EvaluationResult, "DDQN": ...}
+"""
+
+from .registry import (
+    PolicyBuilder,
+    RegisteredPolicy,
+    available_policies,
+    build_policy,
+    policy_entry,
+    register_policy,
+)
+from .spec import DatasetSpec, ExperimentSpec, PolicySpec, run_spec
+
+__all__ = [
+    "PolicyBuilder",
+    "RegisteredPolicy",
+    "register_policy",
+    "build_policy",
+    "available_policies",
+    "policy_entry",
+    "DatasetSpec",
+    "PolicySpec",
+    "ExperimentSpec",
+    "run_spec",
+]

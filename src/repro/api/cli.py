@@ -1,0 +1,195 @@
+"""The ``python -m repro`` command line.
+
+Four subcommands, all built on the registry/spec layer:
+
+* ``run spec.json`` — execute a declarative :class:`ExperimentSpec` file and
+  print (optionally write) the final measure table;
+* ``compare`` — run one of the paper's head-to-head line-ups (worker /
+  requester / balance) at a chosen preset without writing a spec first;
+* ``policies`` — list every registered policy name;
+* ``bench`` — forward to the perf microbenchmark harness
+  (``benchmarks/perf/bench_engine.py``; run from the repository root).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from ..eval.metrics import EvaluationResult
+from ..eval.reporting import format_final_table
+from .registry import available_policies
+from .spec import ExperimentSpec, run_spec
+
+__all__ = ["main"]
+
+_ALL_MEASURES = ("CR", "kCR", "nDCG-CR", "QG", "kQG", "nDCG-QG")
+
+
+def _results_payload(spec: ExperimentSpec, results: dict[str, EvaluationResult]) -> dict:
+    """JSON document written by ``--output``: spec echo + per-policy summary."""
+    payload: dict = {"spec": spec.to_dict(), "results": {}}
+    for label, result in results.items():
+        summary = result.summary_row()
+        payload["results"][label] = {
+            "policy_name": result.policy_name,
+            "arrivals": result.arrivals,
+            "completions": result.completions,
+            **{measure: float(summary[measure]) for measure in _ALL_MEASURES},
+            "mean_update_seconds": result.mean_update_seconds,
+            "mean_decision_seconds": result.mean_decision_seconds,
+            "mean_retrain_seconds": result.mean_retrain_seconds,
+        }
+    return payload
+
+
+def _report(spec: ExperimentSpec, results: dict[str, EvaluationResult], output: Path | None) -> None:
+    print(f"experiment: {spec.name}  ({len(results)} policies)")
+    print(format_final_table(list(results.values())))
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(_results_payload(spec, results), indent=2) + "\n")
+        print(f"wrote {output}")
+
+
+# --------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------- #
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.load(args.spec)
+    results = run_spec(spec)
+    _report(spec, results, args.output)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    # Imported lazily: experiments pulls in the whole dataset/benchmark stack.
+    from ..eval import experiments
+
+    scale = (
+        experiments.ExperimentScale.paper()
+        if args.preset == "paper"
+        else experiments.ExperimentScale.ci()
+    )
+    overrides = {}
+    if args.max_arrivals is not None:
+        overrides["max_arrivals"] = args.max_arrivals
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        scale = replace(scale, **overrides)
+
+    if args.experiment == "worker":
+        spec = experiments.worker_benefit_spec(scale)
+    elif args.experiment == "requester":
+        spec = experiments.requester_benefit_spec(scale)
+    else:
+        spec = experiments.balance_spec(tuple(args.weights), scale)
+
+    if args.policies:
+        wanted = set(args.policies)
+        unknown = wanted - {entry.policy for entry in spec.policies}
+        if unknown:
+            raise SystemExit(
+                f"policies {sorted(unknown)} are not part of the "
+                f"{args.experiment!r} line-up ({[e.policy for e in spec.policies]})"
+            )
+        spec.policies = [entry for entry in spec.policies if entry.policy in wanted]
+
+    results = run_spec(spec)
+    _report(spec, results, args.output)
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    entries = available_policies()
+    width = max(len(name) for name in entries)
+    for name, entry in entries.items():
+        print(f"{name:<{width}}  {entry.description}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    try:
+        from benchmarks.perf.bench_engine import main as bench_main
+    except ImportError:
+        print(
+            "the perf harness lives in benchmarks/perf/bench_engine.py; "
+            "run `python -m repro bench` from the repository root",
+            file=sys.stderr,
+        )
+        return 2
+    forwarded: list[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.output is not None:
+        forwarded.extend(["--output", str(args.output)])
+    bench_main(forwarded)
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified experiment CLI for the task-arrangement reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="execute an ExperimentSpec JSON file")
+    run_parser.add_argument("spec", type=Path, help="path to the spec (see examples/specs/)")
+    run_parser.add_argument(
+        "--output", type=Path, default=None, help="also write the results as JSON"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="run one of the paper's head-to-head line-ups"
+    )
+    compare_parser.add_argument(
+        "--experiment",
+        choices=("worker", "requester", "balance"),
+        default="worker",
+        help="which line-up to run (default: worker benefit, Fig. 7)",
+    )
+    compare_parser.add_argument(
+        "--preset",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale (ci: minutes on a laptop; paper: full 13-month volume)",
+    )
+    compare_parser.add_argument(
+        "--policies",
+        nargs="+",
+        metavar="NAME",
+        help="restrict the line-up to these registry names",
+    )
+    compare_parser.add_argument(
+        "--weights",
+        nargs="+",
+        type=float,
+        default=(0.0, 0.25, 0.5, 0.75, 1.0),
+        help="aggregator weights for --experiment balance",
+    )
+    compare_parser.add_argument("--max-arrivals", type=int, default=None)
+    compare_parser.add_argument("--seed", type=int, default=None)
+    compare_parser.add_argument("--output", type=Path, default=None)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    policies_parser = sub.add_parser("policies", help="list the registered policies")
+    policies_parser.set_defaults(func=_cmd_policies)
+
+    bench_parser = sub.add_parser("bench", help="run the perf microbenchmark harness")
+    bench_parser.add_argument("--quick", action="store_true", help="tiny CI-scale shapes")
+    bench_parser.add_argument("--output", type=Path, default=None)
+    bench_parser.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,190 @@
+"""The policy registry: one stable name per task-arrangement method.
+
+Every policy the head-to-head protocol can run — the five baselines and the
+DDQN framework variants — is registered here under a stable, slug-style name
+(``"random"``, ``"linucb"``, ``"ddqn-worker"``, …).  Experiment drivers,
+declarative :class:`repro.api.spec.ExperimentSpec` files and the
+``python -m repro`` CLI all construct policies exclusively through
+:func:`build_policy`, so adding a scenario never means copy-pasting policy
+line-ups again.
+
+Registering a second builder under an existing name raises immediately
+(uniqueness is asserted at registration time); built policies are stamped
+with their registry name in :attr:`ArrangementPolicy.registry_name` so report
+rows can always be traced back to the canonical identifier, whatever
+free-form display ``name`` the instance carries.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from ..baselines import (
+    GreedyCosinePolicy,
+    GreedyNeuralPolicy,
+    LinUCBPolicy,
+    RandomPolicy,
+    TaskrecPMFPolicy,
+)
+from ..core import FrameworkConfig, TaskArrangementFramework
+from ..core.interfaces import ArrangementPolicy
+from ..crowd.features import FeatureSchema
+
+__all__ = [
+    "PolicyBuilder",
+    "RegisteredPolicy",
+    "register_policy",
+    "build_policy",
+    "available_policies",
+    "policy_entry",
+]
+
+#: A builder receives the trace's feature schema plus free-form kwargs and
+#: returns a ready-to-run policy.
+PolicyBuilder = Callable[..., ArrangementPolicy]
+
+_NAME_PATTERN = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
+_REGISTRY: dict[str, "RegisteredPolicy"] = {}
+
+
+@dataclass(frozen=True)
+class RegisteredPolicy:
+    """One registry entry: stable name, builder and documentation."""
+
+    name: str
+    builder: PolicyBuilder
+    description: str
+
+
+def register_policy(name: str, *, description: str = "") -> Callable[[PolicyBuilder], PolicyBuilder]:
+    """Decorator registering ``builder`` under the stable policy ``name``.
+
+    Raises :class:`ValueError` when the name is malformed or already taken —
+    uniqueness of policy names is asserted at registration time, not at some
+    later lookup.
+    """
+
+    def decorator(builder: PolicyBuilder) -> PolicyBuilder:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(
+                f"policy name {name!r} must be a lowercase slug "
+                "(letters, digits, '-' and '_', starting with a letter or digit)"
+            )
+        if name in _REGISTRY:
+            raise ValueError(
+                f"policy name {name!r} is already registered; "
+                "registry names must be unique"
+            )
+        doc = description or (builder.__doc__ or "").strip().split("\n", 1)[0]
+        _REGISTRY[name] = RegisteredPolicy(name=name, builder=builder, description=doc)
+        return builder
+
+    return decorator
+
+
+def policy_entry(name: str) -> RegisteredPolicy:
+    """Look up one registry entry, with a helpful error on unknown names."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown policy {name!r}; registered policies: {known}")
+    return entry
+
+
+def available_policies() -> dict[str, RegisteredPolicy]:
+    """Snapshot of the registry, keyed by stable name (sorted)."""
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+def _resolve_schema(dataset_or_schema) -> FeatureSchema:
+    schema = getattr(dataset_or_schema, "schema", dataset_or_schema)
+    if not isinstance(schema, FeatureSchema):
+        raise TypeError(
+            "build_policy expects a CrowdDataset (or any object with a .schema) "
+            f"or a FeatureSchema, got {type(dataset_or_schema).__name__}"
+        )
+    return schema
+
+
+def build_policy(name: str, dataset_or_schema, **kwargs) -> ArrangementPolicy:
+    """Construct the policy registered under ``name`` for the given trace.
+
+    ``dataset_or_schema`` may be a :class:`repro.datasets.CrowdDataset` (the
+    usual case) or a bare :class:`repro.crowd.FeatureSchema` (synthetic
+    snapshots); ``kwargs`` are forwarded to the registered builder.
+    """
+    entry = policy_entry(name)
+    policy = entry.builder(_resolve_schema(dataset_or_schema), **kwargs)
+    policy.registry_name = name
+    if not isinstance(getattr(policy, "name", None), str) or not policy.name:
+        raise ValueError(f"policy {name!r} built without a usable display name")
+    return policy
+
+
+# --------------------------------------------------------------------- #
+# Built-in registrations: the five baselines …
+# --------------------------------------------------------------------- #
+@register_policy("random", description="Uniformly random task ordering")
+def _build_random(schema: FeatureSchema, *, seed: int = 0) -> ArrangementPolicy:
+    return RandomPolicy(seed=seed)
+
+
+@register_policy("taskrec", description="Taskrec: unified probabilistic matrix factorization")
+def _build_taskrec(schema: FeatureSchema, **kwargs) -> ArrangementPolicy:
+    kwargs.setdefault("num_categories", schema.num_categories)
+    return TaskrecPMFPolicy(**kwargs)
+
+
+@register_policy("greedy-cosine", description="Greedy ranking by worker/task cosine similarity")
+def _build_greedy_cosine(schema: FeatureSchema, **kwargs) -> ArrangementPolicy:
+    return GreedyCosinePolicy(**kwargs)
+
+
+@register_policy("greedy-nn", description="Greedy ranking by a daily-retrained MLP predictor")
+def _build_greedy_nn(schema: FeatureSchema, **kwargs) -> ArrangementPolicy:
+    return GreedyNeuralPolicy(**kwargs)
+
+
+@register_policy("linucb", description="LinUCB/SpatialUCB contextual bandit")
+def _build_linucb(schema: FeatureSchema, **kwargs) -> ArrangementPolicy:
+    return LinUCBPolicy(**kwargs)
+
+
+# --------------------------------------------------------------------- #
+# … and the DDQN framework variants.
+# --------------------------------------------------------------------- #
+def _framework_config(kwargs: dict) -> FrameworkConfig:
+    """Build a FrameworkConfig from free-form kwargs (unknown keys raise)."""
+    try:
+        return FrameworkConfig(**kwargs)
+    except TypeError as error:
+        raise ValueError(f"invalid DDQN configuration: {error}") from None
+
+
+@register_policy("ddqn", description="Balanced DDQN framework (worker + requester MDPs)")
+def _build_ddqn(schema: FeatureSchema, *, worker_weight: float = 0.25, **kwargs) -> ArrangementPolicy:
+    config = _framework_config(kwargs)
+    return TaskArrangementFramework.balanced(schema, worker_weight, config)
+
+
+@register_policy("ddqn-worker", description="Worker-only DDQN framework (Fig. 7 variant)")
+def _build_ddqn_worker(schema: FeatureSchema, **kwargs) -> ArrangementPolicy:
+    return TaskArrangementFramework.worker_only(schema, _framework_config(kwargs))
+
+
+@register_policy("ddqn-requester", description="Requester-only DDQN framework (Fig. 8 variant)")
+def _build_ddqn_requester(schema: FeatureSchema, **kwargs) -> ArrangementPolicy:
+    return TaskArrangementFramework.requester_only(schema, _framework_config(kwargs))
+
+
+@register_policy("ddqn-checkpoint", description="DDQN framework restored from a .npz checkpoint")
+def _build_ddqn_checkpoint(schema: FeatureSchema, *, path: str) -> ArrangementPolicy:
+    framework = TaskArrangementFramework.load(path)
+    if framework.schema != schema:
+        raise ValueError(
+            "checkpointed framework was trained on a different feature schema "
+            f"({framework.schema} vs {schema})"
+        )
+    return framework

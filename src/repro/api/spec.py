@@ -1,0 +1,171 @@
+"""Declarative experiment specifications (dataclass ⇄ JSON dict).
+
+An :class:`ExperimentSpec` captures one complete head-to-head run — which
+trace to generate, how the simulation runner is configured, and which
+registered policies to evaluate with which kwargs — as plain data that
+round-trips through JSON.  :func:`run_spec` executes it and returns one
+:class:`repro.eval.metrics.EvaluationResult` per policy, which is the single
+execution path shared by ``repro.eval.experiments``, the ``examples/``
+scripts and the ``python -m repro`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+from ..datasets import CrowdDataset, generate_crowdspring
+from ..eval.metrics import EvaluationResult
+from ..eval.runner import RunnerConfig, SimulationRunner
+from .registry import build_policy, policy_entry
+
+__all__ = ["DatasetSpec", "PolicySpec", "ExperimentSpec", "run_spec"]
+
+
+def _from_known_fields(cls, data: dict, what: str):
+    """Instantiate a dataclass from a dict, rejecting unknown keys loudly."""
+    if not isinstance(data, dict):
+        raise ValueError(f"{what} must be a JSON object, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown {what} keys: {sorted(unknown)} (known: {sorted(known)})")
+    try:
+        return cls(**data)
+    except TypeError as error:
+        raise ValueError(f"invalid {what}: {error}") from None
+
+
+@dataclass
+class DatasetSpec:
+    """Which CrowdSpring-like trace to generate (see ``generate_crowdspring``)."""
+
+    scale: float = 1.0
+    num_months: int = 13
+    seed: int = 7
+
+    def build(self) -> CrowdDataset:
+        return generate_crowdspring(scale=self.scale, num_months=self.num_months, seed=self.seed)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DatasetSpec":
+        return _from_known_fields(cls, data, "dataset spec")
+
+
+@dataclass
+class PolicySpec:
+    """One (registered policy name, builder kwargs) entry of an experiment."""
+
+    policy: str
+    kwargs: dict = field(default_factory=dict)
+    #: Optional override for the result key (defaults to the built policy's
+    #: display name); needed when one spec runs the same policy twice.
+    label: str | None = None
+
+    def to_dict(self) -> dict:
+        data: dict = {"policy": self.policy}
+        if self.kwargs:
+            data["kwargs"] = dict(self.kwargs)
+        if self.label is not None:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicySpec":
+        spec = _from_known_fields(cls, data, "policy spec")
+        if not isinstance(spec.policy, str) or not spec.policy:
+            raise ValueError("policy spec requires a non-empty 'policy' name")
+        if not isinstance(spec.kwargs, dict):
+            raise ValueError("policy 'kwargs' must be a JSON object")
+        return spec
+
+
+@dataclass
+class ExperimentSpec:
+    """A full experiment: dataset + runner configuration + policy line-up."""
+
+    name: str = "experiment"
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    runner: RunnerConfig = field(default_factory=RunnerConfig)
+    policies: list[PolicySpec] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "dataset": self.dataset.to_dict(),
+            "runner": asdict(self.runner),
+            "policies": [policy.to_dict() for policy in self.policies],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        if not isinstance(data, dict):
+            raise ValueError(f"experiment spec must be a JSON object, got {type(data).__name__}")
+        unknown = set(data) - {"name", "dataset", "runner", "policies"}
+        if unknown:
+            raise ValueError(f"unknown experiment spec keys: {sorted(unknown)}")
+        policies_data = data.get("policies", [])
+        if not isinstance(policies_data, list):
+            raise ValueError("policies section must be a JSON array")
+        return cls(
+            name=str(data.get("name", "experiment")),
+            dataset=DatasetSpec.from_dict(data.get("dataset", {})),
+            runner=_from_known_fields(RunnerConfig, data.get("runner", {}), "runner"),
+            policies=[PolicySpec.from_dict(entry) for entry in policies_data],
+        )
+
+    # ------------------------------------------------------------------ #
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentSpec":
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no experiment spec at {path}")
+        return cls.from_json(path.read_text())
+
+
+def run_spec(
+    spec: ExperimentSpec, dataset: CrowdDataset | None = None
+) -> dict[str, EvaluationResult]:
+    """Execute a spec and return the results keyed by policy label.
+
+    ``dataset`` overrides the spec's generated trace (used when several specs
+    share one dataset, or when a synthetic variant was derived from it).
+    """
+    if not spec.policies:
+        raise ValueError(f"experiment spec {spec.name!r} lists no policies")
+    # Fail fast on typo'd policy names before any (possibly hours-long)
+    # simulation starts; policies themselves are built one at a time below so
+    # at most one trained framework is resident at once.
+    for policy_spec in spec.policies:
+        policy_entry(policy_spec.policy)
+    dataset = dataset if dataset is not None else spec.dataset.build()
+    runner = SimulationRunner(dataset, spec.runner)
+    results: dict[str, EvaluationResult] = {}
+    for policy_spec in spec.policies:
+        policy = build_policy(policy_spec.policy, dataset, **policy_spec.kwargs)
+        label = policy_spec.label if policy_spec.label is not None else policy.name
+        if label in results:
+            raise ValueError(
+                f"duplicate result label {label!r} in spec {spec.name!r}; "
+                "set PolicySpec.label to disambiguate repeated policies"
+            )
+        results[label] = runner.run(policy)
+    return results

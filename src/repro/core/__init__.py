@@ -3,18 +3,21 @@
 from .agent import AgentConfig, DQNAgent
 from .aggregator import QValueAggregator
 from .explorer import EpsilonGreedyExplorer, GaussianPerturbationExplorer
-from .framework import FrameworkConfig, TaskArrangementFramework
+from .framework import CHECKPOINT_FORMAT, FrameworkConfig, TaskArrangementFramework
 from .interfaces import ArrangementPolicy
 from .learner import DoubleDQNLearner, TrainStepReport
 from .predictor import FutureStatePredictorR, FutureStatePredictorW, expiry_branches
 from .qnetwork import SetQNetwork, pad_state_batch
 from .replay import PrioritizedReplayMemory, ReplayMemory, SumTree, Transition
-from .state import StateMatrix, StateTransformer
+from .state import StateMatrix, StateTransformer, pack_state_matrices, unpack_state_matrices
 
 __all__ = [
     "ArrangementPolicy",
     "StateMatrix",
     "StateTransformer",
+    "pack_state_matrices",
+    "unpack_state_matrices",
+    "CHECKPOINT_FORMAT",
     "SetQNetwork",
     "pad_state_batch",
     "ReplayMemory",

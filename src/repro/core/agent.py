@@ -111,6 +111,32 @@ class DQNAgent:
             self.diagnostics.losses.append(report.loss)
         return report
 
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Everything the agent learned: learner (networks + optimiser),
+        replay memory contents and the diagnostic counters that drive the
+        training cadence."""
+        return {
+            "learner": self.learner.state_dict(),
+            "memory": self.memory.state_dict(),
+            "diagnostics": {
+                "observations": self.diagnostics.observations,
+                "train_steps": self.diagnostics.train_steps,
+                "last_loss": self.diagnostics.last_loss,
+                "losses": np.array(self.diagnostics.losses, dtype=np.float64),
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.learner.load_state_dict(state["learner"])
+        self.memory.load_state_dict(state["memory"])
+        diagnostics = state["diagnostics"]
+        self.diagnostics.observations = int(diagnostics["observations"])
+        self.diagnostics.train_steps = int(diagnostics["train_steps"])
+        last_loss = diagnostics["last_loss"]
+        self.diagnostics.last_loss = None if last_loss is None else float(last_loss)
+        self.diagnostics.losses = [float(x) for x in np.asarray(diagnostics["losses"])]
+
     def train_once(self) -> TrainStepReport | None:
         """Force one gradient step (used by offline pre-training helpers)."""
         if len(self.memory) == 0:

@@ -47,6 +47,13 @@ class EpsilonGreedyExplorer:
         """Advance the annealing schedule by one interaction."""
         self._steps += 1
 
+    def state_dict(self) -> dict:
+        """Annealing progress (the schedule itself comes from the constructor)."""
+        return {"steps": self._steps}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._steps = int(state["steps"])
+
     def select(self, q_values: np.ndarray, rng: np.random.Generator) -> int:
         """Return the index of the chosen action."""
         q_values = np.asarray(q_values, dtype=np.float64)
@@ -91,6 +98,13 @@ class GaussianPerturbationExplorer:
     def step(self) -> None:
         """Advance the decay schedule by one interaction."""
         self._steps += 1
+
+    def state_dict(self) -> dict:
+        """Decay progress (the schedule itself comes from the constructor)."""
+        return {"steps": self._steps}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._steps = int(state["steps"])
 
     def perturb(self, q_values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Return (a copy of) ``q_values``, possibly with exploration noise added."""

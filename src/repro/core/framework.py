@@ -16,7 +16,8 @@ the evaluation runner treats it exactly like any baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -24,6 +25,7 @@ from ..crowd.arrivals import WorkerArrivalStatistics
 from ..crowd.features import FeatureSchema
 from ..crowd.platform import ArrivalContext, Feedback
 from ..crowd.quality import DixitStiglitzQuality
+from ..nn.serialization import load_checkpoint, save_checkpoint
 from .agent import AgentConfig, DQNAgent
 from .aggregator import QValueAggregator
 from .explorer import EpsilonGreedyExplorer, GaussianPerturbationExplorer
@@ -32,7 +34,10 @@ from .predictor import FutureStatePredictorR, FutureStatePredictorW
 from .replay import Transition
 from .state import StateMatrix, StateTransformer
 
-__all__ = ["FrameworkConfig", "TaskArrangementFramework"]
+__all__ = ["FrameworkConfig", "TaskArrangementFramework", "CHECKPOINT_FORMAT"]
+
+#: Format tag written into (and required from) full-framework checkpoints.
+CHECKPOINT_FORMAT = "repro.framework/1"
 
 
 @dataclass
@@ -100,6 +105,9 @@ class TaskArrangementFramework(ArrangementPolicy):
             raise ValueError("at least one of the two MDPs must be enabled")
         self.rng = np.random.default_rng(self.config.seed)
         self.quality_model = DixitStiglitzQuality(self.config.quality_p)
+        #: State tree this framework was restored from (set by :meth:`load`);
+        #: :meth:`reset` returns to it instead of re-initialising from scratch.
+        self._restore_state: dict | None = None
         self._build_components()
         self.name = self._derive_name()
 
@@ -238,8 +246,14 @@ class TaskArrangementFramework(ArrangementPolicy):
         """The DDQN updates in real time; nothing happens at day boundaries."""
 
     def reset(self) -> None:
-        """Re-initialise networks, memories and statistics."""
+        """Return to the initial state: re-seeded RNG plus fresh networks,
+        memories and statistics — or, for a framework restored from a
+        checkpoint, the checkpointed state (so evaluation runners that reset
+        policies do not silently discard the loaded training)."""
+        self.rng = np.random.default_rng(self.config.seed)
         self._build_components()
+        if self._restore_state is not None:
+            self.load_state_dict(self._restore_state)
 
     # ------------------------------------------------------------------ #
     # Internal helpers
@@ -350,6 +364,122 @@ class TaskArrangementFramework(ArrangementPolicy):
                 timestamp=context.timestamp,
             )
             self.agent_r.store_and_train(transition)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Every piece of learned/annealed/random state, as a nested tree.
+
+        Covers both agents (online + target networks, Adam moments, replay
+        memories, training counters), the explorer schedules, the arrival
+        statistics, the per-worker bookkeeping and the exploration RNG.
+        Decisions pending between :meth:`rank_tasks` and
+        :meth:`observe_feedback` are transient and not captured — checkpoint
+        between arrivals (after the feedback), not in the middle of one.
+        """
+        feature_ids = np.array(sorted(self._worker_features), dtype=np.int64)
+        quality_ids = np.array(sorted(self._worker_qualities), dtype=np.int64)
+        state: dict = {
+            "rng_state": self.rng.bit_generator.state,
+            "explorer": self.explorer.state_dict(),
+            "assign_explorer": self.assign_explorer.state_dict(),
+            "arrival_statistics": self.arrival_statistics.state_dict(),
+            "worker_features": {
+                "ids": feature_ids,
+                "features": (
+                    np.stack([self._worker_features[int(w)] for w in feature_ids])
+                    if feature_ids.size
+                    else np.zeros((0, self.schema.worker_dim), dtype=np.float64)
+                ),
+            },
+            "worker_qualities": {
+                "ids": quality_ids,
+                "values": np.array(
+                    [self._worker_qualities[int(w)] for w in quality_ids], dtype=np.float64
+                ),
+            },
+        }
+        if self.agent_w is not None:
+            state["agent_w"] = self.agent_w.state_dict()
+        if self.agent_r is not None:
+            state["agent_r"] = self.agent_r.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this (matching-config) framework."""
+        for agent, key in ((self.agent_w, "agent_w"), (self.agent_r, "agent_r")):
+            if (agent is None) != (key not in state):
+                raise ValueError(
+                    f"checkpoint {'has' if key in state else 'lacks'} {key!r} but this "
+                    "framework was configured the other way"
+                )
+        self.rng.bit_generator.state = state["rng_state"]
+        self.explorer.load_state_dict(state["explorer"])
+        self.assign_explorer.load_state_dict(state["assign_explorer"])
+        self.arrival_statistics.load_state_dict(state["arrival_statistics"])
+        features = state["worker_features"]
+        ids = np.asarray(features["ids"], dtype=np.int64)
+        matrix = np.asarray(features["features"], dtype=np.float64).reshape(
+            -1, self.schema.worker_dim
+        )
+        self._worker_features = {int(w): matrix[i].copy() for i, w in enumerate(ids)}
+        qualities = state["worker_qualities"]
+        self._worker_qualities = {
+            int(w): float(q)
+            for w, q in zip(
+                np.asarray(qualities["ids"], dtype=np.int64),
+                np.asarray(qualities["values"], dtype=np.float64),
+            )
+        }
+        self._pending = {}
+        if self.agent_w is not None:
+            self.agent_w.load_state_dict(state["agent_w"])
+        if self.agent_r is not None:
+            self.agent_r.load_state_dict(state["agent_r"])
+
+    def save(self, path: str | Path) -> Path:
+        """Write a self-contained checkpoint (config + schema + all state).
+
+        Also drops the learners' memoised target Q-vectors (they are not
+        persisted), so that this still-running framework and any framework
+        restored from the file continue training bit-identically.
+        """
+        for agent in (self.agent_w, self.agent_r):
+            if agent is not None:
+                agent.learner.invalidate_target_cache()
+        tree = {
+            "format": CHECKPOINT_FORMAT,
+            "config": asdict(self.config),
+            "schema": {
+                "num_categories": self.schema.num_categories,
+                "num_domains": self.schema.num_domains,
+                "award_bins": list(self.schema.award_bins),
+            },
+            "state": self.state_dict(),
+        }
+        return save_checkpoint(tree, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TaskArrangementFramework":
+        """Rebuild a framework (schema, config and all state) from :meth:`save`."""
+        tree = load_checkpoint(path)
+        if tree.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"{path} is not a framework checkpoint "
+                f"(format={tree.get('format')!r}, expected {CHECKPOINT_FORMAT!r})"
+            )
+        schema_tree = tree["schema"]
+        schema = FeatureSchema(
+            num_categories=int(schema_tree["num_categories"]),
+            num_domains=int(schema_tree["num_domains"]),
+            award_bins=tuple(float(edge) for edge in schema_tree["award_bins"]),
+        )
+        config = FrameworkConfig(**tree["config"])
+        framework = cls(schema, config)
+        framework.load_state_dict(tree["state"])
+        framework._restore_state = tree["state"]
+        return framework
 
     # ------------------------------------------------------------------ #
     # Convenience constructors

@@ -23,6 +23,10 @@ class ArrangementPolicy(abc.ABC):
     #: Human-readable method name used in reports (e.g. "DDQN", "LinUCB").
     name: str = "policy"
 
+    #: Stable registry slug this instance was built from (set by
+    #: :func:`repro.api.build_policy`; None for hand-constructed policies).
+    registry_name: str | None = None
+
     @abc.abstractmethod
     def rank_tasks(self, context: ArrivalContext) -> list[int]:
         """Return the available task ids ranked best-first for this arrival.

@@ -257,3 +257,30 @@ class DoubleDQNLearner:
         self.target.load_state_dict(self.online.state_dict())
         # Invalidate every per-transition target cache (lazily, by token).
         self._target_version = next(DoubleDQNLearner._cache_tokens)
+
+    def invalidate_target_cache(self) -> None:
+        """Drop all memoised target Q-vectors without touching the networks.
+
+        Called at checkpoint boundaries: the caches are not persisted, so
+        invalidating them on the live learner too guarantees that a restored
+        learner and the one that kept running recompute identical values in
+        identical batch shapes — bit-for-bit deterministic resume.
+        """
+        self._target_version = next(DoubleDQNLearner._cache_tokens)
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Online + target parameters, optimiser moments and the update counter."""
+        return {
+            "online": self.online.state_dict(),
+            "target": self.target.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "updates": self.updates,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.online.load_state_dict(state["online"])
+        self.target.load_state_dict(state["target"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.updates = int(state["updates"])
+        self.invalidate_target_cache()

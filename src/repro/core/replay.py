@@ -14,9 +14,67 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .state import StateMatrix
+from .state import StateMatrix, pack_state_matrices, unpack_state_matrices
 
 __all__ = ["Transition", "ReplayMemory", "PrioritizedReplayMemory", "SumTree"]
+
+
+def _pack_transitions(transitions: list[Transition]) -> dict:
+    """Encode transitions (including their future-state branches) as arrays.
+
+    The per-transition state plus every future-state branch are flattened into
+    one :func:`pack_state_matrices` block; ``future_counts`` records how many
+    branches belong to each transition.  Target-network caches are deliberately
+    not persisted — they are a pure memoisation that the learner rebuilds.
+    """
+    states: list[StateMatrix] = []
+    future_counts = np.zeros(len(transitions), dtype=np.int64)
+    future_probs: list[float] = []
+    for i, transition in enumerate(transitions):
+        states.append(transition.state)
+        future_counts[i] = len(transition.future_states)
+        for probability, future_state in transition.future_states:
+            future_probs.append(probability)
+            states.append(future_state)
+    return {
+        "states": pack_state_matrices(states),
+        "action_index": np.array([t.action_index for t in transitions], dtype=np.int64),
+        "reward": np.array([t.reward for t in transitions], dtype=np.float64),
+        "timestamp": np.array([t.timestamp for t in transitions], dtype=np.float64),
+        "future_counts": future_counts,
+        "future_probs": np.array(future_probs, dtype=np.float64),
+    }
+
+
+def _unpack_transitions(packed: dict) -> list[Transition]:
+    """Inverse of :func:`_pack_transitions`."""
+    states = unpack_state_matrices(packed["states"])
+    action_index = np.asarray(packed["action_index"], dtype=np.int64)
+    reward = np.asarray(packed["reward"], dtype=np.float64)
+    timestamp = np.asarray(packed["timestamp"], dtype=np.float64)
+    future_counts = np.asarray(packed["future_counts"], dtype=np.int64)
+    future_probs = np.asarray(packed["future_probs"], dtype=np.float64)
+    transitions: list[Transition] = []
+    cursor = 0
+    prob_cursor = 0
+    for i in range(action_index.size):
+        state = states[cursor]
+        cursor += 1
+        branches = []
+        for _ in range(int(future_counts[i])):
+            branches.append((float(future_probs[prob_cursor]), states[cursor]))
+            cursor += 1
+            prob_cursor += 1
+        transitions.append(
+            Transition(
+                state=state,
+                action_index=int(action_index[i]),
+                reward=float(reward[i]),
+                future_states=branches,
+                timestamp=float(timestamp[i]),
+            )
+        )
+    return transitions
 
 
 @dataclass
@@ -89,6 +147,25 @@ class ReplayMemory:
     def clear(self) -> None:
         self._storage.clear()
         self._cursor = 0
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Full buffer contents plus sampling RNG state (checkpointing)."""
+        return {
+            "transitions": _pack_transitions(self._storage),
+            "cursor": self._cursor,
+            "rng_state": self.rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        transitions = _unpack_transitions(state["transitions"])
+        if len(transitions) > self.capacity:
+            raise ValueError(
+                f"checkpoint holds {len(transitions)} transitions, capacity is {self.capacity}"
+            )
+        self._storage = transitions
+        self._cursor = int(state["cursor"])
+        self.rng.bit_generator.state = state["rng_state"]
 
 
 class SumTree:
@@ -275,3 +352,34 @@ class PrioritizedReplayMemory:
         self._cursor = 0
         self._tree = SumTree(self.capacity)
         self._max_priority = 1.0
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Buffer contents, leaf priorities, β annealing and RNG state."""
+        n = len(self._storage)
+        return {
+            "transitions": _pack_transitions(self._storage),
+            "cursor": self._cursor,
+            "beta": self.beta,
+            "max_priority": self._max_priority,
+            "priorities": self._tree.get_batch(np.arange(n, dtype=np.int64)),
+            "rng_state": self.rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        transitions = _unpack_transitions(state["transitions"])
+        if len(transitions) > self.capacity:
+            raise ValueError(
+                f"checkpoint holds {len(transitions)} transitions, capacity is {self.capacity}"
+            )
+        self._storage = transitions
+        self._cursor = int(state["cursor"])
+        self.beta = float(state["beta"])
+        self._max_priority = float(state["max_priority"])
+        self._tree = SumTree(self.capacity)
+        priorities = np.asarray(state["priorities"], dtype=np.float64)
+        if priorities.size != len(transitions):
+            raise ValueError("priority leaves do not align with the stored transitions")
+        if priorities.size:
+            self._tree.update_batch(np.arange(priorities.size, dtype=np.int64), priorities)
+        self.rng.bit_generator.state = state["rng_state"]

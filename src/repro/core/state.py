@@ -16,7 +16,7 @@ import numpy as np
 
 from ..crowd.features import FeatureSchema
 
-__all__ = ["StateMatrix", "StateTransformer"]
+__all__ = ["StateMatrix", "StateTransformer", "pack_state_matrices", "unpack_state_matrices"]
 
 
 @dataclass
@@ -58,6 +58,65 @@ class StateMatrix:
             [np.zeros(len(keep), dtype=bool), np.ones(matrix.shape[0] - len(keep), dtype=bool)]
         )
         return StateMatrix(matrix=matrix, mask=mask, task_ids=[self.task_ids[i] for i in keep])
+
+
+def pack_state_matrices(states: list[StateMatrix]) -> dict[str, np.ndarray]:
+    """Encode a list of (ragged) :class:`StateMatrix` as dense arrays.
+
+    Used by the replay-memory checkpointing: matrices and masks are
+    concatenated along the row axis with per-state row counts, so states of
+    different sizes round-trip through one ``.npz`` without pickling.
+    """
+    rows = np.array([state.matrix.shape[0] for state in states], dtype=np.int64)
+    row_dim = states[0].matrix.shape[1] if states else 0
+    matrix = (
+        np.concatenate([state.matrix for state in states], axis=0)
+        if states
+        else np.zeros((0, 0), dtype=np.float64)
+    )
+    mask = (
+        np.concatenate([state.mask for state in states])
+        if states
+        else np.zeros(0, dtype=bool)
+    )
+    num_tasks = np.array([state.num_tasks for state in states], dtype=np.int64)
+    task_ids = np.array(
+        [task_id for state in states for task_id in state.task_ids], dtype=np.int64
+    )
+    return {
+        "rows": rows,
+        "row_dim": np.array(row_dim, dtype=np.int64),
+        "matrix": matrix,
+        "mask": mask,
+        "num_tasks": num_tasks,
+        "task_ids": task_ids,
+    }
+
+
+def unpack_state_matrices(packed: dict[str, np.ndarray]) -> list[StateMatrix]:
+    """Inverse of :func:`pack_state_matrices`."""
+    rows = np.asarray(packed["rows"], dtype=np.int64)
+    row_dim = int(packed["row_dim"])
+    matrix = np.asarray(packed["matrix"], dtype=np.float64).reshape(-1, max(row_dim, 1))
+    mask = np.asarray(packed["mask"], dtype=bool)
+    num_tasks = np.asarray(packed["num_tasks"], dtype=np.int64)
+    task_ids = np.asarray(packed["task_ids"], dtype=np.int64)
+    states: list[StateMatrix] = []
+    row_offset = 0
+    id_offset = 0
+    for i in range(rows.size):
+        count = int(rows[i])
+        n = int(num_tasks[i])
+        states.append(
+            StateMatrix(
+                matrix=matrix[row_offset : row_offset + count, :row_dim].copy(),
+                mask=mask[row_offset : row_offset + count].copy(),
+                task_ids=[int(t) for t in task_ids[id_offset : id_offset + n]],
+            )
+        )
+        row_offset += count
+        id_offset += n
+    return states
 
 
 class StateTransformer:

@@ -117,6 +117,20 @@ class GapHistogram:
         order = np.argsort(probs)[::-1][:count]
         return [(float(centers[i]), float(probs[i])) for i in order]
 
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Observed bucket counts (the bucketing itself comes from the constructor)."""
+        return {"counts": self._counts.copy(), "total_observations": self.total_observations}
+
+    def load_state_dict(self, state: dict) -> None:
+        counts = np.asarray(state["counts"], dtype=np.float64)
+        if counts.shape != self._counts.shape:
+            raise ValueError(
+                f"histogram has {counts.size} buckets, expected {self._counts.size}"
+            )
+        self._counts = counts.copy()
+        self.total_observations = int(state["total_observations"])
+
 
 class WorkerArrivalStatistics:
     """Aggregated arrival statistics used by both future-state predictors.
@@ -188,6 +202,44 @@ class WorkerArrivalStatistics:
                 )
             self._feature_sum += feature
             self._feature_count += 1
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """All online statistics: both histograms, per-worker times, counters."""
+        worker_ids = np.array(sorted(self.last_arrival_by_worker), dtype=np.int64)
+        return {
+            "same_worker_gaps": self.same_worker_gaps.state_dict(),
+            "any_worker_gaps": self.any_worker_gaps.state_dict(),
+            "worker_ids": worker_ids,
+            "last_arrivals": np.array(
+                [self.last_arrival_by_worker[int(w)] for w in worker_ids], dtype=np.float64
+            ),
+            "last_arrival_time": self.last_arrival_time,
+            "total_arrivals": self.total_arrivals,
+            "new_worker_arrivals": self.new_worker_arrivals,
+            "feature_sum": self._feature_sum.copy(),
+            "feature_count": self._feature_count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.same_worker_gaps.load_state_dict(state["same_worker_gaps"])
+        self.any_worker_gaps.load_state_dict(state["any_worker_gaps"])
+        worker_ids = np.asarray(state["worker_ids"], dtype=np.int64)
+        last_arrivals = np.asarray(state["last_arrivals"], dtype=np.float64)
+        if worker_ids.shape != last_arrivals.shape:
+            raise ValueError("worker_ids and last_arrivals must align")
+        self.last_arrival_by_worker = {
+            int(w): float(t) for w, t in zip(worker_ids, last_arrivals)
+        }
+        last = state["last_arrival_time"]
+        self.last_arrival_time = None if last is None else float(last)
+        self.total_arrivals = int(state["total_arrivals"])
+        self.new_worker_arrivals = int(state["new_worker_arrivals"])
+        feature_sum = np.asarray(state["feature_sum"], dtype=np.float64)
+        if feature_sum.shape != (self.feature_dim,):
+            raise ValueError("feature_sum dimension mismatch")
+        self._feature_sum = feature_sum.copy()
+        self._feature_count = int(state["feature_count"])
 
     # ------------------------------------------------------------------ #
     def same_worker_return_probability(self, worker_id: int, now: float) -> float:

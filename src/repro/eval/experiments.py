@@ -1,10 +1,12 @@
 """One entry point per paper table / figure.
 
-Each function builds the policies involved, runs the simulation(s) and
-returns a structured result object that both the benchmark harness and the
-examples print.  The functions accept a ``scale`` (fraction of the paper's
-full CrowdSpring volume) and ``num_months`` so that CI runs stay fast while
-full-scale reproductions remain a single call away.
+Each function builds a declarative :class:`repro.api.ExperimentSpec` (every
+policy is constructed through the registry — no baseline is imported here),
+executes it through :func:`repro.api.run_spec` and returns a structured
+result object that both the benchmark harness and the examples print.  The
+functions accept a ``scale`` (fraction of the paper's full CrowdSpring
+volume) and ``num_months`` so that CI runs stay fast while full-scale
+reproductions remain a single call away.
 """
 
 from __future__ import annotations
@@ -14,14 +16,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..baselines import (
-    GreedyCosinePolicy,
-    GreedyNeuralPolicy,
-    LinUCBPolicy,
-    RandomPolicy,
-    TaskrecPMFPolicy,
-)
-from ..core import FrameworkConfig, TaskArrangementFramework
+from ..api.registry import build_policy
+from ..api.spec import DatasetSpec, ExperimentSpec, PolicySpec, run_spec
+from ..core import FrameworkConfig
 from ..core.interfaces import ArrangementPolicy
 from ..crowd.entities import MINUTES_PER_DAY, Worker
 from ..crowd.platform import ArrivalContext
@@ -40,7 +37,13 @@ from .runner import RunnerConfig, SimulationRunner
 __all__ = [
     "ExperimentScale",
     "benchmark_framework_config",
+    "framework_kwargs",
     "make_dataset",
+    "worker_benefit_spec",
+    "requester_benefit_spec",
+    "balance_spec",
+    "efficiency_spec",
+    "density_spec",
     "worker_benefit_policies",
     "requester_benefit_policies",
     "run_worker_benefit_experiment",
@@ -102,9 +105,9 @@ def make_dataset(scale: ExperimentScale) -> CrowdDataset:
     return generate_crowdspring(scale=scale.scale, num_months=scale.num_months, seed=scale.seed)
 
 
-def benchmark_framework_config(scale: ExperimentScale, **overrides) -> FrameworkConfig:
-    """Framework configuration matched to the experiment scale."""
-    base = FrameworkConfig(
+def framework_kwargs(scale: ExperimentScale, **overrides) -> dict:
+    """Registry kwargs for the DDQN builders, matched to the experiment scale."""
+    kwargs = dict(
         hidden_dim=scale.hidden_dim,
         num_heads=scale.num_heads,
         batch_size=scale.batch_size,
@@ -113,43 +116,125 @@ def benchmark_framework_config(scale: ExperimentScale, **overrides) -> Framework
         perturb_probability=scale.perturb_probability,
         seed=scale.seed,
     )
+    kwargs.update(overrides)
+    return kwargs
+
+
+def benchmark_framework_config(scale: ExperimentScale, **overrides) -> FrameworkConfig:
+    """Framework configuration matched to the experiment scale."""
+    base = FrameworkConfig(**framework_kwargs(scale))
     for key, value in overrides.items():
         setattr(base, key, value)
     return base
 
 
 # --------------------------------------------------------------------- #
-# Policy line-ups
+# Declarative specs: the paper's policy line-ups as data
+# --------------------------------------------------------------------- #
+def _spec(scale: ExperimentScale, name: str, policies: list[PolicySpec]) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        dataset=DatasetSpec(scale=scale.scale, num_months=scale.num_months, seed=scale.seed),
+        runner=RunnerConfig(seed=scale.seed, max_arrivals=scale.max_arrivals),
+        policies=policies,
+    )
+
+
+def worker_benefit_spec(scale: ExperimentScale) -> ExperimentSpec:
+    """The six methods compared in Fig. 7 (worker benefit), as a spec."""
+    return _spec(
+        scale,
+        "worker-benefit",
+        [
+            PolicySpec("random", {"seed": scale.seed}),
+            PolicySpec("taskrec", {"seed": scale.seed}),
+            PolicySpec("greedy-cosine", {"objective": "worker"}),
+            PolicySpec("greedy-nn", {"objective": "worker", "seed": scale.seed}),
+            PolicySpec("linucb", {"objective": "worker"}),
+            PolicySpec("ddqn-worker", framework_kwargs(scale)),
+        ],
+    )
+
+
+def requester_benefit_spec(scale: ExperimentScale) -> ExperimentSpec:
+    """The five methods compared in Fig. 8 (requester benefit), as a spec."""
+    return _spec(
+        scale,
+        "requester-benefit",
+        [
+            PolicySpec("random", {"seed": scale.seed}),
+            PolicySpec("greedy-cosine", {"objective": "requester"}),
+            PolicySpec("greedy-nn", {"objective": "requester", "seed": scale.seed}),
+            PolicySpec("linucb", {"objective": "requester"}),
+            PolicySpec("ddqn-requester", framework_kwargs(scale)),
+        ],
+    )
+
+
+def balance_spec(
+    weights: tuple[float, ...], scale: ExperimentScale
+) -> ExperimentSpec:
+    """Fig. 9's aggregator-weight sweep as one spec (one DDQN entry per w)."""
+    return _spec(
+        scale,
+        "balance",
+        [
+            PolicySpec("ddqn", {"worker_weight": weight, **framework_kwargs(scale)})
+            for weight in weights
+        ],
+    )
+
+
+def efficiency_spec(scale: ExperimentScale) -> ExperimentSpec:
+    """Table I's four methods (model-update cost), as a spec."""
+    return _spec(
+        scale,
+        "efficiency",
+        [
+            PolicySpec("taskrec", {"seed": scale.seed}),
+            PolicySpec("greedy-nn", {"objective": "worker", "seed": scale.seed}),
+            PolicySpec("linucb", {"objective": "worker"}),
+            PolicySpec("ddqn-worker", framework_kwargs(scale)),
+        ],
+    )
+
+
+def density_spec(scale: ExperimentScale) -> ExperimentSpec:
+    """The five methods shown in Fig. 10: Random, Greedy CS, LinUCB, Greedy NN, DDQN."""
+    return _spec(
+        scale,
+        "arrival-density",
+        [
+            PolicySpec("random", {"seed": scale.seed}),
+            PolicySpec("greedy-cosine", {"objective": "worker"}),
+            PolicySpec("linucb", {"objective": "worker"}),
+            PolicySpec("greedy-nn", {"objective": "worker", "seed": scale.seed}),
+            PolicySpec("ddqn-worker", framework_kwargs(scale)),
+        ],
+    )
+
+
+def _build_spec_policies(
+    spec: ExperimentSpec, dataset: CrowdDataset
+) -> list[ArrangementPolicy]:
+    return [build_policy(entry.policy, dataset, **entry.kwargs) for entry in spec.policies]
+
+
+# --------------------------------------------------------------------- #
+# Policy line-ups (instantiated from the specs, via the registry)
 # --------------------------------------------------------------------- #
 def worker_benefit_policies(
     dataset: CrowdDataset, scale: ExperimentScale
 ) -> list[ArrangementPolicy]:
     """The six methods compared in Fig. 7 (worker benefit)."""
-    return [
-        RandomPolicy(seed=scale.seed),
-        TaskrecPMFPolicy(num_categories=dataset.schema.num_categories, seed=scale.seed),
-        GreedyCosinePolicy(objective="worker"),
-        GreedyNeuralPolicy(objective="worker", seed=scale.seed),
-        LinUCBPolicy(objective="worker"),
-        TaskArrangementFramework.worker_only(
-            dataset.schema, benchmark_framework_config(scale)
-        ),
-    ]
+    return _build_spec_policies(worker_benefit_spec(scale), dataset)
 
 
 def requester_benefit_policies(
     dataset: CrowdDataset, scale: ExperimentScale
 ) -> list[ArrangementPolicy]:
     """The five methods compared in Fig. 8 (requester benefit)."""
-    return [
-        RandomPolicy(seed=scale.seed),
-        GreedyCosinePolicy(objective="requester"),
-        GreedyNeuralPolicy(objective="requester", seed=scale.seed),
-        LinUCBPolicy(objective="requester"),
-        TaskArrangementFramework.requester_only(
-            dataset.schema, benchmark_framework_config(scale)
-        ),
-    ]
+    return _build_spec_policies(requester_benefit_spec(scale), dataset)
 
 
 # --------------------------------------------------------------------- #
@@ -195,8 +280,8 @@ def run_worker_benefit_experiment(
 ) -> BenefitExperimentResult:
     """Fig. 7: CR / kCR / nDCG-CR for the six worker-benefit methods."""
     scale = scale if scale is not None else ExperimentScale.ci()
-    dataset = dataset if dataset is not None else make_dataset(scale)
-    return _run_policies(dataset, worker_benefit_policies(dataset, scale), scale)
+    results = run_spec(worker_benefit_spec(scale), dataset=dataset)
+    return BenefitExperimentResult(list(results.values()))
 
 
 def run_requester_benefit_experiment(
@@ -205,8 +290,8 @@ def run_requester_benefit_experiment(
 ) -> BenefitExperimentResult:
     """Fig. 8: QG / kQG / nDCG-QG for the five requester-benefit methods."""
     scale = scale if scale is not None else ExperimentScale.ci()
-    dataset = dataset if dataset is not None else make_dataset(scale)
-    return _run_policies(dataset, requester_benefit_policies(dataset, scale), scale)
+    results = run_spec(requester_benefit_spec(scale), dataset=dataset)
+    return BenefitExperimentResult(list(results.values()))
 
 
 # --------------------------------------------------------------------- #
@@ -230,17 +315,8 @@ def run_balance_experiment(
 ) -> BalanceExperimentResult:
     """Fig. 9: sweep the aggregator weight w over {0, 0.25, 0.5, 0.75, 1}."""
     scale = scale if scale is not None else ExperimentScale.ci()
-    dataset = dataset if dataset is not None else make_dataset(scale)
-    runner = SimulationRunner(
-        dataset, RunnerConfig(seed=scale.seed, max_arrivals=scale.max_arrivals)
-    )
-    results = []
-    for weight in weights:
-        policy = TaskArrangementFramework.balanced(
-            dataset.schema, worker_weight=weight, config=benchmark_framework_config(scale)
-        )
-        results.append(runner.run(policy))
-    return BalanceExperimentResult(weights=list(weights), results=results)
+    results = run_spec(balance_spec(tuple(weights), scale), dataset=dataset)
+    return BalanceExperimentResult(weights=list(weights), results=list(results.values()))
 
 
 # --------------------------------------------------------------------- #
@@ -269,16 +345,9 @@ def run_efficiency_experiment(
 ) -> EfficiencyResult:
     """Table I: average model-update time of Taskrec, Greedy NN, LinUCB, DDQN."""
     scale = scale if scale is not None else ExperimentScale.ci()
-    dataset = dataset if dataset is not None else make_dataset(scale)
-    policies: list[ArrangementPolicy] = [
-        TaskrecPMFPolicy(num_categories=dataset.schema.num_categories, seed=scale.seed),
-        GreedyNeuralPolicy(objective="worker", seed=scale.seed),
-        LinUCBPolicy(objective="worker"),
-        TaskArrangementFramework.worker_only(dataset.schema, benchmark_framework_config(scale)),
-    ]
-    result = _run_policies(dataset, policies, scale)
-    per_feedback = {r.policy_name: r.mean_update_seconds for r in result.results}
-    per_retrain = {r.policy_name: r.mean_retrain_seconds for r in result.results}
+    results = run_spec(efficiency_spec(scale), dataset=dataset).values()
+    per_feedback = {r.policy_name: r.mean_update_seconds for r in results}
+    per_retrain = {r.policy_name: r.mean_retrain_seconds for r in results}
     return EfficiencyResult(per_feedback_seconds=per_feedback, per_retrain_seconds=per_retrain)
 
 
@@ -303,13 +372,7 @@ def run_arrival_density_experiment(
 
 def _density_policies(dataset: CrowdDataset, scale: ExperimentScale) -> list[ArrangementPolicy]:
     """The five methods shown in Fig. 10: Random, Greedy CS, LinUCB, Greedy NN, DDQN."""
-    return [
-        RandomPolicy(seed=scale.seed),
-        GreedyCosinePolicy(objective="worker"),
-        LinUCBPolicy(objective="worker"),
-        GreedyNeuralPolicy(objective="worker", seed=scale.seed),
-        TaskArrangementFramework.worker_only(dataset.schema, benchmark_framework_config(scale)),
-    ]
+    return _build_spec_policies(density_spec(scale), dataset)
 
 
 def run_quality_noise_experiment(
@@ -320,11 +383,10 @@ def run_quality_noise_experiment(
     scale = scale if scale is not None else ExperimentScale.ci()
     base_dataset = make_dataset(scale)
     outcomes: dict[float, BenefitExperimentResult] = {}
+    spec = requester_benefit_spec(scale)
     for mean in noise_means:
         dataset = add_worker_quality_noise(base_dataset, mean, seed=scale.seed)
-        outcomes[mean] = _run_policies(
-            dataset, requester_benefit_policies(dataset, scale), scale
-        )
+        outcomes[mean] = BenefitExperimentResult(list(run_spec(spec, dataset=dataset).values()))
     return outcomes
 
 
@@ -356,16 +418,15 @@ def run_scalability_experiment(
     for pool_size in pool_sizes:
         tasks, worker, schema = scalability_snapshot(pool_size, seed=seed)
         context = _snapshot_context(tasks, worker, schema)
-        linucb = LinUCBPolicy(objective="worker")
-        ddqn = TaskArrangementFramework.worker_only(
+        linucb = build_policy("linucb", schema, objective="worker")
+        ddqn = build_policy(
+            "ddqn-worker",
             schema,
-            FrameworkConfig(
-                hidden_dim=hidden_dim,
-                num_heads=2,
-                batch_size=8,
-                train_interval=1,
-                seed=seed,
-            ),
+            hidden_dim=hidden_dim,
+            num_heads=2,
+            batch_size=8,
+            train_interval=1,
+            seed=seed,
         )
         result.seconds_by_policy["LinUCB"].append(
             _measure_update(linucb, context, repeats=repeats)

@@ -55,6 +55,21 @@ class RunnerConfig:
             raise ValueError(f"mode must be 'list', 'single' or 'topk', got {self.mode!r}")
         if self.k <= 0:
             raise ValueError("k must be positive")
+        if self.max_arrivals is not None and self.max_arrivals < 0:
+            raise ValueError(f"max_arrivals must be non-negative or None, got {self.max_arrivals}")
+        if self.max_warmup_observations is not None and self.max_warmup_observations < 0:
+            raise ValueError(
+                "max_warmup_observations must be non-negative or None, "
+                f"got {self.max_warmup_observations}"
+            )
+
+    def clamped_k(self, pool_size: int) -> int:
+        """List length actually presented in ``topk`` mode for a given pool.
+
+        Clamped to the pool size so a spec asking for more tasks than exist
+        never silently over-asks the platform.
+        """
+        return min(self.k, pool_size)
 
 
 class SimulationRunner:
@@ -151,7 +166,7 @@ class SimulationRunner:
         if self.config.mode == "single":
             return ranked[:1]
         if self.config.mode == "topk":
-            return ranked[: self.config.k]
+            return ranked[: self.config.clamped_k(len(ranked))]
         return ranked
 
     def _month_of(self, timestamp: float) -> int:

@@ -30,7 +30,14 @@ from .layers import (
     build_mlp,
 )
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
-from .serialization import load_module, load_state_dict, save_module, save_state_dict
+from .serialization import (
+    load_checkpoint,
+    load_module,
+    load_state_dict,
+    save_checkpoint,
+    save_module,
+    save_state_dict,
+)
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
@@ -64,4 +71,6 @@ __all__ = [
     "load_module",
     "save_state_dict",
     "load_state_dict",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

@@ -52,6 +52,38 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- checkpointing --------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Internal optimiser state (moment buffers, step counters).
+
+        Buffers are keyed by the parameter's position in the managed list, so
+        a checkpoint can only be restored into an optimiser built over the
+        same parameters in the same order (which is what rebuilding a model
+        from its configuration produces).
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the state produced by :meth:`state_dict`."""
+        if state:
+            raise ValueError(f"unexpected optimizer state entries: {sorted(state)}")
+
+    def _check_buffers(self, buffers: dict, name: str) -> list[np.ndarray]:
+        """Validate per-parameter buffers from a checkpoint and return them in order."""
+        if set(buffers) != {str(i) for i in range(len(self.parameters))}:
+            raise ValueError(
+                f"{name} buffers do not match the optimizer's {len(self.parameters)} parameters"
+            )
+        ordered = []
+        for i, param in enumerate(self.parameters):
+            buffer = np.asarray(buffers[str(i)], dtype=np.float64)
+            if buffer.shape != param.data.shape:
+                raise ValueError(
+                    f"{name}[{i}] has shape {buffer.shape}, expected {param.data.shape}"
+                )
+            ordered.append(buffer.copy())
+        return ordered
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -79,6 +111,12 @@ class SGD(Optimizer):
             else:
                 update = param.grad
             param.data = param.data - self.lr * update
+
+    def state_dict(self) -> dict:
+        return {"velocity": {str(i): v.copy() for i, v in enumerate(self._velocity)}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._velocity = self._check_buffers(state["velocity"], "velocity")
 
 
 class Adam(Optimizer):
@@ -121,3 +159,15 @@ class Adam(Optimizer):
             m_hat = m / bias_correction1
             v_hat = v / bias_correction2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "step_count": self._step_count,
+            "first_moment": {str(i): m.copy() for i, m in enumerate(self._first_moment)},
+            "second_moment": {str(i): v.copy() for i, v in enumerate(self._second_moment)},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._first_moment = self._check_buffers(state["first_moment"], "first_moment")
+        self._second_moment = self._check_buffers(state["second_moment"], "second_moment")
+        self._step_count = int(state["step_count"])

@@ -1,19 +1,41 @@
-"""Saving and loading of module parameters.
+"""Saving and loading of module parameters and nested checkpoints.
 
 State dicts are persisted in numpy's ``.npz`` format so that trained
 Q-networks (or baseline models) can be checkpointed and restored without any
 external dependency.
+
+Beyond flat parameter dicts, :func:`save_checkpoint` / :func:`load_checkpoint`
+persist an arbitrarily nested tree of dicts whose leaves are either numpy
+arrays or JSON-serialisable scalars/lists (ints, floats, strings, booleans,
+``None``).  Arrays are stored under their ``/``-joined key path inside the
+``.npz`` archive; all other leaves go into a single JSON document stored under
+the reserved ``__json__`` key.  This is what the full-framework checkpointing
+(:meth:`repro.core.TaskArrangementFramework.save`) is built on: network
+parameters, optimiser moments and replay buffers travel as arrays, while
+configuration, RNG states and counters travel as JSON — one self-contained
+file, no pickle.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_module", "load_module", "save_state_dict", "load_state_dict"]
+__all__ = [
+    "save_module",
+    "load_module",
+    "save_state_dict",
+    "load_state_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+#: Reserved archive key holding the JSON-encoded non-array leaves.
+_JSON_KEY = "__json__"
 
 
 def save_state_dict(state: dict[str, np.ndarray], path: str | Path) -> Path:
@@ -33,6 +55,73 @@ def load_state_dict(path: str | Path) -> dict[str, np.ndarray]:
         raise FileNotFoundError(f"no checkpoint at {path}")
     with np.load(path) as archive:
         return {name: archive[name].copy() for name in archive.files}
+
+
+def _flatten_tree(
+    tree: dict, prefix: str, arrays: dict[str, np.ndarray], scalars: dict[str, object]
+) -> None:
+    for key, value in tree.items():
+        if not isinstance(key, str) or not key or "/" in key:
+            raise ValueError(f"checkpoint keys must be non-empty '/'-free strings, got {key!r}")
+        full = f"{prefix}{key}"
+        if full == _JSON_KEY:
+            raise ValueError(f"{_JSON_KEY!r} is reserved for checkpoint metadata")
+        if isinstance(value, dict):
+            if not value:
+                # Preserve empty subtrees so load returns the same structure.
+                scalars[full] = {}
+            else:
+                _flatten_tree(value, f"{full}/", arrays, scalars)
+        elif isinstance(value, np.ndarray):
+            arrays[full] = value
+        else:
+            scalars[full] = value
+
+
+def _insert_nested(tree: dict, key_path: str, value: object) -> None:
+    parts = key_path.split("/")
+    node = tree
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+    node[parts[-1]] = value
+
+
+def save_checkpoint(tree: dict, path: str | Path) -> Path:
+    """Persist a nested checkpoint tree to ``path`` (``.npz``).
+
+    Leaves must be numpy arrays or JSON-serialisable values; intermediate
+    nodes must be dicts with string keys.  Returns the resolved path.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    scalars: dict[str, object] = {}
+    _flatten_tree(tree, "", arrays, scalars)
+    overlap = set(arrays) & set(scalars)
+    if overlap:
+        raise ValueError(f"conflicting checkpoint keys: {sorted(overlap)}")
+    payload = json.dumps(scalars)  # raises TypeError on non-JSON leaves
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays, **{_JSON_KEY: np.array(payload)})
+    return path
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Reconstruct the nested tree previously written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    tree: dict = {}
+    with np.load(path) as archive:
+        if _JSON_KEY not in archive.files:
+            raise ValueError(f"{path} is not a nested checkpoint (missing {_JSON_KEY!r} key)")
+        for key, value in json.loads(str(archive[_JSON_KEY])).items():
+            _insert_nested(tree, key, value)
+        for name in archive.files:
+            if name != _JSON_KEY:
+                _insert_nested(tree, name, archive[name].copy())
+    return tree
 
 
 def save_module(module: Module, path: str | Path) -> Path:

@@ -1,0 +1,76 @@
+"""Smoke tests for the ``python -m repro`` CLI.
+
+These run the real subprocess from the repository root (the tier-1 command's
+working directory), so the whole shell path — spec parsing, registry
+construction, simulation, report writing and the perf-harness forwarding —
+is exercised end to end on tiny inputs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TINY_SPEC = REPO_ROOT / "examples" / "specs" / "ci_tiny.json"
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_bundled_tiny_spec_is_valid_json():
+    from repro.api import ExperimentSpec
+
+    spec = ExperimentSpec.load(TINY_SPEC)
+    assert spec.name == "ci-tiny"
+    assert [entry.policy for entry in spec.policies] == ["random", "ddqn-worker"]
+
+
+def test_cli_policies_lists_the_registry():
+    completed = run_cli("policies")
+    assert completed.returncode == 0, completed.stderr
+    for name in ("random", "linucb", "ddqn-worker"):
+        assert name in completed.stdout
+
+
+def test_cli_run_executes_the_bundled_spec(tmp_path):
+    output = tmp_path / "results.json"
+    completed = run_cli("run", str(TINY_SPEC), "--output", str(output))
+    assert completed.returncode == 0, completed.stderr
+    assert "ci-tiny" in completed.stdout
+    payload = json.loads(output.read_text())
+    assert payload["spec"]["name"] == "ci-tiny"
+    assert set(payload["results"]) == {"Random", "DDQN"}
+    for row in payload["results"].values():
+        assert row["arrivals"] > 0
+        assert "nDCG-CR" in row
+
+
+def test_cli_run_missing_spec_fails_cleanly(tmp_path):
+    completed = run_cli("run", str(tmp_path / "nope.json"))
+    assert completed.returncode != 0
+    assert "nope.json" in completed.stderr
+
+
+@pytest.mark.perf_smoke
+def test_cli_bench_quick_writes_a_report(tmp_path):
+    output = tmp_path / "bench.json"
+    completed = run_cli("bench", "--quick", "--output", str(output))
+    assert completed.returncode == 0, completed.stderr
+    report = json.loads(output.read_text())
+    assert report["mode"] == "quick"
+    assert "train_step" in report["results"]

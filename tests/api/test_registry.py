@@ -1,0 +1,116 @@
+"""Tests for the policy registry: registration contract, building and running.
+
+The heavy guarantee here is the satellite one: *every* registered policy must
+build from a CI-scale dataset and complete a 50-arrival simulation run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import available_policies, build_policy, policy_entry, register_policy
+from repro.api.registry import _REGISTRY
+from repro.baselines import RandomPolicy
+from repro.core import TaskArrangementFramework
+from repro.core.interfaces import ArrangementPolicy
+from repro.datasets import generate_crowdspring
+from repro.eval import RunnerConfig, SimulationRunner
+
+#: Kwargs that keep the DDQN variants CI-sized.
+TINY_DDQN = {"hidden_dim": 16, "num_heads": 2, "batch_size": 8, "train_interval": 4, "seed": 0}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_crowdspring(scale=0.03, num_months=2, seed=1)
+
+
+class TestRegistrationContract:
+    def test_all_expected_policies_are_registered(self):
+        names = set(available_policies())
+        assert {
+            "random",
+            "taskrec",
+            "greedy-cosine",
+            "greedy-nn",
+            "linucb",
+            "ddqn",
+            "ddqn-worker",
+            "ddqn-requester",
+        } <= names
+
+    def test_duplicate_registration_raises(self):
+        def _again(schema, **kwargs):  # pragma: no cover - never stored
+            return RandomPolicy()
+
+        original = policy_entry("random").builder
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("random")(_again)
+        # The original registration must be untouched.
+        assert policy_entry("random").builder is original
+
+    def test_malformed_names_are_rejected(self):
+        for bad in ("", "Random", "has space", "-leading"):
+            with pytest.raises(ValueError, match="slug"):
+                register_policy(bad)(lambda schema, **kwargs: RandomPolicy())
+            assert bad not in _REGISTRY
+
+    def test_unknown_policy_lookup_lists_known_names(self, dataset):
+        with pytest.raises(KeyError, match="registered policies"):
+            build_policy("no-such-policy", dataset)
+
+    def test_entries_carry_descriptions(self):
+        for entry in available_policies().values():
+            assert entry.description
+
+
+class TestBuildPolicy:
+    def test_built_policies_are_stamped_with_their_registry_name(self, dataset):
+        policy = build_policy("linucb", dataset)
+        assert policy.registry_name == "linucb"
+        assert policy.name == "LinUCB"
+
+    def test_build_accepts_a_bare_schema(self, dataset):
+        policy = build_policy("ddqn-worker", dataset.schema, **TINY_DDQN)
+        assert isinstance(policy, TaskArrangementFramework)
+        assert policy.agent_r is None
+
+    def test_build_rejects_non_datasets(self):
+        with pytest.raises(TypeError, match="CrowdDataset"):
+            build_policy("random", object())
+
+    def test_ddqn_variants_configure_the_mdp_flags(self, dataset):
+        worker = build_policy("ddqn-worker", dataset, **TINY_DDQN)
+        requester = build_policy("ddqn-requester", dataset, **TINY_DDQN)
+        balanced = build_policy("ddqn", dataset, worker_weight=0.5, **TINY_DDQN)
+        assert worker.agent_r is None
+        assert requester.agent_w is None
+        assert balanced.agent_w is not None and balanced.agent_r is not None
+        assert balanced.config.worker_weight == 0.5
+
+    def test_unknown_ddqn_kwargs_raise(self, dataset):
+        with pytest.raises(ValueError, match="invalid DDQN configuration"):
+            build_policy("ddqn-worker", dataset, no_such_option=1)
+
+
+class TestEveryPolicyRuns:
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("random", {"seed": 0}),
+            ("taskrec", {"seed": 0}),
+            ("greedy-cosine", {"objective": "worker"}),
+            ("greedy-nn", {"objective": "worker", "seed": 0}),
+            ("linucb", {"objective": "worker"}),
+            ("ddqn", dict(TINY_DDQN, worker_weight=0.25)),
+            ("ddqn-worker", TINY_DDQN),
+            ("ddqn-requester", TINY_DDQN),
+        ],
+    )
+    def test_registered_policy_completes_a_50_arrival_run(self, dataset, name, kwargs):
+        policy = build_policy(name, dataset, **kwargs)
+        assert isinstance(policy, ArrangementPolicy)
+        runner = SimulationRunner(dataset, RunnerConfig(seed=0, max_arrivals=50))
+        result = runner.run(policy)
+        assert result.policy_name == policy.name
+        assert result.arrivals > 0
+        assert np.isfinite(result.cr.final)

@@ -1,0 +1,113 @@
+"""Tests for the declarative spec layer: JSON round-trips and execution."""
+
+import json
+
+import pytest
+
+from repro.api import DatasetSpec, ExperimentSpec, PolicySpec, run_spec
+from repro.eval import RunnerConfig
+from repro.eval.experiments import (
+    ExperimentScale,
+    balance_spec,
+    requester_benefit_spec,
+    worker_benefit_spec,
+)
+from repro.eval.metrics import EvaluationResult
+
+TINY_SCALE = ExperimentScale(
+    scale=0.03, num_months=2, hidden_dim=16, num_heads=2, batch_size=8,
+    train_interval=4, seed=1, max_arrivals=40,
+)
+
+
+def tiny_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="tiny",
+        dataset=DatasetSpec(scale=0.03, num_months=2, seed=1),
+        runner=RunnerConfig(seed=0, max_arrivals=30),
+        policies=[
+            PolicySpec("random", {"seed": 0}),
+            PolicySpec("greedy-cosine", {"objective": "worker"}),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        spec = tiny_spec()
+        assert ExperimentSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+    def test_json_round_trip_is_lossless(self):
+        spec = worker_benefit_spec(TINY_SCALE)
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored.to_dict() == spec.to_dict()
+        assert restored.runner == spec.runner
+        assert [p.policy for p in restored.policies] == [p.policy for p in spec.policies]
+
+    def test_file_round_trip(self, tmp_path):
+        spec = requester_benefit_spec(TINY_SCALE)
+        path = spec.save(tmp_path / "spec.json")
+        assert json.loads(path.read_text())["name"] == "requester-benefit"
+        assert ExperimentSpec.load(path).to_dict() == spec.to_dict()
+
+    def test_balance_spec_labels_each_weight(self):
+        spec = balance_spec((0.0, 0.5, 1.0), TINY_SCALE)
+        weights = [entry.kwargs["worker_weight"] for entry in spec.policies]
+        assert weights == [0.0, 0.5, 1.0]
+        assert all(entry.policy == "ddqn" for entry in spec.policies)
+
+
+class TestValidation:
+    def test_unknown_top_level_keys_raise(self):
+        with pytest.raises(ValueError, match="unknown experiment spec keys"):
+            ExperimentSpec.from_dict({"name": "x", "nope": 1})
+
+    def test_unknown_runner_keys_raise(self):
+        with pytest.raises(ValueError, match="unknown runner keys"):
+            ExperimentSpec.from_dict({"runner": {"warp_speed": 9}})
+
+    def test_unknown_dataset_keys_raise(self):
+        with pytest.raises(ValueError, match="unknown dataset spec keys"):
+            ExperimentSpec.from_dict({"dataset": {"scale": 0.1, "volume": 2}})
+
+    def test_policy_spec_requires_a_name(self):
+        with pytest.raises(ValueError, match="policy"):
+            ExperimentSpec.from_dict({"policies": [{"kwargs": {}}]})
+
+    def test_invalid_runner_values_surface_runnerconfig_errors(self):
+        with pytest.raises(ValueError, match="max_arrivals"):
+            ExperimentSpec.from_dict({"runner": {"max_arrivals": -5}})
+
+    def test_empty_spec_refuses_to_run(self):
+        with pytest.raises(ValueError, match="no policies"):
+            run_spec(ExperimentSpec(name="empty"))
+
+
+class TestRunSpec:
+    def test_run_spec_returns_results_keyed_by_display_name(self):
+        results = run_spec(tiny_spec())
+        assert list(results) == ["Random", "Greedy CS"]
+        for result in results.values():
+            assert isinstance(result, EvaluationResult)
+            assert result.arrivals > 0
+
+    def test_labels_override_result_keys_and_allow_duplicates(self):
+        spec = tiny_spec()
+        spec.policies = [
+            PolicySpec("random", {"seed": 0}, label="random-a"),
+            PolicySpec("random", {"seed": 1}, label="random-b"),
+        ]
+        results = run_spec(spec)
+        assert list(results) == ["random-a", "random-b"]
+
+    def test_duplicate_labels_raise(self):
+        spec = tiny_spec()
+        spec.policies = [PolicySpec("random", {"seed": 0}), PolicySpec("random", {"seed": 1})]
+        with pytest.raises(ValueError, match="duplicate result label"):
+            run_spec(spec)
+
+    def test_dataset_override_skips_generation(self):
+        spec = tiny_spec()
+        dataset = spec.dataset.build()
+        results = run_spec(spec, dataset=dataset)
+        assert set(results) == {"Random", "Greedy CS"}

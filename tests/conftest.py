@@ -1,0 +1,5 @@
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: tiny-shape smoke run of the perf microbenchmark harness",
+    )

@@ -1,0 +1,241 @@
+"""Full-framework checkpoint round-trips.
+
+The two acceptance-level guarantees:
+
+* a framework saved mid-training and reloaded produces **identical rankings**
+  on held-out contexts, and
+* the optimizer-state round-trip continues training **bit-identically** for
+  at least three further gradient steps (networks, Adam moments, replay
+  sampling and exploration RNG all resume exactly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import build_policy
+from repro.core import FrameworkConfig, TaskArrangementFramework
+from repro.crowd.entities import MINUTES_PER_DAY
+from repro.crowd.platform import ArrivalContext, Feedback
+from repro.datasets import scalability_snapshot
+from repro.eval import RunnerConfig, SimulationRunner
+from repro.nn import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    tasks, worker, schema = scalability_snapshot(8, seed=3)
+    features = np.stack([schema.task_features(task) for task in tasks])
+    return tasks, worker, schema, features
+
+
+def make_context(snapshot, timestamp: float) -> ArrivalContext:
+    tasks, worker, schema, features = snapshot
+    return ArrivalContext(
+        timestamp=timestamp,
+        worker=worker,
+        worker_feature=schema.empty_worker_features(),
+        available_tasks=list(tasks),
+        task_features=features,
+        task_qualities=np.zeros(len(tasks)),
+    )
+
+
+def drive(framework, snapshot, start: float, steps: int) -> None:
+    """Feed ``steps`` synthetic arrivals; the completed task is the top rank."""
+    _, worker, _, _ = snapshot
+    for i in range(steps):
+        context = make_context(snapshot, start + i * 7.0)
+        ranked = framework.rank_tasks(context)
+        feedback = Feedback(
+            timestamp=context.timestamp,
+            worker_id=worker.worker_id,
+            presented_task_ids=ranked,
+            completed_task_id=ranked[0],
+            completed_rank=0,
+            completion_reward=1.0,
+            quality_gain=0.4,
+            updated_worker_feature=context.worker_feature,
+        )
+        framework.observe_feedback(context, ranked, feedback)
+
+
+def trained_framework(snapshot, steps: int = 40) -> TaskArrangementFramework:
+    _, _, schema, _ = snapshot
+    framework = TaskArrangementFramework(
+        schema,
+        FrameworkConfig(hidden_dim=16, num_heads=2, batch_size=8, train_interval=1, seed=5),
+    )
+    drive(framework, snapshot, MINUTES_PER_DAY, steps)
+    return framework
+
+
+def assert_parameters_equal(a, b):
+    for (name_a, param_a), (_, param_b) in zip(
+        a.named_parameters(), b.named_parameters()
+    ):
+        assert np.array_equal(param_a.data, param_b.data), name_a
+
+
+class TestNestedCheckpointFormat:
+    def test_nested_tree_round_trips(self, tmp_path):
+        tree = {
+            "format": "demo/1",
+            "arrays": {"weights": np.arange(6.0).reshape(2, 3), "empty": np.zeros(0)},
+            "meta": {"count": 3, "rate": 0.25, "label": "x", "none": None, "flag": True},
+            "big_int": 2**100,
+            "empty_group": {},
+        }
+        loaded = load_checkpoint(save_checkpoint(tree, tmp_path / "tree.npz"))
+        assert loaded["format"] == "demo/1"
+        np.testing.assert_array_equal(loaded["arrays"]["weights"], tree["arrays"]["weights"])
+        assert loaded["arrays"]["empty"].size == 0
+        assert loaded["meta"] == tree["meta"]
+        assert loaded["big_int"] == 2**100
+        assert loaded["empty_group"] == {}
+
+    def test_reserved_and_malformed_keys_raise(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            save_checkpoint({"__json__": 1}, tmp_path / "bad.npz")
+        with pytest.raises(ValueError, match="'/'-free"):
+            save_checkpoint({"a/b": 1}, tmp_path / "bad.npz")
+
+    def test_loading_a_flat_state_dict_is_rejected(self, tmp_path):
+        np.savez(tmp_path / "flat.npz", weights=np.ones(3))
+        with pytest.raises(ValueError, match="not a nested checkpoint"):
+            load_checkpoint(tmp_path / "flat.npz")
+
+
+class TestFrameworkRoundTrip:
+    def test_rankings_identical_on_held_out_contexts(self, snapshot, tmp_path):
+        framework = trained_framework(snapshot)
+        path = framework.save(tmp_path / "framework.npz")
+        restored = TaskArrangementFramework.load(path)
+
+        assert restored.name == framework.name
+        assert restored.config == framework.config
+        assert_parameters_equal(framework.agent_w.network, restored.agent_w.network)
+        assert_parameters_equal(framework.agent_r.network, restored.agent_r.network)
+        assert_parameters_equal(framework.agent_w.learner.target, restored.agent_w.learner.target)
+
+        for offset in (0.0, 123.0, 9_000.0):
+            context = make_context(snapshot, MINUTES_PER_DAY + 5_000.0 + offset)
+            assert framework.rank_tasks(context) == restored.rank_tasks(context)
+
+    def test_training_continues_bit_identically(self, snapshot, tmp_path):
+        framework = trained_framework(snapshot)
+        path = framework.save(tmp_path / "framework.npz")
+        restored = TaskArrangementFramework.load(path)
+        steps_before = framework.agent_w.diagnostics.train_steps
+
+        # ≥3 further gradient steps on both instances (train_interval=1, so
+        # every arrival trains both agents).
+        drive(framework, snapshot, MINUTES_PER_DAY + 2_000.0, 5)
+        drive(restored, snapshot, MINUTES_PER_DAY + 2_000.0, 5)
+
+        assert framework.agent_w.diagnostics.train_steps >= steps_before + 3
+        assert (
+            framework.agent_w.diagnostics.train_steps
+            == restored.agent_w.diagnostics.train_steps
+        )
+        assert framework.agent_w.diagnostics.losses == restored.agent_w.diagnostics.losses
+        for original, loaded in (
+            (framework.agent_w, restored.agent_w),
+            (framework.agent_r, restored.agent_r),
+        ):
+            assert_parameters_equal(original.network, loaded.network)
+            assert_parameters_equal(original.learner.target, loaded.learner.target)
+            assert original.learner.updates == loaded.learner.updates
+            optimizer_a = original.learner.optimizer.state_dict()
+            optimizer_b = loaded.learner.optimizer.state_dict()
+            assert optimizer_a["step_count"] == optimizer_b["step_count"]
+            for key, moment in optimizer_a["first_moment"].items():
+                assert np.array_equal(moment, optimizer_b["first_moment"][key])
+
+        context = make_context(snapshot, MINUTES_PER_DAY + 50_000.0)
+        assert framework.rank_tasks(context) == restored.rank_tasks(context)
+
+    def test_restored_explorer_and_replay_state(self, snapshot, tmp_path):
+        framework = trained_framework(snapshot, steps=25)
+        path = framework.save(tmp_path / "framework.npz")
+        restored = TaskArrangementFramework.load(path)
+
+        assert restored.explorer._steps == framework.explorer._steps
+        assert restored.assign_explorer._steps == framework.assign_explorer._steps
+        assert len(restored.agent_w.memory) == len(framework.agent_w.memory)
+        assert restored.agent_w.memory.beta == framework.agent_w.memory.beta
+        assert restored.rng.bit_generator.state == framework.rng.bit_generator.state
+        stats_a = framework.arrival_statistics
+        stats_b = restored.arrival_statistics
+        assert stats_a.total_arrivals == stats_b.total_arrivals
+        assert stats_a.last_arrival_by_worker == stats_b.last_arrival_by_worker
+        np.testing.assert_array_equal(
+            stats_a.same_worker_gaps._counts, stats_b.same_worker_gaps._counts
+        )
+
+    def test_mismatched_variant_is_rejected(self, snapshot, tmp_path):
+        _, _, schema, _ = snapshot
+        worker_only = TaskArrangementFramework.worker_only(
+            schema, FrameworkConfig(hidden_dim=16, num_heads=2, seed=0)
+        )
+        both = TaskArrangementFramework(
+            schema, FrameworkConfig(hidden_dim=16, num_heads=2, seed=0)
+        )
+        with pytest.raises(ValueError, match="agent_r"):
+            both.load_state_dict(worker_only.state_dict())
+
+    def test_non_framework_file_is_rejected(self, tmp_path):
+        path = save_checkpoint({"format": "other/1"}, tmp_path / "other.npz")
+        with pytest.raises(ValueError, match="not a framework checkpoint"):
+            TaskArrangementFramework.load(path)
+
+
+class TestCheckpointRegistryEntry:
+    def test_ddqn_checkpoint_policy_restores_the_trained_state(self, tmp_path):
+        from repro.datasets import generate_crowdspring
+
+        dataset = generate_crowdspring(scale=0.03, num_months=2, seed=1)
+        trained = build_policy(
+            "ddqn-worker", dataset, hidden_dim=16, num_heads=2, batch_size=8,
+            train_interval=4, seed=0,
+        )
+        runner = SimulationRunner(dataset, RunnerConfig(seed=0, max_arrivals=50))
+        runner.run(trained)
+        path = trained.save(tmp_path / "trained.npz")
+
+        restored = build_policy("ddqn-checkpoint", dataset, path=str(path))
+        assert restored.registry_name == "ddqn-checkpoint"
+        assert_parameters_equal(trained.agent_w.network, restored.agent_w.network)
+
+        # Identical rankings on a context crafted from the dataset's entities.
+        tasks = list(dataset.tasks.values())[:6]
+        context = ArrivalContext(
+            timestamp=MINUTES_PER_DAY,
+            worker=next(iter(dataset.workers.values())),
+            worker_feature=dataset.schema.empty_worker_features(),
+            available_tasks=tasks,
+            task_features=np.stack([dataset.schema.task_features(task) for task in tasks]),
+            task_qualities=np.zeros(len(tasks)),
+        )
+        assert trained.rank_tasks(context) == restored.rank_tasks(context)
+
+        # reset() (called by SimulationRunner.run on every policy) must return
+        # a restored framework to its checkpoint, not to a random re-init —
+        # otherwise evaluating a checkpoint through a spec or the CLI would
+        # silently score a fresh network.
+        restored.reset()
+        assert_parameters_equal(trained.agent_w.network, restored.agent_w.network)
+        assert (
+            restored.agent_w.diagnostics.train_steps
+            == trained.agent_w.diagnostics.train_steps
+        )
+        result = SimulationRunner(dataset, RunnerConfig(seed=0, max_arrivals=30)).run(restored)
+        assert result.arrivals > 0
+
+    def test_checkpoint_schema_mismatch_is_rejected(self, snapshot, tmp_path):
+        from repro.crowd.features import FeatureSchema
+
+        framework = trained_framework(snapshot, steps=5)
+        path = framework.save(tmp_path / "framework.npz")
+        other_schema = FeatureSchema(num_categories=9, num_domains=4)
+        with pytest.raises(ValueError, match="different feature schema"):
+            build_policy("ddqn-checkpoint", other_schema, path=str(path))

@@ -168,6 +168,29 @@ class TestSimulationRunner:
         with pytest.raises(ValueError):
             RunnerConfig(k=0)
 
+    def test_runner_config_rejects_negative_limits(self):
+        with pytest.raises(ValueError, match="max_arrivals"):
+            RunnerConfig(max_arrivals=-1)
+        with pytest.raises(ValueError, match="max_warmup_observations"):
+            RunnerConfig(max_warmup_observations=-3)
+        # Zero and None remain valid.
+        RunnerConfig(max_arrivals=0, max_warmup_observations=0)
+        RunnerConfig(max_arrivals=None, max_warmup_observations=None)
+
+    def test_clamped_k_never_over_asks_the_pool(self):
+        config = RunnerConfig(mode="topk", k=5)
+        assert config.clamped_k(3) == 3
+        assert config.clamped_k(5) == 5
+        assert config.clamped_k(50) == 5
+
+    def test_topk_presentation_is_clamped_to_the_pool(self, tiny_dataset):
+        # k far above any pool size: the presented list must match the full
+        # ranking (clamped), so kCR coincides with nDCG-CR.
+        config = RunnerConfig(mode="topk", k=10_000, seed=0, max_arrivals=30)
+        result = evaluate_policy(tiny_dataset, RandomPolicy(seed=0), config)
+        assert result.arrivals > 0
+        assert result.kcr.final == pytest.approx(result.ndcg_cr.final)
+
     def test_run_produces_complete_result(self, tiny_dataset):
         config = RunnerConfig(seed=0, max_arrivals=60)
         result = evaluate_policy(tiny_dataset, RandomPolicy(seed=0), config)
