@@ -7,7 +7,11 @@ Three pieces:
   five baselines;
 * the **declarative spec layer** (:class:`ExperimentSpec` ⇄ JSON,
   :func:`run_spec`) — a whole head-to-head run as plain data;
-* the **CLI** (``python -m repro run|compare|bench|policies``) built on both.
+* the **sweep layer** (:class:`SweepSpec` / :class:`SweepRunner`) — grids
+  over policy kwargs, runner fields and dataset seeds, expanded into cells,
+  run serially or across a process pool, stored cell-by-cell and resumable;
+* the **CLI** (``python -m repro run|compare|sweep|bench|policies``) built on
+  all of the above.
 
 Quickstart::
 
@@ -33,6 +37,15 @@ from .registry import (
     register_policy,
 )
 from .spec import DatasetSpec, ExperimentSpec, PolicySpec, run_spec
+from .sweep import (
+    SweepAxis,
+    SweepRunner,
+    SweepSpec,
+    SweepStatus,
+    aggregate_cells,
+    format_sweep_table,
+    run_sweep,
+)
 
 __all__ = [
     "PolicyBuilder",
@@ -45,4 +58,11 @@ __all__ = [
     "PolicySpec",
     "ExperimentSpec",
     "run_spec",
+    "SweepAxis",
+    "SweepSpec",
+    "SweepRunner",
+    "SweepStatus",
+    "aggregate_cells",
+    "format_sweep_table",
+    "run_sweep",
 ]

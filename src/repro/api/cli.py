@@ -1,11 +1,14 @@
 """The ``python -m repro`` command line.
 
-Four subcommands, all built on the registry/spec layer:
+Five subcommands, all built on the registry/spec/sweep layers:
 
 * ``run spec.json`` — execute a declarative :class:`ExperimentSpec` file and
   print (optionally write) the final measure table;
 * ``compare`` — run one of the paper's head-to-head line-ups (worker /
   requester / balance) at a chosen preset without writing a spec first;
+* ``sweep run|resume|status`` — execute a declarative :class:`SweepSpec`
+  grid across a worker pool, cell-by-cell and resumable (see
+  :mod:`repro.api.sweep`);
 * ``policies`` — list every registered policy name;
 * ``bench`` — forward to the perf microbenchmark harness
   (``benchmarks/perf/bench_engine.py``; run from the repository root).
@@ -20,30 +23,20 @@ from dataclasses import replace
 from pathlib import Path
 
 from ..eval.metrics import EvaluationResult
-from ..eval.reporting import format_final_table
+from ..eval.reporting import format_final_table, result_payload
 from .registry import available_policies
 from .spec import ExperimentSpec, run_spec
+from .sweep import SweepRunner, SweepSpec, format_sweep_table
 
 __all__ = ["main"]
-
-_ALL_MEASURES = ("CR", "kCR", "nDCG-CR", "QG", "kQG", "nDCG-QG")
 
 
 def _results_payload(spec: ExperimentSpec, results: dict[str, EvaluationResult]) -> dict:
     """JSON document written by ``--output``: spec echo + per-policy summary."""
-    payload: dict = {"spec": spec.to_dict(), "results": {}}
-    for label, result in results.items():
-        summary = result.summary_row()
-        payload["results"][label] = {
-            "policy_name": result.policy_name,
-            "arrivals": result.arrivals,
-            "completions": result.completions,
-            **{measure: float(summary[measure]) for measure in _ALL_MEASURES},
-            "mean_update_seconds": result.mean_update_seconds,
-            "mean_decision_seconds": result.mean_decision_seconds,
-            "mean_retrain_seconds": result.mean_retrain_seconds,
-        }
-    return payload
+    return {
+        "spec": spec.to_dict(),
+        "results": {label: result_payload(result) for label, result in results.items()},
+    }
 
 
 def _report(spec: ExperimentSpec, results: dict[str, EvaluationResult], output: Path | None) -> None:
@@ -102,6 +95,51 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     results = run_spec(spec)
     _report(spec, results, args.output)
     return 0
+
+
+def _sweep_progress(cell_id: str, done: int, total: int) -> None:
+    print(f"[{done}/{total}] {cell_id}")
+
+
+def _run_sweep_runner(runner: SweepRunner) -> int:
+    status = runner.status()
+    if status.finished:
+        print(
+            f"sweep {runner.spec.name!r}: {len(status.finished)}/{status.total} cells "
+            "already on disk, resuming the rest"
+        )
+    aggregate = runner.run(progress=_sweep_progress)
+    print(f"sweep: {aggregate['name']}  ({len(aggregate['cells'])} cells)")
+    print(format_sweep_table(aggregate))
+    print(f"wrote {runner.results_path}")
+    return 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    spec = SweepSpec.load(args.spec)
+    directory = args.dir if args.dir is not None else Path("sweeps") / spec.name
+    return _run_sweep_runner(SweepRunner(spec, directory, workers=args.workers))
+
+
+def _cmd_sweep_resume(args: argparse.Namespace) -> int:
+    spec = SweepSpec.load(Path(args.dir) / "sweep.json")
+    return _run_sweep_runner(SweepRunner(spec, args.dir, workers=args.workers))
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    spec = SweepSpec.load(Path(args.dir) / "sweep.json")
+    runner = SweepRunner(spec, args.dir)
+    status = runner.status()
+    print(f"sweep {spec.name!r}: {len(status.finished)}/{status.total} cells finished")
+    for cell_id in status.pending:
+        print(f"  pending: {cell_id}")
+    if status.complete:
+        if runner.results_path.exists():
+            print(f"  complete — aggregate at {runner.results_path}")
+        else:
+            print("  all cells finished but results.json is missing; run "
+                  "`sweep resume` to aggregate")
+    return 0 if status.complete else 1
 
 
 def _cmd_policies(args: argparse.Namespace) -> int:
@@ -178,6 +216,37 @@ def _build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--seed", type=int, default=None)
     compare_parser.add_argument("--output", type=Path, default=None)
     compare_parser.set_defaults(func=_cmd_compare)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run declarative sweep grids (parallel, resumable)"
+    )
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser("run", help="execute a SweepSpec JSON file")
+    sweep_run.add_argument("spec", type=Path, help="path to the sweep spec (see examples/specs/)")
+    sweep_run.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        help="sweep directory for cells/results (default: sweeps/<name>)",
+    )
+    sweep_run.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = serial, in-process)"
+    )
+    sweep_run.set_defaults(func=_cmd_sweep_run)
+
+    sweep_resume = sweep_sub.add_parser(
+        "resume", help="finish an interrupted sweep from its directory"
+    )
+    sweep_resume.add_argument("dir", type=Path, help="sweep directory holding sweep.json")
+    sweep_resume.add_argument("--workers", type=int, default=1)
+    sweep_resume.set_defaults(func=_cmd_sweep_resume)
+
+    sweep_status = sweep_sub.add_parser(
+        "status", help="show finished/pending cells of a sweep directory"
+    )
+    sweep_status.add_argument("dir", type=Path)
+    sweep_status.set_defaults(func=_cmd_sweep_status)
 
     policies_parser = sub.add_parser("policies", help="list the registered policies")
     policies_parser.set_defaults(func=_cmd_policies)

@@ -12,6 +12,7 @@ scripts and the ``python -m repro`` CLI.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
@@ -112,12 +113,31 @@ class ExperimentSpec:
         policies_data = data.get("policies", [])
         if not isinstance(policies_data, list):
             raise ValueError("policies section must be a JSON array")
-        return cls(
+        spec = cls(
             name=str(data.get("name", "experiment")),
             dataset=DatasetSpec.from_dict(data.get("dataset", {})),
             runner=_from_known_fields(RunnerConfig, data.get("runner", {}), "runner"),
             policies=[PolicySpec.from_dict(entry) for entry in policies_data],
         )
+        # Reject ambiguous line-ups at parse time: repeated labels, or the
+        # same policy repeated without distinguishing labels, would collide
+        # in the results dict (the old behaviour silently kept the last
+        # one).  Labels and bare policy names are checked separately — an
+        # unlabeled entry's runtime key is its *display* name, which is only
+        # known once the policy is built, so run_spec keeps the authoritative
+        # duplicate-label check.
+        labels: set[str] = set()
+        unlabeled: set[str] = set()
+        for policy_spec in spec.policies:
+            pool = unlabeled if policy_spec.label is None else labels
+            key = policy_spec.label if policy_spec.label is not None else policy_spec.policy
+            if key in pool:
+                raise ValueError(
+                    f"spec {spec.name!r} lists policy {key!r} more than once; "
+                    "set a distinct PolicySpec.label on repeated policies"
+                )
+            pool.add(key)
+        return spec
 
     # ------------------------------------------------------------------ #
     def to_json(self, indent: int = 2) -> str:
@@ -141,13 +161,32 @@ class ExperimentSpec:
         return cls.from_json(path.read_text())
 
 
+#: Characters unsafe in filenames derived from labels / axis values (shared
+#: with the sweep layer so checkpoint slugs and cell ids never diverge).
+_UNSAFE_COMPONENT = re.compile(r"[^A-Za-z0-9._=-]+")
+
+
+def _label_slug(label: str) -> str:
+    """Filesystem-safe file stem for a result label."""
+    slug = _UNSAFE_COMPONENT.sub("-", label).strip("-.")
+    return slug or "policy"
+
+
 def run_spec(
-    spec: ExperimentSpec, dataset: CrowdDataset | None = None
+    spec: ExperimentSpec,
+    dataset: CrowdDataset | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> dict[str, EvaluationResult]:
     """Execute a spec and return the results keyed by policy label.
 
     ``dataset`` overrides the spec's generated trace (used when several specs
     share one dataset, or when a synthetic variant was derived from it).
+
+    ``checkpoint_dir`` enables the runner's periodic auto-checkpointing (when
+    ``spec.runner.checkpoint_every`` is set): every checkpointable policy
+    writes ``<checkpoint_dir>/<label>.npz``, overwritten in place as training
+    progresses, so an interrupted run leaves its latest state restorable via
+    the ``ddqn-checkpoint`` registry entry.
     """
     if not spec.policies:
         raise ValueError(f"experiment spec {spec.name!r} lists no policies")
@@ -159,6 +198,7 @@ def run_spec(
     dataset = dataset if dataset is not None else spec.dataset.build()
     runner = SimulationRunner(dataset, spec.runner)
     results: dict[str, EvaluationResult] = {}
+    checkpoint_slugs: dict[str, str] = {}
     for policy_spec in spec.policies:
         policy = build_policy(policy_spec.policy, dataset, **policy_spec.kwargs)
         label = policy_spec.label if policy_spec.label is not None else policy.name
@@ -167,5 +207,16 @@ def run_spec(
                 f"duplicate result label {label!r} in spec {spec.name!r}; "
                 "set PolicySpec.label to disambiguate repeated policies"
             )
-        results[label] = runner.run(policy)
+        checkpoint_path = None
+        if checkpoint_dir is not None:
+            slug = _label_slug(label)
+            if slug in checkpoint_slugs:
+                raise ValueError(
+                    f"labels {checkpoint_slugs[slug]!r} and {label!r} in spec "
+                    f"{spec.name!r} both checkpoint to {slug}.npz; relabel one "
+                    "so their checkpoints cannot overwrite each other"
+                )
+            checkpoint_slugs[slug] = label
+            checkpoint_path = Path(checkpoint_dir) / f"{slug}.npz"
+        results[label] = runner.run(policy, checkpoint_path=checkpoint_path)
     return results

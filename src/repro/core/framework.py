@@ -97,6 +97,7 @@ class TaskArrangementFramework(ArrangementPolicy):
     """Double-DQN task arrangement combining worker and requester benefits."""
 
     name = "DDQN"
+    supports_checkpointing = True
 
     def __init__(self, schema: FeatureSchema, config: FrameworkConfig | None = None) -> None:
         self.schema = schema

@@ -11,6 +11,7 @@ head-to-head comparison possible.
 from __future__ import annotations
 
 import abc
+from pathlib import Path
 
 from ..crowd.platform import ArrivalContext, Feedback
 
@@ -26,6 +27,15 @@ class ArrangementPolicy(abc.ABC):
     #: Stable registry slug this instance was built from (set by
     #: :func:`repro.api.build_policy`; None for hand-constructed policies).
     registry_name: str | None = None
+
+    #: Whether :meth:`save` writes a restorable checkpoint.  The evaluation
+    #: runner's periodic auto-checkpointing only fires for policies that opt
+    #: in (the DDQN framework does; the stateless/cheap baselines do not).
+    supports_checkpointing: bool = False
+
+    def save(self, path: str | Path) -> Path:
+        """Write a self-contained checkpoint of the policy's learned state."""
+        raise NotImplementedError(f"{type(self).__name__} does not support checkpointing")
 
     @abc.abstractmethod
     def rank_tasks(self, context: ArrivalContext) -> list[int]:

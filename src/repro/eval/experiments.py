@@ -18,6 +18,7 @@ import numpy as np
 
 from ..api.registry import build_policy
 from ..api.spec import DatasetSpec, ExperimentSpec, PolicySpec, run_spec
+from ..api.sweep import SweepAxis, SweepSpec
 from ..core import FrameworkConfig
 from ..core.interfaces import ArrangementPolicy
 from ..crowd.entities import MINUTES_PER_DAY, Worker
@@ -44,6 +45,8 @@ __all__ = [
     "balance_spec",
     "efficiency_spec",
     "density_spec",
+    "balance_sweep_spec",
+    "density_sweep_spec",
     "worker_benefit_policies",
     "requester_benefit_policies",
     "run_worker_benefit_experiment",
@@ -174,12 +177,21 @@ def requester_benefit_spec(scale: ExperimentScale) -> ExperimentSpec:
 def balance_spec(
     weights: tuple[float, ...], scale: ExperimentScale
 ) -> ExperimentSpec:
-    """Fig. 9's aggregator-weight sweep as one spec (one DDQN entry per w)."""
+    """Fig. 9's aggregator-weight sweep as one spec (one DDQN entry per w).
+
+    Each entry carries an explicit label (its display name): a spec that
+    repeats the same registry policy must disambiguate the entries, or its
+    JSON round-trip is rejected.
+    """
     return _spec(
         scale,
         "balance",
         [
-            PolicySpec("ddqn", {"worker_weight": weight, **framework_kwargs(scale)})
+            PolicySpec(
+                "ddqn",
+                {"worker_weight": weight, **framework_kwargs(scale)},
+                label=f"DDQN(w={weight:g})",
+            )
             for weight in weights
         ],
     )
@@ -211,6 +223,59 @@ def density_spec(scale: ExperimentScale) -> ExperimentSpec:
             PolicySpec("greedy-nn", {"objective": "worker", "seed": scale.seed}),
             PolicySpec("ddqn-worker", framework_kwargs(scale)),
         ],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Declarative sweeps: the sensitivity/scalability grids as data
+# --------------------------------------------------------------------- #
+def balance_sweep_spec(
+    weights: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    seeds: tuple[int, ...] = (7, 8, 9),
+    scale: ExperimentScale | None = None,
+) -> SweepSpec:
+    """Fig. 9 as a sweep: aggregation weight w × dataset seed replicates.
+
+    One DDQN entry in the base spec; the weight axis varies its
+    ``worker_weight`` kwarg, the seed axis regenerates the trace, and the
+    aggregated document reports mean ± std of every measure per weight.
+    """
+    scale = scale if scale is not None else ExperimentScale.ci()
+    base = _spec(
+        scale,
+        "balance-cell",
+        [PolicySpec("ddqn", framework_kwargs(scale), label="DDQN")],
+    )
+    return SweepSpec(
+        name="fig9-balance-sweep",
+        base=base,
+        axes=[
+            SweepAxis(target="policy", key="worker_weight", values=list(weights), policy="ddqn"),
+            SweepAxis(target="dataset", key="seed", values=list(seeds)),
+        ],
+        replicate_axis="dataset.seed",
+    )
+
+
+def density_sweep_spec(
+    scales: tuple[float, ...] = (0.03, 0.06, 0.12),
+    seeds: tuple[int, ...] = (7, 8),
+    scale: ExperimentScale | None = None,
+) -> SweepSpec:
+    """Fig. 10-style scalability sweep: trace volume × dataset seed replicates.
+
+    Varies the generator's ``scale`` (the arrival volume knob) for the Fig. 10
+    policy line-up, replicated over dataset seeds.
+    """
+    scale = scale if scale is not None else ExperimentScale.ci()
+    return SweepSpec(
+        name="fig10-density-sweep",
+        base=density_spec(scale),
+        axes=[
+            SweepAxis(target="dataset", key="scale", values=list(scales)),
+            SweepAxis(target="dataset", key="seed", values=list(seeds)),
+        ],
+        replicate_axis="dataset.seed",
     )
 
 

@@ -13,11 +13,43 @@ from typing import Iterable, Mapping, Sequence
 from .metrics import EvaluationResult, MetricSeries
 
 __all__ = [
+    "MEASURES",
+    "result_payload",
     "format_table",
     "format_monthly_series",
     "format_final_table",
     "format_series_comparison",
 ]
+
+#: The paper's six head-to-head measures, in reporting order.
+MEASURES = ("CR", "kCR", "nDCG-CR", "QG", "kQG", "nDCG-QG")
+
+
+def result_payload(result: EvaluationResult) -> dict:
+    """One evaluation run as a JSON-ready dict (CLI ``--output`` / sweep cells).
+
+    The six final measures plus counts are exactly reproducible for a fixed
+    spec; the ``mean_*_seconds`` timing fields are machine noise and are kept
+    out of sweep aggregation for that reason.
+    """
+    summary = result.summary_row()
+    return {
+        "policy_name": result.policy_name,
+        "arrivals": result.arrivals,
+        "completions": result.completions,
+        **{measure: float(summary[measure]) for measure in MEASURES},
+        "monthly": {
+            "CR": list(result.cr.monthly),
+            "kCR": list(result.kcr.monthly),
+            "nDCG-CR": list(result.ndcg_cr.monthly),
+            "QG": list(result.qg.monthly),
+            "kQG": list(result.kqg.monthly),
+            "nDCG-QG": list(result.ndcg_qg.monthly),
+        },
+        "mean_update_seconds": result.mean_update_seconds,
+        "mean_decision_seconds": result.mean_decision_seconds,
+        "mean_retrain_seconds": result.mean_retrain_seconds,
+    }
 
 
 def format_table(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..core.interfaces import ArrangementPolicy
 from ..crowd.behavior import CascadeBehavior, InterestModel
@@ -49,6 +50,10 @@ class RunnerConfig:
     learn_from_warmup: bool = True
     #: Cap on warm-up interactions fed to the policy (None = all of them).
     max_warmup_observations: int | None = 300
+    #: Save a policy checkpoint every N online arrivals (None = never).  Only
+    #: policies with :attr:`ArrangementPolicy.supports_checkpointing` write
+    #: anything, and only when ``run`` is given a ``checkpoint_path``.
+    checkpoint_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("list", "single", "topk"):
@@ -61,6 +66,10 @@ class RunnerConfig:
             raise ValueError(
                 "max_warmup_observations must be non-negative or None, "
                 f"got {self.max_warmup_observations}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive or None, got {self.checkpoint_every}"
             )
 
     def clamped_k(self, pool_size: int) -> int:
@@ -80,9 +89,23 @@ class SimulationRunner:
         self.config = config if config is not None else RunnerConfig()
 
     # ------------------------------------------------------------------ #
-    def run(self, policy: ArrangementPolicy) -> EvaluationResult:
-        """Replay the dataset against ``policy`` and return all measures."""
+    def run(
+        self, policy: ArrangementPolicy, checkpoint_path: str | Path | None = None
+    ) -> EvaluationResult:
+        """Replay the dataset against ``policy`` and return all measures.
+
+        When ``checkpoint_path`` is given, ``config.checkpoint_every`` is set
+        and the policy supports checkpointing, a checkpoint is written (and
+        overwritten in place) every N online arrivals plus once after the
+        final arrival, so an interrupted run always leaves the most recent
+        complete training state behind.
+        """
         config = self.config
+        checkpointing = (
+            checkpoint_path is not None
+            and config.checkpoint_every is not None
+            and policy.supports_checkpointing
+        )
         tasks, workers = self.dataset.fresh_entities()
         behavior = CascadeBehavior(
             InterestModel(sharpness=config.interest_sharpness),
@@ -142,8 +165,15 @@ class SimulationRunner:
             policy.observe_feedback(context, presented, feedback)
             update_seconds += time.perf_counter() - started
 
+            if checkpointing and arrivals % config.checkpoint_every == 0:
+                policy.save(checkpoint_path)
+
             if config.max_arrivals is not None and arrivals >= config.max_arrivals:
                 break
+
+        # Final save, unless the last arrival already checkpointed.
+        if checkpointing and arrivals and arrivals % config.checkpoint_every != 0:
+            policy.save(checkpoint_path)
 
         mean_retrain = sum(retrain_seconds) / len(retrain_seconds) if retrain_seconds else 0.0
         return EvaluationResult(

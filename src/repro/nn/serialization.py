@@ -19,6 +19,7 @@ file, no pickle.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -103,7 +104,12 @@ def save_checkpoint(tree: dict, path: str | Path) -> Path:
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays, **{_JSON_KEY: np.array(payload)})
+    # Write-then-rename so an interrupted save (e.g. a killed sweep worker in
+    # the middle of an auto-checkpoint) never leaves a truncated archive at
+    # the destination — at worst the previous complete checkpoint survives.
+    temporary = path.parent / f".{path.stem}.tmp.npz"
+    np.savez(temporary, **arrays, **{_JSON_KEY: np.array(payload)})
+    os.replace(temporary, path)
     return path
 
 

@@ -66,6 +66,77 @@ def test_cli_run_missing_spec_fails_cleanly(tmp_path):
     assert "nope.json" in completed.stderr
 
 
+CHEAP_SWEEP = {
+    "name": "cli-sweep",
+    "base": {
+        "name": "cli-sweep-cell",
+        "dataset": {"scale": 0.03, "num_months": 2, "seed": 1},
+        "runner": {"seed": 0, "max_arrivals": 20},
+        "policies": [
+            {"policy": "random", "kwargs": {"seed": 0}},
+            {"policy": "greedy-cosine", "kwargs": {"objective": "worker"}},
+        ],
+    },
+    "axes": [{"target": "dataset", "key": "seed", "values": [1, 2]}],
+    "replicate_axis": "dataset.seed",
+}
+
+
+def test_bundled_ci_sweep_spec_is_valid():
+    from repro.api import SweepSpec
+
+    spec = SweepSpec.load(REPO_ROOT / "examples" / "specs" / "ci_sweep.json")
+    assert spec.name == "ci-sweep"
+    assert spec.replicate_axis == "dataset.seed"
+    assert len(spec.expand()) == 4
+    assert spec.base.runner.checkpoint_every == 10
+
+
+def test_bundled_fig9_sweep_spec_is_valid():
+    from repro.api import SweepSpec
+
+    spec = SweepSpec.load(REPO_ROOT / "examples" / "specs" / "fig9_balance_sweep.json")
+    cells = spec.expand()
+    assert len(cells) == 6  # 3 weights x 2 seed replicates
+    weights = {cell.assignments["ddqn.worker_weight"] for cell in cells}
+    assert weights == {0.0, 0.5, 1.0}
+
+
+def test_cli_sweep_run_status_and_resume(tmp_path):
+    spec_path = tmp_path / "sweep_spec.json"
+    spec_path.write_text(json.dumps(CHEAP_SWEEP))
+    sweep_dir = tmp_path / "sweep"
+
+    completed = run_cli(
+        "sweep", "run", str(spec_path), "--dir", str(sweep_dir), "--workers", "2"
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "2 cells" in completed.stdout
+    results = json.loads((sweep_dir / "results.json").read_text())
+    assert results["groups"]["all"]["replicates"] == 2
+    assert set(results["groups"]["all"]["policies"]) == {"Random", "Greedy CS"}
+
+    status = run_cli("sweep", "status", str(sweep_dir))
+    assert status.returncode == 0, status.stderr
+    assert "2/2 cells finished" in status.stdout
+
+    # Interrupt: drop one finished cell, status flips to pending, resume
+    # re-runs only that cell and restores the identical aggregate.
+    victim = sweep_dir / "cells" / "dataset.seed=2.json"
+    victim.unlink()
+    assert run_cli("sweep", "status", str(sweep_dir)).returncode == 1
+    resumed = run_cli("sweep", "resume", str(sweep_dir), "--workers", "2")
+    assert resumed.returncode == 0, resumed.stderr
+    assert "1/2 cells already on disk" in resumed.stdout
+    assert json.loads((sweep_dir / "results.json").read_text()) == results
+
+
+def test_cli_sweep_run_missing_spec_fails_cleanly(tmp_path):
+    completed = run_cli("sweep", "run", str(tmp_path / "nope.json"))
+    assert completed.returncode != 0
+    assert "nope.json" in completed.stderr
+
+
 @pytest.mark.perf_smoke
 def test_cli_bench_quick_writes_a_report(tmp_path):
     output = tmp_path / "bench.json"

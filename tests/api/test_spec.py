@@ -55,6 +55,12 @@ class TestRoundTrip:
         weights = [entry.kwargs["worker_weight"] for entry in spec.policies]
         assert weights == [0.0, 0.5, 1.0]
         assert all(entry.policy == "ddqn" for entry in spec.policies)
+        # The repeated ddqn entries must carry distinct labels, or the spec
+        # could not round-trip through JSON (duplicate names are rejected).
+        assert [entry.label for entry in spec.policies] == [
+            "DDQN(w=0)", "DDQN(w=0.5)", "DDQN(w=1)",
+        ]
+        assert ExperimentSpec.from_json(spec.to_json()).to_dict() == spec.to_dict()
 
 
 class TestValidation:
@@ -82,6 +88,41 @@ class TestValidation:
         with pytest.raises(ValueError, match="no policies"):
             run_spec(ExperimentSpec(name="empty"))
 
+    def test_duplicate_policy_names_are_rejected_at_parse_time(self):
+        data = tiny_spec().to_dict()
+        data["policies"] = [{"policy": "random"}, {"policy": "random"}]
+        with pytest.raises(ValueError, match="more than once"):
+            ExperimentSpec.from_dict(data)
+
+    def test_duplicate_labels_are_rejected_at_parse_time(self):
+        data = tiny_spec().to_dict()
+        data["policies"] = [
+            {"policy": "random", "label": "twin"},
+            {"policy": "linucb", "label": "twin"},
+        ]
+        with pytest.raises(ValueError, match="more than once"):
+            ExperimentSpec.from_dict(data)
+
+    def test_label_matching_another_policy_name_still_parses(self):
+        # A label colliding with a *different* entry's registry slug is not a
+        # result-dict collision (unlabeled entries key on display names).
+        data = tiny_spec().to_dict()
+        data["policies"] = [
+            {"policy": "linucb", "label": "random"},
+            {"policy": "random"},
+        ]
+        spec = ExperimentSpec.from_dict(data)
+        assert len(spec.policies) == 2
+
+    def test_distinct_labels_make_repeated_policies_parseable(self):
+        data = tiny_spec().to_dict()
+        data["policies"] = [
+            {"policy": "random", "kwargs": {"seed": 0}, "label": "random-a"},
+            {"policy": "random", "kwargs": {"seed": 1}, "label": "random-b"},
+        ]
+        spec = ExperimentSpec.from_dict(data)
+        assert [entry.label for entry in spec.policies] == ["random-a", "random-b"]
+
 
 class TestRunSpec:
     def test_run_spec_returns_results_keyed_by_display_name(self):
@@ -105,6 +146,17 @@ class TestRunSpec:
         spec.policies = [PolicySpec("random", {"seed": 0}), PolicySpec("random", {"seed": 1})]
         with pytest.raises(ValueError, match="duplicate result label"):
             run_spec(spec)
+
+    def test_checkpoint_slug_collisions_are_rejected(self, tmp_path):
+        # Distinct labels that sanitize to the same filename must not
+        # silently overwrite each other's checkpoints.
+        spec = tiny_spec()
+        spec.policies = [
+            PolicySpec("random", {"seed": 0}, label="a b"),
+            PolicySpec("greedy-cosine", {"objective": "worker"}, label="a-b"),
+        ]
+        with pytest.raises(ValueError, match="both checkpoint"):
+            run_spec(spec, checkpoint_dir=tmp_path)
 
     def test_dataset_override_skips_generation(self):
         spec = tiny_spec()

@@ -189,6 +189,138 @@ class TestFrameworkRoundTrip:
             TaskArrangementFramework.load(path)
 
 
+#: All checkpointable registry variants (builder kwargs on top of the tiny
+#: framework config).  ``ddqn-checkpoint`` is the *consumer* of these files
+#: and is exercised in TestCheckpointRegistryEntry below.
+FRAMEWORK_VARIANTS = [
+    ("ddqn", {"worker_weight": 0.25}),
+    ("ddqn-worker", {}),
+    ("ddqn-requester", {}),
+]
+
+TINY_FRAMEWORK = {"hidden_dim": 16, "num_heads": 2, "batch_size": 8, "train_interval": 1, "seed": 5}
+
+
+class TestAllVariantsInterruptResume:
+    """Interrupt-at-arrival-N round-trips for every framework registry entry.
+
+    An uninterrupted 40-step run must be indistinguishable from a run that is
+    interrupted at step 30, checkpointed, reloaded into a fresh process-like
+    state and driven through the same final 10 arrivals.
+    """
+
+    def variant(self, snapshot, name, extra):
+        _, _, schema, _ = snapshot
+        from repro.api import build_policy
+
+        return build_policy(name, schema, **TINY_FRAMEWORK, **extra)
+
+    @pytest.mark.parametrize("name,extra", FRAMEWORK_VARIANTS)
+    def test_interrupted_run_finishes_identically(self, snapshot, tmp_path, name, extra):
+        uninterrupted = self.variant(snapshot, name, extra)
+        drive(uninterrupted, snapshot, MINUTES_PER_DAY, 40)
+
+        interrupted = self.variant(snapshot, name, extra)
+        drive(interrupted, snapshot, MINUTES_PER_DAY, 30)
+        path = interrupted.save(tmp_path / f"{name}.npz")
+        restored = TaskArrangementFramework.load(path)
+        # Finish the exact arrivals the uninterrupted run saw after step 30.
+        drive(restored, snapshot, MINUTES_PER_DAY + 30 * 7.0, 10)
+
+        for agent_name in ("agent_w", "agent_r"):
+            original = getattr(uninterrupted, agent_name)
+            loaded = getattr(restored, agent_name)
+            assert (original is None) == (loaded is None)
+            if original is None:
+                continue
+            assert_parameters_equal(original.network, loaded.network)
+            assert_parameters_equal(original.learner.target, loaded.learner.target)
+            assert original.diagnostics.train_steps == loaded.diagnostics.train_steps
+            assert original.diagnostics.losses == loaded.diagnostics.losses
+        assert restored.explorer._steps == uninterrupted.explorer._steps
+        context = make_context(snapshot, MINUTES_PER_DAY + 40_000.0)
+        assert uninterrupted.rank_tasks(context) == restored.rank_tasks(context)
+
+    @pytest.mark.parametrize("name,extra", FRAMEWORK_VARIANTS)
+    def test_registry_variants_support_checkpointing(self, snapshot, name, extra):
+        assert self.variant(snapshot, name, extra).supports_checkpointing
+
+    def test_baselines_do_not_claim_checkpointing(self, snapshot):
+        from repro.api import build_policy
+
+        _, _, schema, _ = snapshot
+        policy = build_policy("random", schema, seed=0)
+        assert not policy.supports_checkpointing
+        with pytest.raises(NotImplementedError, match="does not support checkpointing"):
+            policy.save("nowhere.npz")
+
+
+class TestRunnerAutoCheckpointing:
+    """The SimulationRunner's periodic save hook (checkpoint_every)."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        from repro.datasets import generate_crowdspring
+
+        return generate_crowdspring(scale=0.03, num_months=2, seed=1)
+
+    def tiny_policy(self, dataset):
+        return build_policy(
+            "ddqn-worker", dataset, hidden_dim=16, num_heads=2, batch_size=8,
+            train_interval=4, seed=0,
+        )
+
+    def test_periodic_saves_leave_the_final_state_on_disk(self, dataset, tmp_path):
+        path = tmp_path / "auto.npz"
+        runner = SimulationRunner(
+            dataset, RunnerConfig(seed=0, max_arrivals=25, checkpoint_every=10)
+        )
+        policy = self.tiny_policy(dataset)
+        result = runner.run(policy, checkpoint_path=path)
+        assert result.arrivals == 25
+        assert path.exists()
+        restored = TaskArrangementFramework.load(path)
+        # The final save happens after the last arrival, so the file holds the
+        # fully-trained state.
+        assert_parameters_equal(policy.agent_w.network, restored.agent_w.network)
+        assert (
+            restored.agent_w.diagnostics.train_steps
+            == policy.agent_w.diagnostics.train_steps
+        )
+
+    def test_checkpointing_does_not_perturb_the_run(self, dataset, tmp_path):
+        plain = SimulationRunner(dataset, RunnerConfig(seed=0, max_arrivals=25)).run(
+            self.tiny_policy(dataset)
+        )
+        checkpointed = SimulationRunner(
+            dataset, RunnerConfig(seed=0, max_arrivals=25, checkpoint_every=7)
+        ).run(self.tiny_policy(dataset), checkpoint_path=tmp_path / "auto.npz")
+        assert checkpointed.cr.monthly == plain.cr.monthly
+        assert checkpointed.qg.monthly == plain.qg.monthly
+        assert checkpointed.completions == plain.completions
+
+    def test_non_checkpointable_policies_are_skipped_silently(self, dataset, tmp_path):
+        path = tmp_path / "never.npz"
+        runner = SimulationRunner(
+            dataset, RunnerConfig(seed=0, max_arrivals=10, checkpoint_every=2)
+        )
+        result = runner.run(build_policy("random", dataset, seed=0), checkpoint_path=path)
+        assert result.arrivals == 10
+        assert not path.exists()
+
+    def test_no_save_without_a_path(self, dataset, tmp_path):
+        runner = SimulationRunner(
+            dataset, RunnerConfig(seed=0, max_arrivals=10, checkpoint_every=2)
+        )
+        result = runner.run(self.tiny_policy(dataset))
+        assert result.arrivals == 10
+        assert list(tmp_path.iterdir()) == []
+
+    def test_invalid_checkpoint_every_is_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            RunnerConfig(checkpoint_every=0)
+
+
 class TestCheckpointRegistryEntry:
     def test_ddqn_checkpoint_policy_restores_the_trained_state(self, tmp_path):
         from repro.datasets import generate_crowdspring

@@ -1,0 +1,137 @@
+"""Seed-determinism guarantees behind the sweep engine.
+
+The sweep layer's whole resume/parallelism story rests on two properties:
+
+* running the *same* :class:`ExperimentSpec` twice produces *identical*
+  results (every policy's randomness flows from spec seeds, never from
+  global state), and
+* a parallel sweep produces bit-identical aggregated results to the same
+  sweep run serially (cells are fully self-contained).
+
+These tests pin both down for every registered policy.  Timing fields
+(``mean_*_seconds``) are machine noise and deliberately excluded.
+"""
+
+import pytest
+
+from repro.api import (
+    DatasetSpec,
+    ExperimentSpec,
+    PolicySpec,
+    SweepAxis,
+    SweepSpec,
+    available_policies,
+    build_policy,
+    run_spec,
+    run_sweep,
+)
+from repro.datasets import generate_crowdspring
+from repro.eval import RunnerConfig, SimulationRunner
+from repro.eval.metrics import EvaluationResult
+
+TINY_DDQN = {"hidden_dim": 16, "num_heads": 2, "batch_size": 8, "train_interval": 4, "seed": 0}
+
+#: Builder kwargs making every registered policy CI-sized (the
+#: ``ddqn-checkpoint`` entry needs a trained file and is covered separately).
+POLICY_KWARGS = [
+    ("random", {"seed": 0}),
+    ("taskrec", {"seed": 0}),
+    ("greedy-cosine", {"objective": "worker"}),
+    ("greedy-nn", {"objective": "worker", "seed": 0}),
+    ("linucb", {"objective": "worker"}),
+    ("ddqn", dict(TINY_DDQN, worker_weight=0.25)),
+    ("ddqn-worker", TINY_DDQN),
+    ("ddqn-requester", TINY_DDQN),
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_crowdspring(scale=0.03, num_months=2, seed=1)
+
+
+def assert_results_identical(a: EvaluationResult, b: EvaluationResult) -> None:
+    """Exact (bitwise, not approximate) equality of all deterministic fields."""
+    assert a.policy_name == b.policy_name
+    assert a.arrivals == b.arrivals
+    assert a.completions == b.completions
+    for field in ("cr", "kcr", "ndcg_cr", "qg", "kqg", "ndcg_qg"):
+        series_a, series_b = getattr(a, field), getattr(b, field)
+        assert series_a.monthly == series_b.monthly, field
+        assert series_a.final == series_b.final, field
+
+
+def spec_for(name: str, kwargs: dict) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"determinism-{name}",
+        dataset=DatasetSpec(scale=0.03, num_months=2, seed=1),
+        runner=RunnerConfig(seed=0, max_arrivals=40),
+        policies=[PolicySpec(name, dict(kwargs))],
+    )
+
+
+class TestEveryPolicyIsSeedDeterministic:
+    def test_parametrization_covers_the_whole_registry(self):
+        covered = {name for name, _ in POLICY_KWARGS} | {"ddqn-checkpoint"}
+        assert covered == set(available_policies()), (
+            "a policy was registered without a determinism test entry; "
+            "add it to POLICY_KWARGS"
+        )
+
+    @pytest.mark.parametrize("name,kwargs", POLICY_KWARGS)
+    def test_same_spec_twice_gives_identical_results(self, dataset, name, kwargs):
+        spec = spec_for(name, kwargs)
+        first = run_spec(spec, dataset=dataset)
+        second = run_spec(spec, dataset=dataset)
+        assert list(first) == list(second)
+        for label in first:
+            assert_results_identical(first[label], second[label])
+
+    def test_checkpoint_policy_is_deterministic(self, dataset, tmp_path):
+        trained = build_policy("ddqn-worker", dataset, **TINY_DDQN)
+        SimulationRunner(dataset, RunnerConfig(seed=0, max_arrivals=30)).run(trained)
+        path = trained.save(tmp_path / "trained.npz")
+        runs = []
+        for _ in range(2):
+            restored = build_policy("ddqn-checkpoint", dataset, path=str(path))
+            runs.append(
+                SimulationRunner(dataset, RunnerConfig(seed=0, max_arrivals=30)).run(restored)
+            )
+        assert_results_identical(runs[0], runs[1])
+
+
+class TestParallelSweepMatchesSerial:
+    def tiny_sweep(self) -> SweepSpec:
+        base = ExperimentSpec(
+            name="determinism-cell",
+            dataset=DatasetSpec(scale=0.03, num_months=2, seed=1),
+            runner=RunnerConfig(seed=0, max_arrivals=25),
+            policies=[
+                PolicySpec("random", {"seed": 0}),
+                PolicySpec("ddqn-worker", dict(TINY_DDQN, hidden_dim=8)),
+            ],
+        )
+        return SweepSpec(
+            name="determinism-sweep",
+            base=base,
+            axes=[SweepAxis(target="dataset", key="seed", values=[1, 2])],
+            replicate_axis="dataset.seed",
+        )
+
+    def test_parallel_and_serial_aggregates_are_bit_identical(self, tmp_path):
+        serial = run_sweep(self.tiny_sweep(), tmp_path / "serial", workers=1)
+        parallel = run_sweep(self.tiny_sweep(), tmp_path / "parallel", workers=2)
+        # Dict equality here is exact float equality on every mean/std/value
+        # of every measure in every group — not approximate comparison.
+        assert parallel == serial
+
+    def test_rerunning_a_finished_sweep_returns_the_stored_aggregate(self, tmp_path):
+        first = run_sweep(self.tiny_sweep(), tmp_path / "sweep")
+        executed: list[str] = []
+        second = run_sweep(
+            self.tiny_sweep(),
+            tmp_path / "sweep",
+            progress=lambda cell, done, total: executed.append(cell),
+        )
+        assert executed == []
+        assert second == first
