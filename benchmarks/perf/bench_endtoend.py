@@ -1,0 +1,262 @@
+"""End-to-end throughput harness: arrivals/sec through the full online loop.
+
+The microbenchmarks in :mod:`benchmarks.perf.bench_engine` time individual
+kernels; this harness answers the north-star question — how many worker
+arrivals per second can the *whole* pipeline sustain?  For every policy it
+replays a generated CrowdSpring-like trace through the real
+:class:`repro.eval.SimulationRunner` online loop (decision → simulated
+feedback → metric update → model update) and reports:
+
+* ``arrivals_per_s`` — online arrivals processed per wall-clock second,
+  end to end (the paper's Table 1 latency claims, turned into a throughput
+  number);
+* ``decision_ms`` / ``update_ms`` — the runner's mean per-arrival decision
+  and update latencies;
+* for the DDQN framework additionally a ``float32`` variant (same spec, the
+  networks in half the precision) and a **batched decision-only** replay
+  (``SimulationRunner.replay_decisions``), which routes candidate scoring
+  through ``q_values_batch`` in padded mega-batches and so measures the pure
+  decision path at batch sizes 1 and ``decision_batch``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_endtoend             # CI scale
+    PYTHONPATH=src python -m benchmarks.perf.bench_endtoend --quick     # smoke
+    PYTHONPATH=src python -m benchmarks.perf.bench_endtoend --preset paper
+
+Writes ``BENCH_endtoend.json`` next to this file (override with
+``--output``).  ``--preset paper`` uses the full 13-month volume and the
+paper's network width — expect a long run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import build_policy
+from repro.eval import RunnerConfig, SimulationRunner
+from repro.datasets import generate_crowdspring
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_endtoend.json"
+
+
+@dataclass
+class EndToEndConfig:
+    """Trace volume, policy shapes and measurement caps for one harness run."""
+
+    #: Dataset generation knobs (see ``generate_crowdspring``).
+    scale: float = 0.1
+    num_months: int = 3
+    dataset_seed: int = 7
+    #: Online arrivals measured per policy (None = full trace).
+    max_arrivals: int | None = 400
+    #: DDQN shape (the paper's full configuration is 128 / 4).
+    hidden_dim: int = 64
+    num_heads: int = 4
+    batch_size: int = 64
+    train_interval: int = 1
+    #: Batch size of the batched decision-only replay.
+    decision_batch: int = 64
+    #: Arrivals scored by the decision-only replay.
+    decision_arrivals: int = 400
+    seed: int = 0
+    #: Policy line-up: every registered baseline plus the DDQN variants.
+    baselines: tuple[str, ...] = ("random", "greedy-cosine", "taskrec", "linucb", "greedy-nn")
+
+    @classmethod
+    def quick(cls) -> "EndToEndConfig":
+        return cls(
+            scale=0.03,
+            num_months=2,
+            max_arrivals=40,
+            hidden_dim=16,
+            num_heads=2,
+            batch_size=8,
+            train_interval=4,
+            decision_batch=16,
+            decision_arrivals=40,
+            baselines=("random", "greedy-cosine", "linucb"),
+        )
+
+    @classmethod
+    def paper(cls) -> "EndToEndConfig":
+        return cls(
+            scale=1.0,
+            num_months=13,
+            max_arrivals=2_000,
+            hidden_dim=128,
+            num_heads=4,
+            decision_arrivals=2_000,
+        )
+
+    def ddqn_kwargs(self) -> dict:
+        return {
+            "hidden_dim": self.hidden_dim,
+            "num_heads": self.num_heads,
+            "batch_size": self.batch_size,
+            "train_interval": self.train_interval,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class PolicyThroughput:
+    """One measured policy row."""
+
+    label: str
+    policy: str
+    arrivals: int
+    elapsed_s: float
+    arrivals_per_s: float
+    decision_ms: float
+    update_ms: float
+    kwargs: dict = field(default_factory=dict)
+
+
+def measure_policy(
+    runner: SimulationRunner, label: str, name: str, kwargs: dict
+) -> PolicyThroughput:
+    """Run one policy through the full online loop and time it end to end."""
+    policy = build_policy(name, runner.dataset, **kwargs)
+    started = time.perf_counter()
+    result = runner.run(policy)
+    elapsed = time.perf_counter() - started
+    return PolicyThroughput(
+        label=label,
+        policy=name,
+        arrivals=result.arrivals,
+        elapsed_s=elapsed,
+        arrivals_per_s=result.arrivals / elapsed if elapsed > 0 else float("inf"),
+        decision_ms=result.mean_decision_seconds * 1e3,
+        update_ms=result.mean_update_seconds * 1e3,
+        kwargs=dict(kwargs),
+    )
+
+
+def measure_decision_path(config: EndToEndConfig, runner: SimulationRunner) -> dict:
+    """Decision-only replay throughput at batch size 1 vs ``decision_batch``.
+
+    The policy is frozen (no feedback, no learning), so consecutive arrivals
+    are independent and the batched path may legally score ``decision_batch``
+    candidate pools through one padded ``q_values_batch`` call per Q-network.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for batch_size in (1, config.decision_batch):
+        policy = build_policy("ddqn", runner.dataset, **config.ddqn_kwargs())
+        started = time.perf_counter()
+        ranked = runner.replay_decisions(
+            policy, batch_size=batch_size, max_arrivals=config.decision_arrivals
+        )
+        elapsed = time.perf_counter() - started
+        out[f"batch_{batch_size}"] = {
+            "arrivals": ranked,
+            "elapsed_s": elapsed,
+            "decisions_per_s": ranked / elapsed if elapsed > 0 else float("inf"),
+        }
+    single = out.get("batch_1", {}).get("decisions_per_s", 0.0)
+    batched = out.get(f"batch_{config.decision_batch}", {}).get("decisions_per_s", 0.0)
+    if single and batched:
+        out["batched_speedup"] = batched / single
+    return out
+
+
+def run(config: EndToEndConfig) -> dict:
+    dataset = generate_crowdspring(
+        scale=config.scale, num_months=config.num_months, seed=config.dataset_seed
+    )
+    runner = SimulationRunner(
+        dataset, RunnerConfig(seed=config.seed, max_arrivals=config.max_arrivals)
+    )
+
+    rows: list[PolicyThroughput] = []
+    for name in config.baselines:
+        kwargs: dict = {"seed": config.seed} if name in ("random", "taskrec", "greedy-nn") else {}
+        rows.append(measure_policy(runner, name, name, kwargs))
+    ddqn_kwargs = config.ddqn_kwargs()
+    rows.append(measure_policy(runner, "ddqn", "ddqn", ddqn_kwargs))
+    rows.append(
+        measure_policy(
+            runner, "ddqn-float32", "ddqn", {**ddqn_kwargs, "dtype": "float32"}
+        )
+    )
+
+    return {
+        "benchmark": "end-to-end arrivals/sec",
+        "config": asdict(config),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "policies": {row.label: asdict(row) for row in rows},
+        "decision_path": measure_decision_path(config, runner),
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"{'policy':<16} {'arrivals':>8} {'arr/s':>10} {'decision':>10} {'update':>10}"
+    ]
+    for label, row in report["policies"].items():
+        lines.append(
+            f"{label:<16} {row['arrivals']:>8} {row['arrivals_per_s']:>9.1f} "
+            f"{row['decision_ms']:>8.2f}ms {row['update_ms']:>8.2f}ms"
+        )
+    decision = report.get("decision_path", {})
+    batches = [key for key in decision if key.startswith("batch_")]
+    if batches:
+        lines.append("")
+        lines.append("ddqn decision-only replay (frozen policy, q_values_batch):")
+        for key in batches:
+            entry = decision[key]
+            lines.append(
+                f"  {key:<10} {entry['arrivals']:>6} arrivals  "
+                f"{entry['decisions_per_s']:>9.1f} decisions/s"
+            )
+        if "batched_speedup" in decision:
+            lines.append(f"  batched speedup: {decision['batched_speedup']:.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny trace (CI smoke run, seconds not minutes)"
+    )
+    parser.add_argument(
+        "--preset",
+        choices=("ci", "paper"),
+        default="ci",
+        help="trace volume / network width (ci default; paper = full 13-month volume)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        config = EndToEndConfig.quick()
+    elif args.preset == "paper":
+        config = EndToEndConfig.paper()
+    else:
+        config = EndToEndConfig()
+    report = run(config)
+    report["mode"] = "quick" if args.quick else args.preset
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(render(report))
+    print(f"\nwrote {args.output}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,14 +1,19 @@
 """Microbenchmark harness for the batched tensor engine.
 
-Times the three hot paths that the batched engine rewrote — Q-network
-forward, the Double-DQN ``train_step`` and the prioritized-replay ops —
-*before* (per-sample reference implementations) and *after* (batched /
-vectorized paths), and writes the timings to ``BENCH_engine.json``.
+Times the hot paths that the batched engine and the fused-kernel work
+rewrote — Q-network forward, the Double-DQN ``train_step``, the
+prioritized-replay ops, the fused QKV projection and the flat-buffer Adam —
+*before* (per-sample / unfused reference implementations) and *after*
+(batched / fused paths), and writes the timings to ``BENCH_engine.json``.
+A ``--dtype`` axis additionally reruns the forward/train_step benchmarks per
+precision, so the report records the float32-vs-float64 speedup of the
+compute core.
 
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf.bench_engine            # full run
     PYTHONPATH=src python -m benchmarks.perf.bench_engine --quick    # tiny shapes
+    PYTHONPATH=src python -m benchmarks.perf.bench_engine --dtype float32
 
 The full configuration mirrors the paper's training setup (hidden width 128,
 batch size 64, the framework's default 2-4 future-state branches per
@@ -38,8 +43,12 @@ from repro.core import (
     Transition,
 )
 from repro.crowd import FeatureSchema
+from repro.nn import Adam, Tensor
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+#: Precisions the --dtype axis accepts.
+DTYPE_CHOICES = ("float64", "float32")
 
 
 @dataclass
@@ -105,13 +114,14 @@ def random_state(schema, transformer, num_tasks: int, seed: int):
     return transformer.transform(worker, tasks, list(range(num_tasks)))
 
 
-def build_learner(config: BenchConfig, schema, transformer):
+def build_learner(config: BenchConfig, schema, transformer, dtype: str = "float64"):
     """A learner plus a filled prioritized memory with branchy transitions."""
     network = SetQNetwork(
         transformer.row_dim,
         hidden_dim=config.hidden_dim,
         num_heads=config.num_heads,
         seed=3,
+        dtype=dtype,
     )
     learner = DoubleDQNLearner(
         network, gamma=0.5, batch_size=config.batch_size, target_sync_interval=100
@@ -149,10 +159,16 @@ def build_learner(config: BenchConfig, schema, transformer):
 # --------------------------------------------------------------------- #
 # Individual benchmarks: each returns (before_seconds, after_seconds).
 # --------------------------------------------------------------------- #
-def bench_forward(config: BenchConfig, schema, transformer) -> tuple[float, float]:
+def bench_forward(
+    config: BenchConfig, schema, transformer, dtype: str = "float64"
+) -> tuple[float, float]:
     """Per-state ``q_values`` loop vs one ``q_values_batch`` call."""
     network = SetQNetwork(
-        transformer.row_dim, hidden_dim=config.hidden_dim, num_heads=config.num_heads, seed=0
+        transformer.row_dim,
+        hidden_dim=config.hidden_dim,
+        num_heads=config.num_heads,
+        seed=0,
+        dtype=dtype,
     )
     rng = np.random.default_rng(0)
     states = [
@@ -174,21 +190,146 @@ def bench_forward(config: BenchConfig, schema, transformer) -> tuple[float, floa
     )
 
 
-def bench_train_step(config: BenchConfig, schema, transformer) -> tuple[float, float]:
+def bench_train_step(
+    config: BenchConfig, schema, transformer, dtype: str = "float64"
+) -> tuple[float, float]:
     """Per-sample reference ``train_step_unbatched`` vs the batched engine.
 
     Both learners are built identically; the batched learner is warmed so the
     timing reflects steady state (target caches populated, as during real
     training between hard syncs).
     """
-    learner_before, memory_before = build_learner(config, schema, transformer)
-    learner_after, memory_after = build_learner(config, schema, transformer)
+    learner_before, memory_before = build_learner(config, schema, transformer, dtype)
+    learner_after, memory_after = build_learner(config, schema, transformer, dtype)
 
     before = _timeit(
         lambda: learner_before.train_step_unbatched(memory_before), config.repeats_slow, 1
     )
     after = _timeit(lambda: learner_after.train_step(memory_after), config.repeats, config.warmup)
     return before, after
+
+
+def bench_qkv_fused(config: BenchConfig, dtype: str = "float64") -> tuple[float, float]:
+    """PR-1's three-projection attention forward+backward vs the fused layer.
+
+    The reference replicates the unfused data path exactly — three separate
+    ``(·, E) @ (E, E)`` projections (weights are copies of the fused
+    parameter's column blocks) followed by the same head-split attention —
+    while the fused layer launches one ``(·, E) @ (E, 3E)`` GEMM and peels
+    Q/K/V off a packed view with :meth:`Tensor.unbind` (cheap backward, no
+    per-projection copies).
+    """
+    from repro.nn import MultiHeadSelfAttention, scaled_dot_product_attention
+    from repro.nn.layers import Parameter
+
+    embed = config.hidden_dim
+    heads = config.num_heads
+    head_dim = embed // heads
+    layer = MultiHeadSelfAttention(embed, heads, rng=np.random.default_rng(0), dtype=dtype)
+    rng = np.random.default_rng(1)
+    batch = (config.batch_size, config.pool_max, embed)
+    x = rng.standard_normal(batch).astype(layer.in_proj_weight.data.dtype)
+    fused_w, fused_b = layer.in_proj_weight, layer.in_proj_bias
+    split_params = [
+        (
+            Parameter(fused_w.data[:, i * embed : (i + 1) * embed].copy()),
+            Parameter(fused_b.data[i * embed : (i + 1) * embed].copy()),
+        )
+        for i in range(3)
+    ]
+    rows = config.pool_max
+    split_axes = (0, 2, 1, 3)
+
+    def before():
+        inputs = Tensor(x).reshape((-1, embed))
+        projected = [inputs @ w + b for w, b in split_params]
+        q, k, v = (
+            t.reshape((config.batch_size, rows, heads, head_dim)).transpose(split_axes)
+            for t in projected
+        )
+        attended = scaled_dot_product_attention(q, k, v)
+        merged = attended.transpose(split_axes).reshape((config.batch_size, rows, embed))
+        loss = layer.output_proj(merged).sum()
+        layer.zero_grad()
+        for w, b in split_params:
+            w.zero_grad()
+            b.zero_grad()
+        loss.backward()
+
+    def after():
+        loss = layer(Tensor(x)).sum()
+        layer.zero_grad()
+        loss.backward()
+
+    return (
+        _timeit(before, config.repeats, config.warmup),
+        _timeit(after, config.repeats, config.warmup),
+    )
+
+
+def bench_adam_flat(
+    config: BenchConfig, schema, transformer, dtype: str = "float64"
+) -> tuple[float, float]:
+    """The old per-parameter Adam engine vs the fused flat-buffer pass.
+
+    Both sides update the parameters of an identically initialised Q-network
+    from identical gradient values, *including how gradients arrive*: the
+    reference allocates a fresh per-parameter gradient buffer per step (what
+    the old autograd accumulation did) and runs the pre-flat-buffer 14-loop
+    update verbatim; the flat path writes into the optimiser's preassigned
+    flat-gradient views (what ``backward`` now does) and runs one fused pass.
+    """
+
+    def make_network():
+        network = SetQNetwork(
+            transformer.row_dim,
+            hidden_dim=config.hidden_dim,
+            num_heads=config.num_heads,
+            seed=5,
+            dtype=dtype,
+        )
+        params = list(network.parameters())
+        rng = np.random.default_rng(9)
+        grads = [
+            rng.standard_normal(p.data.shape).astype(p.data.dtype) for p in params
+        ]
+        return params, grads
+
+    params_flat, grads_flat = make_network()
+    optimizer = Adam(params_flat, lr=1e-3)
+
+    def after():
+        for param, grad in zip(params_flat, grads_flat):
+            # What _accumulate does in steady state: copy into the
+            # preassigned flat-gradient view (no allocation).
+            np.copyto(param._grad_view, grad)
+            param.grad = param._grad_view
+        optimizer.step()
+
+    params_ref, grads_ref = make_network()
+    first_moment = [np.zeros_like(p.data) for p in params_ref]
+    second_moment = [np.zeros_like(p.data) for p in params_ref]
+    step_count = [0]
+    beta1, beta2, eps, lr = 0.9, 0.999, 1e-8, 1e-3
+
+    def before():
+        step_count[0] += 1
+        bias_correction1 = 1.0 - beta1 ** step_count[0]
+        bias_correction2 = 1.0 - beta2 ** step_count[0]
+        for param, grad, m, v in zip(params_ref, grads_ref, first_moment, second_moment):
+            grad = np.array(grad, copy=True)  # the old per-backward allocation
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad * grad
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            param.data = param.data - lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    return (
+        _timeit(before, config.repeats, config.warmup),
+        _timeit(after, config.repeats, config.warmup),
+    )
 
 
 def bench_replay_update(config: BenchConfig) -> tuple[float, float]:
@@ -245,14 +386,56 @@ def bench_replay_sample(config: BenchConfig, schema, transformer) -> tuple[float
 
 
 # --------------------------------------------------------------------- #
-def run(config: BenchConfig) -> dict:
+def bench_dtype_axis(config: BenchConfig, schema, transformer, dtypes: list[str]) -> dict:
+    """Batched forward / train_step timings per precision.
+
+    Only the *after* (batched) paths are retimed per dtype — the slow
+    reference paths would double the harness runtime without adding
+    information.  When both precisions run, the float32-vs-float64 speedup is
+    recorded explicitly.
+    """
+    per_dtype: dict[str, dict[str, float]] = {}
+    for dtype in dtypes:
+        network = SetQNetwork(
+            transformer.row_dim,
+            hidden_dim=config.hidden_dim,
+            num_heads=config.num_heads,
+            seed=0,
+            dtype=dtype,
+        )
+        rng = np.random.default_rng(0)
+        states = [
+            random_state(
+                schema, transformer, int(rng.integers(config.pool_min, config.pool_max + 1)), s
+            )
+            for s in range(config.forward_states)
+        ]
+        forward_s = _timeit(
+            lambda: network.q_values_batch(states), config.repeats, config.warmup
+        )
+        learner, memory = build_learner(config, schema, transformer, dtype)
+        train_s = _timeit(lambda: learner.train_step(memory), config.repeats, config.warmup)
+        per_dtype[dtype] = {"forward_s": forward_s, "train_step_s": train_s}
+    report: dict = {"per_dtype": per_dtype}
+    if "float64" in per_dtype and "float32" in per_dtype:
+        report["float32_speedup"] = {
+            metric: per_dtype["float64"][f"{metric}_s"] / per_dtype["float32"][f"{metric}_s"]
+            for metric in ("forward", "train_step")
+        }
+    return report
+
+
+def run(config: BenchConfig, dtypes: list[str] | None = None) -> dict:
     schema = make_schema()
     transformer = StateTransformer(schema)
+    dtypes = list(dtypes) if dtypes else ["float64"]
 
     results: dict[str, dict[str, float]] = {}
     for name, runner in (
         ("forward", lambda: bench_forward(config, schema, transformer)),
         ("train_step", lambda: bench_train_step(config, schema, transformer)),
+        ("qkv_fused", lambda: bench_qkv_fused(config)),
+        ("adam_flat", lambda: bench_adam_flat(config, schema, transformer)),
         ("replay_update", lambda: bench_replay_update(config)),
         ("replay_sample", lambda: bench_replay_sample(config, schema, transformer)),
     ):
@@ -272,6 +455,7 @@ def run(config: BenchConfig) -> dict:
             "machine": platform.machine(),
         },
         "results": results,
+        "dtypes": bench_dtype_axis(config, schema, transformer, dtypes),
     }
 
 
@@ -282,6 +466,22 @@ def render(report: dict) -> str:
             f"{name:<14} {entry['before_s'] * 1e3:>10.2f}ms {entry['after_s'] * 1e3:>10.2f}ms "
             f"{entry['speedup']:>8.1f}x"
         )
+    dtypes = report.get("dtypes", {})
+    per_dtype = dtypes.get("per_dtype", {})
+    if per_dtype:
+        lines.append("")
+        lines.append(f"{'dtype':<10} {'forward':>12} {'train_step':>12}")
+        for dtype, entry in per_dtype.items():
+            lines.append(
+                f"{dtype:<10} {entry['forward_s'] * 1e3:>10.2f}ms "
+                f"{entry['train_step_s'] * 1e3:>10.2f}ms"
+            )
+        speedup = dtypes.get("float32_speedup")
+        if speedup:
+            lines.append(
+                "float32 speedup vs float64: "
+                + ", ".join(f"{k} {v:.2f}x" for k, v in speedup.items())
+            )
     return "\n".join(lines)
 
 
@@ -296,10 +496,18 @@ def main(argv: list[str] | None = None) -> dict:
         default=DEFAULT_OUTPUT,
         help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
     )
+    parser.add_argument(
+        "--dtype",
+        nargs="+",
+        choices=DTYPE_CHOICES,
+        default=list(DTYPE_CHOICES),
+        help="precisions for the per-dtype forward/train_step axis "
+        "(default: both, so the report records the float32 speedup)",
+    )
     args = parser.parse_args(argv)
 
     config = BenchConfig.quick() if args.quick else BenchConfig()
-    report = run(config)
+    report = run(config, dtypes=args.dtype)
     report["mode"] = "quick" if args.quick else "full"
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(render(report))

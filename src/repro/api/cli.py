@@ -10,8 +10,10 @@ Five subcommands, all built on the registry/spec/sweep layers:
   grid across a worker pool, cell-by-cell and resumable (see
   :mod:`repro.api.sweep`);
 * ``policies`` — list every registered policy name;
-* ``bench`` — forward to the perf microbenchmark harness
-  (``benchmarks/perf/bench_engine.py``; run from the repository root).
+* ``bench`` — forward to the perf harnesses (engine microbenchmarks in
+  ``benchmarks/perf/bench_engine.py`` and the end-to-end arrivals/sec
+  harness in ``benchmarks/perf/bench_endtoend.py``; run from the repository
+  root).
 """
 
 from __future__ import annotations
@@ -152,20 +154,35 @@ def _cmd_policies(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     try:
-        from benchmarks.perf.bench_engine import main as bench_main
+        from benchmarks.perf.bench_endtoend import main as endtoend_main
+        from benchmarks.perf.bench_engine import main as engine_main
     except ImportError:
         print(
-            "the perf harness lives in benchmarks/perf/bench_engine.py; "
+            "the perf harnesses live in benchmarks/perf/; "
             "run `python -m repro bench` from the repository root",
             file=sys.stderr,
         )
         return 2
-    forwarded: list[str] = []
-    if args.quick:
-        forwarded.append("--quick")
-    if args.output is not None:
-        forwarded.extend(["--output", str(args.output)])
-    bench_main(forwarded)
+    common: list[str] = ["--quick"] if args.quick else []
+    if args.suite in ("engine", "all"):
+        forwarded = list(common)
+        if args.output is not None:
+            forwarded.extend(["--output", str(args.output)])
+        engine_main(forwarded)
+    if args.suite in ("endtoend", "all"):
+        forwarded = list(common)
+        if args.output is not None:
+            # With --suite all, --output names the engine report; the
+            # end-to-end report lands next to it as <stem>.endtoend.json.
+            output = (
+                args.output
+                if args.suite == "endtoend"
+                else args.output.with_suffix(".endtoend.json")
+            )
+            forwarded.extend(["--output", str(output)])
+        if args.suite == "all":
+            print()
+        endtoend_main(forwarded)
     return 0
 
 
@@ -251,9 +268,23 @@ def _build_parser() -> argparse.ArgumentParser:
     policies_parser = sub.add_parser("policies", help="list the registered policies")
     policies_parser.set_defaults(func=_cmd_policies)
 
-    bench_parser = sub.add_parser("bench", help="run the perf microbenchmark harness")
+    bench_parser = sub.add_parser(
+        "bench", help="run the perf harnesses (engine microbenchmarks + end-to-end throughput)"
+    )
     bench_parser.add_argument("--quick", action="store_true", help="tiny CI-scale shapes")
-    bench_parser.add_argument("--output", type=Path, default=None)
+    bench_parser.add_argument(
+        "--suite",
+        choices=("engine", "endtoend", "all"),
+        default="all",
+        help="which harness to run (default: both)",
+    )
+    bench_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="JSON report path; with --suite all the end-to-end report is "
+        "written next to it as <stem>.endtoend.json",
+    )
     bench_parser.set_defaults(func=_cmd_bench)
 
     return parser

@@ -16,7 +16,7 @@ import re
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
-from ..datasets import CrowdDataset, generate_crowdspring
+from ..datasets import CrowdDataset, cached_crowdspring, generate_crowdspring
 from ..eval.metrics import EvaluationResult
 from ..eval.runner import RunnerConfig, SimulationRunner
 from .registry import build_policy, policy_entry
@@ -46,7 +46,21 @@ class DatasetSpec:
     num_months: int = 13
     seed: int = 7
 
-    def build(self) -> CrowdDataset:
+    def build(
+        self, cache_dir: str | Path | None = None, write_cache: bool = True
+    ) -> CrowdDataset:
+        """Generate the trace — or read it from an on-disk cache.
+
+        With ``cache_dir`` set, the generated dataset is persisted once under
+        a name derived from this spec's identity and every later build (in
+        any process) loads the cached trace bit-identically instead of
+        regenerating it.  ``write_cache=False`` makes a cache miss generate
+        in memory without writing (read-only consumers, e.g. sweep workers).
+        """
+        if cache_dir is not None:
+            return cached_crowdspring(
+                self.scale, self.num_months, self.seed, cache_dir, write=write_cache
+            )
         return generate_crowdspring(scale=self.scale, num_months=self.num_months, seed=self.seed)
 
     def to_dict(self) -> dict:
@@ -176,6 +190,7 @@ def run_spec(
     spec: ExperimentSpec,
     dataset: CrowdDataset | None = None,
     checkpoint_dir: str | Path | None = None,
+    dataset_cache_dir: str | Path | None = None,
 ) -> dict[str, EvaluationResult]:
     """Execute a spec and return the results keyed by policy label.
 
@@ -187,6 +202,10 @@ def run_spec(
     writes ``<checkpoint_dir>/<label>.npz``, overwritten in place as training
     progresses, so an interrupted run leaves its latest state restorable via
     the ``ddqn-checkpoint`` registry entry.
+
+    ``dataset_cache_dir`` points at a read-only trace cache (see
+    :meth:`DatasetSpec.build`); the sweep runner passes the cache it
+    pre-populated so worker processes skip trace regeneration.
     """
     if not spec.policies:
         raise ValueError(f"experiment spec {spec.name!r} lists no policies")
@@ -195,7 +214,8 @@ def run_spec(
     # at most one trained framework is resident at once.
     for policy_spec in spec.policies:
         policy_entry(policy_spec.policy)
-    dataset = dataset if dataset is not None else spec.dataset.build()
+    if dataset is None:
+        dataset = spec.dataset.build(cache_dir=dataset_cache_dir, write_cache=False)
     runner = SimulationRunner(dataset, spec.runner)
     results: dict[str, EvaluationResult] = {}
     checkpoint_slugs: dict[str, str] = {}

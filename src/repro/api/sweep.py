@@ -277,7 +277,11 @@ class SweepSpec:
 def _execute_cell(payload: dict) -> dict:
     """Run one cell's spec and return its JSON-ready result document."""
     spec = ExperimentSpec.from_dict(payload["spec"])
-    results = run_spec(spec, checkpoint_dir=payload.get("checkpoint_dir"))
+    results = run_spec(
+        spec,
+        checkpoint_dir=payload.get("checkpoint_dir"),
+        dataset_cache_dir=payload.get("dataset_cache_dir"),
+    )
     return {
         "cell_id": payload["cell_id"],
         "group_id": payload["group_id"],
@@ -409,6 +413,10 @@ class SweepRunner:
     def results_path(self) -> Path:
         return self.directory / "results.json"
 
+    @property
+    def dataset_cache_directory(self) -> Path:
+        return self.directory / "datasets"
+
     def _cell_path(self, cell_id: str) -> Path:
         return self.cells_directory / f"{cell_id}.json"
 
@@ -433,6 +441,34 @@ class SweepRunner:
         else:
             self.spec.save(self.spec_path)
 
+    def _populate_dataset_cache(self, pending: list[SweepCell]) -> None:
+        """Generate each distinct pending ``DatasetSpec`` into the trace cache.
+
+        Done once, in the parent process, *before* any cell runs: cells that
+        share a dataset then read the trace from disk instead of regenerating
+        it per process, and because workers never write, the cache is free of
+        cross-process races.  Cached and regenerated traces are bit-identical
+        (pinned by the dataset-cache tests), so resumes mixing the two are
+        safe.
+        """
+        from ..datasets import trace_cache_name
+
+        distinct: dict[tuple, DatasetSpec] = {}
+        for cell in pending:
+            dataset_spec = cell.spec.dataset
+            distinct.setdefault(
+                (dataset_spec.scale, dataset_spec.num_months, dataset_spec.seed),
+                dataset_spec,
+            )
+        for dataset_spec in distinct.values():
+            # Probe before building: a hit would otherwise deserialize the
+            # whole archive just to throw it away (costly on resume).
+            path = self.dataset_cache_directory / trace_cache_name(
+                dataset_spec.scale, dataset_spec.num_months, dataset_spec.seed
+            )
+            if not path.exists():
+                dataset_spec.build(cache_dir=self.dataset_cache_directory, write_cache=True)
+
     def status(self) -> SweepStatus:
         cells = self.spec.expand()
         finished = [cell.cell_id for cell in cells if self._cell_path(cell.cell_id).exists()]
@@ -447,6 +483,7 @@ class SweepRunner:
             "group_id": cell.group_id,
             "assignments": cell.assignments,
             "spec": cell.spec.to_dict(),
+            "dataset_cache_dir": str(self.dataset_cache_directory),
         }
         if cell.spec.runner.checkpoint_every is not None:
             payload["checkpoint_dir"] = str(self.directory / "checkpoints" / cell.cell_id)
@@ -469,6 +506,8 @@ class SweepRunner:
         finished = {cell_id for cell_id in self.status().finished}
         pending = [cell for cell in cells if cell.cell_id not in finished]
         done = len(finished)
+        if pending:
+            self._populate_dataset_cache(pending)
 
         def _record(document: dict) -> None:
             nonlocal done

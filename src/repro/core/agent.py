@@ -45,6 +45,9 @@ class AgentConfig:
     grad_clip: float = 10.0
     prioritized_replay: bool = True
     min_buffer_before_training: int = 16
+    #: Compute precision of the Q-networks ("float64" keeps the historical
+    #: bit-exact behaviour; "float32" roughly halves GEMM time).
+    dtype: str = "float64"
     seed: int = 0
 
 
@@ -68,6 +71,7 @@ class DQNAgent:
             hidden_dim=self.config.hidden_dim,
             num_heads=self.config.num_heads,
             seed=self.config.seed,
+            dtype=self.config.dtype,
         )
         self.learner = DoubleDQNLearner(
             self.network,
@@ -89,6 +93,10 @@ class DQNAgent:
     def q_values(self, state: StateMatrix) -> np.ndarray:
         """Q values of the real tasks in ``state`` under the online network."""
         return self.network.q_values(state)
+
+    def q_values_batch(self, states: list[StateMatrix]) -> list[np.ndarray]:
+        """Per-state Q value arrays for a list of states, in one padded forward."""
+        return self.network.q_values_batch(states)
 
     def store(self, transition: Transition) -> None:
         """Add a transition to the replay memory (no training)."""

@@ -25,6 +25,7 @@ from ..crowd.arrivals import WorkerArrivalStatistics
 from ..crowd.features import FeatureSchema
 from ..crowd.platform import ArrivalContext, Feedback
 from ..crowd.quality import DixitStiglitzQuality
+from ..nn.dtype import resolve_dtype
 from ..nn.serialization import load_checkpoint, save_checkpoint
 from .agent import AgentConfig, DQNAgent
 from .aggregator import QValueAggregator
@@ -37,7 +38,11 @@ from .state import StateMatrix, StateTransformer
 __all__ = ["FrameworkConfig", "TaskArrangementFramework", "CHECKPOINT_FORMAT"]
 
 #: Format tag written into (and required from) full-framework checkpoints.
-CHECKPOINT_FORMAT = "repro.framework/1"
+#: Bumped to /2 with the fused-QKV parameter layout (query/key/value_proj.*
+#: merged into in_proj_weight/in_proj_bias, which also changes the
+#: optimiser's buffer count): a /1 checkpoint now fails the format check
+#: with a clear error instead of a confusing parameter-mismatch mid-load.
+CHECKPOINT_FORMAT = "repro.framework/2"
 
 
 @dataclass
@@ -58,6 +63,11 @@ class FrameworkConfig:
     #: Q-network width / heads (paper: 128 / 4).  CI-scale runs shrink these.
     hidden_dim: int = 128
     num_heads: int = 4
+    #: Compute precision of both Q-networks ("float64" default keeps every
+    #: determinism guarantee bit-identical; "float32" roughly halves GEMM
+    #: time at a small, bounded metric drift).  Recorded in checkpoints via
+    #: the config tree and restored with it.
+    dtype: str = "float64"
     learning_rate: float = 1e-3
     batch_size: int = 64
     buffer_size: int = 1_000
@@ -99,11 +109,18 @@ class TaskArrangementFramework(ArrangementPolicy):
     name = "DDQN"
     supports_checkpointing = True
 
+    #: Cap on decisions awaiting feedback.  In an online run at most a
+    #: handful are in flight; decision-only replays (throughput harness,
+    #: frozen-policy scoring) never observe feedback, and without a bound the
+    #: cache would retain every scored state of the trace.
+    _MAX_PENDING = 4096
+
     def __init__(self, schema: FeatureSchema, config: FrameworkConfig | None = None) -> None:
         self.schema = schema
         self.config = config if config is not None else FrameworkConfig()
         if not (self.config.use_worker_mdp or self.config.use_requester_mdp):
             raise ValueError("at least one of the two MDPs must be enabled")
+        resolve_dtype(self.config.dtype)  # fail fast on unsupported precisions
         self.rng = np.random.default_rng(self.config.seed)
         self.quality_model = DixitStiglitzQuality(self.config.quality_p)
         #: State tree this framework was restored from (set by :meth:`load`);
@@ -141,6 +158,7 @@ class TaskArrangementFramework(ArrangementPolicy):
         agent_defaults = dict(
             hidden_dim=config.hidden_dim,
             num_heads=config.num_heads,
+            dtype=config.dtype,
             learning_rate=config.learning_rate,
             batch_size=config.batch_size,
             buffer_size=config.buffer_size,
@@ -198,6 +216,51 @@ class TaskArrangementFramework(ArrangementPolicy):
         state_w, state_r = self._build_states(context)
         worker_q = self.agent_w.q_values(state_w) if self.agent_w is not None else None
         requester_q = self.agent_r.q_values(state_r) if self.agent_r is not None else None
+        return self._decide(context, state_w, state_r, worker_q, requester_q)
+
+    def rank_tasks_batch(self, contexts) -> list[list[int]]:
+        """Rank several independent arrivals with one padded forward per agent.
+
+        The candidate states of every context are scored through
+        ``q_values_batch`` (a single ``(B, rows, dim)`` batch per Q-network)
+        instead of one network call per arrival; exploration noise, pending
+        bookkeeping and annealing steps are then applied per context in
+        order, consuming the RNG exactly as the sequential loop would.
+        Equivalent to sequential :meth:`rank_tasks` calls with no feedback in
+        between (up to the batched engine's float tolerance).
+        """
+        contexts = list(contexts)
+        rankings: list[list[int]] = [[] for _ in contexts]
+        scored = [i for i, context in enumerate(contexts) if context.available_tasks]
+        if not scored:
+            return rankings
+        states = [self._build_states(contexts[i]) for i in scored]
+        worker_qs = (
+            self.agent_w.q_values_batch([state_w for state_w, _ in states])
+            if self.agent_w is not None
+            else [None] * len(states)
+        )
+        requester_qs = (
+            self.agent_r.q_values_batch([state_r for _, state_r in states])
+            if self.agent_r is not None
+            else [None] * len(states)
+        )
+        for slot, i in enumerate(scored):
+            state_w, state_r = states[slot]
+            rankings[i] = self._decide(
+                contexts[i], state_w, state_r, worker_qs[slot], requester_qs[slot]
+            )
+        return rankings
+
+    def _decide(
+        self,
+        context: ArrivalContext,
+        state_w: StateMatrix | None,
+        state_r: StateMatrix | None,
+        worker_q: np.ndarray | None,
+        requester_q: np.ndarray | None,
+    ) -> list[int]:
+        """Aggregate the two scorings, explore, rank and remember the decision."""
         combined = self.aggregator.combine(worker_q, requester_q)
         perturbed = self.explorer.perturb(combined, self.rng)
         order = np.argsort(-perturbed, kind="stable")
@@ -210,6 +273,8 @@ class TaskArrangementFramework(ArrangementPolicy):
             requester_q=requester_q,
             ranked_task_ids=ranked,
         )
+        while len(self._pending) > self._MAX_PENDING:
+            self._pending.pop(next(iter(self._pending)))
         self.explorer.step()
         self.assign_explorer.step()
         return ranked

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 from pathlib import Path
+from typing import Sequence
 
 from ..crowd.platform import ArrivalContext, Feedback
 
@@ -45,6 +46,18 @@ class ArrangementPolicy(abc.ABC):
         assigned task is the first element, the top-*k* list is the first *k*
         elements, and the full recommended list is the whole ranking.
         """
+
+    def rank_tasks_batch(self, contexts: Sequence[ArrivalContext]) -> list[list[int]]:
+        """Rank several *independent* arrivals in one call.
+
+        Semantically equivalent to calling :meth:`rank_tasks` once per
+        context, in order, with no feedback observed in between — which is
+        the default implementation.  Policies whose scoring is a network
+        forward override this to push all candidate states through one padded
+        batch (see ``TaskArrangementFramework.rank_tasks_batch``), which is
+        what the decision-throughput harness and frozen-policy scoring use.
+        """
+        return [self.rank_tasks(context) for context in contexts]
 
     @abc.abstractmethod
     def observe_feedback(

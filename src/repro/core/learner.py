@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..nn import Adam, Tensor, clip_grad_norm, no_grad
+from ..nn import Adam, Tensor, no_grad
 from .qnetwork import SetQNetwork
 from .replay import PrioritizedReplayMemory, ReplayMemory, Transition
 
@@ -188,8 +188,11 @@ class DoubleDQNLearner:
         actions = np.array([t.action_index for t in transitions], dtype=np.int64)
         stacked = values[np.arange(len(transitions)), actions]
 
-        weight_tensor = Tensor(np.asarray(weights, dtype=np.float64))
-        diff = stacked - Tensor(targets)
+        # Targets and IS weights join the loss graph in the network's compute
+        # dtype, so a float32 network never silently promotes back to float64.
+        dtype = self.online.dtype
+        weight_tensor = Tensor(np.asarray(weights, dtype=dtype))
+        diff = stacked - Tensor(np.asarray(targets, dtype=dtype))
         loss = (weight_tensor * diff * diff).mean()
 
         return self._apply_update(memory, loss, targets, stacked.numpy(), indices, len(transitions))
@@ -211,14 +214,13 @@ class DoubleDQNLearner:
 
         predictions = []
         for transition in transitions:
-            values = self.online.forward(
-                Tensor(transition.state.matrix), mask=transition.state.mask
-            )
+            values = self.online.forward(transition.state.matrix, mask=transition.state.mask)
             predictions.append(values[transition.action_index])
         stacked = Tensor.stack(predictions, axis=0)
 
-        weight_tensor = Tensor(np.asarray(weights, dtype=np.float64))
-        diff = stacked - Tensor(targets)
+        dtype = self.online.dtype
+        weight_tensor = Tensor(np.asarray(weights, dtype=dtype))
+        diff = stacked - Tensor(np.asarray(targets, dtype=dtype))
         loss = (weight_tensor * diff * diff).mean()
 
         return self._apply_update(memory, loss, targets, stacked.numpy(), indices, len(transitions))
@@ -235,7 +237,9 @@ class DoubleDQNLearner:
         """Backprop ``loss``, clip, step, refresh priorities and sync targets."""
         self.optimizer.zero_grad()
         loss.backward()
-        gradient_norm = clip_grad_norm(self.optimizer.parameters, self.grad_clip)
+        # Single reduction over the optimizer's flat gradient buffer; the
+        # scaled flat gradient is exactly what the fused step consumes.
+        gradient_norm = self.optimizer.clip_grad_norm_(self.grad_clip)
         self.optimizer.step()
 
         td_errors = targets - predictions

@@ -29,25 +29,30 @@ from ..nn import (
     RowwiseFeedForward,
     Tensor,
     no_grad,
+    resolve_dtype,
 )
 from .state import StateMatrix
 
 __all__ = ["SetQNetwork", "pad_state_batch"]
 
 
-def pad_state_batch(states: Sequence[StateMatrix]) -> tuple[np.ndarray, np.ndarray]:
+def pad_state_batch(
+    states: Sequence[StateMatrix], dtype=np.float64
+) -> tuple[np.ndarray, np.ndarray]:
     """Stack a list of :class:`StateMatrix` into one padded ``(B, rows, dim)`` batch.
 
     States are zero-padded to the largest row count in the batch (at least 1,
     so that the attention softmax always has a key axis to normalise over);
     the returned boolean mask of shape ``(B, rows)`` marks padding rows —
     both rows added here and rows that were already padding inside a state.
+    ``dtype`` is the batch's floating dtype (the owning network's compute
+    precision).
     """
     if not states:
         raise ValueError("pad_state_batch requires at least one state")
     rows = max(1, max(state.matrix.shape[0] for state in states))
     row_dim = states[0].matrix.shape[1]
-    batch = np.zeros((len(states), rows, row_dim), dtype=np.float64)
+    batch = np.zeros((len(states), rows, row_dim), dtype=dtype)
     mask = np.ones((len(states), rows), dtype=bool)
     for i, state in enumerate(states):
         count = state.matrix.shape[0]
@@ -74,6 +79,10 @@ class SetQNetwork(Module):
         Number of attention heads (the paper's Fig. 3 shows ``h = 4``).
     seed:
         Seed for parameter initialisation, making runs reproducible.
+    dtype:
+        Compute precision (``"float64"`` default, or ``"float32"`` which
+        roughly halves GEMM time).  Parameters are initialised from the same
+        RNG draws in either precision, and inputs are cast on entry.
     """
 
     def __init__(
@@ -82,21 +91,26 @@ class SetQNetwork(Module):
         hidden_dim: int = 128,
         num_heads: int = 4,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__()
         if input_dim <= 0:
             raise ValueError("input_dim must be positive")
         rng = np.random.default_rng(seed)
+        dtype = resolve_dtype(dtype)
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
         self.num_heads = num_heads
+        self.dtype = dtype
 
-        self.embed_1 = RowwiseFeedForward(input_dim, hidden_dim, rng=rng)
-        self.embed_2 = RowwiseFeedForward(hidden_dim, hidden_dim, rng=rng)
-        self.attention_1 = MultiHeadSelfAttention(hidden_dim, num_heads, rng=rng)
-        self.post_attention = RowwiseFeedForward(hidden_dim, hidden_dim, rng=rng)
-        self.attention_2 = MultiHeadSelfAttention(hidden_dim, num_heads, rng=rng)
-        self.value_head = RowwiseFeedForward(hidden_dim, 1, activation=False, rng=rng)
+        self.embed_1 = RowwiseFeedForward(input_dim, hidden_dim, rng=rng, dtype=dtype)
+        self.embed_2 = RowwiseFeedForward(hidden_dim, hidden_dim, rng=rng, dtype=dtype)
+        self.attention_1 = MultiHeadSelfAttention(hidden_dim, num_heads, rng=rng, dtype=dtype)
+        self.post_attention = RowwiseFeedForward(hidden_dim, hidden_dim, rng=rng, dtype=dtype)
+        self.attention_2 = MultiHeadSelfAttention(hidden_dim, num_heads, rng=rng, dtype=dtype)
+        self.value_head = RowwiseFeedForward(
+            hidden_dim, 1, activation=False, rng=rng, dtype=dtype
+        )
 
     # ------------------------------------------------------------------ #
     def forward(self, state: Tensor | np.ndarray, mask: np.ndarray | None = None) -> Tensor:
@@ -107,7 +121,12 @@ class SetQNetwork(Module):
         (returning ``(batch, rows)``); ``mask`` has the matching leading
         shape and marks padding rows.
         """
-        x = state if isinstance(state, Tensor) else Tensor(state)
+        if isinstance(state, Tensor):
+            # Re-wrap mismatched-precision tensors so one float64 input can
+            # never silently promote a float32 network's whole forward.
+            x = state if state.data.dtype == self.dtype else Tensor(state.data, dtype=self.dtype)
+        else:
+            x = Tensor(np.asarray(state, dtype=self.dtype))
         hidden = self.embed_1(x)
         hidden = self.embed_2(hidden)
         attended = self.attention_1(hidden, mask=mask)
@@ -126,7 +145,7 @@ class SetQNetwork(Module):
         ``B`` separate graphs.  Returns a ``(B, rows)`` tensor; only entries
         ``[i, : states[i].num_tasks]`` are meaningful.
         """
-        batch, mask = pad_state_batch(states)
+        batch, mask = pad_state_batch(states, dtype=self.dtype)
         return self.forward(Tensor(batch), mask=mask)
 
     # ------------------------------------------------------------------ #
@@ -134,8 +153,8 @@ class SetQNetwork(Module):
     def q_values(self, state: StateMatrix) -> np.ndarray:
         """Inference helper: Q values for the *real* tasks of ``state`` (no grad)."""
         if state.num_tasks == 0:
-            return np.zeros(0, dtype=np.float64)
-        values = self.forward(Tensor(state.matrix), mask=state.mask)
+            return np.zeros(0, dtype=self.dtype)
+        values = self.forward(state.matrix, mask=state.mask)
         return values.numpy()[: state.num_tasks].copy()
 
     @no_grad()
@@ -167,6 +186,7 @@ class SetQNetwork(Module):
             input_dim=self.input_dim,
             hidden_dim=self.hidden_dim,
             num_heads=self.num_heads,
+            dtype=self.dtype,
         )
         twin.load_state_dict(self.state_dict())
         return twin

@@ -1,5 +1,6 @@
 """Dataset generators and trace statistics for the reproduction experiments."""
 
+from .cache import cached_crowdspring, load_dataset, save_dataset, trace_cache_name
 from .crowdspring import CrowdDataset, CrowdSpringConfig, CrowdSpringGenerator, generate_crowdspring
 from .statistics import (
     ArrivalGapStatistics,
@@ -14,6 +15,10 @@ __all__ = [
     "CrowdSpringConfig",
     "CrowdSpringGenerator",
     "generate_crowdspring",
+    "cached_crowdspring",
+    "save_dataset",
+    "load_dataset",
+    "trace_cache_name",
     "ArrivalGapStatistics",
     "MonthlyTraceStatistics",
     "compute_arrival_gaps",

@@ -1,0 +1,263 @@
+"""On-disk caching of generated :class:`CrowdDataset` traces.
+
+Sweep cells that share a ``DatasetSpec`` used to regenerate the same trace in
+every worker process — at paper scale that is tens of seconds of pure startup
+cost per cell.  This module serialises a freshly generated dataset into one
+nested ``.npz`` checkpoint (reusing :mod:`repro.nn.serialization`, so no
+pickle is involved) and loads it back bit-identically: entity attributes and
+event timestamps round-trip as exact float64/int64 arrays, and the event
+trace is stored in its final sorted order (re-sorting on load is a stable
+no-op), so a cached dataset produces byte-for-byte the same simulation as a
+regenerated one (pinned by ``tests/datasets/test_cache.py``).
+
+The sweep runner pre-generates every distinct dataset of a grid into the
+sweep directory once; worker processes then treat the cache as **read-only**
+(they fall back to in-memory generation if a file is missing, but never
+write), so there are no cross-process write races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..crowd.entities import Requester, Task, Worker
+from ..crowd.events import Event, EventTrace, EventType
+from ..crowd.features import FeatureSchema
+from ..nn.serialization import load_checkpoint, save_checkpoint
+from .crowdspring import CrowdDataset, CrowdSpringConfig, generate_crowdspring
+
+__all__ = [
+    "DATASET_CACHE_FORMAT",
+    "trace_cache_name",
+    "save_dataset",
+    "load_dataset",
+    "cached_crowdspring",
+]
+
+#: Format tag written into (and required from) dataset cache files.
+DATASET_CACHE_FORMAT = "repro.dataset/1"
+
+#: Stable on-disk codes for the three event types.
+_EVENT_CODES: dict[EventType, int] = {
+    EventType.TASK_CREATED: 0,
+    EventType.TASK_EXPIRED: 1,
+    EventType.WORKER_ARRIVAL: 2,
+}
+_EVENT_TYPES: dict[int, EventType] = {code: kind for kind, code in _EVENT_CODES.items()}
+
+
+def trace_cache_name(scale: float, num_months: int, seed: int) -> str:
+    """Canonical cache file name for one ``DatasetSpec`` identity.
+
+    ``repr`` renders the float exactly (shortest round-tripping form), so two
+    distinct scales can never collide onto one file — a ``%g``-style 6-digit
+    rendering would silently serve one scale's trace to the other.
+    """
+    return f"crowdspring-scale{float(scale)!r}-months{num_months}-seed{seed}.npz"
+
+
+def _ragged(groups: list[list[int]]) -> dict[str, np.ndarray]:
+    """Encode a list of int lists as (counts, flat) arrays."""
+    return {
+        "counts": np.array([len(group) for group in groups], dtype=np.int64),
+        "flat": np.array(
+            [item for group in groups for item in group], dtype=np.int64
+        ),
+    }
+
+
+def _unragged(packed: dict) -> list[list[int]]:
+    counts = np.asarray(packed["counts"], dtype=np.int64)
+    flat = np.asarray(packed["flat"], dtype=np.int64)
+    groups: list[list[int]] = []
+    cursor = 0
+    for count in counts:
+        groups.append([int(x) for x in flat[cursor : cursor + int(count)]])
+        cursor += int(count)
+    return groups
+
+
+def save_dataset(dataset: CrowdDataset, path: str | Path) -> Path:
+    """Serialise a freshly generated dataset to one nested ``.npz`` file.
+
+    Only the generation-time state is persisted (task/worker base attributes,
+    the event trace, bootstrap completions) — which is exactly what
+    simulation runs consume: ``fresh_entities()`` rebuilds mutable state from
+    these base attributes anyway.
+    """
+    tasks = list(dataset.tasks.values())
+    workers = list(dataset.workers.values())
+    requesters = list(dataset.requesters.values())
+    events = dataset.trace.events
+    tree = {
+        "format": DATASET_CACHE_FORMAT,
+        "config": asdict(dataset.config),
+        "schema": {
+            "num_categories": dataset.schema.num_categories,
+            "num_domains": dataset.schema.num_domains,
+            "award_bins": list(dataset.schema.award_bins),
+        },
+        "tasks": {
+            "task_id": np.array([t.task_id for t in tasks], dtype=np.int64),
+            "requester_id": np.array([t.requester_id for t in tasks], dtype=np.int64),
+            "category": np.array([t.category for t in tasks], dtype=np.int64),
+            "domain": np.array([t.domain for t in tasks], dtype=np.int64),
+            "award": np.array([t.award for t in tasks], dtype=np.float64),
+            "created_at": np.array([t.created_at for t in tasks], dtype=np.float64),
+            "deadline": np.array([t.deadline for t in tasks], dtype=np.float64),
+        },
+        "workers": {
+            "worker_id": np.array([w.worker_id for w in workers], dtype=np.int64),
+            "quality": np.array([w.quality for w in workers], dtype=np.float64),
+            "award_sensitivity": np.array(
+                [w.award_sensitivity for w in workers], dtype=np.float64
+            ),
+            "category_preference": (
+                np.stack([w.category_preference for w in workers])
+                if workers
+                else np.zeros((0, dataset.schema.num_categories), dtype=np.float64)
+            ),
+            "domain_preference": (
+                np.stack([w.domain_preference for w in workers])
+                if workers
+                else np.zeros((0, dataset.schema.num_domains), dtype=np.float64)
+            ),
+        },
+        "requesters": {
+            "requester_id": np.array(
+                [r.requester_id for r in requesters], dtype=np.int64
+            ),
+            "task_ids": _ragged([r.task_ids for r in requesters]),
+        },
+        # Stored in the trace's final sorted order: EventTrace re-sorts with a
+        # stable key on load, which is an identity on an already-sorted list.
+        "trace": {
+            "timestamp": np.array([e.timestamp for e in events], dtype=np.float64),
+            "event_type": np.array(
+                [_EVENT_CODES[e.event_type] for e in events], dtype=np.int64
+            ),
+            "subject_id": np.array([e.subject_id for e in events], dtype=np.int64),
+        },
+        "bootstrap": {
+            "worker_id": np.array(
+                sorted(dataset.bootstrap_completions), dtype=np.int64
+            ),
+            "task_ids": _ragged(
+                [
+                    dataset.bootstrap_completions[worker_id]
+                    for worker_id in sorted(dataset.bootstrap_completions)
+                ]
+            ),
+        },
+    }
+    return save_checkpoint(tree, path)
+
+
+def load_dataset(path: str | Path) -> CrowdDataset:
+    """Reconstruct a dataset previously written by :func:`save_dataset`."""
+    tree = load_checkpoint(path)
+    if tree.get("format") != DATASET_CACHE_FORMAT:
+        raise ValueError(
+            f"{path} is not a dataset cache file "
+            f"(format={tree.get('format')!r}, expected {DATASET_CACHE_FORMAT!r})"
+        )
+    config = CrowdSpringConfig(**tree["config"])
+    schema_tree = tree["schema"]
+    schema = FeatureSchema(
+        num_categories=int(schema_tree["num_categories"]),
+        num_domains=int(schema_tree["num_domains"]),
+        award_bins=tuple(float(edge) for edge in schema_tree["award_bins"]),
+    )
+    t = tree["tasks"]
+    tasks = {
+        int(task_id): Task(
+            task_id=int(task_id),
+            requester_id=int(requester_id),
+            category=int(category),
+            domain=int(domain),
+            award=float(award),
+            created_at=float(created_at),
+            deadline=float(deadline),
+        )
+        for task_id, requester_id, category, domain, award, created_at, deadline in zip(
+            t["task_id"],
+            t["requester_id"],
+            t["category"],
+            t["domain"],
+            t["award"],
+            t["created_at"],
+            t["deadline"],
+        )
+    }
+    w = tree["workers"]
+    category_preference = np.asarray(w["category_preference"], dtype=np.float64)
+    domain_preference = np.asarray(w["domain_preference"], dtype=np.float64)
+    workers = {
+        int(worker_id): Worker(
+            worker_id=int(worker_id),
+            quality=float(quality),
+            category_preference=category_preference[row].copy(),
+            domain_preference=domain_preference[row].copy(),
+            award_sensitivity=float(award_sensitivity),
+        )
+        for row, (worker_id, quality, award_sensitivity) in enumerate(
+            zip(w["worker_id"], w["quality"], w["award_sensitivity"])
+        )
+    }
+    r = tree["requesters"]
+    requesters = {
+        int(requester_id): Requester(
+            requester_id=int(requester_id), task_ids=task_ids
+        )
+        for requester_id, task_ids in zip(
+            r["requester_id"], _unragged(r["task_ids"])
+        )
+    }
+    trace_tree = tree["trace"]
+    events = [
+        Event(float(timestamp), _EVENT_TYPES[int(code)], int(subject_id))
+        for timestamp, code, subject_id in zip(
+            trace_tree["timestamp"], trace_tree["event_type"], trace_tree["subject_id"]
+        )
+    ]
+    b = tree["bootstrap"]
+    bootstrap = {
+        int(worker_id): task_ids
+        for worker_id, task_ids in zip(b["worker_id"], _unragged(b["task_ids"]))
+    }
+    return CrowdDataset(
+        config=config,
+        schema=schema,
+        tasks=tasks,
+        workers=workers,
+        requesters=requesters,
+        trace=EventTrace(events),
+        bootstrap_completions=bootstrap,
+    )
+
+
+def cached_crowdspring(
+    scale: float,
+    num_months: int,
+    seed: int,
+    cache_dir: str | Path,
+    write: bool = True,
+) -> CrowdDataset:
+    """Load the dataset for (scale, num_months, seed) from ``cache_dir``.
+
+    A hit reads the cached trace; a miss generates the dataset and — only
+    when ``write`` is True — persists it (atomically, via the checkpoint
+    writer's tmp-then-rename).  Sweep *worker* processes call this with
+    ``write=False`` so the cache stays read-only to everyone but the parent
+    that pre-populated it.
+    """
+    path = Path(cache_dir) / trace_cache_name(scale, num_months, seed)
+    if path.exists():
+        return load_dataset(path)
+    dataset = generate_crowdspring(scale=scale, num_months=num_months, seed=seed)
+    if write:
+        save_dataset(dataset, path)
+    return dataset

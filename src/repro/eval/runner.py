@@ -106,20 +106,7 @@ class SimulationRunner:
             and config.checkpoint_every is not None
             and policy.supports_checkpointing
         )
-        tasks, workers = self.dataset.fresh_entities()
-        behavior = CascadeBehavior(
-            InterestModel(sharpness=config.interest_sharpness),
-            position_decay=config.position_decay,
-        )
-        platform = CrowdsourcingPlatform(
-            tasks,
-            workers,
-            self.dataset.schema,
-            behavior,
-            quality_model=DixitStiglitzQuality(config.quality_p),
-            seed=config.seed,
-        )
-        self._bootstrap_features(platform, tasks)
+        platform, behavior = self._build_platform()
 
         warm_trace, online_trace = self.dataset.trace.split_warmup(self.dataset.warmup_end)
         policy.reset()
@@ -192,6 +179,51 @@ class SimulationRunner:
         )
 
     # ------------------------------------------------------------------ #
+    def replay_decisions(
+        self,
+        policy: ArrangementPolicy,
+        batch_size: int = 64,
+        max_arrivals: int | None = None,
+    ) -> int:
+        """Decision-only replay: rank every online arrival, in padded batches.
+
+        No feedback is submitted and the policy never learns, so consecutive
+        arrivals are independent and their candidate scoring can be routed
+        through :meth:`ArrangementPolicy.rank_tasks_batch` — for the DDQN
+        framework that is one ``q_values_batch`` mega-batch per Q-network per
+        ``batch_size`` arrivals instead of one forward per arrival.  This is
+        the pure decision path: the end-to-end throughput harness uses it to
+        report decisions/sec, and it doubles as frozen-policy scoring of a
+        trace.  Returns the number of arrivals ranked.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        platform, behavior = self._build_platform()
+        warm_trace, online_trace = self.dataset.trace.split_warmup(self.dataset.warmup_end)
+        # Replay the warm-up month exactly like run() does (self-selected
+        # completions evolve the pool, worker features and task qualities)
+        # but without the policy observing anything — the frozen policy then
+        # scores the *same* candidate pools as the online loop would.
+        self._warm_up(platform, behavior, warm_trace, policy, observe=False)
+
+        ranked = 0
+        pending: list = []
+        for context in platform.replay(online_trace):
+            if not context.available_tasks:
+                continue
+            pending.append(context)
+            if len(pending) >= batch_size:
+                policy.rank_tasks_batch(pending)
+                ranked += len(pending)
+                pending.clear()
+            if max_arrivals is not None and ranked + len(pending) >= max_arrivals:
+                break
+        if pending:
+            policy.rank_tasks_batch(pending)
+            ranked += len(pending)
+        return ranked
+
+    # ------------------------------------------------------------------ #
     def _presented(self, ranked: list[int]) -> list[int]:
         if self.config.mode == "single":
             return ranked[:1]
@@ -203,13 +235,41 @@ class SimulationRunner:
         """Month index of an online timestamp, with month 0 = first online month."""
         return max(0, int((timestamp - self.dataset.warmup_end) // MINUTES_PER_MONTH))
 
-    def _warm_up(self, platform, behavior, warm_trace, policy: ArrangementPolicy) -> None:
+    def _build_platform(self) -> tuple[CrowdsourcingPlatform, CascadeBehavior]:
+        """Fresh platform + behaviour model for one replay of the dataset.
+
+        Shared by :meth:`run` and :meth:`replay_decisions` so both replay
+        against an identically configured simulator.
+        """
+        config = self.config
+        tasks, workers = self.dataset.fresh_entities()
+        behavior = CascadeBehavior(
+            InterestModel(sharpness=config.interest_sharpness),
+            position_decay=config.position_decay,
+        )
+        platform = CrowdsourcingPlatform(
+            tasks,
+            workers,
+            self.dataset.schema,
+            behavior,
+            quality_model=DixitStiglitzQuality(config.quality_p),
+            seed=config.seed,
+        )
+        self._bootstrap_features(platform, tasks)
+        return platform, behavior
+
+    def _warm_up(
+        self, platform, behavior, warm_trace, policy: ArrangementPolicy, observe: bool = True
+    ) -> None:
         """Replay the warm-up month with self-selected completions.
 
         Workers browse the pool in their own preferred order (they picked
         tasks themselves before the recommender existed); the policy observes
         these interactions so that, like in the paper, the first month
-        initialises both the features and the learning model.
+        initialises both the features and the learning model.  With
+        ``observe=False`` the platform still evolves identically (pool,
+        features, qualities) but the policy sees nothing — used by the
+        decision-only replay, which must not train the frozen policy.
         """
         observed = 0
         limit = self.config.max_warmup_observations
@@ -218,7 +278,7 @@ class SimulationRunner:
                 continue
             preferred = behavior.preferred_order(context.worker, context.available_tasks)
             feedback = platform.submit_list(context, preferred)
-            if self.config.learn_from_warmup and (limit is None or observed < limit):
+            if observe and self.config.learn_from_warmup and (limit is None or observed < limit):
                 policy.observe_feedback(context, preferred, feedback)
                 observed += 1
 

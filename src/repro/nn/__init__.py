@@ -7,6 +7,13 @@ permutation-invariant set layers (row-wise feed-forward and multi-head
 self-attention), optimisers and checkpoint serialization.
 """
 
+from .dtype import (
+    SUPPORTED_DTYPES,
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from .functional import (
     huber_loss,
     linear,
@@ -45,6 +52,11 @@ __all__ = [
     "as_tensor",
     "no_grad",
     "is_grad_enabled",
+    "SUPPORTED_DTYPES",
+    "set_default_dtype",
+    "get_default_dtype",
+    "resolve_dtype",
+    "default_dtype",
     "Module",
     "Parameter",
     "Linear",

@@ -1,0 +1,90 @@
+"""Configurable floating-point precision for the :mod:`repro.nn` substrate.
+
+All tensors, parameters and optimiser buffers historically lived in float64.
+The paper's efficiency claims (Table 1) are about per-arrival latency, and on
+modern BLAS a float32 GEMM runs roughly twice as fast as the float64 one — so
+the substrate is now dtype-configurable:
+
+* the **global default** (:func:`set_default_dtype` / :func:`get_default_dtype`)
+  decides what freshly created tensors and parameters use when nothing more
+  specific is requested.  It stays ``float64`` so every existing determinism
+  and equivalence guarantee remains bit-identical;
+* a **per-network dtype** can be requested explicitly (``SetQNetwork(...,
+  dtype="float32")``, threaded from ``FrameworkConfig.dtype`` and the
+  declarative specs), which keeps two frameworks of different precisions
+  usable side by side in one process;
+* the :class:`default_dtype` context manager scopes a temporary override
+  (used by tests and the perf harness's ``--dtype`` axis).
+
+Only ``float32`` and ``float64`` are supported: the autograd engine relies on
+IEEE semantics and numpy BLAS dispatch, and half precision has neither here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SUPPORTED_DTYPES",
+    "set_default_dtype",
+    "get_default_dtype",
+    "resolve_dtype",
+    "default_dtype",
+]
+
+#: The floating dtypes the substrate supports, keyed by canonical name.
+SUPPORTED_DTYPES: dict[str, np.dtype] = {
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+#: Module-level default; float64 keeps the historical bit-exact behaviour.
+_DEFAULT_DTYPE: np.dtype = SUPPORTED_DTYPES["float64"]
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Canonicalise ``dtype`` (name, numpy dtype or None) to a supported dtype.
+
+    ``None`` resolves to the current global default.  Anything that is not
+    float32/float64 raises — silently computing in an unsupported precision
+    would invalidate every equivalence guarantee of the substrate.
+    """
+    if dtype is None:
+        return _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    for supported in SUPPORTED_DTYPES.values():
+        if resolved == supported:
+            return supported
+    raise ValueError(
+        f"unsupported nn dtype {dtype!r}; supported: {sorted(SUPPORTED_DTYPES)}"
+    )
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the global default floating dtype for new tensors and parameters."""
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(dtype)
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the current global default floating dtype."""
+    return _DEFAULT_DTYPE
+
+
+class default_dtype:
+    """Context manager scoping a temporary default-dtype override::
+
+        with default_dtype("float32"):
+            network = SetQNetwork(input_dim)   # float32 parameters
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = resolve_dtype(dtype)
+
+    def __enter__(self) -> "default_dtype":
+        self._previous = get_default_dtype()
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        set_default_dtype(self._previous)

@@ -52,10 +52,22 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     return out
 
 
+def _detached_target(target, dtype: np.dtype) -> Tensor:
+    """Coerce ``target`` to a detached tensor in the prediction's dtype.
+
+    Keeps a float32 loss graph in float32 even when targets arrive as the
+    float64 arrays the (dtype-agnostic) TD machinery produces.
+    """
+    target = as_tensor(target, dtype=dtype).detach()
+    if target.data.dtype != dtype:
+        target = Tensor(target.data, dtype=dtype)
+    return target
+
+
 def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
     """Mean squared error between ``prediction`` and ``target``."""
     prediction = as_tensor(prediction)
-    target = as_tensor(target).detach()
+    target = _detached_target(target, prediction.data.dtype)
     diff = prediction - target
     return (diff * diff).mean()
 
@@ -68,8 +80,8 @@ def weighted_mse_loss(prediction: Tensor, target: Tensor, weights: np.ndarray) -
     distribution.
     """
     prediction = as_tensor(prediction)
-    target = as_tensor(target).detach()
-    weights = np.asarray(weights, dtype=np.float64).reshape(prediction.shape)
+    target = _detached_target(target, prediction.data.dtype)
+    weights = np.asarray(weights, dtype=prediction.data.dtype).reshape(prediction.shape)
     diff = prediction - target
     return (Tensor(weights) * diff * diff).mean()
 
@@ -77,7 +89,7 @@ def weighted_mse_loss(prediction: Tensor, target: Tensor, weights: np.ndarray) -
 def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
     """Huber (smooth L1) loss, robust to occasional large TD errors."""
     prediction = as_tensor(prediction)
-    target = as_tensor(target).detach()
+    target = _detached_target(target, prediction.data.dtype)
     diff = prediction - target
     abs_diff = np.abs(diff.data)
     quadratic_mask = abs_diff <= delta
@@ -85,8 +97,8 @@ def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor
     quadratic = diff * diff * 0.5
     sign = np.sign(diff.data)
     linear_branch = diff * Tensor(sign * delta) - (0.5 * delta * delta)
-    combined = quadratic * Tensor(quadratic_mask.astype(np.float64)) + linear_branch * Tensor(
-        (~quadratic_mask).astype(np.float64)
+    combined = quadratic * Tensor(quadratic_mask.astype(diff.data.dtype)) + linear_branch * Tensor(
+        (~quadratic_mask).astype(diff.data.dtype)
     )
     return combined.mean()
 

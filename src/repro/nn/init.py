@@ -1,34 +1,44 @@
-"""Parameter initialisation schemes for :mod:`repro.nn` layers."""
+"""Parameter initialisation schemes for :mod:`repro.nn` layers.
+
+All schemes draw in float64 and cast to the requested dtype afterwards, so a
+float32 network consumes exactly the same RNG stream as its float64 twin —
+the two start from bitwise-casts of the same values, which is what the
+float32↔float64 equivalence tests rely on.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from .dtype import resolve_dtype
+
 __all__ = ["xavier_uniform", "he_uniform", "zeros", "normal"]
 
 
-def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform initialisation, suited to linear + attention stacks."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
-def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator, dtype=None) -> np.ndarray:
     """He uniform initialisation, suited to ReLU feed-forward layers."""
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
-def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+def normal(
+    shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02, dtype=None
+) -> np.ndarray:
     """Small-variance Gaussian initialisation."""
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
-def zeros(shape: tuple[int, ...]) -> np.ndarray:
+def zeros(shape: tuple[int, ...], dtype=None) -> np.ndarray:
     """All-zero initialisation (biases)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -18,6 +18,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from . import init as initializers
+from .dtype import get_default_dtype, resolve_dtype
 from .functional import scaled_dot_product_attention
 from .tensor import Tensor
 
@@ -36,8 +37,8 @@ __all__ = [
 class Parameter(Tensor):
     """A tensor that is registered as a learnable parameter of a module."""
 
-    def __init__(self, data, name: str | None = None):
-        super().__init__(data, requires_grad=True, name=name)
+    def __init__(self, data, name: str | None = None, dtype=None):
+        super().__init__(data, requires_grad=True, name=name, dtype=dtype)
 
 
 class Module:
@@ -81,6 +82,17 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def param_dtype(self) -> np.dtype:
+        """The floating dtype of this module's parameters.
+
+        Modules are dtype-homogeneous by construction (the dtype is threaded
+        through every constructor); parameter-free modules report the global
+        default.
+        """
+        for param in self.parameters():
+            return param.data.dtype
+        return get_default_dtype()
+
     def train(self) -> "Module":
         """Put the module (and children) in training mode."""
         self.training = True
@@ -111,12 +123,15 @@ class Module:
             )
         for name, values in state.items():
             param = own[name]
-            values = np.asarray(values, dtype=np.float64)
+            values = np.asarray(values)
             if values.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {values.shape}"
                 )
-            param.data = values.copy()
+            # In-place write (cast to the parameter's own dtype): the flat
+            # optimiser buffers alias ``param.data``, so the array object must
+            # survive a state-dict load for the views to stay coherent.
+            np.copyto(param.data, values)
 
     def copy_from(self, other: "Module", tau: float = 1.0) -> None:
         """Polyak-average parameters from ``other`` into this module.
@@ -126,7 +141,9 @@ class Module:
         """
         own = dict(self.named_parameters())
         for name, source in other.named_parameters():
-            own[name].data = (1.0 - tau) * own[name].data + tau * source.data
+            # Computed out-of-place (same values as before), written in-place
+            # so optimiser flat-buffer views of ``data`` stay valid.
+            np.copyto(own[name].data, (1.0 - tau) * own[name].data + tau * source.data)
 
     # -- call ------------------------------------------------------------ #
     def forward(self, *args, **kwargs):
@@ -145,15 +162,22 @@ class Linear(Module):
         out_features: int,
         bias: bool = True,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
+        dtype = resolve_dtype(dtype)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(
-            initializers.xavier_uniform((in_features, out_features), rng), name="weight"
+            initializers.xavier_uniform((in_features, out_features), rng, dtype=dtype),
+            name="weight",
         )
-        self.bias = Parameter(initializers.zeros((out_features,)), name="bias") if bias else None
+        self.bias = (
+            Parameter(initializers.zeros((out_features,), dtype=dtype), name="bias")
+            if bias
+            else None
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         # Flatten leading (batch) dims so the product is one large GEMM —
@@ -192,9 +216,10 @@ class RowwiseFeedForward(Module):
         out_features: int,
         activation: bool = True,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
-        self.linear = Linear(in_features, out_features, rng=rng)
+        self.linear = Linear(in_features, out_features, rng=rng, dtype=dtype)
         self.activation = activation
 
     def forward(self, x: Tensor) -> Tensor:
@@ -209,6 +234,17 @@ class MultiHeadSelfAttention(Module):
     applies scaled dot-product attention per head, concatenates the heads and
     applies an output projection.  Padded rows (``mask``) are excluded from
     the attention softmax so zero-padding cannot influence real tasks.
+
+    The Q/K/V projections are **fused**: instead of three separate
+    ``(E, E)`` GEMMs per call, the layer stores one ``(E, 3E)`` weight
+    (``in_proj_weight``) and launches a single GEMM, peeling the three
+    head-split activations off a packed view with :meth:`Tensor.unbind`
+    (whose backward writes each gradient straight into the owning slice
+    instead of materialising three full-size zero arrays).  The fused
+    weight is
+    initialised from three independent Xavier draws with the *unfused*
+    ``(E, E)`` fan sizes, in the historical Q, K, V order, so the parameter
+    values (and the downstream RNG stream) are identical to the old layout.
     """
 
     def __init__(
@@ -216,6 +252,7 @@ class MultiHeadSelfAttention(Module):
         embed_dim: int,
         num_heads: int = 4,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         if embed_dim % num_heads != 0:
@@ -223,13 +260,21 @@ class MultiHeadSelfAttention(Module):
                 f"embed_dim ({embed_dim}) must be divisible by num_heads ({num_heads})"
             )
         rng = rng if rng is not None else np.random.default_rng()
+        dtype = resolve_dtype(dtype)
         self.embed_dim = embed_dim
         self.num_heads = num_heads
         self.head_dim = embed_dim // num_heads
-        self.query_proj = Linear(embed_dim, embed_dim, rng=rng)
-        self.key_proj = Linear(embed_dim, embed_dim, rng=rng)
-        self.value_proj = Linear(embed_dim, embed_dim, rng=rng)
-        self.output_proj = Linear(embed_dim, embed_dim, rng=rng)
+        blocks = [
+            initializers.xavier_uniform((embed_dim, embed_dim), rng, dtype=dtype)
+            for _ in range(3)
+        ]
+        self.in_proj_weight = Parameter(
+            np.concatenate(blocks, axis=1), name="in_proj_weight"
+        )
+        self.in_proj_bias = Parameter(
+            initializers.zeros((3 * embed_dim,), dtype=dtype), name="in_proj_bias"
+        )
+        self.output_proj = Linear(embed_dim, embed_dim, rng=rng, dtype=dtype)
 
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
         """Attend over the rows of ``x``.
@@ -239,20 +284,26 @@ class MultiHeadSelfAttention(Module):
         ``(rows,)`` respectively ``(batch, rows)``.  All heads are computed in
         one reshaped batched matmul — ``(heads, rows, head_dim)`` for a single
         set, ``(batch, heads, rows, head_dim)`` for a batch — instead of a
-        Python loop over column slices.
+        Python loop over column slices, and Q, K and V come out of one fused
+        ``(·, E) @ (E, 3E)`` GEMM.
         """
-        queries = self.query_proj(x)
-        keys = self.key_proj(x)
-        values = self.value_proj(x)
+        flat = x.reshape((-1, self.embed_dim)) if x.ndim > 2 else x
+        qkv = flat @ self.in_proj_weight + self.in_proj_bias
 
         lead = x.shape[:-2]
         rows = x.shape[-2]
         n_lead = len(lead)
-        # (..., rows, embed) -> (..., rows, heads, head_dim) -> (..., heads, rows, head_dim)
+        # The fused activation row is [q (heads·hd) | k (heads·hd) | v (heads·hd)],
+        # so reshaping the contiguous (N, 3E) GEMM output to
+        # (..., rows, 3, heads, head_dim) is free, one transpose brings the
+        # q/k/v axis to the front, and unbind peels the three head-split
+        # activations off as views — no per-projection copies at all.
+        packed = qkv.reshape(lead + (rows, 3, self.num_heads, self.head_dim)).transpose(
+            (n_lead + 1,) + tuple(range(n_lead)) + (n_lead + 2, n_lead, n_lead + 3)
+        )
+        queries, keys, values = packed.unbind(0)
+        # (..., rows, heads, head_dim) <-> (..., heads, rows, head_dim) (self-inverse).
         split_axes = tuple(range(n_lead)) + (n_lead + 1, n_lead, n_lead + 2)
-
-        def split_heads(t: Tensor) -> Tensor:
-            return t.reshape(lead + (rows, self.num_heads, self.head_dim)).transpose(split_axes)
 
         key_mask = None
         if mask is not None:
@@ -260,9 +311,7 @@ class MultiHeadSelfAttention(Module):
             # Key mask broadcast over heads and query rows: (..., 1, 1, rows).
             key_mask = mask[..., np.newaxis, np.newaxis, :]
 
-        attended = scaled_dot_product_attention(
-            split_heads(queries), split_heads(keys), split_heads(values), mask=key_mask
-        )
+        attended = scaled_dot_product_attention(queries, keys, values, mask=key_mask)
         # (..., heads, rows, head_dim) -> (..., rows, heads, head_dim) -> (..., rows, embed)
         merged = attended.transpose(split_axes).reshape(lead + (rows, self.embed_dim))
         return self.output_proj(merged)
@@ -275,11 +324,12 @@ class LayerNorm(Module):
     stacks; the Q-network uses it optionally to stabilise training.
     """
 
-    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+    def __init__(self, normalized_shape: int, eps: float = 1e-5, dtype=None) -> None:
         super().__init__()
+        dtype = resolve_dtype(dtype)
         self.eps = eps
-        self.gamma = Parameter(np.ones((normalized_shape,)), name="gamma")
-        self.beta = Parameter(np.zeros((normalized_shape,)), name="beta")
+        self.gamma = Parameter(np.ones((normalized_shape,), dtype=dtype), name="gamma")
+        self.beta = Parameter(np.zeros((normalized_shape,), dtype=dtype), name="beta")
 
     def forward(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)
@@ -315,13 +365,15 @@ def build_mlp(
     layer_sizes: Sequence[int],
     rng: np.random.Generator | None = None,
     final_activation: bool = False,
+    dtype=None,
 ) -> Sequential:
     """Construct a plain MLP from ``layer_sizes`` (used by the Greedy NN baseline)."""
     rng = rng if rng is not None else np.random.default_rng()
+    dtype = resolve_dtype(dtype)
     modules: list[Module] = []
     for index, (fan_in, fan_out) in enumerate(zip(layer_sizes[:-1], layer_sizes[1:])):
         is_last = index == len(layer_sizes) - 2
-        modules.append(Linear(fan_in, fan_out, rng=rng))
+        modules.append(Linear(fan_in, fan_out, rng=rng, dtype=dtype))
         if not is_last or final_activation:
             modules.append(ReLU())
     return Sequential(*modules)

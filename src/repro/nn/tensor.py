@@ -20,7 +20,12 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .dtype import get_default_dtype, resolve_dtype
+
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+#: Floating dtypes preserved as-is by the Tensor constructor.
+_PRESERVED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 # Global autograd switch (mirrors torch.no_grad semantics).
 _GRAD_ENABLED = True
@@ -85,11 +90,18 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def as_tensor(value, requires_grad: bool = False) -> "Tensor":
-    """Coerce ``value`` (Tensor, ndarray, scalar or nested list) to a Tensor."""
+def as_tensor(value, requires_grad: bool = False, dtype=None) -> "Tensor":
+    """Coerce ``value`` (Tensor, ndarray, scalar or nested list) to a Tensor.
+
+    ``dtype`` applies only when ``value`` is not already a Tensor: binary ops
+    pass their own dtype here so that python scalars and plain arrays join
+    the computation in the operand's precision instead of silently promoting
+    a float32 graph back to float64 (numpy 2 treats 0-d float64 arrays as
+    "strong" in promotion, unlike bare python scalars).
+    """
     if isinstance(value, Tensor):
         return value
-    return Tensor(value, requires_grad=requires_grad)
+    return Tensor(value, requires_grad=requires_grad, dtype=dtype)
 
 
 class Tensor:
@@ -98,21 +110,42 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a ``float64`` numpy array.
+        Anything convertible to a floating numpy array.  Arrays that are
+        already float32/float64 keep their dtype; everything else (lists,
+        python scalars, integer arrays) is converted to ``dtype`` when given,
+        otherwise to the global default (see :mod:`repro.nn.dtype` —
+        ``float64`` unless reconfigured).
     requires_grad:
         If True, gradients are accumulated into :attr:`grad` during
         :meth:`backward`.
+    dtype:
+        Optional explicit dtype (``"float32"``/``"float64"``); forces a cast
+        even for arrays that already carry a floating dtype.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_grad_view")
 
-    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None, dtype=None):
+        if dtype is not None:
+            self.data = np.asarray(data, dtype=resolve_dtype(dtype))
+        elif isinstance(data, (np.ndarray, np.floating)) and data.dtype in _PRESERVED_DTYPES:
+            # Arrays (and numpy scalars, e.g. what ``.sum()`` returns) that
+            # already carry a supported floating dtype keep it — this is what
+            # lets a float32 graph stay float32 end to end.
+            self.data = np.asarray(data)
+        else:
+            # Lists, scalars, integer arrays, …: the global default decides.
+            self.data = np.asarray(data, dtype=get_default_dtype())
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+        #: Optional preallocated gradient buffer (a view into an optimiser's
+        #: flat gradient vector).  When set, :meth:`_accumulate` writes the
+        #: first contribution into it instead of allocating a fresh array,
+        #: so the optimiser's gather step becomes a no-op.
+        self._grad_view: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Introspection helpers
@@ -128,6 +161,10 @@ class Tensor:
     @property
     def size(self) -> int:
         return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     def numpy(self) -> np.ndarray:
         """Return the underlying numpy array (no copy)."""
@@ -181,7 +218,11 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            if self._grad_view is not None:
+                np.copyto(self._grad_view, grad)
+                self.grad = self._grad_view
+            else:
+                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad += grad
 
@@ -200,9 +241,9 @@ class Tensor:
                     "backward() without an explicit gradient requires a scalar tensor"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+            grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
 
         ordered = self._topological_order()
         self._accumulate(grad)
@@ -233,7 +274,7 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, dtype=self.data.dtype)
         data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -251,7 +292,7 @@ class Tensor:
         return self._make_child(-self.data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, dtype=self.data.dtype)
         data = self.data - other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -261,10 +302,10 @@ class Tensor:
         return self._make_child(data, (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other).__sub__(self)
+        return as_tensor(other, dtype=self.data.dtype).__sub__(self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, dtype=self.data.dtype)
         data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -276,7 +317,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, dtype=self.data.dtype)
         data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -288,7 +329,7 @@ class Tensor:
         return self._make_child(data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other).__truediv__(self)
+        return as_tensor(other, dtype=self.data.dtype).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -301,7 +342,7 @@ class Tensor:
         return self._make_child(data, (self,), backward)
 
     def __matmul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, dtype=self.data.dtype)
         data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -349,7 +390,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 expanded = np.expand_dims(grad, axis=axis)
                 max_vals = np.expand_dims(data, axis=axis)
-            mask = (self.data == max_vals).astype(np.float64)
+            mask = (self.data == max_vals).astype(self.data.dtype)
             # Split gradient equally between ties to keep backward deterministic.
             normaliser = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(mask / np.maximum(normaliser, 1.0) * expanded)
@@ -404,6 +445,62 @@ class Tensor:
             self._accumulate(full)
 
         return self._make_child(data, (self,), backward)
+
+    def split(self, sections: int, axis: int = -1) -> list["Tensor"]:
+        """Split into ``sections`` equal chunks along ``axis``.
+
+        The cheap counterpart of indexing with column slices: each chunk's
+        backward writes its gradient directly into the owning slice of the
+        parent's gradient buffer, so splitting a ``(rows, 3E)`` activation
+        costs one full-size zero allocation in total instead of one *per*
+        chunk (what ``__getitem__`` would materialise).  General-purpose
+        sibling of :meth:`unbind` (which the fused QKV projection uses and
+        which drops the axis instead of keeping a shortened one).
+        """
+        axis = axis % self.data.ndim
+        length = self.data.shape[axis]
+        if sections <= 0 or length % sections != 0:
+            raise ValueError(
+                f"cannot split axis of length {length} into {sections} equal sections"
+            )
+        step = length // sections
+        pieces: list[Tensor] = []
+        for start in range(0, length, step):
+            index = (slice(None),) * axis + (slice(start, start + step),)
+
+            def backward(grad: np.ndarray, index=index) -> None:
+                if not self.requires_grad:
+                    return
+                if self.grad is None:
+                    self.grad = np.zeros_like(self.data)
+                self.grad[index] += grad
+
+            pieces.append(self._make_child(self.data[index], (self,), backward))
+        return pieces
+
+    def unbind(self, axis: int = 0) -> list["Tensor"]:
+        """Slice off every index of ``axis`` (the axis is dropped).
+
+        Like :meth:`split` this uses the cheap backward — each piece's
+        gradient is written straight into the owning slice of the parent's
+        gradient buffer — but the returned pieces are plain views with the
+        axis removed, so unbinding a packed ``(3, ..., rows, head_dim)``
+        QKV stack costs no data movement at all in the forward pass.
+        """
+        axis = axis % self.data.ndim
+        pieces: list[Tensor] = []
+        for position in range(self.data.shape[axis]):
+            index = (slice(None),) * axis + (position,)
+
+            def backward(grad: np.ndarray, index=index) -> None:
+                if not self.requires_grad:
+                    return
+                if self.grad is None:
+                    self.grad = np.zeros_like(self.data)
+                self.grad[index] += grad
+
+            pieces.append(self._make_child(self.data[index], (self,), backward))
+        return pieces
 
     # ------------------------------------------------------------------ #
     # Element-wise non-linearities

@@ -145,3 +145,20 @@ def test_cli_bench_quick_writes_a_report(tmp_path):
     report = json.loads(output.read_text())
     assert report["mode"] == "quick"
     assert "train_step" in report["results"]
+    # --suite all (the default) also writes the end-to-end throughput report.
+    endtoend = json.loads((tmp_path / "bench.endtoend.json").read_text())
+    assert endtoend["mode"] == "quick"
+    assert "ddqn" in endtoend["policies"]
+    assert endtoend["policies"]["ddqn"]["arrivals_per_s"] > 0
+
+
+@pytest.mark.perf_smoke
+def test_cli_bench_endtoend_suite_only(tmp_path):
+    output = tmp_path / "endtoend.json"
+    completed = run_cli(
+        "bench", "--quick", "--suite", "endtoend", "--output", str(output)
+    )
+    assert completed.returncode == 0, completed.stderr
+    report = json.loads(output.read_text())
+    assert "ddqn-float32" in report["policies"]
+    assert report["decision_path"]["batched_speedup"] > 0

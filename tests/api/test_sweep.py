@@ -234,3 +234,48 @@ class TestSweepRunner:
         assert "random.seed=0" in table
         assert "±" in table
         assert "Greedy CS" in table
+
+
+class TestSweepDatasetCache:
+    def test_run_populates_one_trace_per_distinct_dataset_spec(self, tmp_path):
+        from repro.datasets import trace_cache_name
+
+        # cheap_sweep grids dataset seeds (1, 2) × policy seeds: the four
+        # cells share two distinct datasets, so exactly two traces are cached.
+        spec = cheap_sweep()
+        run_sweep(spec, tmp_path / "sweep")
+        cache_dir = tmp_path / "sweep" / "datasets"
+        assert sorted(p.name for p in cache_dir.glob("*.npz")) == sorted(
+            [trace_cache_name(0.03, 2, 1), trace_cache_name(0.03, 2, 2)]
+        )
+
+    def test_dataset_axis_caches_each_seed(self, tmp_path):
+        from repro.datasets import trace_cache_name
+
+        spec = SweepSpec(
+            name="dataset-axis",
+            base=cheap_base(max_arrivals=10),
+            axes=[SweepAxis(target="dataset", key="seed", values=[1, 2])],
+        )
+        run_sweep(spec, tmp_path / "sweep")
+        cache_dir = tmp_path / "sweep" / "datasets"
+        assert sorted(p.name for p in cache_dir.glob("*.npz")) == sorted(
+            [trace_cache_name(0.03, 2, 1), trace_cache_name(0.03, 2, 2)]
+        )
+
+    def test_cached_sweep_matches_uncached_cells(self, tmp_path):
+        """A sweep reading the cache aggregates identically to direct runs."""
+        from repro.api import run_spec as direct_run_spec
+
+        spec = cheap_sweep()
+        aggregate = run_sweep(spec, tmp_path / "sweep")
+        cell = spec.expand()[0]
+        direct = direct_run_spec(cell.spec)
+        document = json.loads(
+            (tmp_path / "sweep" / "cells" / f"{cell.cell_id}.json").read_text()
+        )
+        for label, result in direct.items():
+            row = document["results"][label]
+            assert row["CR"] == result.cr.final
+            assert row["arrivals"] == result.arrivals
+        assert aggregate["cells"]

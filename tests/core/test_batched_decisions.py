@@ -1,0 +1,129 @@
+"""Batched decision path: ``rank_tasks_batch`` vs sequential ``rank_tasks``.
+
+With no feedback observed in between, ranking a list of independent arrivals
+through one padded ``q_values_batch`` per agent must reproduce the
+sequential loop: same rankings, same RNG consumption, same pending
+bookkeeping — and the decision-only replay in the runner must rank every
+online arrival regardless of batch size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import build_policy
+from repro.baselines import RandomPolicy
+from repro.core import FrameworkConfig, TaskArrangementFramework
+from repro.crowd.entities import MINUTES_PER_DAY
+from repro.datasets import generate_crowdspring, scalability_snapshot
+from repro.eval import RunnerConfig, SimulationRunner
+
+from test_checkpoint import make_context, snapshot  # noqa: F401 (fixture)
+
+TINY = dict(hidden_dim=16, num_heads=2, batch_size=8, train_interval=1, seed=5)
+
+
+def make_framework(schema, **overrides) -> TaskArrangementFramework:
+    return TaskArrangementFramework(schema, FrameworkConfig(**{**TINY, **overrides}))
+
+
+class TestRankTasksBatch:
+    def test_matches_sequential_rank_tasks(self, snapshot):
+        _, _, schema, _ = snapshot
+        sequential = make_framework(schema)
+        batched = make_framework(schema)
+        contexts = [make_context(snapshot, MINUTES_PER_DAY + 7.0 * i) for i in range(12)]
+
+        expected = [sequential.rank_tasks(context) for context in contexts]
+        actual = batched.rank_tasks_batch(contexts)
+        assert actual == expected
+
+    def test_consumes_the_rng_like_the_sequential_loop(self, snapshot):
+        """After a batched call, later decisions still line up sequentially."""
+        _, _, schema, _ = snapshot
+        sequential = make_framework(schema)
+        batched = make_framework(schema)
+        contexts = [make_context(snapshot, MINUTES_PER_DAY + 7.0 * i) for i in range(8)]
+
+        for context in contexts[:5]:
+            sequential.rank_tasks(context)
+        batched.rank_tasks_batch(contexts[:5])
+
+        follow_up = make_context(snapshot, MINUTES_PER_DAY + 999.0)
+        assert batched.rank_tasks(follow_up) == sequential.rank_tasks(follow_up)
+
+    def test_single_mdp_variants(self, snapshot):
+        _, _, schema, _ = snapshot
+        for variant in ("worker_only", "requester_only"):
+            sequential = getattr(TaskArrangementFramework, variant)(
+                schema, FrameworkConfig(**TINY)
+            )
+            batched = getattr(TaskArrangementFramework, variant)(
+                schema, FrameworkConfig(**TINY)
+            )
+            contexts = [make_context(snapshot, MINUTES_PER_DAY + 3.0 * i) for i in range(6)]
+            assert batched.rank_tasks_batch(contexts) == [
+                sequential.rank_tasks(context) for context in contexts
+            ]
+
+    def test_empty_pools_are_passed_through(self, snapshot):
+        _, _, schema, _ = snapshot
+        framework = make_framework(schema)
+        context = make_context(snapshot, MINUTES_PER_DAY)
+        empty = make_context(snapshot, MINUTES_PER_DAY + 1.0)
+        empty.available_tasks = []
+        rankings = framework.rank_tasks_batch([empty, context])
+        assert rankings[0] == []
+        assert rankings[1]
+
+    def test_default_interface_implementation_loops(self):
+        tasks, worker, schema = scalability_snapshot(5, seed=1)
+        features = np.stack([schema.task_features(task) for task in tasks])
+        from repro.crowd.platform import ArrivalContext
+
+        contexts = [
+            ArrivalContext(
+                timestamp=float(i),
+                worker=worker,
+                worker_feature=schema.empty_worker_features(),
+                available_tasks=list(tasks),
+                task_features=features,
+                task_qualities=np.zeros(len(tasks)),
+            )
+            for i in range(4)
+        ]
+        a, b = RandomPolicy(seed=3), RandomPolicy(seed=3)
+        assert a.rank_tasks_batch(contexts) == [b.rank_tasks(c) for c in contexts]
+
+    def test_pending_decisions_stay_bounded(self, snapshot):
+        _, _, schema, _ = snapshot
+        framework = make_framework(schema)
+        framework._MAX_PENDING = 10
+        for i in range(50):
+            framework.rank_tasks(make_context(snapshot, MINUTES_PER_DAY + float(i)))
+        assert len(framework._pending) == 10
+
+
+class TestReplayDecisions:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_crowdspring(scale=0.03, num_months=2, seed=1)
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_ranks_the_requested_number_of_arrivals(self, dataset, batch_size):
+        runner = SimulationRunner(dataset, RunnerConfig(seed=0))
+        policy = build_policy("ddqn-worker", dataset, **TINY)
+        ranked = runner.replay_decisions(policy, batch_size=batch_size, max_arrivals=20)
+        assert ranked == 20
+
+    def test_full_trace_without_cap(self, dataset):
+        runner = SimulationRunner(dataset, RunnerConfig(seed=0))
+        counts = [
+            runner.replay_decisions(RandomPolicy(seed=0), batch_size=batch)
+            for batch in (1, 16)
+        ]
+        assert counts[0] == counts[1] > 0
+
+    def test_rejects_non_positive_batch(self, dataset):
+        runner = SimulationRunner(dataset, RunnerConfig(seed=0))
+        with pytest.raises(ValueError, match="batch_size"):
+            runner.replay_decisions(RandomPolicy(seed=0), batch_size=0)

@@ -1,0 +1,236 @@
+"""float32 ↔ float64 equivalence-with-tolerance for the compute core.
+
+float64 stays the default and bit-exact; float32 buys ~2× GEMM throughput at
+a bounded precision cost.  These tests bound that cost at three levels:
+
+* **forward** — identically initialised networks (same RNG stream, cast
+  draws) agree to float32-forward precision on single and batched states;
+* **train_step** — identically built learners track each other's losses and
+  parameters through several gradient steps;
+* **full run** — a 50-arrival DDQN experiment lands within loose metric
+  drift bounds of its float64 twin (trajectories diverge chaotically, so the
+  bounds are on the final measures, not per-step values);
+
+plus the checkpoint story: a float32 framework round-trips through
+``save``/``load`` with its precision intact (networks, Adam moments) and the
+restored framework continues exactly like the one that kept running.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import DatasetSpec, ExperimentSpec, PolicySpec, run_spec
+from repro.core import (
+    DoubleDQNLearner,
+    FrameworkConfig,
+    PrioritizedReplayMemory,
+    SetQNetwork,
+    StateTransformer,
+    TaskArrangementFramework,
+    Transition,
+)
+from repro.crowd import FeatureSchema
+from repro.crowd.entities import MINUTES_PER_DAY
+from repro.datasets import generate_crowdspring
+from repro.eval import RunnerConfig
+
+from test_checkpoint import drive, make_context, snapshot  # noqa: F401 (fixture)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return FeatureSchema(num_categories=4, num_domains=3, award_bins=(100.0, 300.0))
+
+
+@pytest.fixture(scope="module")
+def transformer(schema):
+    return StateTransformer(schema)
+
+
+def random_states(schema, transformer, count: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    states = []
+    for index in range(count):
+        num_tasks = int(rng.integers(2, 6))
+        worker = rng.dirichlet(np.ones(schema.worker_dim))
+        tasks = np.zeros((num_tasks, schema.task_dim))
+        for row in range(num_tasks):
+            tasks[row, rng.integers(0, schema.num_categories)] = 1.0
+            tasks[row, schema.num_categories + rng.integers(0, schema.num_domains)] = 1.0
+        states.append(transformer.transform(worker, tasks, list(range(num_tasks))))
+    return states
+
+
+def twin_networks(transformer, **kwargs):
+    f64 = SetQNetwork(transformer.row_dim, dtype="float64", **kwargs)
+    f32 = SetQNetwork(transformer.row_dim, dtype="float32", **kwargs)
+    return f64, f32
+
+
+class TestForwardEquivalence:
+    def test_parameters_are_cast_of_the_same_draws(self, transformer):
+        f64, f32 = twin_networks(transformer, hidden_dim=32, num_heads=2, seed=1)
+        for (name, p64), (_, p32) in zip(f64.named_parameters(), f32.named_parameters()):
+            assert p32.data.dtype == np.float32, name
+            np.testing.assert_array_equal(p32.data, p64.data.astype(np.float32), err_msg=name)
+
+    def test_q_values_agree_to_float32_precision(self, schema, transformer):
+        f64, f32 = twin_networks(transformer, hidden_dim=32, num_heads=2, seed=1)
+        for state in random_states(schema, transformer, 20, seed=2):
+            q64 = f64.q_values(state)
+            q32 = f32.q_values(state)
+            assert q32.dtype == np.float32
+            np.testing.assert_allclose(q32, q64, rtol=2e-4, atol=2e-4)
+
+    def test_float64_tensor_input_cannot_promote_a_float32_network(self, schema, transformer):
+        """A mismatched-precision Tensor is re-wrapped on entry (the docstring's
+        'inputs are cast on entry' holds for Tensors, not just arrays)."""
+        from repro.core.qnetwork import pad_state_batch
+        from repro.nn import Tensor
+
+        _, f32 = twin_networks(transformer, hidden_dim=32, num_heads=2, seed=1)
+        states = random_states(schema, transformer, 4, seed=5)
+        batch, mask = pad_state_batch(states)  # float64 default
+        out = f32.forward(Tensor(batch), mask=mask)
+        assert out.dtype == np.float32
+
+    def test_batched_forward_agrees(self, schema, transformer):
+        f64, f32 = twin_networks(transformer, hidden_dim=32, num_heads=2, seed=1)
+        states = random_states(schema, transformer, 16, seed=3)
+        batch64 = f64.q_values_batch(states)
+        batch32 = f32.q_values_batch(states)
+        for q64, q32 in zip(batch64, batch32):
+            np.testing.assert_allclose(q32, q64, rtol=2e-4, atol=2e-4)
+
+
+def build_twin_learners(schema, transformer):
+    def build(dtype):
+        network = SetQNetwork(
+            transformer.row_dim, hidden_dim=32, num_heads=2, seed=3, dtype=dtype
+        )
+        learner = DoubleDQNLearner(network, gamma=0.5, batch_size=8, target_sync_interval=50)
+        memory = PrioritizedReplayMemory(capacity=200, seed=7)
+        rng = np.random.default_rng(1)
+        states = random_states(schema, transformer, 60, seed=11)
+        futures = random_states(schema, transformer, 60, seed=13)
+        for i in range(30):
+            state = states[i]
+            branches = [(0.5, futures[2 * i]), (0.5, futures[2 * i + 1])]
+            memory.push(
+                Transition(
+                    state=state,
+                    action_index=int(rng.integers(0, state.num_tasks)),
+                    reward=float(rng.random()),
+                    future_states=branches,
+                )
+            )
+        return learner, memory
+
+    return build("float64"), build("float32")
+
+
+class TestTrainStepEquivalence:
+    def test_losses_and_parameters_track_through_steps(self, schema, transformer):
+        (learner64, memory64), (learner32, memory32) = build_twin_learners(schema, transformer)
+        for step in range(5):
+            report64 = learner64.train_step(memory64)
+            report32 = learner32.train_step(memory32)
+            assert report32.batch_size == report64.batch_size
+            assert report32.loss == pytest.approx(report64.loss, rel=2e-3, abs=2e-3), step
+        for (name, p64), (_, p32) in zip(
+            learner64.online.named_parameters(), learner32.online.named_parameters()
+        ):
+            np.testing.assert_allclose(
+                p32.data, p64.data.astype(np.float32), rtol=5e-3, atol=5e-3, err_msg=name
+            )
+
+
+class TestFullRunDrift:
+    @pytest.fixture(scope="class")
+    def results(self):
+        dataset = generate_crowdspring(scale=0.03, num_months=2, seed=1)
+        outcomes = {}
+        for dtype in ("float64", "float32"):
+            spec = ExperimentSpec(
+                name=f"dtype-drift-{dtype}",
+                dataset=DatasetSpec(scale=0.03, num_months=2, seed=1),
+                runner=RunnerConfig(seed=0, max_arrivals=50),
+                policies=[
+                    PolicySpec(
+                        "ddqn",
+                        {
+                            "hidden_dim": 16,
+                            "num_heads": 2,
+                            "batch_size": 8,
+                            "train_interval": 4,
+                            "seed": 0,
+                            "dtype": dtype,
+                            "worker_weight": 0.25,
+                        },
+                        label=dtype,
+                    )
+                ],
+            )
+            outcomes[dtype] = run_spec(spec, dataset=dataset)[dtype]
+        return outcomes
+
+    def test_both_precisions_complete_the_same_arrivals(self, results):
+        assert results["float32"].arrivals == results["float64"].arrivals == 50
+
+    def test_final_metrics_stay_within_drift_bounds(self, results):
+        """Chaotic divergence is expected; catastrophic divergence is a bug."""
+        for field in ("cr", "kcr", "ndcg_cr", "qg", "kqg", "ndcg_qg"):
+            final64 = getattr(results["float64"], field).final
+            final32 = getattr(results["float32"], field).final
+            assert abs(final32 - final64) <= 0.25, (
+                f"{field}: float32={final32:.3f} float64={final64:.3f}"
+            )
+
+    def test_completion_counts_are_comparable(self, results):
+        assert abs(results["float32"].completions - results["float64"].completions) <= 15
+
+
+class TestFloat32Checkpointing:
+    def float32_config(self) -> FrameworkConfig:
+        return FrameworkConfig(
+            hidden_dim=16,
+            num_heads=2,
+            batch_size=8,
+            train_interval=1,
+            seed=5,
+            dtype="float32",
+        )
+
+    def test_checkpoint_records_and_restores_float32(self, snapshot, tmp_path):
+        _, _, schema, _ = snapshot
+        framework = TaskArrangementFramework(schema, self.float32_config())
+        drive(framework, snapshot, MINUTES_PER_DAY, 30)
+        path = framework.save(tmp_path / "f32.npz")
+
+        restored = TaskArrangementFramework.load(path)
+        assert restored.config.dtype == "float32"
+        for agent in (restored.agent_w, restored.agent_r):
+            for name, param in agent.network.named_parameters():
+                assert param.data.dtype == np.float32, name
+            moments = agent.learner.optimizer.state_dict()["first_moment"]
+            assert all(m.dtype == np.float32 for m in moments.values())
+
+    def test_restored_float32_framework_continues_identically(self, snapshot, tmp_path):
+        _, _, schema, _ = snapshot
+        framework = TaskArrangementFramework(schema, self.float32_config())
+        drive(framework, snapshot, MINUTES_PER_DAY, 30)
+        path = framework.save(tmp_path / "f32.npz")
+        restored = TaskArrangementFramework.load(path)
+
+        drive(framework, snapshot, MINUTES_PER_DAY + 1_000.0, 10)
+        drive(restored, snapshot, MINUTES_PER_DAY + 1_000.0, 10)
+        context = make_context(snapshot, MINUTES_PER_DAY + 9_999.0)
+        assert framework.rank_tasks(context) == restored.rank_tasks(context)
+        for agent_a, agent_b in (
+            (framework.agent_w, restored.agent_w),
+            (framework.agent_r, restored.agent_r),
+        ):
+            for (name, pa), (_, pb) in zip(
+                agent_a.network.named_parameters(), agent_b.network.named_parameters()
+            ):
+                assert np.array_equal(pa.data, pb.data), name

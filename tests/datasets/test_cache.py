@@ -1,0 +1,117 @@
+"""On-disk dataset trace cache: bit-identical round-trips, read-only workers.
+
+The sweep engine's cross-cell cache is only sound if a cached dataset is
+indistinguishable from a regenerated one — same entities, same event order,
+and (the acceptance-level check) byte-for-byte identical simulation results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import DatasetSpec, ExperimentSpec, PolicySpec, run_spec
+from repro.datasets import (
+    cached_crowdspring,
+    generate_crowdspring,
+    load_dataset,
+    save_dataset,
+    trace_cache_name,
+)
+from repro.eval import RunnerConfig
+from repro.nn import save_checkpoint
+
+SCALE, MONTHS, SEED = 0.03, 2, 1
+
+
+@pytest.fixture(scope="module")
+def fresh_dataset():
+    return generate_crowdspring(scale=SCALE, num_months=MONTHS, seed=SEED)
+
+
+def assert_datasets_equal(a, b):
+    assert a.config == b.config
+    assert a.schema == b.schema
+    assert set(a.tasks) == set(b.tasks)
+    for task_id in a.tasks:
+        ta, tb = a.tasks[task_id], b.tasks[task_id]
+        for field in ("requester_id", "category", "domain", "award", "created_at", "deadline"):
+            assert getattr(ta, field) == getattr(tb, field), (task_id, field)
+    assert set(a.workers) == set(b.workers)
+    for worker_id in a.workers:
+        wa, wb = a.workers[worker_id], b.workers[worker_id]
+        assert wa.quality == wb.quality
+        assert wa.award_sensitivity == wb.award_sensitivity
+        np.testing.assert_array_equal(wa.category_preference, wb.category_preference)
+        np.testing.assert_array_equal(wa.domain_preference, wb.domain_preference)
+    assert {r.requester_id: r.task_ids for r in a.requesters.values()} == {
+        r.requester_id: r.task_ids for r in b.requesters.values()
+    }
+    assert len(a.trace) == len(b.trace)
+    for ea, eb in zip(a.trace, b.trace):
+        assert (ea.timestamp, ea.event_type, ea.subject_id) == (
+            eb.timestamp,
+            eb.event_type,
+            eb.subject_id,
+        )
+    assert a.bootstrap_completions == b.bootstrap_completions
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, fresh_dataset, tmp_path):
+        path = save_dataset(fresh_dataset, tmp_path / "ds.npz")
+        assert_datasets_equal(load_dataset(path), fresh_dataset)
+
+    def test_cached_run_results_are_bit_identical(self, fresh_dataset, tmp_path):
+        """The acceptance check: simulate on cached vs fresh, compare exactly."""
+        path = save_dataset(fresh_dataset, tmp_path / "ds.npz")
+        cached = load_dataset(path)
+        spec = ExperimentSpec(
+            name="cache-equivalence",
+            dataset=DatasetSpec(scale=SCALE, num_months=MONTHS, seed=SEED),
+            runner=RunnerConfig(seed=0, max_arrivals=30),
+            policies=[
+                PolicySpec("random", {"seed": 0}),
+                PolicySpec(
+                    "ddqn-worker",
+                    {"hidden_dim": 8, "num_heads": 2, "batch_size": 8, "train_interval": 4, "seed": 0},
+                ),
+            ],
+        )
+        fresh_results = run_spec(spec, dataset=fresh_dataset)
+        cached_results = run_spec(spec, dataset=cached)
+        assert list(fresh_results) == list(cached_results)
+        for label in fresh_results:
+            a, b = fresh_results[label], cached_results[label]
+            assert a.arrivals == b.arrivals
+            assert a.completions == b.completions
+            for field in ("cr", "kcr", "ndcg_cr", "qg", "kqg", "ndcg_qg"):
+                assert getattr(a, field).monthly == getattr(b, field).monthly, (label, field)
+                assert getattr(a, field).final == getattr(b, field).final, (label, field)
+
+    def test_non_dataset_checkpoint_is_rejected(self, tmp_path):
+        path = save_checkpoint({"format": "something/else"}, tmp_path / "other.npz")
+        with pytest.raises(ValueError, match="not a dataset cache file"):
+            load_dataset(path)
+
+
+class TestCachedCrowdspring:
+    def test_miss_generates_and_writes(self, tmp_path):
+        dataset = cached_crowdspring(SCALE, MONTHS, SEED, tmp_path)
+        assert (tmp_path / trace_cache_name(SCALE, MONTHS, SEED)).exists()
+        assert_datasets_equal(dataset, generate_crowdspring(SCALE, num_months=MONTHS, seed=SEED))
+
+    def test_hit_reads_the_cached_file(self, tmp_path):
+        cached_crowdspring(SCALE, MONTHS, SEED, tmp_path)
+        again = cached_crowdspring(SCALE, MONTHS, SEED, tmp_path)
+        assert_datasets_equal(again, generate_crowdspring(SCALE, num_months=MONTHS, seed=SEED))
+
+    def test_read_only_miss_does_not_write(self, tmp_path):
+        dataset = cached_crowdspring(SCALE, MONTHS, SEED, tmp_path, write=False)
+        assert not any(tmp_path.iterdir()), "read-only consumer wrote to the cache"
+        assert dataset.trace is not None
+
+    def test_dataset_spec_build_uses_the_cache(self, tmp_path):
+        spec = DatasetSpec(scale=SCALE, num_months=MONTHS, seed=SEED)
+        first = spec.build(cache_dir=tmp_path)
+        assert (tmp_path / trace_cache_name(SCALE, MONTHS, SEED)).exists()
+        second = spec.build(cache_dir=tmp_path, write_cache=False)
+        assert_datasets_equal(first, second)

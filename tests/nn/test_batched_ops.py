@@ -116,10 +116,15 @@ class TestBatchedAttention:
 
         out = layer(x, mask=mask)
 
-        # Reference: the seed implementation looped heads over column slices.
-        queries = layer.query_proj(x)
-        keys = layer.key_proj(x)
-        values = layer.value_proj(x)
+        # Reference: the seed implementation looped heads over column slices,
+        # with three separate Q/K/V projections (reconstructed here from the
+        # fused in_proj parameter's column blocks).
+        E = layer.embed_dim
+        w = layer.in_proj_weight
+        b = layer.in_proj_bias
+        queries = x @ w[:, 0:E] + b[0:E]
+        keys = x @ w[:, E : 2 * E] + b[E : 2 * E]
+        values = x @ w[:, 2 * E : 3 * E] + b[2 * E : 3 * E]
         head_outputs = []
         for head in range(layer.num_heads):
             start = head * layer.head_dim

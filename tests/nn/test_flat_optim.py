@@ -1,0 +1,269 @@
+"""Flat-buffer optimisers vs the per-parameter reference implementations.
+
+The fused flat pass is purely elementwise, so it must match the old
+per-parameter update loops **bit for bit** — these tests assert exact array
+equality over randomised shapes, gradients and step counts, not approximate
+closeness.  They also pin the plumbing the flat buffer depends on: parameter
+views surviving state-dict loads and ``copy_from``, adoption of externally
+reassigned parameters, the missing-gradient fallback, and the
+single-reduction ``clip_grad_norm_``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, Tensor, clip_grad_norm, mse_loss
+from repro.nn.layers import Parameter
+
+
+def random_parameter_set(rng: np.random.Generator, dtype=np.float64):
+    """A handful of parameters with assorted shapes (like a real network)."""
+    shapes = [(3, 4), (4,), (4, 4), (4,), (4, 1), (1,), (2, 3, 2)]
+    return [
+        Parameter(rng.standard_normal(shape).astype(dtype, copy=False))
+        for shape in shapes
+    ]
+
+
+def reference_adam_step(params, grads, m, v, step_count, lr, beta1, beta2, eps, wd):
+    """The pre-flat-buffer Adam loop, verbatim."""
+    bias_correction1 = 1.0 - beta1**step_count
+    bias_correction2 = 1.0 - beta2**step_count
+    for param, grad, mi, vi in zip(params, grads, m, v):
+        if grad is None:
+            continue
+        if wd > 0.0:
+            grad = grad + wd * param
+        mi *= beta1
+        mi += (1.0 - beta1) * grad
+        vi *= beta2
+        vi += (1.0 - beta2) * grad * grad
+        m_hat = mi / bias_correction1
+        v_hat = vi / bias_correction2
+        param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+def reference_sgd_step(params, grads, velocity, lr, momentum):
+    """The pre-flat-buffer SGD loop, verbatim."""
+    for param, grad, vel in zip(params, grads, velocity):
+        if grad is None:
+            continue
+        if momentum > 0.0:
+            vel *= momentum
+            vel += grad
+            update = vel
+        else:
+            update = grad
+        param -= lr * update
+
+
+class TestFlatAdamMatchesReference:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.1])
+    def test_bit_identical_over_many_steps(self, seed, weight_decay):
+        rng = np.random.default_rng(seed)
+        params = random_parameter_set(rng)
+        reference = [p.data.copy() for p in params]
+        ref_m = [np.zeros_like(r) for r in reference]
+        ref_v = [np.zeros_like(r) for r in reference]
+
+        optimizer = Adam(params, lr=0.01, weight_decay=weight_decay)
+        for step in range(1, 8):
+            grads = [rng.standard_normal(p.data.shape) for p in params]
+            for param, grad in zip(params, grads):
+                param.grad = grad.copy()
+            optimizer.step()
+            reference_adam_step(
+                reference, grads, ref_m, ref_v, step, 0.01, 0.9, 0.999, 1e-8, weight_decay
+            )
+            for param, expected in zip(params, reference):
+                np.testing.assert_array_equal(param.data, expected)
+
+    def test_float32_bit_identical(self):
+        rng = np.random.default_rng(0)
+        params = random_parameter_set(rng, dtype=np.float32)
+        reference = [p.data.copy() for p in params]
+        ref_m = [np.zeros_like(r) for r in reference]
+        ref_v = [np.zeros_like(r) for r in reference]
+        optimizer = Adam(params, lr=0.01)
+        for step in range(1, 5):
+            grads = [rng.standard_normal(p.data.shape).astype(np.float32) for p in params]
+            for param, grad in zip(params, grads):
+                param.grad = grad.copy()
+            optimizer.step()
+            reference_adam_step(
+                reference, grads, ref_m, ref_v, step, 0.01, 0.9, 0.999, 1e-8, 0.0
+            )
+            for param, expected in zip(params, reference):
+                assert param.data.dtype == np.float32
+                np.testing.assert_array_equal(param.data, expected)
+
+
+class TestFlatSGDMatchesReference:
+    @pytest.mark.parametrize("momentum", [0.0, 0.9])
+    def test_bit_identical_over_many_steps(self, momentum):
+        rng = np.random.default_rng(3)
+        params = random_parameter_set(rng)
+        reference = [p.data.copy() for p in params]
+        velocity = [np.zeros_like(r) for r in reference]
+        optimizer = SGD(params, lr=0.05, momentum=momentum)
+        for _ in range(6):
+            grads = [rng.standard_normal(p.data.shape) for p in params]
+            for param, grad in zip(params, grads):
+                param.grad = grad.copy()
+            optimizer.step()
+            reference_sgd_step(reference, grads, velocity, 0.05, momentum)
+            for param, expected in zip(params, reference):
+                np.testing.assert_array_equal(param.data, expected)
+
+
+class TestMissingGradientFallback:
+    def test_params_without_grads_are_skipped_and_moments_untouched(self):
+        rng = np.random.default_rng(1)
+        params = random_parameter_set(rng)
+        optimizer = Adam(params, lr=0.01)
+        before = [p.data.copy() for p in params]
+        params[0].grad = rng.standard_normal(params[0].data.shape)
+        # params[1:] have no gradient.
+        optimizer.step()
+        assert not np.array_equal(params[0].data, before[0])
+        for param, untouched in zip(params[1:], before[1:]):
+            np.testing.assert_array_equal(param.data, untouched)
+        state = optimizer.state_dict()
+        for i in range(1, len(params)):
+            np.testing.assert_array_equal(
+                state["first_moment"][str(i)], np.zeros_like(before[i])
+            )
+
+    def test_fallback_matches_reference_semantics(self):
+        rng = np.random.default_rng(2)
+        params = random_parameter_set(rng)
+        reference = [p.data.copy() for p in params]
+        ref_m = [np.zeros_like(r) for r in reference]
+        ref_v = [np.zeros_like(r) for r in reference]
+        optimizer = Adam(params, lr=0.01)
+        for step in range(1, 5):
+            grads = [
+                rng.standard_normal(p.data.shape) if i % 2 == 0 else None
+                for i, p in enumerate(params)
+            ]
+            for param, grad in zip(params, grads):
+                param.grad = None if grad is None else grad.copy()
+            optimizer.step()
+            reference_adam_step(
+                reference, grads, ref_m, ref_v, step, 0.01, 0.9, 0.999, 1e-8, 0.0
+            )
+            for param, expected in zip(params, reference):
+                np.testing.assert_array_equal(param.data, expected)
+
+
+class TestFlatClipGradNorm:
+    def test_matches_reference_norm_and_clipping(self):
+        rng = np.random.default_rng(4)
+        params = random_parameter_set(rng)
+        twins = [Parameter(p.data.copy()) for p in params]
+        grads = [rng.standard_normal(p.data.shape) * 10.0 for p in params]
+        for param, twin, grad in zip(params, twins, grads):
+            param.grad = grad.copy()
+            twin.grad = grad.copy()
+
+        optimizer = Adam(params, lr=0.01)
+        flat_norm = optimizer.clip_grad_norm_(1.0)
+        reference_norm = clip_grad_norm(twins, 1.0)
+        assert flat_norm == pytest.approx(reference_norm, rel=1e-12)
+
+        optimizer.step()
+        # Apply the reference clipped update to the twins and compare.
+        reference = [t.data.copy() for t in twins]
+        ref_m = [np.zeros_like(r) for r in reference]
+        ref_v = [np.zeros_like(r) for r in reference]
+        reference_adam_step(
+            reference,
+            [t.grad for t in twins],
+            ref_m,
+            ref_v,
+            1,
+            0.01,
+            0.9,
+            0.999,
+            1e-8,
+            0.0,
+        )
+        for param, expected in zip(params, reference):
+            np.testing.assert_allclose(param.data, expected, rtol=1e-12, atol=1e-15)
+
+    def test_small_gradients_are_left_unscaled(self):
+        params = [Parameter(np.zeros(4))]
+        params[0].grad = np.full(4, 0.1)
+        optimizer = SGD(params, lr=0.1)
+        norm = optimizer.clip_grad_norm_(10.0)
+        assert norm == pytest.approx(np.sqrt(4 * 0.01))
+        optimizer.step()
+        np.testing.assert_allclose(params[0].data, np.full(4, -0.01))
+
+    def test_no_gradients_returns_zero(self):
+        optimizer = SGD([Parameter(np.zeros(2))], lr=0.1)
+        assert optimizer.clip_grad_norm_(1.0) == 0.0
+
+
+class TestFlatBufferPlumbing:
+    def test_views_survive_module_load_state_dict(self):
+        """In-place state loading keeps param.data aliased to the flat buffer."""
+        model = Linear(3, 2, rng=np.random.default_rng(0))
+        optimizer = SGD(list(model.parameters()), lr=0.5)
+        other = Linear(3, 2, rng=np.random.default_rng(9))
+        model.load_state_dict(other.state_dict())
+
+        x = Tensor(np.ones((4, 3)))
+        loss = mse_loss(model(x), Tensor(np.zeros((4, 2))))
+        loss.backward()
+        before = model.weight.data.copy()
+        optimizer.step()
+        assert not np.array_equal(model.weight.data, before), (
+            "optimizer step no longer reaches the module parameters"
+        )
+
+    def test_copy_from_keeps_views(self):
+        model = Linear(3, 2, rng=np.random.default_rng(0))
+        optimizer = SGD(list(model.parameters()), lr=0.5)
+        source = Linear(3, 2, rng=np.random.default_rng(9))
+        model.copy_from(source)
+        np.testing.assert_array_equal(model.weight.data, source.weight.data)
+        model.weight.grad = np.ones_like(model.weight.data)
+        model.bias.grad = np.ones_like(model.bias.data)
+        optimizer.step()
+        np.testing.assert_allclose(
+            model.weight.data, source.weight.data - 0.5, rtol=0, atol=1e-15
+        )
+
+    def test_externally_reassigned_parameters_are_readopted(self):
+        param = Parameter(np.zeros(3))
+        optimizer = SGD([param], lr=1.0)
+        # Simulate third-party code replacing the array object outright.
+        param.data = np.array([1.0, 2.0, 3.0])
+        param.grad = np.ones(3)
+        optimizer.step()
+        np.testing.assert_array_equal(param.data, np.array([0.0, 1.0, 2.0]))
+
+    def test_state_dict_round_trip_continues_identically(self):
+        rng = np.random.default_rng(5)
+        params = random_parameter_set(rng)
+        optimizer = Adam(params, lr=0.01)
+        for _ in range(3):
+            for param in params:
+                param.grad = rng.standard_normal(param.data.shape)
+            optimizer.step()
+        state = optimizer.state_dict()
+
+        twins = [Parameter(p.data.copy()) for p in params]
+        restored = Adam(twins, lr=0.01)
+        restored.load_state_dict(state)
+
+        follow_up = [rng.standard_normal(p.data.shape) for p in params]
+        for param, twin, grad in zip(params, twins, follow_up):
+            param.grad = grad.copy()
+            twin.grad = grad.copy()
+        optimizer.step()
+        restored.step()
+        for param, twin in zip(params, twins):
+            np.testing.assert_array_equal(param.data, twin.data)
