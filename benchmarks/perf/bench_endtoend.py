@@ -69,6 +69,26 @@ class EndToEndConfig:
     seed: int = 0
     #: Policy line-up: every registered baseline plus the DDQN variants.
     baselines: tuple[str, ...] = ("random", "greedy-cosine", "taskrec", "linucb", "greedy-nn")
+    #: Multi-replica axis: N independent seed replicas advanced lockstep by
+    #: the episode-vectorized platform vs the same N replicas run serially.
+    #: The replica shape is the *seed-replicate sweep* scale (small per-cell
+    #: networks, fixed ``max_tasks`` so cross-replica fusion engages), where
+    #: the per-op python overhead the fusion amortises dominates; at the
+    #: paper's hidden_dim=128 a single core is bandwidth-bound and lockstep
+    #: fusion is break-even (see the README's vectorized-runs section).
+    replicas: int = 8
+    replica_hidden_dim: int = 8
+    replica_num_heads: int = 2
+    replica_batch_size: int = 4
+    replica_max_tasks: int = 12
+    replica_dtype: str = "float32"
+    replica_scale: float = 0.03
+    replica_months: int = 2
+    replica_arrivals: int = 120
+    replica_warmup: int = 24
+    #: Best-of repeats per side (this box throttles unpredictably; a single
+    #: shot can be ~2x off its steady-state speed).
+    replica_repeats: int = 4
 
     @classmethod
     def quick(cls) -> "EndToEndConfig":
@@ -83,6 +103,10 @@ class EndToEndConfig:
             decision_batch=16,
             decision_arrivals=40,
             baselines=("random", "greedy-cosine", "linucb"),
+            replicas=4,
+            replica_arrivals=20,
+            replica_warmup=12,
+            replica_repeats=1,
         )
 
     @classmethod
@@ -167,6 +191,90 @@ def measure_decision_path(config: EndToEndConfig, runner: SimulationRunner) -> d
     return out
 
 
+def measure_multi_replica(config: EndToEndConfig) -> dict:
+    """Aggregate ddqn arrivals/sec: N lockstep replicas vs N serial runs.
+
+    Each replica is one (dataset seed, fresh policy) pair — exactly one cell
+    of a seed-replicate sweep.  The vectorized side advances all replicas in
+    lockstep through :class:`repro.eval.VectorizedRunner`, fusing candidate
+    scorings and train steps across replicas; the serial side runs the same
+    replicas one after another.  Per-replica results are bit-identical (the
+    equality is asserted here on every run), so the multiplier is pure
+    execution efficiency.  Both sides take the best of ``replica_repeats``
+    trials to suppress the machine's frequency throttling noise.
+    """
+    from repro.eval import VectorizedRunner
+
+    replica_kwargs = {
+        "hidden_dim": config.replica_hidden_dim,
+        "num_heads": config.replica_num_heads,
+        "batch_size": config.replica_batch_size,
+        "max_tasks": config.replica_max_tasks,
+        "dtype": config.replica_dtype,
+        "seed": config.seed,
+    }
+    runner_config = RunnerConfig(
+        seed=config.seed,
+        max_arrivals=config.replica_arrivals,
+        max_warmup_observations=config.replica_warmup,
+    )
+    seeds = [config.dataset_seed + offset for offset in range(config.replicas)]
+    datasets = {
+        seed: generate_crowdspring(
+            scale=config.replica_scale, num_months=config.replica_months, seed=seed
+        )
+        for seed in seeds
+    }
+
+    serial_elapsed = float("inf")
+    vectorized_elapsed = float("inf")
+    serial_results = vectorized_results = None
+    for _ in range(max(1, config.replica_repeats)):
+        # Policy construction happens outside both timers so the multiplier
+        # compares pure run time, not network-init overhead.
+        policies = [build_policy("ddqn", datasets[seed], **replica_kwargs) for seed in seeds]
+        started = time.perf_counter()
+        serial_results = [
+            SimulationRunner(datasets[seed], runner_config).run(policy)
+            for seed, policy in zip(seeds, policies)
+        ]
+        serial_elapsed = min(serial_elapsed, time.perf_counter() - started)
+
+        replicas = [
+            (datasets[seed], build_policy("ddqn", datasets[seed], **replica_kwargs))
+            for seed in seeds
+        ]
+        started = time.perf_counter()
+        vectorized_results = VectorizedRunner(replicas, runner_config).run()
+        vectorized_elapsed = min(vectorized_elapsed, time.perf_counter() - started)
+
+    identical = all(
+        serial.arrivals == vectorized.arrivals
+        and serial.completions == vectorized.completions
+        and serial.cr.monthly == vectorized.cr.monthly
+        and serial.qg.final == vectorized.qg.final
+        for serial, vectorized in zip(serial_results, vectorized_results)
+    )
+    if not identical:
+        raise AssertionError(
+            "vectorized replicas diverged from their serial runs — the "
+            "multi-replica benchmark refuses to report a broken multiplier"
+        )
+    total_arrivals = sum(result.arrivals for result in serial_results)
+    return {
+        "replicas": config.replicas,
+        "replica_kwargs": replica_kwargs,
+        "arrivals_per_replica": config.replica_arrivals,
+        "total_arrivals": total_arrivals,
+        "serial_elapsed_s": serial_elapsed,
+        "vectorized_elapsed_s": vectorized_elapsed,
+        "serial_arrivals_per_s": total_arrivals / serial_elapsed,
+        "vectorized_arrivals_per_s": total_arrivals / vectorized_elapsed,
+        "multiplier": serial_elapsed / vectorized_elapsed,
+        "results_identical": identical,
+    }
+
+
 def run(config: EndToEndConfig) -> dict:
     dataset = generate_crowdspring(
         scale=config.scale, num_months=config.num_months, seed=config.dataset_seed
@@ -174,6 +282,12 @@ def run(config: EndToEndConfig) -> dict:
     runner = SimulationRunner(
         dataset, RunnerConfig(seed=config.seed, max_arrivals=config.max_arrivals)
     )
+
+    # Measured first: the serial-vs-lockstep multiplier is the most
+    # throttle-sensitive number in the harness (the stacked working set is
+    # N× larger), and the long per-policy rows below thermally saturate the
+    # box — measuring after them contaminates the comparison.
+    multi_replica = measure_multi_replica(config)
 
     rows: list[PolicyThroughput] = []
     for name in config.baselines:
@@ -197,6 +311,7 @@ def run(config: EndToEndConfig) -> dict:
         },
         "policies": {row.label: asdict(row) for row in rows},
         "decision_path": measure_decision_path(config, runner),
+        "multi_replica": multi_replica,
     }
 
 
@@ -222,6 +337,21 @@ def render(report: dict) -> str:
             )
         if "batched_speedup" in decision:
             lines.append(f"  batched speedup: {decision['batched_speedup']:.2f}x")
+    multi = report.get("multi_replica")
+    if multi:
+        lines.append("")
+        lines.append(
+            f"ddqn multi-replica lockstep (episode-vectorized, N={multi['replicas']}):"
+        )
+        lines.append(
+            f"  serial     {multi['total_arrivals']:>6} arrivals  "
+            f"{multi['serial_arrivals_per_s']:>9.1f} arrivals/s"
+        )
+        lines.append(
+            f"  vectorized {multi['total_arrivals']:>6} arrivals  "
+            f"{multi['vectorized_arrivals_per_s']:>9.1f} arrivals/s"
+        )
+        lines.append(f"  aggregate multiplier: {multi['multiplier']:.2f}x (bit-identical results)")
     return "\n".join(lines)
 
 

@@ -55,7 +55,7 @@ def _report(spec: ExperimentSpec, results: dict[str, EvaluationResult], output: 
 # --------------------------------------------------------------------- #
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(args.spec)
-    results = run_spec(spec)
+    results = run_spec(spec, vectorize=args.vectorize)
     _report(spec, results, args.output)
     return 0
 
@@ -120,12 +120,16 @@ def _run_sweep_runner(runner: SweepRunner) -> int:
 def _cmd_sweep_run(args: argparse.Namespace) -> int:
     spec = SweepSpec.load(args.spec)
     directory = args.dir if args.dir is not None else Path("sweeps") / spec.name
-    return _run_sweep_runner(SweepRunner(spec, directory, workers=args.workers))
+    return _run_sweep_runner(
+        SweepRunner(spec, directory, workers=args.workers, vectorize=args.vectorize)
+    )
 
 
 def _cmd_sweep_resume(args: argparse.Namespace) -> int:
     spec = SweepSpec.load(Path(args.dir) / "sweep.json")
-    return _run_sweep_runner(SweepRunner(spec, args.dir, workers=args.workers))
+    return _run_sweep_runner(
+        SweepRunner(spec, args.dir, workers=args.workers, vectorize=args.vectorize)
+    )
 
 
 def _cmd_sweep_status(args: argparse.Namespace) -> int:
@@ -199,6 +203,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--output", type=Path, default=None, help="also write the results as JSON"
     )
+    run_parser.add_argument(
+        "--vectorize",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the spec's policies lockstep in episode-vectorized groups of N "
+        "(results identical to the serial run)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     compare_parser = sub.add_parser(
@@ -250,6 +262,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_run.add_argument(
         "--workers", type=int, default=1, help="process-pool size (1 = serial, in-process)"
     )
+    sweep_run.add_argument(
+        "--vectorize",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fuse seed-replicate cells into lockstep episode-vectorized runs of "
+        "width N (results identical to the serial sweep)",
+    )
     sweep_run.set_defaults(func=_cmd_sweep_run)
 
     sweep_resume = sweep_sub.add_parser(
@@ -257,6 +277,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_resume.add_argument("dir", type=Path, help="sweep directory holding sweep.json")
     sweep_resume.add_argument("--workers", type=int, default=1)
+    sweep_resume.add_argument("--vectorize", type=int, default=None, metavar="N")
     sweep_resume.set_defaults(func=_cmd_sweep_resume)
 
     sweep_status = sweep_sub.add_parser(

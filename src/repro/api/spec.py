@@ -186,11 +186,33 @@ def _label_slug(label: str) -> str:
     return slug or "policy"
 
 
+def _checkpoint_path(
+    spec: ExperimentSpec,
+    label: str,
+    checkpoint_dir: str | Path | None,
+    checkpoint_slugs: dict[str, str],
+) -> Path | None:
+    """Per-label checkpoint file, refusing slug collisions loudly."""
+    if checkpoint_dir is None:
+        return None
+    slug = _label_slug(label)
+    if slug in checkpoint_slugs:
+        raise ValueError(
+            f"labels {checkpoint_slugs[slug]!r} and {label!r} in spec "
+            f"{spec.name!r} both checkpoint to {slug}.npz; relabel one "
+            "so their checkpoints cannot overwrite each other"
+        )
+    checkpoint_slugs[slug] = label
+    return Path(checkpoint_dir) / f"{slug}.npz"
+
+
 def run_spec(
     spec: ExperimentSpec,
     dataset: CrowdDataset | None = None,
     checkpoint_dir: str | Path | None = None,
     dataset_cache_dir: str | Path | None = None,
+    vectorize: int | None = None,
+    resume: bool = False,
 ) -> dict[str, EvaluationResult]:
     """Execute a spec and return the results keyed by policy label.
 
@@ -201,42 +223,72 @@ def run_spec(
     ``spec.runner.checkpoint_every`` is set): every checkpointable policy
     writes ``<checkpoint_dir>/<label>.npz``, overwritten in place as training
     progresses, so an interrupted run leaves its latest state restorable via
-    the ``ddqn-checkpoint`` registry entry.
+    the ``ddqn-checkpoint`` registry entry.  With ``resume=True`` an existing
+    ``<label>.runstate.npz`` sidecar additionally fast-forwards that policy's
+    run to the checkpointed arrival instead of redoing finished work.
 
     ``dataset_cache_dir`` points at a read-only trace cache (see
     :meth:`DatasetSpec.build`); the sweep runner passes the cache it
     pre-populated so worker processes skip trace regeneration.
+
+    ``vectorize`` runs the spec's policies through the episode-vectorized
+    platform in lockstep groups of up to that many replicas instead of one
+    after another: the DDQN replicas' candidate scorings and train steps are
+    fused across replicas (see :class:`repro.eval.VectorizedRunner`) while
+    every result stays float-for-float identical to the serial run.  Note
+    that a lockstep group keeps all of its policies in memory at once.
     """
     if not spec.policies:
         raise ValueError(f"experiment spec {spec.name!r} lists no policies")
+    if vectorize is not None and vectorize < 1:
+        raise ValueError(f"vectorize must be >= 1 or None, got {vectorize}")
     # Fail fast on typo'd policy names before any (possibly hours-long)
     # simulation starts; policies themselves are built one at a time below so
-    # at most one trained framework is resident at once.
+    # (in the serial path) at most one trained framework is resident at once.
     for policy_spec in spec.policies:
         policy_entry(policy_spec.policy)
     if dataset is None:
         dataset = spec.dataset.build(cache_dir=dataset_cache_dir, write_cache=False)
-    runner = SimulationRunner(dataset, spec.runner)
-    results: dict[str, EvaluationResult] = {}
+
     checkpoint_slugs: dict[str, str] = {}
-    for policy_spec in spec.policies:
-        policy = build_policy(policy_spec.policy, dataset, **policy_spec.kwargs)
-        label = policy_spec.label if policy_spec.label is not None else policy.name
-        if label in results:
-            raise ValueError(
-                f"duplicate result label {label!r} in spec {spec.name!r}; "
-                "set PolicySpec.label to disambiguate repeated policies"
-            )
-        checkpoint_path = None
-        if checkpoint_dir is not None:
-            slug = _label_slug(label)
-            if slug in checkpoint_slugs:
+    width = 1 if vectorize is None else vectorize
+    if width <= 1:
+        runner = SimulationRunner(dataset, spec.runner)
+        results: dict[str, EvaluationResult] = {}
+        for policy_spec in spec.policies:
+            policy = build_policy(policy_spec.policy, dataset, **policy_spec.kwargs)
+            label = policy_spec.label if policy_spec.label is not None else policy.name
+            if label in results:
                 raise ValueError(
-                    f"labels {checkpoint_slugs[slug]!r} and {label!r} in spec "
-                    f"{spec.name!r} both checkpoint to {slug}.npz; relabel one "
-                    "so their checkpoints cannot overwrite each other"
+                    f"duplicate result label {label!r} in spec {spec.name!r}; "
+                    "set PolicySpec.label to disambiguate repeated policies"
                 )
-            checkpoint_slugs[slug] = label
-            checkpoint_path = Path(checkpoint_dir) / f"{slug}.npz"
-        results[label] = runner.run(policy, checkpoint_path=checkpoint_path)
+            path = _checkpoint_path(spec, label, checkpoint_dir, checkpoint_slugs)
+            results[label] = runner.run(policy, checkpoint_path=path, resume=resume)
+        return results
+
+    from ..eval.runner import VectorizedRunner
+
+    # Policies are built one lockstep chunk at a time, so at most ``width``
+    # trained frameworks are resident at once (mirroring the serial path's
+    # one-at-a-time bound, scaled by the requested lockstep width).
+    results = {}
+    seen: set[str] = set()
+    for start in range(0, len(spec.policies), width):
+        chunk: list[tuple[str, object, Path | None]] = []
+        for policy_spec in spec.policies[start : start + width]:
+            policy = build_policy(policy_spec.policy, dataset, **policy_spec.kwargs)
+            label = policy_spec.label if policy_spec.label is not None else policy.name
+            if label in seen:
+                raise ValueError(
+                    f"duplicate result label {label!r} in spec {spec.name!r}; "
+                    "set PolicySpec.label to disambiguate repeated policies"
+                )
+            seen.add(label)
+            path = _checkpoint_path(spec, label, checkpoint_dir, checkpoint_slugs)
+            chunk.append((label, policy, path))
+        replicas = [(dataset, policy, path) for _, policy, path in chunk]
+        chunk_results = VectorizedRunner(replicas, spec.runner, resume=resume).run()
+        for (label, _, _), result in zip(chunk, chunk_results):
+            results[label] = result
     return results

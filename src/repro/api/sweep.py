@@ -34,7 +34,7 @@ import math
 import multiprocessing
 import os
 import re
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from typing import Callable
 
@@ -275,12 +275,20 @@ class SweepSpec:
 # Cell execution (top-level so multiprocessing workers can import it)
 # --------------------------------------------------------------------- #
 def _execute_cell(payload: dict) -> dict:
-    """Run one cell's spec and return its JSON-ready result document."""
+    """Run one cell's spec and return its JSON-ready result document.
+
+    Cells always run with ``resume=True``: a cell killed mid-flight left its
+    auto-checkpoints (and their run-state sidecars) behind, and the re-run
+    fast-forwards to the checkpointed arrival instead of redoing finished
+    work — bit-identically to an uninterrupted run.
+    """
     spec = ExperimentSpec.from_dict(payload["spec"])
     results = run_spec(
         spec,
         checkpoint_dir=payload.get("checkpoint_dir"),
         dataset_cache_dir=payload.get("dataset_cache_dir"),
+        vectorize=payload.get("vectorize"),
+        resume=True,
     )
     return {
         "cell_id": payload["cell_id"],
@@ -289,6 +297,83 @@ def _execute_cell(payload: dict) -> dict:
         "spec": payload["spec"],
         "results": {label: result_payload(result) for label, result in results.items()},
     }
+
+
+def _execute_cell_group(group_payload: dict) -> list[dict]:
+    """Run several cells of one replicate group lockstep (episode-vectorized).
+
+    Every (cell, policy label) pair becomes one replica; the replicas advance
+    through :class:`repro.eval.VectorizedRunner` in lockstep chunks of
+    ``vectorize``, fusing the DDQN replicas' forwards and train steps across
+    the seed-replicate cells.  Per-cell result documents are identical
+    (timing noise aside) to running each cell through
+    :func:`_execute_cell` — the caller guarantees the cells share one runner
+    configuration.
+    """
+    from ..eval.runner import VectorizedRunner
+    from .registry import build_policy
+    from .spec import _checkpoint_path
+
+    width = int(group_payload["vectorize"])
+    payloads = group_payload["cells"]
+    prepared: list[tuple[dict, ExperimentSpec, dict]] = []
+    replicas: list[tuple] = []
+    owners: list[tuple[int, str]] = []
+    for cell_index, payload in enumerate(payloads):
+        spec = ExperimentSpec.from_dict(payload["spec"])
+        dataset = spec.dataset.build(
+            cache_dir=payload.get("dataset_cache_dir"), write_cache=False
+        )
+        checkpoint_slugs: dict[str, str] = {}
+        seen: set[str] = set()
+        for policy_spec in spec.policies:
+            policy = build_policy(policy_spec.policy, dataset, **policy_spec.kwargs)
+            label = policy_spec.label if policy_spec.label is not None else policy.name
+            if label in seen:
+                raise ValueError(
+                    f"duplicate result label {label!r} in spec {spec.name!r}; "
+                    "set PolicySpec.label to disambiguate repeated policies"
+                )
+            seen.add(label)
+            path = _checkpoint_path(
+                spec, label, payload.get("checkpoint_dir"), checkpoint_slugs
+            )
+            replicas.append((dataset, policy, path))
+            owners.append((cell_index, label))
+        prepared.append((payload, spec, {}))
+
+    config = prepared[0][1].runner
+    for _, spec, _ in prepared:
+        if spec.runner != config:
+            raise ValueError(
+                "lockstep cell groups require identical runner configurations "
+                f"(sweep cell {spec.name!r} differs)"
+            )
+    results: list = []
+    for start in range(0, len(replicas), width):
+        chunk = replicas[start : start + width]
+        results.extend(VectorizedRunner(chunk, config, resume=True).run())
+
+    for (cell_index, label), result in zip(owners, results):
+        prepared[cell_index][2][label] = result
+    return [
+        {
+            "cell_id": payload["cell_id"],
+            "group_id": payload["group_id"],
+            "assignments": payload["assignments"],
+            "spec": payload["spec"],
+            "results": {label: result_payload(result) for label, result in cell_results.items()},
+        }
+        for payload, _, cell_results in prepared
+    ]
+
+
+def _execute_job(job: tuple[str, dict]) -> list[dict]:
+    """Pool entry point: run a single cell or a lockstep cell group."""
+    kind, payload = job
+    if kind == "cell":
+        return [_execute_cell(payload)]
+    return _execute_cell_group(payload)
 
 
 # --------------------------------------------------------------------- #
@@ -393,12 +478,21 @@ class SweepRunner:
     execution produce identical results.
     """
 
-    def __init__(self, spec: SweepSpec, directory: str | Path, workers: int = 1) -> None:
+    def __init__(
+        self,
+        spec: SweepSpec,
+        directory: str | Path,
+        workers: int = 1,
+        vectorize: int | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if vectorize is not None and vectorize < 1:
+            raise ValueError(f"vectorize must be >= 1 or None, got {vectorize}")
         self.spec = spec
         self.directory = Path(directory)
         self.workers = workers
+        self.vectorize = vectorize
 
     # ------------------------------------------------------------------ #
     @property
@@ -489,6 +583,46 @@ class SweepRunner:
             payload["checkpoint_dir"] = str(self.directory / "checkpoints" / cell.cell_id)
         return payload
 
+    def _jobs(self, pending: list[SweepCell]) -> list[tuple[str, dict]]:
+        """Pending cells as pool jobs: plain cells, or lockstep cell groups.
+
+        With ``vectorize`` set, cells of one replicate group (same grid
+        point, different replicate value) that share a runner configuration
+        are fused into one lockstep job — each of its (cell, policy) pairs
+        becomes a replica of an episode-vectorized run.  Every other cell
+        still runs as its own job (``vectorize`` then fuses only the
+        policies *within* the cell).
+        """
+        if self.vectorize is None or self.vectorize <= 1:
+            return [("cell", self._job(cell)) for cell in pending]
+        by_group: dict[tuple, list[SweepCell]] = {}
+        order: list[tuple] = []
+        for cell in pending:
+            # Lockstep requires one shared runner config across the group.
+            key = (cell.group_id, json.dumps(asdict(cell.spec.runner), sort_keys=True))
+            if key not in by_group:
+                by_group[key] = []
+                order.append(key)
+            by_group[key].append(cell)
+        jobs: list[tuple[str, dict]] = []
+        for key in order:
+            group = by_group[key]
+            if len(group) == 1:
+                payload = self._job(group[0])
+                payload["vectorize"] = self.vectorize
+                jobs.append(("cell", payload))
+            else:
+                jobs.append(
+                    (
+                        "group",
+                        {
+                            "vectorize": self.vectorize,
+                            "cells": [self._job(cell) for cell in group],
+                        },
+                    )
+                )
+        return jobs
+
     def _write_cell(self, document: dict) -> None:
         path = self._cell_path(document["cell_id"])
         temporary = path.parent / f".{path.name}.tmp"
@@ -516,18 +650,20 @@ class SweepRunner:
             if progress is not None:
                 progress(document["cell_id"], done, len(cells))
 
-        jobs = [self._job(cell) for cell in pending]
+        jobs = self._jobs(pending)
         if self.workers == 1 or len(jobs) <= 1:
             for job in jobs:
-                _record(_execute_cell(job))
+                for document in _execute_job(job):
+                    _record(document)
         else:
             # Spawn (not fork): workers re-import repro cleanly, which keeps
             # cell execution byte-for-byte identical to a fresh serial run
             # and avoids inheriting any warmed-up interpreter state.
             context = multiprocessing.get_context("spawn")
             with context.Pool(processes=min(self.workers, len(jobs))) as pool:
-                for document in pool.imap_unordered(_execute_cell, jobs):
-                    _record(document)
+                for documents in pool.imap_unordered(_execute_job, jobs):
+                    for document in documents:
+                        _record(document)
 
         documents = {
             cell.cell_id: json.loads(self._cell_path(cell.cell_id).read_text())
@@ -544,7 +680,10 @@ def run_sweep(
     spec: SweepSpec,
     directory: str | Path,
     workers: int = 1,
+    vectorize: int | None = None,
     progress: Callable[[str, int, int], None] | None = None,
 ) -> dict:
     """Convenience wrapper: execute ``spec`` into ``directory`` and aggregate."""
-    return SweepRunner(spec, directory, workers=workers).run(progress=progress)
+    return SweepRunner(spec, directory, workers=workers, vectorize=vectorize).run(
+        progress=progress
+    )

@@ -3,7 +3,14 @@
 from .agent import AgentConfig, DQNAgent
 from .aggregator import QValueAggregator
 from .explorer import EpsilonGreedyExplorer, GaussianPerturbationExplorer
-from .framework import CHECKPOINT_FORMAT, FrameworkConfig, TaskArrangementFramework
+from .framework import (
+    CHECKPOINT_FORMAT,
+    FrameworkConfig,
+    TaskArrangementFramework,
+    migrate_config_tree,
+)
+from .stacked import StackedForward, stack_signature, stackable
+from .vectorized import decide_lockstep, fused_q_values, fused_train_steps, observe_lockstep
 from .interfaces import ArrangementPolicy
 from .learner import DoubleDQNLearner, TrainStepReport
 from .predictor import FutureStatePredictorR, FutureStatePredictorW, expiry_branches
@@ -36,4 +43,12 @@ __all__ = [
     "DQNAgent",
     "FrameworkConfig",
     "TaskArrangementFramework",
+    "migrate_config_tree",
+    "StackedForward",
+    "stack_signature",
+    "stackable",
+    "decide_lockstep",
+    "observe_lockstep",
+    "fused_train_steps",
+    "fused_q_values",
 ]

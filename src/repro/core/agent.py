@@ -103,20 +103,31 @@ class DQNAgent:
         self.memory.push(transition)
         self.diagnostics.observations += 1
 
-    def store_and_train(self, transition: Transition) -> TrainStepReport | None:
-        """Store a transition and train when the cadence and buffer allow it."""
-        self.store(transition)
-        should_train = (
+    def should_train(self) -> bool:
+        """Whether the training cadence and buffer fill allow a step *now*.
+
+        Evaluated after every :meth:`store`; ``train_interval`` amortises the
+        per-arrival update path by training only every N-th observation.
+        """
+        return (
             self.diagnostics.observations % self.config.train_interval == 0
             and len(self.memory) >= self.config.min_buffer_before_training
         )
-        if not should_train:
-            return None
-        report = self.learner.train_step(self.memory)
+
+    def record_report(self, report: TrainStepReport | None) -> None:
+        """Fold one train-step report into the diagnostics counters."""
         if report is not None:
             self.diagnostics.train_steps += 1
             self.diagnostics.last_loss = report.loss
             self.diagnostics.losses.append(report.loss)
+
+    def store_and_train(self, transition: Transition) -> TrainStepReport | None:
+        """Store a transition and train when the cadence and buffer allow it."""
+        self.store(transition)
+        if not self.should_train():
+            return None
+        report = self.learner.train_step(self.memory)
+        self.record_report(report)
         return report
 
     # ------------------------------------------------------------------ #

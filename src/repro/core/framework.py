@@ -16,7 +16,7 @@ the evaluation runner treats it exactly like any baseline.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 
 import numpy as np
@@ -35,7 +35,12 @@ from .predictor import FutureStatePredictorR, FutureStatePredictorW
 from .replay import Transition
 from .state import StateMatrix, StateTransformer
 
-__all__ = ["FrameworkConfig", "TaskArrangementFramework", "CHECKPOINT_FORMAT"]
+__all__ = [
+    "FrameworkConfig",
+    "TaskArrangementFramework",
+    "CHECKPOINT_FORMAT",
+    "migrate_config_tree",
+]
 
 #: Format tag written into (and required from) full-framework checkpoints.
 #: Bumped to /2 with the fused-QKV parameter layout (query/key/value_proj.*
@@ -43,6 +48,44 @@ __all__ = ["FrameworkConfig", "TaskArrangementFramework", "CHECKPOINT_FORMAT"]
 #: optimiser's buffer count): a /1 checkpoint now fails the format check
 #: with a clear error instead of a confusing parameter-mismatch mid-load.
 CHECKPOINT_FORMAT = "repro.framework/2"
+
+#: Per-format config migrations: each entry upgrades the *config tree* of a
+#: checkpoint written at that format to the current :class:`FrameworkConfig`
+#: vocabulary (renames, restructures).  Fields that were *added* after a
+#: format was current need no entry here — :func:`migrate_config_tree` fills
+#: anything absent with the dataclass default, so an old checkpoint keeps
+#: loading as the framework grows new knobs.  Truly unknown keys (typos,
+#: removed fields without a rename rule) are still rejected loudly.
+_CONFIG_MIGRATIONS: dict[str, list] = {
+    CHECKPOINT_FORMAT: [],
+}
+
+
+def migrate_config_tree(config_tree: dict, checkpoint_format: str) -> "FrameworkConfig":
+    """Build a :class:`FrameworkConfig` from a (possibly older) checkpoint tree.
+
+    Applies the format's migration steps, fills fields the writing version
+    did not know about with the current dataclass defaults, and rejects keys
+    that no migration claims — so loading fails on corrupt/foreign trees but
+    not merely because the config schema grew since the checkpoint was
+    written.
+    """
+    if checkpoint_format not in _CONFIG_MIGRATIONS:
+        raise ValueError(
+            f"unsupported checkpoint format {checkpoint_format!r} "
+            f"(supported: {sorted(_CONFIG_MIGRATIONS)})"
+        )
+    tree = dict(config_tree)
+    for step in _CONFIG_MIGRATIONS[checkpoint_format]:
+        tree = step(tree)
+    known = {config_field.name for config_field in fields(FrameworkConfig)}
+    unknown = set(tree) - known
+    if unknown:
+        raise ValueError(
+            f"checkpoint config holds unknown keys {sorted(unknown)} "
+            f"(known: {sorted(known)})"
+        )
+    return FrameworkConfig(**tree)
 
 
 @dataclass
@@ -283,6 +326,27 @@ class TaskArrangementFramework(ArrangementPolicy):
         self, context: ArrivalContext, ranked_task_ids: list[int], feedback: Feedback
     ) -> None:
         """Transform the feedback into transitions, store them and learn."""
+        for agent, transitions in self.build_training_plan(context, ranked_task_ids, feedback):
+            for transition in transitions:
+                agent.store_and_train(transition)
+
+    def build_training_plan(
+        self, context: ArrivalContext, ranked_task_ids: list[int], feedback: Feedback
+    ) -> list[tuple["DQNAgent", list[Transition]]]:
+        """Turn one feedback into the per-agent transition store/train sequence.
+
+        Performs all the (deterministic) bookkeeping of
+        :meth:`observe_feedback` — arrival statistics, worker features,
+        future-state prediction, transition construction — and returns the
+        transitions each agent must ``store_and_train`` in order.  The
+        episode-vectorized group trainer uses this to interleave N replicas'
+        sequences and fuse their same-shaped train steps; the serial path
+        simply executes the plan immediately.  Future-state prediction reads
+        only the arrival statistics and worker bookkeeping (never network
+        weights or the replay RNG), so building both agents' transitions
+        before either trains yields the same numbers as the historical
+        train-as-you-go interleaving.
+        """
         key = (context.timestamp, context.worker.worker_id)
         decision = self._pending.pop(key, None)
         if decision is None:
@@ -303,10 +367,26 @@ class TaskArrangementFramework(ArrangementPolicy):
         deadlines = {task.task_id: task.deadline for task in context.available_tasks}
         action_indices = self._action_indices(decision, ranked_task_ids, feedback)
 
+        plan: list[tuple[DQNAgent, list[Transition]]] = []
         if self.agent_w is not None and decision.state_w is not None:
-            self._learn_worker_mdp(decision.state_w, action_indices, feedback, context, deadlines, updated_feature)
+            plan.append(
+                (
+                    self.agent_w,
+                    self._worker_transitions(
+                        decision.state_w, action_indices, feedback, context, deadlines, updated_feature
+                    ),
+                )
+            )
         if self.agent_r is not None and decision.state_r is not None:
-            self._learn_requester_mdp(decision.state_r, action_indices, feedback, context, deadlines)
+            plan.append(
+                (
+                    self.agent_r,
+                    self._requester_transitions(
+                        decision.state_r, action_indices, feedback, context, deadlines
+                    ),
+                )
+            )
+        return plan
 
     def end_of_day(self, timestamp: float) -> None:
         """The DDQN updates in real time; nothing happens at day boundaries."""
@@ -383,7 +463,7 @@ class TaskArrangementFramework(ArrangementPolicy):
         pairs.extend((index, False) for index in skipped)
         return pairs
 
-    def _learn_worker_mdp(
+    def _worker_transitions(
         self,
         state: StateMatrix,
         action_indices: list[tuple[int, bool]],
@@ -391,26 +471,27 @@ class TaskArrangementFramework(ArrangementPolicy):
         context: ArrivalContext,
         deadlines: dict[int, float],
         updated_feature: np.ndarray,
-    ) -> None:
+    ) -> list[Transition]:
         future = self.predictor_w.predict(state, context.timestamp, deadlines, updated_feature)
-        for action_index, success in action_indices:
-            transition = Transition(
+        return [
+            Transition(
                 state=state,
                 action_index=action_index,
                 reward=feedback.completion_reward if success else 0.0,
                 future_states=future,
                 timestamp=context.timestamp,
             )
-            self.agent_w.store_and_train(transition)
+            for action_index, success in action_indices
+        ]
 
-    def _learn_requester_mdp(
+    def _requester_transitions(
         self,
         state: StateMatrix,
         action_indices: list[tuple[int, bool]],
         feedback: Feedback,
         context: ArrivalContext,
         deadlines: dict[int, float],
-    ) -> None:
+    ) -> list[Transition]:
         base_state = state
         if feedback.completed and feedback.completed_task_id is not None:
             task = context.task_by_id(feedback.completed_task_id)
@@ -421,15 +502,16 @@ class TaskArrangementFramework(ArrangementPolicy):
         future = self.predictor_r.predict(
             base_state, context.timestamp, deadlines, self._lookup_worker_feature
         )
-        for action_index, success in action_indices:
-            transition = Transition(
+        return [
+            Transition(
                 state=state,
                 action_index=action_index,
                 reward=feedback.quality_gain if success else 0.0,
                 future_states=future,
                 timestamp=context.timestamp,
             )
-            self.agent_r.store_and_train(transition)
+            for action_index, success in action_indices
+        ]
 
     # ------------------------------------------------------------------ #
     # Checkpointing
@@ -511,10 +593,21 @@ class TaskArrangementFramework(ArrangementPolicy):
         persisted), so that this still-running framework and any framework
         restored from the file continue training bit-identically.
         """
+        return save_checkpoint(self.checkpoint_tree(), path)
+
+    def checkpoint_tree(self) -> dict:
+        """The complete checkpoint as a nested tree (what :meth:`save` writes).
+
+        Exposed so composite checkpoints (the simulation runner's run-state
+        files embed the policy tree next to the platform/metric state) reuse
+        the exact same representation.  Like :meth:`save` this invalidates
+        the learners' memoised target Q-vectors, so the live framework and
+        any framework restored from the tree keep training bit-identically.
+        """
         for agent in (self.agent_w, self.agent_r):
             if agent is not None:
                 agent.learner.invalidate_target_cache()
-        tree = {
+        return {
             "format": CHECKPOINT_FORMAT,
             "config": asdict(self.config),
             "schema": {
@@ -524,16 +617,17 @@ class TaskArrangementFramework(ArrangementPolicy):
             },
             "state": self.state_dict(),
         }
-        return save_checkpoint(tree, path)
 
     @classmethod
-    def load(cls, path: str | Path) -> "TaskArrangementFramework":
-        """Rebuild a framework (schema, config and all state) from :meth:`save`."""
-        tree = load_checkpoint(path)
-        if tree.get("format") != CHECKPOINT_FORMAT:
+    def from_checkpoint_tree(cls, tree: dict) -> "TaskArrangementFramework":
+        """Rebuild a framework from a :meth:`checkpoint_tree` document."""
+        checkpoint_format = tree.get("format")
+        if not isinstance(checkpoint_format, str) or not checkpoint_format.startswith(
+            "repro.framework/"
+        ):
             raise ValueError(
-                f"{path} is not a framework checkpoint "
-                f"(format={tree.get('format')!r}, expected {CHECKPOINT_FORMAT!r})"
+                f"not a framework checkpoint (format={checkpoint_format!r}, "
+                f"expected {CHECKPOINT_FORMAT!r})"
             )
         schema_tree = tree["schema"]
         schema = FeatureSchema(
@@ -541,11 +635,20 @@ class TaskArrangementFramework(ArrangementPolicy):
             num_domains=int(schema_tree["num_domains"]),
             award_bins=tuple(float(edge) for edge in schema_tree["award_bins"]),
         )
-        config = FrameworkConfig(**tree["config"])
+        config = migrate_config_tree(tree["config"], checkpoint_format)
         framework = cls(schema, config)
         framework.load_state_dict(tree["state"])
         framework._restore_state = tree["state"]
         return framework
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TaskArrangementFramework":
+        """Rebuild a framework (schema, config and all state) from :meth:`save`."""
+        tree = load_checkpoint(path)
+        try:
+            return cls.from_checkpoint_tree(tree)
+        except ValueError as error:
+            raise ValueError(f"{path}: {error}") from None
 
     # ------------------------------------------------------------------ #
     # Convenience constructors

@@ -181,8 +181,26 @@ class DoubleDQNLearner:
         if len(memory) == 0:
             return None
         transitions, indices, weights = memory.sample(self.batch_size)
+        return self.train_step_on(memory, transitions, indices, weights)
 
-        targets = self.td_targets_batch(transitions)
+    def train_step_on(
+        self,
+        memory: ReplayMemory | PrioritizedReplayMemory,
+        transitions: list[Transition],
+        indices: np.ndarray,
+        weights: np.ndarray,
+        targets: np.ndarray | None = None,
+    ) -> TrainStepReport:
+        """One gradient step on an already-sampled batch.
+
+        The tail of :meth:`train_step` after sampling, split out so the
+        episode-vectorized group trainer (which samples every replica first,
+        then fuses same-shaped forwards across replicas) can drive the exact
+        same update path.  ``targets`` may be precomputed (the group trainer
+        fuses the target forwards too); ``None`` computes them here.
+        """
+        if targets is None:
+            targets = self.td_targets_batch(transitions)
 
         values = self.online.forward_batch([t.state for t in transitions])
         actions = np.array([t.action_index for t in transitions], dtype=np.int64)
@@ -237,6 +255,26 @@ class DoubleDQNLearner:
         """Backprop ``loss``, clip, step, refresh priorities and sync targets."""
         self.optimizer.zero_grad()
         loss.backward()
+        return self._finish_update(
+            memory, float(loss.item()), targets, predictions, indices, batch_size
+        )
+
+    def _finish_update(
+        self,
+        memory: ReplayMemory | PrioritizedReplayMemory,
+        loss_value: float,
+        targets: np.ndarray,
+        predictions: np.ndarray,
+        indices: np.ndarray,
+        batch_size: int,
+    ) -> TrainStepReport:
+        """Clip, step, refresh priorities and sync targets — gradients already set.
+
+        Shared by the serial path (after its own ``backward``) and the
+        episode-vectorized group trainer, whose single backward over the
+        stacked graph has already deposited this learner's gradients into the
+        optimiser's flat buffer.
+        """
         # Single reduction over the optimizer's flat gradient buffer; the
         # scaled flat gradient is exactly what the fused step consumes.
         gradient_norm = self.optimizer.clip_grad_norm_(self.grad_clip)
@@ -250,7 +288,7 @@ class DoubleDQNLearner:
             self.sync_target()
 
         return TrainStepReport(
-            loss=float(loss.item()),
+            loss=loss_value,
             mean_abs_td_error=float(np.mean(np.abs(td_errors))),
             batch_size=batch_size,
             gradient_norm=gradient_norm,

@@ -50,8 +50,14 @@ def pad_state_batch(
     """
     if not states:
         raise ValueError("pad_state_batch requires at least one state")
+    shape = states[0].matrix.shape
+    if shape[0] > 0 and all(state.matrix.shape == shape for state in states):
+        # Uniform shapes (the steady state under a fixed ``max_tasks``): one
+        # C-level stack instead of a python row-copy loop, same values.
+        batch = np.array([state.matrix for state in states], dtype=dtype)
+        return batch, np.array([state.mask for state in states])
     rows = max(1, max(state.matrix.shape[0] for state in states))
-    row_dim = states[0].matrix.shape[1]
+    row_dim = shape[1]
     batch = np.zeros((len(states), rows, row_dim), dtype=dtype)
     mask = np.ones((len(states), rows), dtype=bool)
     for i, state in enumerate(states):

@@ -220,6 +220,20 @@ class SumTree:
             raise IndexError(f"leaf indices out of range [0, {self.capacity})")
         if priorities.min() < 0:
             raise ValueError("priorities must be non-negative")
+        if indices.size <= 8:
+            # Small batches: python sets beat repeated np.unique fixed costs.
+            # Leaf writes happen in order (last write wins) and every parent
+            # is recomputed as the sum of its children — bit-identical to the
+            # vectorized propagation below.
+            tree = self._tree
+            for index, priority in zip(indices, priorities):
+                tree[int(index) + self._leaf_count] = priority
+            level = {(int(index) + self._leaf_count) // 2 for index in indices}
+            while level and next(iter(level)) >= 1:
+                for node in level:
+                    tree[node] = tree[2 * node] + tree[2 * node + 1]
+                level = {node // 2 for node in level} - {0}
+            return
         # Keep only the last occurrence of each index (last write wins):
         # first occurrence in the reversed array = last occurrence overall.
         reversed_first = np.unique(indices[::-1], return_index=True)[1]
@@ -260,6 +274,12 @@ class SumTree:
         nodes = np.ones(values.shape, dtype=np.int64)
         if values.size == 0:
             return nodes
+        if values.size <= 8:
+            # Small batches (tiny replay batches, one per replica in
+            # episode-vectorized runs): the scalar walk beats the fixed cost
+            # of log2(n) vectorized rounds, with identical comparisons and
+            # identical results.
+            return np.array([self.find(float(value)) for value in values], dtype=np.int64)
         while nodes[0] < self._leaf_count:
             left = 2 * nodes
             left_sums = self._tree[left]

@@ -1,0 +1,345 @@
+"""Replica-stacked execution of several same-shaped :class:`SetQNetwork`\\ s.
+
+The episode-vectorized platform advances N independent replicas in lockstep.
+Each replica owns its *own* Q-network (weights diverge after the first
+update), so their forwards cannot share one GEMM with a single weight matrix.
+They can, however, share one *stacked* gufunc call: numpy evaluates a
+``(N, m, k) @ (N, k, n)`` matmul as N independent 2-D GEMMs whose per-slice
+results are bit-identical to calling each 2-D matmul separately (pinned by
+``tests/core/test_stacked_equivalence.py``).  This module rebuilds the
+Q-network's forward graph on ``(N, …)``-stacked inputs with ``(N, …)``-stacked
+parameters such that every operation is *slice-isomorphic* to the serial
+network's — same per-replica operand shapes, same reduction lengths, same op
+order — which is what makes a vectorized replica bit-identical to its serial
+run rather than merely close.
+
+Two mirror modes exist, because the serial network is called with two input
+ranks and the GEMM shapes must match exactly:
+
+* the *single* mirror matches ``SetQNetwork.q_values`` / ``forward(matrix,
+  mask)`` on one 2-D state per replica;
+* the *batch* mirror matches ``SetQNetwork.forward_batch`` on one padded
+  ``(B, rows, dim)`` batch per replica (``Linear`` flattens the per-replica
+  leading dims into the same single GEMM the serial layer launches).
+
+Each mirror additionally exists in two implementations with identical
+numbers: a :class:`repro.nn.Tensor` graph (used when gradients are needed —
+the fused train step) and a raw-numpy fast path (used for inference — fused
+candidate scoring and Bellman-target forwards), which performs the exact
+same numpy calls in the exact same order without allocating graph nodes.
+
+All replicas of one call must share the per-replica operand shape — state
+matrices with a common fixed row count (``FrameworkConfig.max_tasks``) make
+that the common case; callers group work by shape and fall back to serial
+calls for singletons.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from ..nn.functional import scaled_dot_product_attention
+from .qnetwork import SetQNetwork
+from .state import StateMatrix
+
+__all__ = ["StackedForward", "stackable", "stack_signature"]
+
+
+def _parameter_map(network: SetQNetwork) -> dict:
+    """``dict(network.named_parameters())``, cached on the network.
+
+    Parameters are registered once at construction and their *objects* never
+    change afterwards (optimisers re-point ``param.data``, not the
+    parameters themselves), so the name→Parameter map can be built once —
+    stacked forwards rebuild their weight stacks every call and would
+    otherwise re-walk the module tree thousands of times per run.
+    """
+    cached = getattr(network, "_stacked_parameter_map", None)
+    if cached is None:
+        cached = dict(network.named_parameters())
+        network._stacked_parameter_map = cached
+    return cached
+
+
+def stack_signature(network: SetQNetwork) -> tuple:
+    """Architecture key: networks stack only when these all agree."""
+    cached = getattr(network, "_stack_signature", None)
+    if cached is None:
+        cached = (
+            network.input_dim,
+            network.hidden_dim,
+            network.num_heads,
+            np.dtype(network.dtype).name,
+        )
+        network._stack_signature = cached
+    return cached
+
+
+def stackable(networks: Sequence[SetQNetwork]) -> bool:
+    """Whether the networks share one architecture (stackable into one call)."""
+    if not networks:
+        return False
+    first = stack_signature(networks[0])
+    return all(stack_signature(network) == first for network in networks[1:])
+
+
+class StackedForward:
+    """One fused forward over N same-architecture networks.
+
+    Parameters are gathered (stacked along a new leading axis) at
+    construction time, so build a fresh instance per call site whenever the
+    underlying parameters may have changed (after any optimiser step).  With
+    ``requires_grad=True`` the stacked parameters join the autograd graph
+    and :meth:`scatter_gradients` deposits each replica's slice into its own
+    network's parameters afterwards — exactly the values a serial backward
+    would have produced.
+    """
+
+    def __init__(self, networks: Sequence[SetQNetwork], requires_grad: bool = False) -> None:
+        if not networks:
+            raise ValueError("StackedForward requires at least one network")
+        if not stackable(networks):
+            raise ValueError("networks differ in architecture and cannot be stacked")
+        self.networks = list(networks)
+        self.count = len(self.networks)
+        self.num_heads = networks[0].num_heads
+        self.head_dim = networks[0].hidden_dim // networks[0].num_heads
+        self.dtype = networks[0].dtype
+        self.requires_grad = requires_grad
+        self._per_network = [_parameter_map(network) for network in self.networks]
+        self._arrays: dict[str, np.ndarray] = {
+            name: np.array([params[name].data for params in self._per_network])
+            for name in self._per_network[0]
+        }
+        # Graph leaves are only needed when gradients flow; inference calls
+        # run the raw-numpy mirror on the bare arrays.
+        self._params: dict[str, Tensor] | None = (
+            {name: Tensor(array, requires_grad=True) for name, array in self._arrays.items()}
+            if requires_grad
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Slice-isomorphic layer mirrors (autograd graph)
+    # ------------------------------------------------------------------ #
+    def _linear(self, x: Tensor, prefix: str) -> Tensor:
+        """Mirror of ``Linear.forward`` with an extra leading replica axis.
+
+        The serial layer flattens all leading dims into one GEMM when the
+        input has more than 2 dims; here everything *except* the replica axis
+        is flattened, so each gufunc slice launches the identical GEMM.
+        """
+        weight = self._params[f"{prefix}.weight"]
+        bias = self._params[f"{prefix}.bias"]
+        lead = x.shape[1:-1]
+        if x.ndim > 3:
+            x = x.reshape((self.count, -1, weight.shape[-2]))
+        out = x @ weight
+        # Serial adds a (h,) bias broadcast over rows; the (N, 1, h) reshape
+        # broadcasts the same way per slice (and its gradient reduction over
+        # the row axis is bitwise equal to the serial axis-0 sum).
+        out = out + bias.reshape((self.count, 1, bias.shape[-1]))
+        if len(lead) > 1:
+            out = out.reshape((self.count,) + lead + (weight.shape[-1],))
+        return out
+
+    def _rff(self, x: Tensor, prefix: str, activation: bool = True) -> Tensor:
+        out = self._linear(x, f"{prefix}.linear")
+        return out.relu() if activation else out
+
+    def _attention(self, x: Tensor, prefix: str, mask: np.ndarray | None) -> Tensor:
+        """Mirror of ``MultiHeadSelfAttention.forward`` over stacked sets."""
+        n = self.count
+        heads = self.num_heads
+        head_dim = self.head_dim
+        embed_dim = heads * head_dim
+        lead = x.shape[1:-2]  # per-replica lead dims: () single, (B,) batch
+        n_lead = len(lead)
+        rows = x.shape[-2]
+
+        weight = self._params[f"{prefix}.in_proj_weight"]
+        bias = self._params[f"{prefix}.in_proj_bias"]
+        flat = x.reshape((n, -1, embed_dim)) if x.ndim > 3 else x
+        qkv = flat @ weight + bias.reshape((n, 1, 3 * embed_dim))
+
+        # (N, *lead, rows, 3, heads, head_dim) -> (3, N, *lead, heads, rows, head_dim)
+        packed = qkv.reshape((n,) + lead + (rows, 3, heads, head_dim)).transpose(
+            (n_lead + 2, 0)
+            + tuple(range(1, n_lead + 1))
+            + (n_lead + 3, n_lead + 1, n_lead + 4)
+        )
+        queries, keys, values = packed.unbind(0)
+
+        key_mask = None
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            key_mask = mask[..., np.newaxis, np.newaxis, :]
+
+        attended = scaled_dot_product_attention(queries, keys, values, mask=key_mask)
+        # (N, *lead, heads, rows, hd) -> (N, *lead, rows, heads, hd) -> (N, *lead, rows, E)
+        swap = (
+            (0,)
+            + tuple(range(1, n_lead + 1))
+            + (n_lead + 2, n_lead + 1, n_lead + 3)
+        )
+        merged = attended.transpose(swap).reshape((n,) + lead + (rows, embed_dim))
+        return self._linear(merged, f"{prefix}.output_proj")
+
+    def _forward(self, batch: np.ndarray, mask: np.ndarray | None) -> Tensor:
+        if self._params is None:
+            raise ValueError("gradient forward requires requires_grad=True")
+        x = Tensor(np.ascontiguousarray(batch, dtype=self.dtype))
+        hidden = self._rff(x, "embed_1")
+        hidden = self._rff(hidden, "embed_2")
+        attended = self._attention(hidden, "attention_1", mask)
+        hidden = self._rff(attended + hidden, "post_attention")
+        hidden = self._attention(hidden, "attention_2", mask) + hidden
+        values = self._rff(hidden, "value_head", activation=False)
+        return values.reshape(values.shape[:-1])
+
+    # ------------------------------------------------------------------ #
+    # Raw-numpy inference mirrors (no graph, same numbers)
+    # ------------------------------------------------------------------ #
+    def _np_linear(self, x: np.ndarray, prefix: str) -> np.ndarray:
+        weight = self._arrays[f"{prefix}.weight"]
+        bias = self._arrays[f"{prefix}.bias"]
+        lead = x.shape[1:-1]
+        if x.ndim > 3:
+            x = x.reshape((self.count, -1, weight.shape[-2]))
+        out = x @ weight
+        out = out + bias.reshape((self.count, 1, bias.shape[-1]))
+        if len(lead) > 1:
+            out = out.reshape((self.count,) + lead + (weight.shape[-1],))
+        return out
+
+    def _np_rff(self, x: np.ndarray, prefix: str, activation: bool = True) -> np.ndarray:
+        out = self._np_linear(x, f"{prefix}.linear")
+        return np.maximum(out, 0.0) if activation else out
+
+    def _np_attention(self, x: np.ndarray, prefix: str, mask: np.ndarray | None) -> np.ndarray:
+        n = self.count
+        heads = self.num_heads
+        head_dim = self.head_dim
+        embed_dim = heads * head_dim
+        lead = x.shape[1:-2]
+        n_lead = len(lead)
+        rows = x.shape[-2]
+
+        flat = x.reshape((n, -1, embed_dim)) if x.ndim > 3 else x
+        qkv = flat @ self._arrays[f"{prefix}.in_proj_weight"] + self._arrays[
+            f"{prefix}.in_proj_bias"
+        ].reshape((n, 1, 3 * embed_dim))
+        packed = qkv.reshape((n,) + lead + (rows, 3, heads, head_dim)).transpose(
+            (n_lead + 2, 0)
+            + tuple(range(1, n_lead + 1))
+            + (n_lead + 3, n_lead + 1, n_lead + 4)
+        )
+        queries, keys, values = packed[0], packed[1], packed[2]
+
+        # Exact mirror of scaled_dot_product_attention + Tensor.softmax: the
+        # scalar scale joins in the graph's dtype, padded keys are filled
+        # with -1e9 and the softmax is the shifted exp-normalise.
+        scores = (queries @ np.swapaxes(keys, -1, -2)) * np.asarray(
+            1.0 / float(np.sqrt(head_dim)), dtype=qkv.dtype
+        )
+        if mask is not None:
+            key_mask = np.asarray(mask, dtype=bool)[..., np.newaxis, np.newaxis, :]
+            scores = np.where(np.broadcast_to(key_mask, scores.shape), -1e9, scores)
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        weights = exps / exps.sum(axis=-1, keepdims=True)
+        attended = weights @ values
+
+        swap = (
+            (0,)
+            + tuple(range(1, n_lead + 1))
+            + (n_lead + 2, n_lead + 1, n_lead + 3)
+        )
+        merged = attended.transpose(swap).reshape((n,) + lead + (rows, embed_dim))
+        return self._np_linear(merged, f"{prefix}.output_proj")
+
+    def _infer(self, batch: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+        x = np.ascontiguousarray(batch, dtype=self.dtype)
+        hidden = self._np_rff(x, "embed_1")
+        hidden = self._np_rff(hidden, "embed_2")
+        attended = self._np_attention(hidden, "attention_1", mask)
+        hidden = self._np_rff(attended + hidden, "post_attention")
+        hidden = self._np_attention(hidden, "attention_2", mask) + hidden
+        values = self._np_rff(hidden, "value_head", activation=False)
+        return values.reshape(values.shape[:-1])
+
+    # ------------------------------------------------------------------ #
+    # Public entry points
+    # ------------------------------------------------------------------ #
+    def _stack_single(self, states: Sequence[StateMatrix]) -> tuple[np.ndarray, np.ndarray]:
+        if len(states) != self.count:
+            raise ValueError(f"expected {self.count} states, got {len(states)}")
+        shape = states[0].matrix.shape
+        if any(state.matrix.shape != shape for state in states):
+            raise ValueError("stacked single-state forward requires a common state shape")
+        batch = np.array([state.matrix for state in states], dtype=self.dtype)
+        mask = np.array([state.mask for state in states])
+        return batch, mask
+
+    def _stack_batches(
+        self, batches: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if len(batches) != self.count:
+            raise ValueError(f"expected {self.count} batches, got {len(batches)}")
+        shape = batches[0][0].shape
+        if any(batch.shape != shape for batch, _ in batches):
+            raise ValueError("stacked batch forward requires a common batch shape")
+        stacked = np.array([batch for batch, _ in batches], dtype=self.dtype)
+        mask = np.array([mask for _, mask in batches])
+        return stacked, mask
+
+    def forward_single(self, states: Sequence[StateMatrix]) -> Tensor:
+        """One state per replica, mirroring the serial 2-D ``forward`` call.
+
+        All states must share one ``(rows, dim)`` shape.  Returns a
+        ``(N, rows)`` tensor whose slice ``[i]`` is bit-identical to
+        ``networks[i].forward(states[i].matrix, mask=states[i].mask)``.
+        """
+        batch, mask = self._stack_single(states)
+        return self._forward(batch, mask)
+
+    def forward_batch(self, batches: Sequence[tuple[np.ndarray, np.ndarray]]) -> Tensor:
+        """One padded ``(B, rows, dim)`` batch per replica (serial 3-D mirror).
+
+        ``batches`` holds per-replica ``(batch, mask)`` pairs of a common
+        shape — what :func:`repro.core.qnetwork.pad_state_batch` produced for
+        each replica.  Returns ``(N, B, rows)``.
+        """
+        stacked, mask = self._stack_batches(batches)
+        return self._forward(stacked, mask)
+
+    @no_grad()
+    def q_values_single(self, states: Sequence[StateMatrix]) -> list[np.ndarray]:
+        """Per-replica Q-value arrays, bit-identical to serial ``q_values``."""
+        batch, mask = self._stack_single(states)
+        values = self._infer(batch, mask)
+        return [values[i, : state.num_tasks].copy() for i, state in enumerate(states)]
+
+    @no_grad()
+    def infer_batch(self, batches: Sequence[tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
+        """Inference-only :meth:`forward_batch`: raw ``(N, B, rows)`` values."""
+        stacked, mask = self._stack_batches(batches)
+        return self._infer(stacked, mask)
+
+    # ------------------------------------------------------------------ #
+    def scatter_gradients(self) -> None:
+        """Deposit each replica's gradient slice into its own parameters.
+
+        Call after ``backward()`` on a loss built from tensors this instance
+        produced (requires construction with ``requires_grad=True``).  Uses
+        ``Parameter._accumulate`` so flat-optimiser gradient views receive
+        the values exactly as a serial backward would have written them.
+        """
+        for name, stacked in self._params.items():
+            if stacked.grad is None:
+                continue
+            for i, params in enumerate(self._per_network):
+                params[name]._accumulate(stacked.grad[i])

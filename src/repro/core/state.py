@@ -49,14 +49,20 @@ class StateMatrix:
         return int(self.matrix.shape[1])
 
     def without_tasks(self, removed_task_ids: set[int]) -> "StateMatrix":
-        """Return a new state with the given tasks removed (used for expiries)."""
+        """Return a new state with the given tasks removed (used for expiries).
+
+        The row count is preserved — removed tasks become zero padding rows —
+        so every future-state branch derived from one decision state keeps
+        that state's shape.  Uniform shapes are what allows the batched
+        target computation (and the episode-vectorized platform) to push all
+        branches through one padded forward without re-padding.
+        """
         keep = [i for i, task_id in enumerate(self.task_ids) if task_id not in removed_task_ids]
-        rows = self.matrix[: self.num_tasks][keep]
-        padding = self.matrix[self.num_tasks :]
-        matrix = np.concatenate([rows, padding], axis=0) if len(padding) else rows
-        mask = np.concatenate(
-            [np.zeros(len(keep), dtype=bool), np.ones(matrix.shape[0] - len(keep), dtype=bool)]
-        )
+        matrix = np.zeros_like(self.matrix)
+        if keep:
+            matrix[: len(keep)] = self.matrix[: self.num_tasks][keep]
+        mask = np.ones(matrix.shape[0], dtype=bool)
+        mask[: len(keep)] = False
         return StateMatrix(matrix=matrix, mask=mask, task_ids=[self.task_ids[i] for i in keep])
 
 

@@ -1,0 +1,400 @@
+"""Replica-batched decision and update paths for lockstep multi-replica runs.
+
+The episode-vectorized platform (:mod:`repro.eval.runner`) advances N
+independent replicas — different dataset seeds and/or policy instances — one
+arrival at a time, together.  At every lockstep step the replicas' framework
+policies all need (a) their candidate pools scored and (b) their freshly
+stored transitions trained on.  Both are embarrassingly batchable *across*
+replicas: this module fuses
+
+* the N per-replica candidate scorings into one stacked ``q_values`` forward
+  per agent role (:func:`decide_lockstep`), and
+* the N per-replica gradient steps into one stacked forward/backward per
+  agent role (:func:`observe_lockstep` → :func:`fused_train_steps`), with the
+  target-side forwards of the revised Bellman targets fused the same way.
+
+Per-replica replay memories, RNG streams, explorer schedules and optimiser
+states remain completely independent — fusion only changes *how many python
+ops and gufunc launches* the work costs, not any number: every replica's
+slice of a stacked call is bit-identical to the serial call it replaces
+(see :mod:`repro.core.stacked`), which is what keeps a vectorized run
+float-for-float equal to N serial runs.
+
+Work only fuses when shapes allow it — replicas whose network architectures
+or state-matrix shapes differ at a step fall back to the serial calls for
+that step (``FrameworkConfig.max_tasks`` pins the row count and makes fusion
+the steady state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..crowd.platform import ArrivalContext, Feedback
+from ..nn import Tensor, no_grad
+from .agent import DQNAgent
+from .framework import TaskArrangementFramework
+from .learner import DoubleDQNLearner
+from .qnetwork import SetQNetwork, pad_state_batch
+from .replay import Transition
+from .stacked import StackedForward, stack_signature
+from .state import StateMatrix
+
+__all__ = [
+    "decide_lockstep",
+    "observe_lockstep",
+    "fused_train_steps",
+    "fused_q_values",
+]
+
+
+# --------------------------------------------------------------------- #
+# Decision path
+# --------------------------------------------------------------------- #
+def fused_q_values(jobs: Sequence[tuple[SetQNetwork, StateMatrix]]) -> list[np.ndarray]:
+    """``network.q_values(state)`` for many pairs, fusing same-shaped groups.
+
+    Pairs whose (architecture, state shape) match are scored through one
+    stacked forward; singletons take the serial call.  Each result is
+    bit-identical to the serial ``q_values`` either way.
+    """
+    results: list[np.ndarray | None] = [None] * len(jobs)
+    groups: dict[tuple, list[int]] = {}
+    for slot, (network, state) in enumerate(jobs):
+        groups.setdefault((stack_signature(network), state.matrix.shape), []).append(slot)
+    for slots in groups.values():
+        if len(slots) == 1:
+            network, state = jobs[slots[0]]
+            results[slots[0]] = network.q_values(state)
+        else:
+            stacked = StackedForward([jobs[slot][0] for slot in slots])
+            for slot, values in zip(
+                slots, stacked.q_values_single([jobs[slot][1] for slot in slots])
+            ):
+                results[slot] = values
+    return results  # type: ignore[return-value]
+
+
+def decide_lockstep(
+    pairs: Sequence[tuple[TaskArrangementFramework, ArrivalContext]]
+) -> list[list[int]]:
+    """Rank one arrival per framework replica, fusing the network forwards.
+
+    Equivalent to ``[framework.rank_tasks(context) for ...]`` — exploration
+    noise, pending-decision bookkeeping and annealing run per replica on the
+    replica's own RNG, in replica order; only the (RNG-free) Q-value forwards
+    are batched across replicas.
+    """
+    states = [framework._build_states(context) for framework, context in pairs]
+    scoring_jobs: list[tuple[SetQNetwork, StateMatrix]] = []
+    owners: list[tuple[int, str]] = []
+    for slot, ((framework, _), (state_w, state_r)) in enumerate(zip(pairs, states)):
+        if framework.agent_w is not None:
+            scoring_jobs.append((framework.agent_w.network, state_w))
+            owners.append((slot, "w"))
+        if framework.agent_r is not None:
+            scoring_jobs.append((framework.agent_r.network, state_r))
+            owners.append((slot, "r"))
+    scored = fused_q_values(scoring_jobs)
+    worker_q: list[np.ndarray | None] = [None] * len(pairs)
+    requester_q: list[np.ndarray | None] = [None] * len(pairs)
+    for (slot, role), values in zip(owners, scored):
+        if role == "w":
+            worker_q[slot] = values
+        else:
+            requester_q[slot] = values
+    return [
+        framework._decide(context, state_w, state_r, worker_q[slot], requester_q[slot])
+        for slot, ((framework, context), (state_w, state_r)) in enumerate(zip(pairs, states))
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Update path
+# --------------------------------------------------------------------- #
+@dataclass
+class _TrainJob:
+    """One agent's pre-sampled train step, awaiting (possibly fused) execution."""
+
+    agent: DQNAgent
+    learner: DoubleDQNLearner
+    transitions: list[Transition]
+    indices: np.ndarray
+    weights: np.ndarray
+    targets: np.ndarray | None = None
+    batch: np.ndarray | None = None
+    mask: np.ndarray | None = None
+
+
+def _uniform_state_shape(states: Sequence[StateMatrix]) -> tuple[int, int] | None:
+    """The common ``(rows, dim)`` of the states, or None when they are ragged."""
+    shape = states[0].matrix.shape
+    for state in states:
+        if state.matrix.shape != shape:
+            return None
+    return shape
+
+
+@no_grad()
+def _padded_group_forward(
+    networks: Sequence[SetQNetwork], state_lists: Sequence[list[StateMatrix]]
+) -> list[np.ndarray]:
+    """Stacked inference forward over per-replica state lists of equal row shape.
+
+    Lists shorter than the longest are padded with all-masked dummy states
+    along the *batch* axis (reduction lengths are untouched — only the GEMM
+    row count grows, which is bitwise row-stable on supported BLAS builds;
+    pinned by ``tests/core/test_stacked_equivalence.py``).  Returns each
+    replica's ``(len(list), rows)`` value block.
+    """
+    dtype = networks[0].dtype
+    longest = max(len(states) for states in state_lists)
+    batches: list[tuple[np.ndarray, np.ndarray]] = []
+    for states in state_lists:
+        batch, mask = pad_state_batch(states, dtype=dtype)
+        if batch.shape[0] < longest:
+            extra = longest - batch.shape[0]
+            batch = np.concatenate(
+                [batch, np.zeros((extra,) + batch.shape[1:], dtype=dtype)], axis=0
+            )
+            mask = np.concatenate(
+                [mask, np.ones((extra, mask.shape[1]), dtype=bool)], axis=0
+            )
+        batches.append((batch, mask))
+    values = StackedForward(networks).infer_batch(batches)
+    return [values[i, : len(states)] for i, states in enumerate(state_lists)]
+
+
+@dataclass
+class _TargetEntry:
+    """Per-job branch bookkeeping of the revised Bellman targets (mirrors
+    :meth:`DoubleDQNLearner.td_targets_batch` exactly)."""
+
+    job: _TrainJob
+    rewards: np.ndarray
+    branch_states: list[StateMatrix] = field(default_factory=list)
+    branch_owner: list[int] = field(default_factory=list)
+    branch_prob: list[float] = field(default_factory=list)
+    branch_source: list[tuple[Transition, int]] = field(default_factory=list)
+    uncached: list[int] = field(default_factory=list)
+
+
+def _finish_target_entry(entry: _TargetEntry, online_values: np.ndarray) -> None:
+    """Combine cached target values and fresh online argmaxes into targets."""
+    learner = entry.job.learner
+    branch_states = entry.branch_states
+    counts = np.array([state.num_tasks for state in branch_states])
+    columns = np.arange(online_values.shape[1])
+    padded = columns[np.newaxis, :] >= counts[:, np.newaxis]
+    best_actions = np.argmax(np.where(padded, -np.inf, online_values), axis=1)
+    branch_values = np.empty(len(branch_states), dtype=np.float64)
+    for j, (transition, slot) in enumerate(entry.branch_source):
+        branch_values[j] = transition.target_cache[slot][best_actions[j]]
+    expected_future = np.zeros(len(entry.rewards), dtype=np.float64)
+    np.add.at(
+        expected_future,
+        np.asarray(entry.branch_owner),
+        np.asarray(entry.branch_prob) * branch_values,
+    )
+    entry.job.targets = entry.rewards + learner.gamma * expected_future
+
+
+def _compute_targets(jobs: Sequence[_TrainJob]) -> None:
+    """Fill every job's ``targets``, fusing branch forwards across replicas.
+
+    Mirrors :meth:`DoubleDQNLearner.td_targets_batch` per job — including the
+    per-transition target-network memoisation — but routes the uncached
+    target forwards and the online best-action forwards of same-shaped jobs
+    through one stacked call each.  Jobs whose branch states are ragged (no
+    common row shape) fall back to the serial method.
+    """
+    entries: list[_TargetEntry] = []
+    for job in jobs:
+        rewards = np.array([t.reward for t in job.transitions], dtype=np.float64)
+        entry = _TargetEntry(job=job, rewards=rewards)
+        for i, transition in enumerate(job.transitions):
+            for slot, (probability, future_state) in enumerate(transition.future_states):
+                if future_state.num_tasks == 0:
+                    continue
+                entry.branch_states.append(future_state)
+                entry.branch_owner.append(i)
+                entry.branch_prob.append(probability)
+                entry.branch_source.append((transition, slot))
+        if not entry.branch_states:
+            job.targets = rewards
+            continue
+        entries.append(entry)
+
+    fusable: dict[tuple, list[_TargetEntry]] = {}
+    for entry in entries:
+        shape = _uniform_state_shape(entry.branch_states)
+        if shape is None:
+            entry.job.targets = entry.job.learner.td_targets_batch(entry.job.transitions)
+            continue
+        key = (stack_signature(entry.job.learner.online), shape)
+        fusable.setdefault(key, []).append(entry)
+
+    for group in fusable.values():
+        if len(group) == 1:
+            entry = group[0]
+            entry.job.targets = entry.job.learner.td_targets_batch(entry.job.transitions)
+            continue
+        # Per-entry cache probe, exactly as the serial method does it.
+        for entry in group:
+            version = entry.job.learner._target_version
+            entry.uncached = [
+                j
+                for j, (transition, _) in enumerate(entry.branch_source)
+                if transition.target_cache_version != version
+            ]
+        cold = [entry for entry in group if entry.uncached]
+        # One stacked inference forward serves both halves of the double-DQN
+        # target: the *target* networks on each entry's uncached branches and
+        # the *online* networks on every branch (for the best-action argmax).
+        # Same-architecture networks stack regardless of which agent they
+        # belong to, so both halves ride one gufunc launch.
+        blocks = _padded_group_forward(
+            [entry.job.learner.target for entry in cold]
+            + [entry.job.learner.online for entry in group],
+            [[entry.branch_states[j] for j in entry.uncached] for entry in cold]
+            + [entry.branch_states for entry in group],
+        )
+        for entry, fresh in zip(cold, blocks[: len(cold)]):
+            version = entry.job.learner._target_version
+            for row, j in enumerate(entry.uncached):
+                transition, slot = entry.branch_source[j]
+                if transition.target_cache_version != version:
+                    transition.target_cache = [None] * len(transition.future_states)
+                    transition.target_cache_version = version
+                transition.target_cache[slot] = fresh[
+                    row, : entry.branch_states[j].num_tasks
+                ].copy()
+        for entry, online_values in zip(group, blocks[len(cold) :]):
+            _finish_target_entry(entry, online_values)
+
+
+def _fused_prediction_update(jobs: Sequence[_TrainJob]) -> None:
+    """One stacked forward/backward for a group of same-shaped train steps.
+
+    Builds the exact per-replica loss graph of
+    :meth:`DoubleDQNLearner.train_step` on slices of one stacked forward,
+    backpropagates their sum once (each replica's loss receives gradient 1.0,
+    exactly as its own scalar backward would), scatters the gradient slices
+    into each learner's flat optimiser buffer, and finishes every update
+    with the shared clip/step/priority/sync path.
+    """
+    networks = [job.learner.online for job in jobs]
+    dtype = networks[0].dtype
+    stacked = StackedForward(networks, requires_grad=True)
+    values = stacked.forward_batch([(job.batch, job.mask) for job in jobs])
+
+    # One gather and one loss graph for the whole group.  Per replica this is
+    # bit-identical to the serial ``(w * diff * diff).mean()`` chain: the
+    # advanced-index gather scatters exactly one contribution per (replica,
+    # transition), the elementwise ops act per element, and the axis-1
+    # mean reduces each replica's row with the same summation order as the
+    # serial 1-D mean.
+    count = len(jobs)
+    batch_size = len(jobs[0].transitions)
+    actions = np.array(
+        [[t.action_index for t in job.transitions] for job in jobs], dtype=np.int64
+    )
+    gathered = values[
+        np.arange(count)[:, np.newaxis], np.arange(batch_size)[np.newaxis, :], actions
+    ]
+    weights = np.stack([np.asarray(job.weights, dtype=dtype) for job in jobs])
+    targets = np.stack([np.asarray(job.targets, dtype=dtype) for job in jobs])
+    diff = gathered - Tensor(targets)
+    losses = (Tensor(weights) * diff * diff).mean(axis=1)
+    predictions = gathered.numpy()
+
+    for job in jobs:
+        job.learner.optimizer.zero_grad()
+    losses.sum().backward()
+    stacked.scatter_gradients()
+
+    loss_values = losses.numpy()
+    for i, job in enumerate(jobs):
+        report = job.learner._finish_update(
+            job.agent.memory,
+            float(loss_values[i]),
+            job.targets,
+            predictions[i],
+            job.indices,
+            len(job.transitions),
+        )
+        job.agent.record_report(report)
+
+
+def fused_train_steps(agents: Sequence[DQNAgent]) -> None:
+    """One train step per agent, fusing same-shaped work across agents.
+
+    Semantically ``[agent.learner.train_step(agent.memory) for agent in
+    agents]`` (plus the diagnostics bookkeeping of ``store_and_train``), with
+    three fusion points: the uncached target forwards, the online
+    best-action forwards, and the prediction forward/backward.  Each agent's
+    numbers are bit-identical to its serial step.
+    """
+    if not agents:
+        return
+    jobs: list[_TrainJob] = []
+    for agent in agents:
+        learner = agent.learner
+        transitions, indices, weights = agent.memory.sample(learner.batch_size)
+        jobs.append(_TrainJob(agent, learner, list(transitions), indices, weights))
+
+    _compute_targets(jobs)
+
+    groups: dict[tuple, list[_TrainJob]] = {}
+    for job in jobs:
+        states = [t.state for t in job.transitions]
+        shape = _uniform_state_shape(states)
+        if shape is None:
+            groups.setdefault(("serial", id(job)), []).append(job)
+            continue
+        job.batch, job.mask = pad_state_batch(states, dtype=job.learner.online.dtype)
+        groups.setdefault(
+            (stack_signature(job.learner.online), job.batch.shape), []
+        ).append(job)
+
+    for group in groups.values():
+        if len(group) == 1:
+            job = group[0]
+            report = job.learner.train_step_on(
+                job.agent.memory, job.transitions, job.indices, job.weights, targets=job.targets
+            )
+            job.agent.record_report(report)
+        else:
+            _fused_prediction_update(group)
+
+
+def observe_lockstep(
+    items: Sequence[tuple[TaskArrangementFramework, ArrivalContext, list[int], Feedback]]
+) -> None:
+    """Feed one feedback per framework replica, fusing the train steps.
+
+    Equivalent to ``framework.observe_feedback(context, ranked, feedback)``
+    per replica: each replica's (agent, transition) sequence is built by
+    :meth:`TaskArrangementFramework.build_training_plan`, then the sequences
+    are interleaved position-by-position so that every agent still stores
+    transition *j* and (cadence permitting) trains on it before storing
+    transition *j+1* — only the train steps of *different* agents that fall
+    on the same position are fused.
+    """
+    plans = [
+        framework.build_training_plan(context, ranked, feedback)
+        for framework, context, ranked, feedback in items
+    ]
+    agent_jobs = [(agent, transitions) for plan in plans for agent, transitions in plan]
+    longest = max((len(transitions) for _, transitions in agent_jobs), default=0)
+    for position in range(longest):
+        trainers: list[DQNAgent] = []
+        for agent, transitions in agent_jobs:
+            if position < len(transitions):
+                agent.store(transitions[position])
+                if agent.should_train():
+                    trainers.append(agent)
+        fused_train_steps(trainers)

@@ -12,6 +12,7 @@ from .events import Event, EventTrace, EventType
 from .features import FeatureSchema, WorkerFeatureTracker
 from .platform import ArrivalContext, CrowdsourcingPlatform, Feedback
 from .quality import DixitStiglitzQuality, quality_gain
+from .vectorized import ReplicaStream, VectorizedPlatform
 
 __all__ = [
     "Task",
@@ -37,4 +38,6 @@ __all__ = [
     "ArrivalContext",
     "CrowdsourcingPlatform",
     "Feedback",
+    "ReplicaStream",
+    "VectorizedPlatform",
 ]

@@ -17,7 +17,7 @@ import numpy as np
 
 from .arrivals import WorkerArrivalStatistics
 from .behavior import BehaviorOutcome, CascadeBehavior
-from .entities import Task, Worker
+from .entities import Completion, Task, Worker
 from .events import Event, EventTrace, EventType
 from .features import FeatureSchema, WorkerFeatureTracker
 from .quality import DixitStiglitzQuality
@@ -240,6 +240,168 @@ class CrowdsourcingPlatform:
             quality_gain=gain,
             updated_worker_feature=updated_feature,
         )
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Every piece of mutable simulator state, as arrays (no pickle).
+
+        Covers the entity dictionaries (tasks with their completion
+        histories, workers with their preference/history state), the
+        availability pool, the feature tracker, the arrival statistics, the
+        aggregate counters and the behaviour RNG — everything needed to
+        resume a replay mid-trace bit-identically (the event cursor itself
+        is owned by the caller).
+        """
+        task_ids = sorted(self.tasks)
+        tasks = [self.tasks[task_id] for task_id in task_ids]
+        completion_counts = np.array([len(task.completions) for task in tasks], dtype=np.int64)
+        completions = [c for task in tasks for c in task.completions]
+        worker_ids = sorted(self.workers)
+        workers = [self.workers[worker_id] for worker_id in worker_ids]
+        history_counts = np.array([len(worker.history) for worker in workers], dtype=np.int64)
+        tracker_ids = sorted(self.feature_tracker._raw)
+        return {
+            "current_time": self.current_time,
+            "rng_state": self.rng.bit_generator.state,
+            "available": np.array(sorted(self._available), dtype=np.int64),
+            "tasks": {
+                "ids": np.array(task_ids, dtype=np.int64),
+                "requester": np.array([t.requester_id for t in tasks], dtype=np.int64),
+                "category": np.array([t.category for t in tasks], dtype=np.int64),
+                "domain": np.array([t.domain for t in tasks], dtype=np.int64),
+                "award": np.array([t.award for t in tasks], dtype=np.float64),
+                "created_at": np.array([t.created_at for t in tasks], dtype=np.float64),
+                "deadline": np.array([t.deadline for t in tasks], dtype=np.float64),
+                "quality": np.array([t.quality for t in tasks], dtype=np.float64),
+                "completion_counts": completion_counts,
+                "completion_worker": np.array(
+                    [c.worker_id for c in completions], dtype=np.int64
+                ),
+                "completion_time": np.array(
+                    [c.timestamp for c in completions], dtype=np.float64
+                ),
+                "completion_quality": np.array(
+                    [c.worker_quality for c in completions], dtype=np.float64
+                ),
+            },
+            "workers": {
+                "ids": np.array(worker_ids, dtype=np.int64),
+                "quality": np.array([w.quality for w in workers], dtype=np.float64),
+                "award_sensitivity": np.array(
+                    [w.award_sensitivity for w in workers], dtype=np.float64
+                ),
+                "arrival_count": np.array([w.arrival_count for w in workers], dtype=np.int64),
+                # NaN encodes "never arrived" (timestamps are finite minutes).
+                "last_arrival": np.array(
+                    [np.nan if w.last_arrival is None else w.last_arrival for w in workers],
+                    dtype=np.float64,
+                ),
+                "category_preference": (
+                    np.stack([w.category_preference for w in workers])
+                    if workers
+                    else np.zeros((0, 0))
+                ),
+                "domain_preference": (
+                    np.stack([w.domain_preference for w in workers])
+                    if workers
+                    else np.zeros((0, 0))
+                ),
+                "history_counts": history_counts,
+                "history": np.array(
+                    [task_id for w in workers for task_id in w.history], dtype=np.int64
+                ),
+            },
+            "features": {
+                "ids": np.array(tracker_ids, dtype=np.int64),
+                "raw": (
+                    np.stack([self.feature_tracker._raw[i] for i in tracker_ids])
+                    if tracker_ids
+                    else np.zeros((0, self.schema.worker_dim))
+                ),
+            },
+            "arrival_statistics": self.arrival_statistics.state_dict(),
+            "statistics": {
+                "arrivals": self.statistics.arrivals,
+                "completions": self.statistics.completions,
+                "pool_size_samples": np.array(
+                    self.statistics.pool_size_samples, dtype=np.int64
+                ),
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (entities are rebuilt in place)."""
+        self.current_time = float(state["current_time"])
+        self.rng.bit_generator.state = state["rng_state"]
+
+        tasks_tree = state["tasks"]
+        ids = np.asarray(tasks_tree["ids"], dtype=np.int64)
+        counts = np.asarray(tasks_tree["completion_counts"], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        self.tasks = {}
+        for i, task_id in enumerate(ids):
+            completions = [
+                Completion(
+                    worker_id=int(tasks_tree["completion_worker"][j]),
+                    timestamp=float(tasks_tree["completion_time"][j]),
+                    worker_quality=float(tasks_tree["completion_quality"][j]),
+                )
+                for j in range(int(offsets[i]), int(offsets[i + 1]))
+            ]
+            self.tasks[int(task_id)] = Task(
+                task_id=int(task_id),
+                requester_id=int(tasks_tree["requester"][i]),
+                category=int(tasks_tree["category"][i]),
+                domain=int(tasks_tree["domain"][i]),
+                award=float(tasks_tree["award"][i]),
+                created_at=float(tasks_tree["created_at"][i]),
+                deadline=float(tasks_tree["deadline"][i]),
+                quality=float(tasks_tree["quality"][i]),
+                completions=completions,
+            )
+
+        workers_tree = state["workers"]
+        ids = np.asarray(workers_tree["ids"], dtype=np.int64)
+        counts = np.asarray(workers_tree["history_counts"], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        history = np.asarray(workers_tree["history"], dtype=np.int64)
+        self.workers = {}
+        for i, worker_id in enumerate(ids):
+            last_arrival = float(workers_tree["last_arrival"][i])
+            self.workers[int(worker_id)] = Worker(
+                worker_id=int(worker_id),
+                quality=float(workers_tree["quality"][i]),
+                category_preference=np.asarray(
+                    workers_tree["category_preference"][i], dtype=np.float64
+                ).copy(),
+                domain_preference=np.asarray(
+                    workers_tree["domain_preference"][i], dtype=np.float64
+                ).copy(),
+                award_sensitivity=float(workers_tree["award_sensitivity"][i]),
+                history=[int(t) for t in history[int(offsets[i]) : int(offsets[i + 1])]],
+                last_arrival=None if np.isnan(last_arrival) else last_arrival,
+                arrival_count=int(workers_tree["arrival_count"][i]),
+            )
+
+        self._available = {
+            int(task_id): self.tasks[int(task_id)]
+            for task_id in np.asarray(state["available"], dtype=np.int64)
+        }
+        features = state["features"]
+        raw = np.asarray(features["raw"], dtype=np.float64).reshape(-1, self.schema.worker_dim)
+        self.feature_tracker._raw = {
+            int(worker_id): raw[i].copy()
+            for i, worker_id in enumerate(np.asarray(features["ids"], dtype=np.int64))
+        }
+        self.arrival_statistics.load_state_dict(state["arrival_statistics"])
+        statistics = state["statistics"]
+        self.statistics.arrivals = int(statistics["arrivals"])
+        self.statistics.completions = int(statistics["completions"])
+        self.statistics.pool_size_samples = [
+            int(sample) for sample in np.asarray(statistics["pool_size_samples"])
+        ]
 
     # ------------------------------------------------------------------ #
     # Warm-up helpers

@@ -1,0 +1,152 @@
+"""Lockstep multi-replica simulation: N platforms stepped together.
+
+The online loop is inherently sequential *within* a replica (every feedback
+changes the policy before the next arrival), but completely independent
+*across* replicas.  This module provides the two pieces that turn N serial
+replays into one lockstep run:
+
+* :class:`ReplicaStream` — one platform's event replay as an explicit cursor
+  (rather than a closed ``for`` loop), which (a) lets a driver pull exactly
+  one arrival at a time and (b) supports fast-forwarding the cursor past
+  events a restored run-state checkpoint has already applied (intra-cell
+  resume);
+* :class:`VectorizedPlatform` — advances N replica *loops* (generators
+  yielding ``("rank", …)`` / ``("observe", …)`` requests, see
+  :mod:`repro.eval.runner`) in rounds: every live replica contributes its
+  current request, the caller answers the whole round at once (fusing the
+  framework replicas' forwards across replicas), and the responses resume
+  the loops to their next request.
+
+Replicas never interact — different datasets evolve different pools and
+workers — so any per-round batching is free of cross-replica effects and
+each replica's trajectory is identical to its own serial run.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Sequence
+
+from .events import EventTrace
+from .platform import ArrivalContext, CrowdsourcingPlatform
+
+__all__ = ["ReplicaStream", "VectorizedPlatform", "partition_requests"]
+
+
+class ReplicaStream:
+    """One platform's replay of a trace, as a pull-style arrival cursor.
+
+    ``start_event`` skips that many leading events *without applying them* —
+    used on resume, where the restored platform state already reflects them.
+    :attr:`events_consumed` counts every event applied (or skipped), so a
+    run-state checkpoint taken after any arrival records exactly where to
+    fast-forward to.
+    """
+
+    def __init__(
+        self, platform: CrowdsourcingPlatform, trace: EventTrace, start_event: int = 0
+    ) -> None:
+        if start_event < 0 or start_event > len(trace):
+            raise ValueError(
+                f"start_event must be in [0, {len(trace)}], got {start_event}"
+            )
+        self.platform = platform
+        self.trace = trace
+        self.events_consumed = start_event
+        self._events = trace.events
+
+    @property
+    def exhausted(self) -> bool:
+        return self.events_consumed >= len(self._events)
+
+    def next_arrival(self) -> ArrivalContext | None:
+        """Apply events up to and including the next worker arrival.
+
+        Returns the arrival's context (which may have an empty pool — the
+        caller decides whether it is rankable, exactly like the serial
+        loop), or ``None`` once the trace is exhausted.
+        """
+        while self.events_consumed < len(self._events):
+            event = self._events[self.events_consumed]
+            self.events_consumed += 1
+            context = self.platform.apply_event(event)
+            if context is not None:
+                return context
+        return None
+
+
+#: A replica loop request: ``("rank", context)`` expecting the ranked task
+#: ids back, or ``("observe", context, presented, feedback)`` expecting None.
+Request = tuple
+#: The loop generator type: yields requests, receives responses, returns the
+#: replica's final result.
+ReplicaLoop = Generator
+
+
+class VectorizedPlatform:
+    """Advances N replica loops in lockstep rounds.
+
+    The loops' requests are *independent* (separate platforms, separate
+    policies, separate RNG streams), so a round may answer them in any
+    order or batch — which is what lets the caller fuse the N framework
+    forwards of a round into stacked calls.  Results are collected in
+    replica order as loops finish.
+    """
+
+    def __init__(self, loops: Sequence[ReplicaLoop]) -> None:
+        self._loops = list(loops)
+        self.results: list[object | None] = [None] * len(self._loops)
+
+    def __len__(self) -> int:
+        return len(self._loops)
+
+    def rounds(self) -> Generator[list[tuple[int, Request]], dict[int, object], None]:
+        """Yield per-round request batches; send back ``{index: response}``.
+
+        Each yielded batch holds every live replica's current request as
+        ``(replica_index, request)``.  The driver must answer *all* of them
+        in the sent mapping (``None`` for observe requests); replicas whose
+        loops finish drop out of later rounds, and their return values land
+        in :attr:`results`.
+        """
+        current: dict[int, Request] = {}
+        for index, loop in enumerate(self._loops):
+            try:
+                current[index] = loop.send(None)
+            except StopIteration as stop:
+                self.results[index] = stop.value
+        while current:
+            responses = yield [(index, current[index]) for index in sorted(current)]
+            advanced: dict[int, Request] = {}
+            for index in sorted(current):
+                try:
+                    advanced[index] = self._loops[index].send(responses[index])
+                except StopIteration as stop:
+                    self.results[index] = stop.value
+            current = advanced
+
+    def run(self, answer_round) -> list[object]:
+        """Drive every loop to completion, answering rounds via ``answer_round``.
+
+        ``answer_round(batch)`` receives the round's ``(index, request)``
+        list and returns ``{index: response}``.  Returns the per-replica
+        results in replica order.
+        """
+        driver = self.rounds()
+        try:
+            batch = driver.send(None)
+            while True:
+                batch = driver.send(answer_round(batch))
+        except StopIteration:
+            pass
+        return list(self.results)
+
+
+def partition_requests(
+    batch: Iterable[tuple[int, Request]]
+) -> tuple[list[tuple[int, Request]], list[tuple[int, Request]]]:
+    """Split one round's requests into (rank, observe) sub-batches."""
+    ranks: list[tuple[int, Request]] = []
+    observes: list[tuple[int, Request]] = []
+    for index, request in batch:
+        (ranks if request[0] == "rank" else observes).append((index, request))
+    return ranks, observes

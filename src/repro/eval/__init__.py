@@ -13,9 +13,19 @@ from .reporting import (
     format_series_comparison,
     format_table,
 )
-from .runner import RunnerConfig, SimulationRunner, evaluate_policy
+from .runner import (
+    RUNSTATE_FORMAT,
+    RunnerConfig,
+    SimulationRunner,
+    VectorizedRunner,
+    evaluate_policy,
+    runstate_path,
+)
 
 __all__ = [
+    "RUNSTATE_FORMAT",
+    "VectorizedRunner",
+    "runstate_path",
     "rank_discount",
     "MetricSeries",
     "WorkerBenefitTracker",

@@ -62,6 +62,22 @@ class _Accumulator:
         self.totals[month] = self.totals.get(month, 0.0) + value
         self.counts[month] = self.counts.get(month, 0) + 1
 
+    def state_dict(self) -> dict:
+        """Per-month totals/counts as aligned arrays (run-state checkpointing)."""
+        months = self.months()
+        return {
+            "months": np.array(months, dtype=np.int64),
+            "totals": np.array([self.totals.get(m, 0.0) for m in months], dtype=np.float64),
+            "counts": np.array([self.counts.get(m, 0) for m in months], dtype=np.int64),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        months = np.asarray(state["months"], dtype=np.int64)
+        totals = np.asarray(state["totals"], dtype=np.float64)
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        self.totals = {int(m): float(t) for m, t in zip(months, totals)}
+        self.counts = {int(m): int(c) for m, c in zip(months, counts)}
+
     def months(self) -> list[int]:
         return sorted(set(self.totals) | set(self.counts))
 
@@ -126,6 +142,18 @@ class WorkerBenefitTracker:
         self._kcr.add(month, k_value)
         self._ndcg.add(month, ndcg_value)
 
+    def state_dict(self) -> dict:
+        return {
+            "cr": self._cr.state_dict(),
+            "kcr": self._kcr.state_dict(),
+            "ndcg": self._ndcg.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._cr.load_state_dict(state["cr"])
+        self._kcr.load_state_dict(state["kcr"])
+        self._ndcg.load_state_dict(state["ndcg"])
+
     def completion_rate(self) -> MetricSeries:
         return self._cr.series(normalise=True, cumulative_rate=True)
 
@@ -161,6 +189,18 @@ class RequesterBenefitTracker:
         self._qg.add(month, qg_value)
         self._kqg.add(month, k_value)
         self._ndcg.add(month, ndcg_value)
+
+    def state_dict(self) -> dict:
+        return {
+            "qg": self._qg.state_dict(),
+            "kqg": self._kqg.state_dict(),
+            "ndcg": self._ndcg.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._qg.load_state_dict(state["qg"])
+        self._kqg.load_state_dict(state["kqg"])
+        self._ndcg.load_state_dict(state["ndcg"])
 
     def quality_gain(self) -> MetricSeries:
         return self._qg.series(normalise=False, cumulative_rate=False)

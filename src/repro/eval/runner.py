@@ -6,23 +6,60 @@ tasks themselves); the remaining months are replayed online — every worker
 arrival triggers a recommendation, simulated feedback, metric updates and a
 policy update.  Supervised baselines additionally re-train at every simulated
 day boundary through :meth:`ArrangementPolicy.end_of_day`.
+
+The loop itself lives in :class:`_ReplicaRun.loop`, a generator that *yields*
+its two policy interactions — ``("rank", context)`` and ``("observe",
+context, presented, feedback)`` — instead of calling the policy directly.
+:class:`SimulationRunner` answers one loop's requests immediately (the serial
+run); :class:`VectorizedRunner` advances N loops in lockstep and answers each
+round's requests together, fusing the framework replicas' network forwards
+and train steps across replicas (see :mod:`repro.core.vectorized`).  Both
+paths execute the identical loop code, which is what makes a vectorized
+replica's results float-for-float equal to its serial run.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import Generator, Sequence
 
+import numpy as np
+
+from ..core.framework import TaskArrangementFramework, migrate_config_tree
 from ..core.interfaces import ArrangementPolicy
+from ..core.vectorized import decide_lockstep, observe_lockstep
 from ..crowd.behavior import CascadeBehavior, InterestModel
 from ..crowd.entities import MINUTES_PER_DAY, MINUTES_PER_MONTH
 from ..crowd.platform import CrowdsourcingPlatform
 from ..crowd.quality import DixitStiglitzQuality
+from ..crowd.vectorized import ReplicaStream, VectorizedPlatform, partition_requests
 from ..datasets.crowdspring import CrowdDataset
+from ..nn.serialization import load_checkpoint, save_checkpoint
 from .metrics import EvaluationResult, RequesterBenefitTracker, WorkerBenefitTracker
 
-__all__ = ["RunnerConfig", "SimulationRunner", "evaluate_policy"]
+__all__ = [
+    "RunnerConfig",
+    "SimulationRunner",
+    "VectorizedRunner",
+    "evaluate_policy",
+    "RUNSTATE_FORMAT",
+    "runstate_path",
+]
+
+#: Format tag of the runner's *run-state* checkpoints: the policy checkpoint
+#: tree plus everything else a mid-run resume needs (platform state, metric
+#: trackers, loop counters and the trace cursor).  Written next to the plain
+#: policy checkpoint as ``<stem>.runstate.npz``.
+RUNSTATE_FORMAT = "repro.runstate/1"
+
+
+def runstate_path(checkpoint_path: str | Path) -> Path:
+    """The run-state file that accompanies a policy checkpoint path."""
+    path = Path(checkpoint_path)
+    stem = path.stem if path.suffix == ".npz" else path.name
+    return path.with_name(f"{stem}.runstate.npz")
 
 
 @dataclass
@@ -81,36 +118,158 @@ class RunnerConfig:
         return min(self.k, pool_size)
 
 
-class SimulationRunner:
-    """Evaluates one policy on one dataset."""
+def _warmup_interactions(platform, behavior, warm_trace):
+    """Replay the warm-up month with self-selected completions.
 
-    def __init__(self, dataset: CrowdDataset, config: RunnerConfig | None = None) -> None:
+    Workers browse the pool in their own preferred order (they picked tasks
+    themselves before the recommender existed); the platform evolves — pool,
+    features, qualities — and each interaction is yielded so the caller can
+    decide whether the policy observes it (the online loop does, the
+    decision-only replay must not).
+    """
+    stream = ReplicaStream(platform, warm_trace)
+    while True:
+        context = stream.next_arrival()
+        if context is None:
+            return
+        if not context.available_tasks:
+            continue
+        preferred = behavior.preferred_order(context.worker, context.available_tasks)
+        feedback = platform.submit_list(context, preferred)
+        yield context, preferred, feedback
+
+
+def _build_platform(
+    dataset: CrowdDataset, config: RunnerConfig
+) -> tuple[CrowdsourcingPlatform, CascadeBehavior]:
+    """Fresh platform + behaviour model for one replay of ``dataset``."""
+    tasks, workers = dataset.fresh_entities()
+    behavior = CascadeBehavior(
+        InterestModel(sharpness=config.interest_sharpness),
+        position_decay=config.position_decay,
+    )
+    platform = CrowdsourcingPlatform(
+        tasks,
+        workers,
+        dataset.schema,
+        behavior,
+        quality_model=DixitStiglitzQuality(config.quality_p),
+        seed=config.seed,
+    )
+    for worker_id, task_ids in dataset.bootstrap_completions.items():
+        bootstrap_tasks = [tasks[task_id] for task_id in task_ids if task_id in tasks]
+        if bootstrap_tasks:
+            platform.feature_tracker.bootstrap(worker_id, bootstrap_tasks)
+    return platform, behavior
+
+
+class _ReplicaRun:
+    """One (dataset, policy) evaluation as a request-yielding loop.
+
+    The generator returned by :meth:`loop` performs everything except the
+    policy interactions itself — platform evolution, metric tracking, day
+    boundaries, checkpointing, resume — and yields ``("rank", context)`` /
+    ``("observe", context, presented, feedback)`` requests for the driver to
+    answer (serially or fused across replicas).
+    """
+
+    def __init__(
+        self,
+        dataset: CrowdDataset,
+        policy: ArrangementPolicy,
+        config: RunnerConfig,
+        checkpoint_path: str | Path | None = None,
+        resume: bool = False,
+    ) -> None:
         self.dataset = dataset
-        self.config = config if config is not None else RunnerConfig()
+        self.policy = policy
+        self.config = config
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
+        self.resume = resume
 
     # ------------------------------------------------------------------ #
-    def run(
-        self, policy: ArrangementPolicy, checkpoint_path: str | Path | None = None
-    ) -> EvaluationResult:
-        """Replay the dataset against ``policy`` and return all measures.
+    def _presented(self, ranked: list[int]) -> list[int]:
+        if self.config.mode == "single":
+            return ranked[:1]
+        if self.config.mode == "topk":
+            return ranked[: self.config.clamped_k(len(ranked))]
+        return ranked
 
-        When ``checkpoint_path`` is given, ``config.checkpoint_every`` is set
-        and the policy supports checkpointing, a checkpoint is written (and
-        overwritten in place) every N online arrivals plus once after the
-        final arrival, so an interrupted run always leaves the most recent
-        complete training state behind.
-        """
+    def _month_of(self, timestamp: float) -> int:
+        """Month index of an online timestamp, with month 0 = first online month."""
+        return max(0, int((timestamp - self.dataset.warmup_end) // MINUTES_PER_MONTH))
+
+    # ------------------------------------------------------------------ #
+    def _load_runstate(self) -> dict | None:
+        """The resumable run-state tree, if resume is on and one exists."""
+        if not self.resume or self.checkpoint_path is None:
+            return None
+        if not self.policy.supports_checkpointing:
+            return None
+        path = runstate_path(self.checkpoint_path)
+        if not path.exists():
+            return None
+        tree = load_checkpoint(path)
+        if tree.get("format") != RUNSTATE_FORMAT:
+            raise ValueError(
+                f"{path} is not a run-state checkpoint "
+                f"(format={tree.get('format')!r}, expected {RUNSTATE_FORMAT!r})"
+            )
+        return tree
+
+    def _restore_policy(self, policy_tree: dict) -> None:
+        """Load the checkpointed policy state into the (freshly built) policy."""
+        if not isinstance(self.policy, TaskArrangementFramework):
+            raise ValueError(
+                f"run-state resume requires a checkpointable framework policy, "
+                f"got {type(self.policy).__name__}"
+            )
+        saved_config = migrate_config_tree(policy_tree["config"], policy_tree["format"])
+        if saved_config != self.policy.config:
+            raise ValueError(
+                "run-state checkpoint was written with a different framework config "
+                f"({asdict(saved_config)} vs {asdict(self.policy.config)}); "
+                "resume requires the identical spec"
+            )
+        self.policy.load_state_dict(policy_tree["state"])
+
+    def _save_checkpoint(self, platform, state: dict) -> None:
+        """Write the policy checkpoint and its run-state sidecar (both atomic)."""
+        policy = self.policy
+        if isinstance(policy, TaskArrangementFramework):
+            policy_tree = policy.checkpoint_tree()
+            save_checkpoint(policy_tree, self.checkpoint_path)
+            runner_tree = {
+                "arrivals": state["arrivals"],
+                "completions": state["completions"],
+                "events_consumed": state["events_consumed"],
+                "next_day_boundary": state["next_day_boundary"],
+                "decision_seconds": state["decision_seconds"],
+                "update_seconds": state["update_seconds"],
+                "retrain_seconds": np.asarray(state["retrain_seconds"], dtype=np.float64),
+                "worker_metrics": state["worker_metrics"].state_dict(),
+                "requester_metrics": state["requester_metrics"].state_dict(),
+                "platform": platform.state_dict(),
+            }
+            save_checkpoint(
+                {"format": RUNSTATE_FORMAT, "policy": policy_tree, "runner": runner_tree},
+                runstate_path(self.checkpoint_path),
+            )
+        else:
+            policy.save(self.checkpoint_path)
+
+    # ------------------------------------------------------------------ #
+    def loop(self) -> Generator[tuple, object, EvaluationResult]:
+        """The full evaluation loop as a request generator (see class doc)."""
         config = self.config
+        policy = self.policy
         checkpointing = (
-            checkpoint_path is not None
+            self.checkpoint_path is not None
             and config.checkpoint_every is not None
             and policy.supports_checkpointing
         )
-        platform, behavior = self._build_platform()
-
+        platform, behavior = _build_platform(self.dataset, config)
         warm_trace, online_trace = self.dataset.trace.split_warmup(self.dataset.warmup_end)
-        policy.reset()
-        self._warm_up(platform, behavior, warm_trace, policy)
 
         worker_metrics = WorkerBenefitTracker(k=config.k)
         requester_metrics = RequesterBenefitTracker(k=config.k)
@@ -121,7 +280,60 @@ class SimulationRunner:
         retrain_seconds: list[float] = []
         next_day_boundary = self.dataset.warmup_end + MINUTES_PER_DAY
 
-        for context in platform.replay(online_trace):
+        runstate = self._load_runstate()
+        if runstate is not None:
+            # Fast-forward: restore policy, platform and trackers, then skip
+            # the already-applied events instead of re-simulating them.
+            self._restore_policy(runstate["policy"])
+            runner_tree = runstate["runner"]
+            platform.load_state_dict(runner_tree["platform"])
+            worker_metrics.load_state_dict(runner_tree["worker_metrics"])
+            requester_metrics.load_state_dict(runner_tree["requester_metrics"])
+            arrivals = int(runner_tree["arrivals"])
+            completions = int(runner_tree["completions"])
+            decision_seconds = float(runner_tree["decision_seconds"])
+            update_seconds = float(runner_tree["update_seconds"])
+            retrain_seconds = [float(x) for x in np.asarray(runner_tree["retrain_seconds"])]
+            next_day_boundary = float(runner_tree["next_day_boundary"])
+            stream = ReplicaStream(
+                platform, online_trace, start_event=int(runner_tree["events_consumed"])
+            )
+        else:
+            policy.reset()
+            # Warm-up month: self-selected completions; the policy observes
+            # them (capped) so features *and* the learning model initialise
+            # from the first month, as in the paper.
+            observed = 0
+            limit = config.max_warmup_observations
+            for context, preferred, feedback in _warmup_interactions(
+                platform, behavior, warm_trace
+            ):
+                if config.learn_from_warmup and (limit is None or observed < limit):
+                    yield ("observe", context, preferred, feedback)
+                    observed += 1
+            stream = ReplicaStream(platform, online_trace)
+
+        def runner_state() -> dict:
+            """Loop state for the run-state sidecar (reads the live locals)."""
+            return {
+                "arrivals": arrivals,
+                "completions": completions,
+                "events_consumed": stream.events_consumed,
+                "next_day_boundary": next_day_boundary,
+                "decision_seconds": decision_seconds,
+                "update_seconds": update_seconds,
+                "retrain_seconds": retrain_seconds,
+                "worker_metrics": worker_metrics,
+                "requester_metrics": requester_metrics,
+            }
+
+        reached_cap = (
+            config.max_arrivals is not None and arrivals >= config.max_arrivals
+        )
+        while not reached_cap:
+            context = stream.next_arrival()
+            if context is None:
+                break
             while context.timestamp >= next_day_boundary:
                 started = time.perf_counter()
                 policy.end_of_day(next_day_boundary)
@@ -131,7 +343,7 @@ class SimulationRunner:
                 continue
 
             started = time.perf_counter()
-            ranked = policy.rank_tasks(context)
+            ranked = yield ("rank", context)
             decision_seconds += time.perf_counter() - started
             if not ranked:
                 continue
@@ -149,18 +361,18 @@ class SimulationRunner:
             completions += int(feedback.completed)
 
             started = time.perf_counter()
-            policy.observe_feedback(context, presented, feedback)
+            yield ("observe", context, presented, feedback)
             update_seconds += time.perf_counter() - started
 
             if checkpointing and arrivals % config.checkpoint_every == 0:
-                policy.save(checkpoint_path)
+                self._save_checkpoint(platform, runner_state())
 
             if config.max_arrivals is not None and arrivals >= config.max_arrivals:
-                break
+                reached_cap = True
 
         # Final save, unless the last arrival already checkpointed.
         if checkpointing and arrivals and arrivals % config.checkpoint_every != 0:
-            policy.save(checkpoint_path)
+            self._save_checkpoint(platform, runner_state())
 
         mean_retrain = sum(retrain_seconds) / len(retrain_seconds) if retrain_seconds else 0.0
         return EvaluationResult(
@@ -177,6 +389,48 @@ class SimulationRunner:
             mean_decision_seconds=decision_seconds / max(arrivals, 1),
             mean_retrain_seconds=mean_retrain,
         )
+
+
+class SimulationRunner:
+    """Evaluates one policy on one dataset."""
+
+    def __init__(self, dataset: CrowdDataset, config: RunnerConfig | None = None) -> None:
+        self.dataset = dataset
+        self.config = config if config is not None else RunnerConfig()
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        policy: ArrangementPolicy,
+        checkpoint_path: str | Path | None = None,
+        resume: bool = False,
+    ) -> EvaluationResult:
+        """Replay the dataset against ``policy`` and return all measures.
+
+        When ``checkpoint_path`` is given, ``config.checkpoint_every`` is set
+        and the policy supports checkpointing, a checkpoint is written (and
+        overwritten in place) every N online arrivals plus once after the
+        final arrival, so an interrupted run always leaves the most recent
+        complete training state behind.  Alongside the policy checkpoint a
+        ``<stem>.runstate.npz`` sidecar records the platform, metric and
+        loop state; with ``resume=True`` an existing sidecar fast-forwards
+        the run to the checkpointed arrival instead of redoing finished
+        arrivals, continuing bit-identically to an uninterrupted run.
+        """
+        drive = _ReplicaRun(self.dataset, policy, self.config, checkpoint_path, resume)
+        loop = drive.loop()
+        response: object = None
+        while True:
+            try:
+                request = loop.send(response)
+            except StopIteration as stop:
+                return stop.value
+            if request[0] == "rank":
+                response = policy.rank_tasks(request[1])
+            else:
+                _, context, presented, feedback = request
+                policy.observe_feedback(context, presented, feedback)
+                response = None
 
     # ------------------------------------------------------------------ #
     def replay_decisions(
@@ -198,13 +452,14 @@ class SimulationRunner:
         """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        platform, behavior = self._build_platform()
+        platform, behavior = _build_platform(self.dataset, self.config)
         warm_trace, online_trace = self.dataset.trace.split_warmup(self.dataset.warmup_end)
         # Replay the warm-up month exactly like run() does (self-selected
         # completions evolve the pool, worker features and task qualities)
         # but without the policy observing anything — the frozen policy then
         # scores the *same* candidate pools as the online loop would.
-        self._warm_up(platform, behavior, warm_trace, policy, observe=False)
+        for _ in _warmup_interactions(platform, behavior, warm_trace):
+            pass
 
         ranked = 0
         pending: list = []
@@ -223,71 +478,100 @@ class SimulationRunner:
             ranked += len(pending)
         return ranked
 
-    # ------------------------------------------------------------------ #
-    def _presented(self, ranked: list[int]) -> list[int]:
-        if self.config.mode == "single":
-            return ranked[:1]
-        if self.config.mode == "topk":
-            return ranked[: self.config.clamped_k(len(ranked))]
-        return ranked
 
-    def _month_of(self, timestamp: float) -> int:
-        """Month index of an online timestamp, with month 0 = first online month."""
-        return max(0, int((timestamp - self.dataset.warmup_end) // MINUTES_PER_MONTH))
+class VectorizedRunner:
+    """Advances N independent replicas in lockstep, fusing framework work.
 
-    def _build_platform(self) -> tuple[CrowdsourcingPlatform, CascadeBehavior]:
-        """Fresh platform + behaviour model for one replay of the dataset.
+    ``replicas`` holds one ``(dataset, policy)`` pair per replica (optionally
+    ``(dataset, policy, checkpoint_path)``); all replicas share one
+    :class:`RunnerConfig`.  Per-replica results are float-for-float equal to
+    ``SimulationRunner(dataset, config).run(policy, …)`` — replay memories,
+    RNG streams and explorer schedules stay per-replica, and every fused
+    network call is bit-identical per replica to the serial call it replaces
+    (see :mod:`repro.core.vectorized`).  Speed comes from batching the DDQN
+    replicas' candidate scorings and train steps across replicas; baseline
+    policies simply run lockstep.
 
-        Shared by :meth:`run` and :meth:`replay_decisions` so both replay
-        against an identically configured simulator.
-        """
-        config = self.config
-        tasks, workers = self.dataset.fresh_entities()
-        behavior = CascadeBehavior(
-            InterestModel(sharpness=config.interest_sharpness),
-            position_decay=config.position_decay,
-        )
-        platform = CrowdsourcingPlatform(
-            tasks,
-            workers,
-            self.dataset.schema,
-            behavior,
-            quality_model=DixitStiglitzQuality(config.quality_p),
-            seed=config.seed,
-        )
-        self._bootstrap_features(platform, tasks)
-        return platform, behavior
+    Caveat: the per-replica ``mean_decision_seconds`` / ``mean_update_seconds``
+    timing fields are measured around the lockstep round, so each replica's
+    timer absorbs the whole fused batch (and the other replicas' simulation)
+    — they do not isolate one policy's cost the way a serial run does.
+    Timing fields are wall-clock noise throughout the determinism layer;
+    compare throughput via total run time (as ``bench_endtoend``'s
+    multi-replica section does), never via these per-replica means.
+    """
 
-    def _warm_up(
-        self, platform, behavior, warm_trace, policy: ArrangementPolicy, observe: bool = True
+    def __init__(
+        self,
+        replicas: Sequence[tuple],
+        config: RunnerConfig | None = None,
+        resume: bool = False,
     ) -> None:
-        """Replay the warm-up month with self-selected completions.
+        if not replicas:
+            raise ValueError("VectorizedRunner requires at least one replica")
+        self.config = config if config is not None else RunnerConfig()
+        self.resume = resume
+        self._replicas: list[tuple[CrowdDataset, ArrangementPolicy, Path | None]] = []
+        for replica in replicas:
+            if len(replica) == 2:
+                dataset, policy = replica
+                checkpoint_path = None
+            else:
+                dataset, policy, checkpoint_path = replica
+            self._replicas.append((dataset, policy, checkpoint_path))
 
-        Workers browse the pool in their own preferred order (they picked
-        tasks themselves before the recommender existed); the policy observes
-        these interactions so that, like in the paper, the first month
-        initialises both the features and the learning model.  With
-        ``observe=False`` the platform still evolves identically (pool,
-        features, qualities) but the policy sees nothing — used by the
-        decision-only replay, which must not train the frozen policy.
-        """
-        observed = 0
-        limit = self.config.max_warmup_observations
-        for context in platform.replay(warm_trace):
-            if not context.available_tasks:
-                continue
-            preferred = behavior.preferred_order(context.worker, context.available_tasks)
-            feedback = platform.submit_list(context, preferred)
-            if observe and self.config.learn_from_warmup and (limit is None or observed < limit):
-                policy.observe_feedback(context, preferred, feedback)
-                observed += 1
+    @property
+    def policies(self) -> list[ArrangementPolicy]:
+        return [policy for _, policy, _ in self._replicas]
 
-    def _bootstrap_features(self, platform: CrowdsourcingPlatform, tasks) -> None:
-        """Initialise worker features from the dataset's bootstrap completions."""
-        for worker_id, task_ids in self.dataset.bootstrap_completions.items():
-            bootstrap_tasks = [tasks[task_id] for task_id in task_ids if task_id in tasks]
-            if bootstrap_tasks:
-                platform.feature_tracker.bootstrap(worker_id, bootstrap_tasks)
+    def run(self) -> list[EvaluationResult]:
+        """Run all replicas to completion, returning results in replica order."""
+        loops = [
+            _ReplicaRun(dataset, policy, self.config, checkpoint_path, self.resume).loop()
+            for dataset, policy, checkpoint_path in self._replicas
+        ]
+        policies = self.policies
+        lockstep = VectorizedPlatform(loops)
+
+        def answer_round(batch):
+            responses: dict[int, object] = {}
+            ranks, observes = partition_requests(batch)
+            fused_ranks = [
+                (index, request)
+                for index, request in ranks
+                if isinstance(policies[index], TaskArrangementFramework)
+            ]
+            if fused_ranks:
+                rankings = decide_lockstep(
+                    [(policies[index], request[1]) for index, request in fused_ranks]
+                )
+                for (index, _), ranking in zip(fused_ranks, rankings):
+                    responses[index] = ranking
+            for index, request in ranks:
+                if index not in responses:
+                    responses[index] = policies[index].rank_tasks(request[1])
+            fused_observes = [
+                (index, request)
+                for index, request in observes
+                if isinstance(policies[index], TaskArrangementFramework)
+            ]
+            if fused_observes:
+                observe_lockstep(
+                    [
+                        (policies[index], request[1], request[2], request[3])
+                        for index, request in fused_observes
+                    ]
+                )
+                for index, _ in fused_observes:
+                    responses[index] = None
+            for index, request in observes:
+                if index not in responses:
+                    _, context, presented, feedback = request
+                    policies[index].observe_feedback(context, presented, feedback)
+                    responses[index] = None
+            return responses
+
+        return lockstep.run(answer_round)  # type: ignore[return-value]
 
 
 def evaluate_policy(

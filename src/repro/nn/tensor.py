@@ -207,13 +207,20 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, fresh: bool = False) -> None:
         """Add ``grad`` into this tensor's gradient buffer.
 
         The first accumulation copies ``grad`` into an owned, writable buffer
         so that later contributions can be added in-place — the backward pass
         calls this in a hot loop, and avoiding a fresh allocation per
         accumulation is measurable on large graphs.
+
+        ``fresh=True`` promises that ``grad`` is a newly allocated array the
+        caller will not reuse (most backward closures compute one — e.g.
+        ``grad @ W.T``); the buffer is then *adopted* instead of copied,
+        which removes one full-size allocation per graph node.  Views of
+        other arrays (reshape/transpose/split backward) must keep the
+        default, or a later in-place ``+=`` would corrupt their parent.
         """
         if not self.requires_grad:
             return
@@ -221,6 +228,8 @@ class Tensor:
             if self._grad_view is not None:
                 np.copyto(self._grad_view, grad)
                 self.grad = self._grad_view
+            elif fresh and grad.dtype == self.data.dtype:
+                self.grad = grad
             else:
                 self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
@@ -278,8 +287,10 @@ class Tensor:
         data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.data.shape))
-            other._accumulate(_unbroadcast(grad, other.data.shape))
+            grad_self = _unbroadcast(grad, self.data.shape)
+            self._accumulate(grad_self, fresh=grad_self is not grad)
+            grad_other = _unbroadcast(grad, other.data.shape)
+            other._accumulate(grad_other, fresh=grad_other is not grad)
 
         return self._make_child(data, (self, other), backward)
 
@@ -287,7 +298,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            self._accumulate(-grad, fresh=True)
 
         return self._make_child(-self.data, (self,), backward)
 
@@ -296,8 +307,9 @@ class Tensor:
         data = self.data - other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.data.shape))
-            other._accumulate(_unbroadcast(-grad, other.data.shape))
+            grad_self = _unbroadcast(grad, self.data.shape)
+            self._accumulate(grad_self, fresh=grad_self is not grad)
+            other._accumulate(_unbroadcast(-grad, other.data.shape), fresh=True)
 
         return self._make_child(data, (self, other), backward)
 
@@ -309,8 +321,8 @@ class Tensor:
         data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+            self._accumulate(_unbroadcast(grad * other.data, self.data.shape), fresh=True)
+            other._accumulate(_unbroadcast(grad * self.data, other.data.shape), fresh=True)
 
         return self._make_child(data, (self, other), backward)
 
@@ -321,9 +333,10 @@ class Tensor:
         data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+            self._accumulate(_unbroadcast(grad / other.data, self.data.shape), fresh=True)
             other._accumulate(
-                _unbroadcast(-grad * self.data / (other.data**2), other.data.shape)
+                _unbroadcast(-grad * self.data / (other.data**2), other.data.shape),
+                fresh=True,
             )
 
         return self._make_child(data, (self, other), backward)
@@ -337,7 +350,7 @@ class Tensor:
         data = self.data**exponent
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(grad * exponent * self.data ** (exponent - 1), fresh=True)
 
         return self._make_child(data, (self,), backward)
 
@@ -351,13 +364,17 @@ class Tensor:
                     grad_self = np.outer(grad, other.data) if self.data.ndim == 2 else grad * other.data
                 else:
                     grad_self = grad @ np.swapaxes(other.data, -1, -2)
-                self._accumulate(_unbroadcast(np.asarray(grad_self), self.data.shape))
+                self._accumulate(
+                    _unbroadcast(np.asarray(grad_self), self.data.shape), fresh=True
+                )
             if other.requires_grad:
                 if self.data.ndim == 1:
                     grad_other = np.outer(self.data, grad) if other.data.ndim == 2 else self.data * grad
                 else:
                     grad_other = np.swapaxes(self.data, -1, -2) @ grad
-                other._accumulate(_unbroadcast(np.asarray(grad_other), other.data.shape))
+                other._accumulate(
+                    _unbroadcast(np.asarray(grad_other), other.data.shape), fresh=True
+                )
 
         return self._make_child(data, (self, other), backward)
 
@@ -371,7 +388,7 @@ class Tensor:
             expanded = grad
             if axis is not None and not keepdims:
                 expanded = np.expand_dims(grad, axis=axis)
-            self._accumulate(np.broadcast_to(expanded, self.data.shape).copy())
+            self._accumulate(np.broadcast_to(expanded, self.data.shape).copy(), fresh=True)
 
         return self._make_child(data, (self,), backward)
 
@@ -393,7 +410,7 @@ class Tensor:
             mask = (self.data == max_vals).astype(self.data.dtype)
             # Split gradient equally between ties to keep backward deterministic.
             normaliser = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask / np.maximum(normaliser, 1.0) * expanded)
+            self._accumulate(mask / np.maximum(normaliser, 1.0) * expanded, fresh=True)
 
         return self._make_child(data, (self,), backward)
 
@@ -442,7 +459,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
-            self._accumulate(full)
+            self._accumulate(full, fresh=True)
 
         return self._make_child(data, (self,), backward)
 
@@ -509,7 +526,7 @@ class Tensor:
         data = np.maximum(self.data, 0.0)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (self.data > 0.0))
+            self._accumulate(grad * (self.data > 0.0), fresh=True)
 
         return self._make_child(data, (self,), backward)
 
@@ -517,7 +534,7 @@ class Tensor:
         data = np.exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data)
+            self._accumulate(grad * data, fresh=True)
 
         return self._make_child(data, (self,), backward)
 
@@ -525,7 +542,7 @@ class Tensor:
         data = np.log(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+            self._accumulate(grad / self.data, fresh=True)
 
         return self._make_child(data, (self,), backward)
 
@@ -533,7 +550,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data**2))
+            self._accumulate(grad * (1.0 - data**2), fresh=True)
 
         return self._make_child(data, (self,), backward)
 
@@ -541,7 +558,7 @@ class Tensor:
         data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data * (1.0 - data))
+            self._accumulate(grad * data * (1.0 - data), fresh=True)
 
         return self._make_child(data, (self,), backward)
 
@@ -553,7 +570,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             # d softmax_i / d x_j = softmax_i (delta_ij - softmax_j)
             dot = (grad * data).sum(axis=axis, keepdims=True)
-            self._accumulate(data * (grad - dot))
+            self._accumulate(data * (grad - dot), fresh=True)
 
         return self._make_child(data, (self,), backward)
 
@@ -594,6 +611,6 @@ class Tensor:
         data = np.where(mask, value, self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(np.where(mask, 0.0, grad))
+            self._accumulate(np.where(mask, 0.0, grad), fresh=True)
 
         return self._make_child(data, (self,), backward)

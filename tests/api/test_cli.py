@@ -162,3 +162,36 @@ def test_cli_bench_endtoend_suite_only(tmp_path):
     report = json.loads(output.read_text())
     assert "ddqn-float32" in report["policies"]
     assert report["decision_path"]["batched_speedup"] > 0
+
+
+def test_cli_run_vectorize_matches_serial(tmp_path):
+    serial_out = tmp_path / "serial.json"
+    vector_out = tmp_path / "vector.json"
+    serial = run_cli("run", str(TINY_SPEC), "--output", str(serial_out))
+    assert serial.returncode == 0, serial.stderr
+    vectorized = run_cli(
+        "run", str(TINY_SPEC), "--vectorize", "2", "--output", str(vector_out)
+    )
+    assert vectorized.returncode == 0, vectorized.stderr
+    serial_doc = json.loads(serial_out.read_text())
+    vector_doc = json.loads(vector_out.read_text())
+    for label, row in serial_doc["results"].items():
+        for key, value in row.items():
+            if key.startswith("mean_"):
+                continue  # timing noise
+            assert vector_doc["results"][label][key] == value, (label, key)
+
+
+def test_cli_sweep_run_vectorized(tmp_path):
+    sweep_dir = tmp_path / "sweep-vec"
+    completed = run_cli(
+        "sweep",
+        "run",
+        str(REPO_ROOT / "examples" / "specs" / "ci_sweep.json"),
+        "--dir",
+        str(sweep_dir),
+        "--vectorize",
+        "2",
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert (sweep_dir / "results.json").exists()

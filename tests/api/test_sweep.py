@@ -279,3 +279,65 @@ class TestSweepDatasetCache:
             assert row["CR"] == result.cr.final
             assert row["arrivals"] == result.arrivals
         assert aggregate["cells"]
+
+
+class TestVectorizedSweep:
+    """``vectorize``: seed-replicate cells fused into lockstep runs."""
+
+    def ddqn_sweep(self) -> SweepSpec:
+        base = ExperimentSpec(
+            name="vec-cell",
+            dataset=DatasetSpec(scale=0.03, num_months=2, seed=1),
+            runner=RunnerConfig(seed=0, max_arrivals=12, max_warmup_observations=10),
+            policies=[
+                PolicySpec("random", {"seed": 0}),
+                PolicySpec(
+                    "ddqn-worker",
+                    {
+                        "hidden_dim": 8,
+                        "num_heads": 2,
+                        "batch_size": 4,
+                        "seed": 0,
+                        "max_tasks": 12,
+                    },
+                ),
+            ],
+        )
+        return SweepSpec(
+            name="vec-sweep",
+            base=base,
+            axes=[SweepAxis(target="dataset", key="seed", values=[1, 2, 3])],
+            replicate_axis="dataset.seed",
+        )
+
+    def test_vectorized_sweep_matches_serial_sweep(self, tmp_path):
+        serial = run_sweep(self.ddqn_sweep(), tmp_path / "serial")
+        vectorized = run_sweep(self.ddqn_sweep(), tmp_path / "vector", vectorize=3)
+        # Aggregates exclude timing fields, so this is exact float equality
+        # of every measure of every cell group.
+        assert vectorized == serial
+
+    def test_vectorized_sweep_documents_match_cellwise(self, tmp_path):
+        run_sweep(self.ddqn_sweep(), tmp_path / "serial")
+        run_sweep(self.ddqn_sweep(), tmp_path / "vector", vectorize=2)
+        for cell in self.ddqn_sweep().expand():
+            serial_doc = json.loads(
+                (tmp_path / "serial" / "cells" / f"{cell.cell_id}.json").read_text()
+            )
+            vector_doc = json.loads(
+                (tmp_path / "vector" / "cells" / f"{cell.cell_id}.json").read_text()
+            )
+            for label, row in serial_doc["results"].items():
+                for key, value in row.items():
+                    if key.startswith("mean_"):
+                        continue  # timing noise
+                    assert vector_doc["results"][label][key] == value, (label, key)
+
+    def test_vectorized_sweep_runs_on_a_worker_pool(self, tmp_path):
+        serial = run_sweep(self.ddqn_sweep(), tmp_path / "serial")
+        pooled = run_sweep(self.ddqn_sweep(), tmp_path / "pool", workers=2, vectorize=2)
+        assert pooled == serial
+
+    def test_invalid_vectorize_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="vectorize"):
+            SweepRunner(self.ddqn_sweep(), tmp_path / "bad", vectorize=0)

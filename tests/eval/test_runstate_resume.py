@@ -1,0 +1,174 @@
+"""Intra-cell resume: a killed run fast-forwards instead of redoing arrivals.
+
+Auto-checkpointing writes a ``<stem>.runstate.npz`` sidecar next to each
+policy checkpoint: the full platform state, metric trackers, loop counters
+and trace cursor.  ``SimulationRunner.run(..., resume=True)`` restores all of
+it and skips the already-applied events, so the continued run is
+bit-identical to one that was never interrupted — the property a killed
+sweep cell relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import build_policy
+from repro.datasets import generate_crowdspring
+from repro.eval import (
+    RunnerConfig,
+    SimulationRunner,
+    VectorizedRunner,
+    runstate_path,
+)
+from repro.eval.metrics import RequesterBenefitTracker, WorkerBenefitTracker
+from tests.eval.test_determinism import assert_results_identical
+
+TINY_DDQN = {"hidden_dim": 8, "num_heads": 2, "batch_size": 4, "seed": 0, "max_tasks": 12}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_crowdspring(scale=0.03, num_months=2, seed=1)
+
+
+def config(max_arrivals, checkpoint_every=10):
+    return RunnerConfig(
+        seed=0,
+        max_arrivals=max_arrivals,
+        max_warmup_observations=12,
+        checkpoint_every=checkpoint_every,
+    )
+
+
+class TestRunstateResume:
+    def test_interrupted_run_resumes_bit_identically(self, dataset, tmp_path):
+        path = tmp_path / "full" / "ddqn.npz"
+        uninterrupted = SimulationRunner(dataset, config(40)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN), checkpoint_path=path
+        )
+
+        # "Kill" a second run at 30 arrivals, then resume it to 40 with a
+        # fresh process-like policy object.
+        resumed_path = tmp_path / "resumed" / "ddqn.npz"
+        SimulationRunner(dataset, config(30)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN), checkpoint_path=resumed_path
+        )
+        assert runstate_path(resumed_path).exists()
+        resumed = SimulationRunner(dataset, config(40)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN),
+            checkpoint_path=resumed_path,
+            resume=True,
+        )
+        assert_results_identical(uninterrupted, resumed)
+
+    def test_resume_skips_finished_arrivals(self, dataset, tmp_path):
+        """A resume at the target arrival count does no further simulation."""
+        path = tmp_path / "done.npz"
+        finished = SimulationRunner(dataset, config(20)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN), checkpoint_path=path
+        )
+        resumed = SimulationRunner(dataset, config(20)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN),
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert_results_identical(finished, resumed)
+
+    def test_resume_without_sidecar_starts_fresh(self, dataset, tmp_path):
+        path = tmp_path / "fresh.npz"
+        baseline = SimulationRunner(dataset, config(15)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN)
+        )
+        result = SimulationRunner(dataset, config(15)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN),
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert_results_identical(baseline, result)
+
+    def test_resume_with_different_config_is_rejected(self, dataset, tmp_path):
+        path = tmp_path / "cfg.npz"
+        SimulationRunner(dataset, config(15)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN), checkpoint_path=path
+        )
+        other = build_policy("ddqn-worker", dataset, **dict(TINY_DDQN, hidden_dim=16))
+        with pytest.raises(ValueError, match="different framework config"):
+            SimulationRunner(dataset, config(20)).run(
+                other, checkpoint_path=path, resume=True
+            )
+
+    def test_baselines_never_write_runstate(self, dataset, tmp_path):
+        path = tmp_path / "random.npz"
+        SimulationRunner(dataset, config(10, checkpoint_every=2)).run(
+            build_policy("random", dataset, seed=0), checkpoint_path=path
+        )
+        assert not path.exists()
+        assert not runstate_path(path).exists()
+
+    def test_vectorized_run_resumes_bit_identically(self, dataset, tmp_path):
+        uninterrupted = SimulationRunner(dataset, config(40)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN)
+        )
+        path = tmp_path / "vector" / "ddqn.npz"
+        VectorizedRunner(
+            [(dataset, build_policy("ddqn-worker", dataset, **TINY_DDQN), path)],
+            config(30),
+        ).run()
+        [resumed] = VectorizedRunner(
+            [(dataset, build_policy("ddqn-worker", dataset, **TINY_DDQN), path)],
+            config(40),
+            resume=True,
+        ).run()
+        assert_results_identical(uninterrupted, resumed)
+
+
+class TestStateDictRoundTrips:
+    def test_platform_state_round_trips(self, dataset):
+        from repro.eval.runner import _build_platform
+
+        runner_config = RunnerConfig(seed=0)
+        platform, behavior = _build_platform(dataset, runner_config)
+        warm, online = dataset.trace.split_warmup(dataset.warmup_end)
+        platform.warm_up(warm)
+        for context in platform.replay(online.between(online.start_time, online.start_time + 3000)):
+            if context.available_tasks:
+                platform.submit_list(context, [task.task_id for task in context.available_tasks])
+        state = platform.state_dict()
+
+        fresh, _ = _build_platform(dataset, runner_config)
+        fresh.load_state_dict(state)
+        assert fresh.current_time == platform.current_time
+        assert sorted(fresh._available) == sorted(platform._available)
+        assert fresh.statistics.arrivals == platform.statistics.arrivals
+        assert fresh.statistics.completions == platform.statistics.completions
+        assert fresh.rng.bit_generator.state == platform.rng.bit_generator.state
+        for task_id, task in platform.tasks.items():
+            clone = fresh.tasks[task_id]
+            assert clone.quality == task.quality
+            assert [c.worker_id for c in clone.completions] == [
+                c.worker_id for c in task.completions
+            ]
+        for worker_id, worker in platform.workers.items():
+            clone = fresh.workers[worker_id]
+            assert clone.history == worker.history
+            assert clone.arrival_count == worker.arrival_count
+            assert (clone.last_arrival is None) == (worker.last_arrival is None)
+        for worker_id in platform.feature_tracker.known_workers():
+            assert np.array_equal(
+                fresh.feature_tracker.features_of(worker_id),
+                platform.feature_tracker.features_of(worker_id),
+            )
+
+    def test_metric_trackers_round_trip(self):
+        worker = WorkerBenefitTracker(k=3)
+        requester = RequesterBenefitTracker(k=3)
+        for month, rank, gain in ((0, 0, 0.5), (0, None, 0.0), (1, 2, 1.25), (2, 1, 0.75)):
+            worker.record(month, rank)
+            requester.record(month, rank, gain)
+        worker_clone = WorkerBenefitTracker(k=3)
+        worker_clone.load_state_dict(worker.state_dict())
+        requester_clone = RequesterBenefitTracker(k=3)
+        requester_clone.load_state_dict(requester.state_dict())
+        assert worker_clone.completion_rate().monthly == worker.completion_rate().monthly
+        assert worker_clone.ndcg_completion_rate().final == worker.ndcg_completion_rate().final
+        assert requester_clone.quality_gain().monthly == requester.quality_gain().monthly
+        assert requester_clone.top_k_quality_gain().final == requester.top_k_quality_gain().final
