@@ -43,6 +43,7 @@ import numpy as np
 from repro.api import build_policy
 from repro.eval import RunnerConfig, SimulationRunner
 from repro.datasets import generate_crowdspring
+from repro.nn import threads as nn_threads
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_endtoend.json"
 
@@ -275,7 +276,75 @@ def measure_multi_replica(config: EndToEndConfig) -> dict:
     }
 
 
-def run(config: EndToEndConfig) -> dict:
+class _DecisionTimer:
+    """Transparent policy proxy that times every ``rank_tasks`` call.
+
+    The runner's ``mean_decision_seconds`` collapses the latency distribution
+    to one number; the async comparison needs the tail (a decision stalls
+    only when it waits on the trainer), so this wrapper records the
+    per-arrival samples and delegates everything else untouched.
+    """
+
+    def __init__(self, policy) -> None:
+        self._policy = policy
+        self.samples: list[float] = []
+
+    def __getattr__(self, name: str):
+        return getattr(self._policy, name)
+
+    def rank_tasks(self, context):
+        started = time.perf_counter()
+        ranked = self._policy.rank_tasks(context)
+        self.samples.append(time.perf_counter() - started)
+        return ranked
+
+
+def measure_async(config: EndToEndConfig, runner: SimulationRunner) -> dict:
+    """Sync vs async DDQN training through the same online loop.
+
+    Both rows run the float32 network (the serial float32 row is the
+    acceptance baseline); the async row moves train steps to the background
+    trainer thread, so its inline ``update_ms`` collapses and the cost shows
+    up as trainer-thread utilisation instead — hence the split timers:
+    decision latency percentiles from the per-arrival samples, trainer
+    occupancy from :meth:`repro.core.AsyncTrainer.stats`.
+    """
+    out: dict = {}
+    base_kwargs = {**config.ddqn_kwargs(), "dtype": "float32"}
+    for key, extra in (
+        ("serial_float32", {}),
+        ("async_float32", {"async_training": True}),
+    ):
+        policy = build_policy("ddqn", runner.dataset, **{**base_kwargs, **extra})
+        timer = _DecisionTimer(policy)
+        started = time.perf_counter()
+        result = runner.run(timer)
+        elapsed = time.perf_counter() - started
+        samples = np.asarray(timer.samples, dtype=np.float64) * 1e3
+        row = {
+            "arrivals": result.arrivals,
+            "elapsed_s": elapsed,
+            "arrivals_per_s": result.arrivals / elapsed if elapsed > 0 else float("inf"),
+            "decision_ms_mean": float(samples.mean()) if samples.size else 0.0,
+            "decision_ms_p50": float(np.percentile(samples, 50)) if samples.size else 0.0,
+            "decision_ms_p99": float(np.percentile(samples, 99)) if samples.size else 0.0,
+            "inline_update_ms": result.mean_update_seconds * 1e3,
+            "kwargs": {**base_kwargs, **extra},
+        }
+        trainer_stats = policy.trainer.stats()
+        if trainer_stats:
+            row["trainer"] = trainer_stats
+        policy.trainer.close()
+        out[key] = row
+    serial_rate = out["serial_float32"]["arrivals_per_s"]
+    if serial_rate:
+        out["speedup_vs_serial_float32"] = (
+            out["async_float32"]["arrivals_per_s"] / serial_rate
+        )
+    return out
+
+
+def run(config: EndToEndConfig, include_async: bool = False) -> dict:
     dataset = generate_crowdspring(
         scale=config.scale, num_months=config.num_months, seed=config.dataset_seed
     )
@@ -301,18 +370,22 @@ def run(config: EndToEndConfig) -> dict:
         )
     )
 
-    return {
+    report = {
         "benchmark": "end-to-end arrivals/sec",
         "config": asdict(config),
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "threads": nn_threads.thread_info(),
         },
         "policies": {row.label: asdict(row) for row in rows},
         "decision_path": measure_decision_path(config, runner),
         "multi_replica": multi_replica,
     }
+    if include_async:
+        report["async_training"] = measure_async(config, runner)
+    return report
 
 
 def render(report: dict) -> str:
@@ -352,6 +425,28 @@ def render(report: dict) -> str:
             f"{multi['vectorized_arrivals_per_s']:>9.1f} arrivals/s"
         )
         lines.append(f"  aggregate multiplier: {multi['multiplier']:.2f}x (bit-identical results)")
+    asynchronous = report.get("async_training")
+    if asynchronous:
+        lines.append("")
+        lines.append("ddqn async training (snapshot decisions + background trainer):")
+        for key in ("serial_float32", "async_float32"):
+            row = asynchronous[key]
+            trainer = row.get("trainer", {})
+            occupancy = (
+                f"  trainer util {trainer['utilisation']:.2f} "
+                f"({trainer['train_steps']} steps, {trainer['skipped_steps']} amortised)"
+                if trainer
+                else ""
+            )
+            lines.append(
+                f"  {key:<16} {row['arrivals']:>6} arrivals  "
+                f"{row['arrivals_per_s']:>8.1f} arrivals/s  "
+                f"decision p50 {row['decision_ms_p50']:.2f}ms "
+                f"p99 {row['decision_ms_p99']:.2f}ms{occupancy}"
+            )
+        speedup = asynchronous.get("speedup_vs_serial_float32")
+        if speedup:
+            lines.append(f"  async speedup vs serial float32: {speedup:.2f}x")
     return "\n".join(lines)
 
 
@@ -372,15 +467,32 @@ def main(argv: list[str] | None = None) -> dict:
         default=DEFAULT_OUTPUT,
         help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
     )
+    parser.add_argument(
+        "--async",
+        dest="async_training",
+        action="store_true",
+        help="also measure asynchronous DDQN training (sync vs async arrivals/s, "
+        "decision p50/p99, trainer utilisation)",
+    )
+    parser.add_argument(
+        "--blas-threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pin the BLAS thread-pool size for the run "
+        "(recorded in the report's environment block)",
+    )
     args = parser.parse_args(argv)
 
+    if args.blas_threads is not None and not nn_threads.set_num_threads(args.blas_threads):
+        print("warning: BLAS runtime is not controllable; --blas-threads ignored")
     if args.quick:
         config = EndToEndConfig.quick()
     elif args.preset == "paper":
         config = EndToEndConfig.paper()
     else:
         config = EndToEndConfig()
-    report = run(config)
+    report = run(config, include_async=args.async_training)
     report["mode"] = "quick" if args.quick else args.preset
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(render(report))

@@ -44,6 +44,7 @@ from repro.core import (
 )
 from repro.crowd import FeatureSchema
 from repro.nn import Adam, Tensor
+from repro.nn import threads as nn_threads
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_engine.json"
 
@@ -453,6 +454,7 @@ def run(config: BenchConfig, dtypes: list[str] | None = None) -> dict:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "threads": nn_threads.thread_info(),
         },
         "results": results,
         "dtypes": bench_dtype_axis(config, schema, transformer, dtypes),
@@ -504,8 +506,18 @@ def main(argv: list[str] | None = None) -> dict:
         help="precisions for the per-dtype forward/train_step axis "
         "(default: both, so the report records the float32 speedup)",
     )
+    parser.add_argument(
+        "--blas-threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pin the BLAS thread-pool size for the run "
+        "(recorded in the report's environment block)",
+    )
     args = parser.parse_args(argv)
 
+    if args.blas_threads is not None and not nn_threads.set_num_threads(args.blas_threads):
+        print("warning: BLAS runtime is not controllable; --blas-threads ignored")
     config = BenchConfig.quick() if args.quick else BenchConfig()
     report = run(config, dtypes=args.dtype)
     report["mode"] = "quick" if args.quick else "full"

@@ -53,9 +53,29 @@ def _report(spec: ExperimentSpec, results: dict[str, EvaluationResult], output: 
 # --------------------------------------------------------------------- #
 # Subcommands
 # --------------------------------------------------------------------- #
+#: Registry names whose builders accept ``async_training`` (the DDQN family).
+_ASYNC_POLICIES = ("ddqn", "ddqn-worker", "ddqn-requester")
+
+
+def _enable_async(spec: ExperimentSpec) -> None:
+    """Switch every DDQN-family policy of ``spec`` to asynchronous training."""
+    touched = 0
+    for entry in spec.policies:
+        if entry.policy in _ASYNC_POLICIES:
+            entry.kwargs = {**entry.kwargs, "async_training": True}
+            touched += 1
+    if not touched:
+        raise SystemExit(
+            f"--async applies to the DDQN family {list(_ASYNC_POLICIES)} but the "
+            f"spec lists none ({[entry.policy for entry in spec.policies]})"
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(args.spec)
-    results = run_spec(spec, vectorize=args.vectorize)
+    if args.async_training:
+        _enable_async(spec)
+    results = run_spec(spec, vectorize=args.vectorize, cell_threads=args.cell_threads)
     _report(spec, results, args.output)
     return 0
 
@@ -121,14 +141,26 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     spec = SweepSpec.load(args.spec)
     directory = args.dir if args.dir is not None else Path("sweeps") / spec.name
     return _run_sweep_runner(
-        SweepRunner(spec, directory, workers=args.workers, vectorize=args.vectorize)
+        SweepRunner(
+            spec,
+            directory,
+            workers=args.workers,
+            vectorize=args.vectorize,
+            cell_threads=args.cell_threads,
+        )
     )
 
 
 def _cmd_sweep_resume(args: argparse.Namespace) -> int:
     spec = SweepSpec.load(Path(args.dir) / "sweep.json")
     return _run_sweep_runner(
-        SweepRunner(spec, args.dir, workers=args.workers, vectorize=args.vectorize)
+        SweepRunner(
+            spec,
+            args.dir,
+            workers=args.workers,
+            vectorize=args.vectorize,
+            cell_threads=args.cell_threads,
+        )
     )
 
 
@@ -168,6 +200,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         return 2
     common: list[str] = ["--quick"] if args.quick else []
+    if args.blas_threads is not None:
+        common.extend(["--blas-threads", str(args.blas_threads)])
     if args.suite in ("engine", "all"):
         forwarded = list(common)
         if args.output is not None:
@@ -175,6 +209,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         engine_main(forwarded)
     if args.suite in ("endtoend", "all"):
         forwarded = list(common)
+        forwarded.extend(["--preset", args.preset])
+        if args.async_training:
+            forwarded.append("--async")
         if args.output is not None:
             # With --suite all, --output names the engine report; the
             # end-to-end report lands next to it as <stem>.endtoend.json.
@@ -210,6 +247,21 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run the spec's policies lockstep in episode-vectorized groups of N "
         "(results identical to the serial run)",
+    )
+    run_parser.add_argument(
+        "--async",
+        dest="async_training",
+        action="store_true",
+        help="train the spec's DDQN policies asynchronously (decisions on a "
+        "snapshot network, train steps on a background thread)",
+    )
+    run_parser.add_argument(
+        "--cell-threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run up to N of the spec's policies on concurrent threads "
+        "(results float-identical to the serial run)",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -270,6 +322,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fuse seed-replicate cells into lockstep episode-vectorized runs of "
         "width N (results identical to the serial sweep)",
     )
+    sweep_run.add_argument(
+        "--cell-threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan each cell's policies out over up to N threads "
+        "(results float-identical to the serial sweep)",
+    )
     sweep_run.set_defaults(func=_cmd_sweep_run)
 
     sweep_resume = sweep_sub.add_parser(
@@ -278,6 +338,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_resume.add_argument("dir", type=Path, help="sweep directory holding sweep.json")
     sweep_resume.add_argument("--workers", type=int, default=1)
     sweep_resume.add_argument("--vectorize", type=int, default=None, metavar="N")
+    sweep_resume.add_argument("--cell-threads", type=int, default=None, metavar="N")
     sweep_resume.set_defaults(func=_cmd_sweep_resume)
 
     sweep_status = sweep_sub.add_parser(
@@ -298,6 +359,27 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("engine", "endtoend", "all"),
         default="all",
         help="which harness to run (default: both)",
+    )
+    bench_parser.add_argument(
+        "--preset",
+        choices=("ci", "paper"),
+        default="ci",
+        help="end-to-end trace volume / network width (ignored by --suite engine)",
+    )
+    bench_parser.add_argument(
+        "--async",
+        dest="async_training",
+        action="store_true",
+        help="also measure the asynchronous DDQN trainer in the end-to-end suite "
+        "(sync vs async arrivals/s, decision p50/p99, trainer utilisation)",
+    )
+    bench_parser.add_argument(
+        "--blas-threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pin the BLAS thread-pool size for both harnesses "
+        "(recorded in the reports' environment blocks)",
     )
     bench_parser.add_argument(
         "--output",

@@ -10,12 +10,13 @@ from .framework import (
     migrate_config_tree,
 )
 from .stacked import StackedForward, stack_signature, stackable
+from .trainer import AsyncTrainer, SnapshotNetwork, SyncTrainer, TrainerLoop
 from .vectorized import decide_lockstep, fused_q_values, fused_train_steps, observe_lockstep
 from .interfaces import ArrangementPolicy
 from .learner import DoubleDQNLearner, TrainStepReport
 from .predictor import FutureStatePredictorR, FutureStatePredictorW, expiry_branches
 from .qnetwork import SetQNetwork, pad_state_batch
-from .replay import PrioritizedReplayMemory, ReplayMemory, SumTree, Transition
+from .replay import PrioritizedReplayMemory, ReplayMemory, SumTree, Transition, sample_fused
 from .state import StateMatrix, StateTransformer, pack_state_matrices, unpack_state_matrices
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "PrioritizedReplayMemory",
     "SumTree",
     "Transition",
+    "sample_fused",
     "FutureStatePredictorW",
     "FutureStatePredictorR",
     "expiry_branches",
@@ -47,6 +49,10 @@ __all__ = [
     "StackedForward",
     "stack_signature",
     "stackable",
+    "TrainerLoop",
+    "SyncTrainer",
+    "AsyncTrainer",
+    "SnapshotNetwork",
     "decide_lockstep",
     "observe_lockstep",
     "fused_train_steps",

@@ -48,6 +48,11 @@ class AgentConfig:
     #: Compute precision of the Q-networks ("float64" keeps the historical
     #: bit-exact behaviour; "float32" roughly halves GEMM time).
     dtype: str = "float64"
+    #: When True the agent is driven by an external :class:`TrainerLoop`
+    #: (background trainer thread): :meth:`DQNAgent.store_and_train` only
+    #: stores, so no inline path can accidentally train on the decision
+    #: thread while the trainer owns the optimiser.
+    async_training: bool = False
     seed: int = 0
 
 
@@ -122,9 +127,13 @@ class DQNAgent:
             self.diagnostics.losses.append(report.loss)
 
     def store_and_train(self, transition: Transition) -> TrainStepReport | None:
-        """Store a transition and train when the cadence and buffer allow it."""
+        """Store a transition and train when the cadence and buffer allow it.
+
+        With ``config.async_training`` the gradient step belongs to the
+        background trainer thread — this method degrades to a pure store.
+        """
         self.store(transition)
-        if not self.should_train():
+        if self.config.async_training or not self.should_train():
             return None
         report = self.learner.train_step(self.memory)
         self.record_report(report)

@@ -34,6 +34,7 @@ from .interfaces import ArrangementPolicy
 from .predictor import FutureStatePredictorR, FutureStatePredictorW
 from .replay import Transition
 from .state import StateMatrix, StateTransformer
+from .trainer import AsyncTrainer, SyncTrainer, TrainerLoop
 
 __all__ = [
     "FrameworkConfig",
@@ -117,6 +118,24 @@ class FrameworkConfig:
     target_sync_interval: int = 100
     train_interval: int = 1
     prioritized_replay: bool = True
+    #: Decouple training from decisions (ROADMAP item 2): decisions run on a
+    #: frozen snapshot network while a background trainer thread executes the
+    #: training plans and publishes parameters back as one contiguous copy of
+    #: the optimiser's flat buffer.  Not bit-identical to inline training —
+    #: see ``async_handoff_lag`` for the reproducibility contract.
+    async_training: bool = False
+    #: Bound on queued-but-unconsumed training plans (free-running mode
+    #: blocks the producer when full; the trainer drains in bulk).
+    async_queue_size: int = 64
+    #: Publish parameters to the decision snapshot every N train steps.
+    async_publish_interval: int = 1
+    #: ``None`` free-runs the trainer (maximum throughput, reproducible only
+    #: in distribution).  An integer ``L`` pins the handoff schedule: before
+    #: decision *k* the trainer has consumed exactly the plans of arrivals
+    #: ≤ *k − L*, each with full serial train semantics — two runs of the
+    #: same spec are then bit-identical to each other (seeded-queue
+    #: determinism), at the cost of the decision path waiting on training.
+    async_handoff_lag: int | None = None
     #: Future-state branching caps for the two predictors.
     max_future_branches_worker: int = 4
     max_future_branches_requester: int = 3
@@ -184,6 +203,11 @@ class TaskArrangementFramework(ArrangementPolicy):
 
     def _build_components(self) -> None:
         config = self.config
+        # Rebuilding (reset / restore) replaces the trainer: stop any
+        # background thread owned by the previous component generation first.
+        existing = getattr(self, "trainer", None)
+        if existing is not None:
+            existing.close()
         self.transformer_w = StateTransformer(
             self.schema,
             include_quality=False,
@@ -208,6 +232,7 @@ class TaskArrangementFramework(ArrangementPolicy):
             target_sync_interval=config.target_sync_interval,
             train_interval=config.train_interval,
             prioritized_replay=config.prioritized_replay,
+            async_training=config.async_training,
             seed=config.seed,
         )
         self.agent_w = (
@@ -249,6 +274,18 @@ class TaskArrangementFramework(ArrangementPolicy):
         self._worker_qualities: dict[int, float] = {}
         self._pending: dict[tuple[float, int], _PendingDecision] = {}
 
+        agents = [agent for agent in (self.agent_w, self.agent_r) if agent is not None]
+        self.trainer: TrainerLoop = (
+            AsyncTrainer(
+                agents,
+                queue_size=config.async_queue_size,
+                publish_interval=config.async_publish_interval,
+                handoff_lag=config.async_handoff_lag,
+            )
+            if config.async_training
+            else SyncTrainer()
+        )
+
     # ------------------------------------------------------------------ #
     # ArrangementPolicy API
     # ------------------------------------------------------------------ #
@@ -256,9 +293,14 @@ class TaskArrangementFramework(ArrangementPolicy):
         """Score the pool with both Q-networks and return the ranked task ids."""
         if not context.available_tasks:
             return []
+        self.trainer.before_decision()
         state_w, state_r = self._build_states(context)
-        worker_q = self.agent_w.q_values(state_w) if self.agent_w is not None else None
-        requester_q = self.agent_r.q_values(state_r) if self.agent_r is not None else None
+        worker_q = (
+            self.trainer.q_values(self.agent_w, state_w) if self.agent_w is not None else None
+        )
+        requester_q = (
+            self.trainer.q_values(self.agent_r, state_r) if self.agent_r is not None else None
+        )
         return self._decide(context, state_w, state_r, worker_q, requester_q)
 
     def rank_tasks_batch(self, contexts) -> list[list[int]]:
@@ -277,14 +319,15 @@ class TaskArrangementFramework(ArrangementPolicy):
         scored = [i for i, context in enumerate(contexts) if context.available_tasks]
         if not scored:
             return rankings
+        self.trainer.before_decision()
         states = [self._build_states(contexts[i]) for i in scored]
         worker_qs = (
-            self.agent_w.q_values_batch([state_w for state_w, _ in states])
+            self.trainer.q_values_batch(self.agent_w, [state_w for state_w, _ in states])
             if self.agent_w is not None
             else [None] * len(states)
         )
         requester_qs = (
-            self.agent_r.q_values_batch([state_r for _, state_r in states])
+            self.trainer.q_values_batch(self.agent_r, [state_r for _, state_r in states])
             if self.agent_r is not None
             else [None] * len(states)
         )
@@ -325,10 +368,17 @@ class TaskArrangementFramework(ArrangementPolicy):
     def observe_feedback(
         self, context: ArrivalContext, ranked_task_ids: list[int], feedback: Feedback
     ) -> None:
-        """Transform the feedback into transitions, store them and learn."""
-        for agent, transitions in self.build_training_plan(context, ranked_task_ids, feedback):
-            for transition in transitions:
-                agent.store_and_train(transition)
+        """Transform the feedback into transitions, store them and learn.
+
+        The training plan executes through the framework's
+        :class:`~repro.core.trainer.TrainerLoop` — inline for the (default)
+        synchronous trainer, handed to the background thread in async mode.
+        """
+        self.trainer.submit(self.build_training_plan(context, ranked_task_ids, feedback))
+
+    def flush_training(self) -> None:
+        """Execute all outstanding async training plans (no-op when inline)."""
+        self.trainer.drain()
 
     def build_training_plan(
         self, context: ArrivalContext, ranked_task_ids: list[int], feedback: Feedback
@@ -585,6 +635,9 @@ class TaskArrangementFramework(ArrangementPolicy):
             self.agent_w.load_state_dict(state["agent_w"])
         if self.agent_r is not None:
             self.agent_r.load_state_dict(state["agent_r"])
+        # Loaded parameters must reach the decision path: refresh the async
+        # trainer's published buffers and snapshots from the live networks.
+        self.trainer.republish()
 
     def save(self, path: str | Path) -> Path:
         """Write a self-contained checkpoint (config + schema + all state).
@@ -603,7 +656,13 @@ class TaskArrangementFramework(ArrangementPolicy):
         the exact same representation.  Like :meth:`save` this invalidates
         the learners' memoised target Q-vectors, so the live framework and
         any framework restored from the tree keep training bit-identically.
+
+        The trainer is drained first: an async framework checkpoints only
+        after every submitted training plan has been executed, so the tree is
+        exact and resuming from it matches a run that kept going (under the
+        same fixed handoff schedule and checkpoint cadence).
         """
+        self.trainer.drain()
         for agent in (self.agent_w, self.agent_r):
             if agent is not None:
                 agent.learner.invalidate_target_cache()

@@ -73,5 +73,15 @@ class ArrangementPolicy(abc.ABC):
     def end_of_day(self, timestamp: float) -> None:
         """Hook invoked once per simulated day (supervised baselines re-train here)."""
 
+    def flush_training(self) -> None:
+        """Complete any deferred/backgrounded learning (end-of-run barrier).
+
+        The evaluation runner calls this once after the last arrival so that
+        reported results and final checkpoints reflect every observed
+        feedback.  Policies that learn inline need nothing here (the default
+        no-op); the asynchronously-trained DDQN framework drains its
+        background trainer queue.
+        """
+
     def reset(self) -> None:
         """Forget all learned state (used when replaying a fresh trace)."""

@@ -39,7 +39,7 @@ from .agent import DQNAgent
 from .framework import TaskArrangementFramework
 from .learner import DoubleDQNLearner
 from .qnetwork import SetQNetwork, pad_state_batch
-from .replay import Transition
+from .replay import Transition, sample_fused
 from .stacked import StackedForward, stack_signature
 from .state import StateMatrix
 
@@ -340,10 +340,20 @@ def fused_train_steps(agents: Sequence[DQNAgent]) -> None:
     """
     if not agents:
         return
+    # Replay sampling fuses across same-batch-size agents: one stacked
+    # SumTree descent instead of one per memory (bit-identical per memory).
+    by_batch: dict[int, list[DQNAgent]] = {}
+    for agent in agents:
+        by_batch.setdefault(agent.learner.batch_size, []).append(agent)
+    samples: dict[int, tuple] = {}
+    for batch_size, group_agents in by_batch.items():
+        fused = sample_fused([a.memory for a in group_agents], batch_size)
+        for group_agent, sample in zip(group_agents, fused):
+            samples[id(group_agent)] = sample
     jobs: list[_TrainJob] = []
     for agent in agents:
         learner = agent.learner
-        transitions, indices, weights = agent.memory.sample(learner.batch_size)
+        transitions, indices, weights = samples[id(agent)]
         jobs.append(_TrainJob(agent, learner, list(transitions), indices, weights))
 
     _compute_targets(jobs)

@@ -370,6 +370,13 @@ class _ReplicaRun:
             if config.max_arrivals is not None and arrivals >= config.max_arrivals:
                 reached_cap = True
 
+        # End-of-run barrier: asynchronously trained policies drain their
+        # background queue here (a no-op for inline learners), so the final
+        # checkpoint and the returned result reflect every feedback.
+        started = time.perf_counter()
+        policy.flush_training()
+        update_seconds += time.perf_counter() - started
+
         # Final save, unless the last arrival already checkpointed.
         if checkpointing and arrivals and arrivals % config.checkpoint_every != 0:
             self._save_checkpoint(platform, runner_state())
@@ -536,10 +543,14 @@ class VectorizedRunner:
         def answer_round(batch):
             responses: dict[int, object] = {}
             ranks, observes = partition_requests(batch)
+            # Async-trained frameworks are excluded from lockstep fusion: their
+            # decisions and training must route through the trainer loop (the
+            # serial fallback below), not the inline fused store/train path.
             fused_ranks = [
                 (index, request)
                 for index, request in ranks
                 if isinstance(policies[index], TaskArrangementFramework)
+                and not policies[index].config.async_training
             ]
             if fused_ranks:
                 rankings = decide_lockstep(
@@ -554,6 +565,7 @@ class VectorizedRunner:
                 (index, request)
                 for index, request in observes
                 if isinstance(policies[index], TaskArrangementFramework)
+                and not policies[index].config.async_training
             ]
             if fused_observes:
                 observe_lockstep(

@@ -46,6 +46,7 @@ from .serialization import (
     save_state_dict,
 )
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+from .threads import blas_threads, num_threads, set_num_threads, thread_info
 
 __all__ = [
     "Tensor",
@@ -85,4 +86,8 @@ __all__ = [
     "load_state_dict",
     "save_checkpoint",
     "load_checkpoint",
+    "set_num_threads",
+    "num_threads",
+    "blas_threads",
+    "thread_info",
 ]

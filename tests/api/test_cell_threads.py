@@ -1,0 +1,115 @@
+"""Per-policy fan-out inside a cell (``cell_threads``): float-identical.
+
+Every policy run owns its entity copies and RNGs (``fresh_entities`` is a
+pure copy and ``SimulationRunner.run`` builds a fresh per-run state), so
+overlapping a spec's policies on threads changes wall-clock only.  These
+tests pin the float identity for ``run_spec`` and the plumbing through
+``SweepRunner`` job payloads and the CLI flags.
+"""
+
+import pytest
+
+from repro.api import (
+    DatasetSpec,
+    ExperimentSpec,
+    PolicySpec,
+    SweepAxis,
+    SweepSpec,
+    run_spec,
+    run_sweep,
+)
+from repro.api.sweep import SweepRunner
+from repro.datasets import generate_crowdspring
+from repro.eval import RunnerConfig
+from tests.eval.test_determinism import assert_results_identical
+
+TINY_DDQN = {"hidden_dim": 8, "num_heads": 2, "batch_size": 4, "seed": 0, "max_tasks": 12}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_crowdspring(scale=0.03, num_months=2, seed=1)
+
+
+def tiny_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="cell-threads",
+        dataset=DatasetSpec(scale=0.03, num_months=2, seed=1),
+        runner=RunnerConfig(seed=0, max_arrivals=25, max_warmup_observations=12),
+        policies=[
+            PolicySpec("ddqn-worker", dict(TINY_DDQN)),
+            PolicySpec("random", {"seed": 0}),
+            PolicySpec("greedy-cosine", {"objective": "worker"}),
+        ],
+    )
+
+
+class TestRunSpecCellThreads:
+    def test_threaded_results_float_identical_to_serial(self, dataset):
+        serial = run_spec(tiny_spec(), dataset=dataset)
+        threaded = run_spec(tiny_spec(), dataset=dataset, cell_threads=3)
+        assert list(serial) == list(threaded)
+        for label in serial:
+            assert_results_identical(serial[label], threaded[label])
+
+    def test_more_threads_than_policies_is_fine(self, dataset):
+        serial = run_spec(tiny_spec(), dataset=dataset)
+        threaded = run_spec(tiny_spec(), dataset=dataset, cell_threads=16)
+        for label in serial:
+            assert_results_identical(serial[label], threaded[label])
+
+    def test_invalid_cell_threads_rejected(self, dataset):
+        with pytest.raises(ValueError, match="cell_threads"):
+            run_spec(tiny_spec(), dataset=dataset, cell_threads=0)
+
+
+class TestSweepCellThreads:
+    def sweep(self) -> SweepSpec:
+        return SweepSpec(
+            name="cell-threads-sweep",
+            base=tiny_spec(),
+            axes=[SweepAxis(target="dataset", key="seed", values=[1, 2])],
+            replicate_axis="dataset.seed",
+        )
+
+    def test_sweep_aggregate_bit_identical_to_serial(self, tmp_path):
+        serial = run_sweep(self.sweep(), tmp_path / "serial")
+        threaded = run_sweep(self.sweep(), tmp_path / "threaded", cell_threads=3)
+        assert threaded == serial
+
+    def test_runner_plumbs_cell_threads_into_job_payloads(self, tmp_path):
+        runner = SweepRunner(self.sweep(), tmp_path / "sweep", cell_threads=2)
+        jobs = runner._jobs(runner.spec.expand())
+        assert jobs and all(payload["cell_threads"] == 2 for _, payload in jobs)
+        plain = SweepRunner(self.sweep(), tmp_path / "plain")
+        assert all(
+            "cell_threads" not in payload for _, payload in plain._jobs(plain.spec.expand())
+        )
+
+    def test_runner_rejects_invalid_cell_threads(self, tmp_path):
+        with pytest.raises(ValueError, match="cell_threads"):
+            SweepRunner(self.sweep(), tmp_path / "bad", cell_threads=0)
+
+
+class TestCliFlags:
+    def test_run_and_sweep_parsers_accept_cell_threads(self):
+        from repro.api.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args(["run", "spec.json", "--cell-threads", "4"])
+        assert args.cell_threads == 4
+        args = parser.parse_args(["sweep", "run", "grid.json", "--cell-threads", "2"])
+        assert args.cell_threads == 2
+        args = parser.parse_args(["sweep", "resume", "dir", "--cell-threads", "2"])
+        assert args.cell_threads == 2
+
+    def test_bench_parser_accepts_async_and_blas_threads(self):
+        from repro.api.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args(
+            ["bench", "--suite", "endtoend", "--preset", "ci", "--async", "--blas-threads", "2"]
+        )
+        assert args.async_training and args.blas_threads == 2 and args.preset == "ci"
+        args = parser.parse_args(["bench"])
+        assert not args.async_training and args.blas_threads is None
