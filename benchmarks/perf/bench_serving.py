@@ -1,0 +1,301 @@
+"""Serving-layer benchmark: sustained events/sec and rank-latency percentiles.
+
+The harness boots a real :class:`repro.serve.ArrangementServer` (own event
+loop on a background thread, real TCP) and drives it with the bundled load
+generator, twice over:
+
+* the **CI acceptance row** replays the bundled ``examples/specs/serve_ci
+  .json`` spec (two tiny sync ddqn-worker tenants) unpaced and records the
+  aggregate events/sec plus two latency views: the server-side rank
+  (decision) percentiles from the /status surface, and the client round
+  trip, which additionally absorbs the synchronous periodic checkpoint
+  writes.  ``--check`` enforces the CI bounds in-process: ≥ 100 events/s
+  aggregate with rank p99 ≤ 50 ms;
+* the **scaling sweep** rebuilds the same tenant shape at several tenant
+  counts, in synchronous and asynchronous training modes, and reports one
+  row per (count, mode) — how aggregate throughput and tail latency move as
+  tenants share the loop, and what moving the gradient work to the
+  :class:`~repro.core.trainer.AsyncTrainer` thread buys.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_serving            # full sweep
+    PYTHONPATH=src python -m benchmarks.perf.bench_serving --quick    # smoke
+    PYTHONPATH=src python -m benchmarks.perf.bench_serving --check    # CI gate
+
+Writes ``BENCH_serving.json`` next to this file (override with
+``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import tempfile
+import threading
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn import threads as nn_threads
+from repro.serve import ArrangementServer, ServeClient, ServeSpec, run_loadgen
+from repro.serve.spec import TenantSpec
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_serving.json"
+CI_SPEC = Path(__file__).resolve().parents[2] / "examples" / "specs" / "serve_ci.json"
+
+#: The CI acceptance bounds (mirrored by the workflow's serving job).
+MIN_EVENTS_PER_S = 100.0
+MAX_P99_MS = 50.0
+
+
+@dataclass
+class ServingConfig:
+    """Tenant shapes and replay volume for the scaling sweep."""
+
+    #: Dataset generation knobs per tenant (tenant i uses seed ``i + 1``).
+    scale: float = 0.03
+    num_months: int = 2
+    #: Tenant counts measured per mode.
+    tenant_counts: tuple[int, ...] = (1, 2, 4)
+    #: Training modes measured per count.
+    modes: tuple[str, ...] = ("sync", "async")
+    #: Events replayed per tenant (None = full online trace).
+    max_events: int | None = 150
+    #: The ddqn-worker shape (serve_ci's tiny configuration).
+    hidden_dim: int = 16
+    num_heads: int = 2
+    batch_size: int = 8
+    train_interval: int = 4
+    checkpoint_every: int = 25
+
+    @classmethod
+    def quick(cls) -> "ServingConfig":
+        return cls(tenant_counts=(1, 2), modes=("sync",), max_events=40)
+
+    def build_spec(self, count: int, mode: str) -> ServeSpec:
+        tenants = []
+        for index in range(count):
+            kwargs = {
+                "hidden_dim": self.hidden_dim,
+                "num_heads": self.num_heads,
+                "batch_size": self.batch_size,
+                "train_interval": self.train_interval,
+                "seed": index,
+            }
+            if mode == "async":
+                kwargs["async_training"] = True
+            tenants.append(
+                TenantSpec.from_dict(
+                    {
+                        "name": f"tenant-{index}",
+                        "dataset": {
+                            "scale": self.scale,
+                            "num_months": self.num_months,
+                            "seed": index + 1,
+                        },
+                        "runner": {"seed": index, "checkpoint_every": self.checkpoint_every},
+                        "policy": {"policy": "ddqn-worker", "kwargs": kwargs},
+                    }
+                )
+            )
+        return ServeSpec(name=f"bench-{mode}-{count}", host="127.0.0.1", port=0, tenants=tenants)
+
+
+class _ServerThread:
+    """A served spec on its own event loop; drained via the shutdown op."""
+
+    def __init__(self, spec: ServeSpec, state_dir: Path, cache_dir: Path) -> None:
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self.address: tuple[str, int] | None = None
+        self._thread = threading.Thread(
+            target=self._run, args=(spec, state_dir, cache_dir), daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=300)
+        if self._error is not None:
+            raise self._error
+        if self.address is None:
+            raise TimeoutError("serving thread did not become ready")
+
+    def _run(self, spec: ServeSpec, state_dir: Path, cache_dir: Path) -> None:
+        async def amain():
+            server = ArrangementServer(spec, state_dir=state_dir, dataset_cache_dir=cache_dir)
+            await server.start()
+            self.address = server.address
+            self._ready.set()
+            await server.run_until_shutdown()
+
+        try:
+            asyncio.run(amain())
+        except BaseException as error:  # noqa: BLE001 - re-raised in join()
+            self._error = error
+            self._ready.set()
+
+    def join(self, timeout: float = 300) -> None:
+        self._thread.join(timeout=timeout)
+        if self._error is not None:
+            raise self._error
+
+
+def _measure_spec(
+    spec: ServeSpec, cache_dir: Path, max_events: int | None, label: str
+) -> dict:
+    """Boot, replay, drain; one throughput/latency row."""
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as state_dir:
+        served = _ServerThread(spec, Path(state_dir), cache_dir)
+        try:
+            report = run_loadgen(
+                spec,
+                port=served.address[1],
+                max_events=max_events,
+                dataset_cache_dir=cache_dir,
+                shutdown=True,
+            )
+        except BaseException:
+            # Best-effort drain so the thread does not outlive the failure.
+            try:
+                with ServeClient(*served.address, timeout=10) as client:
+                    client.request({"op": "shutdown"})
+            except OSError:
+                pass
+            raise
+        finally:
+            served.join()
+    aggregate = report["aggregate"]
+    rtt = aggregate["rank_rtt_ms"]
+    # Two latency views.  ``rank_ms`` is the server-side decision latency
+    # (rank request → ranking, through the batcher) — the /status surface's
+    # decision-latency percentiles, worst tenant.  ``rtt_ms`` is the
+    # client-side round trip, which additionally absorbs the synchronous
+    # periodic checkpoint writes (every ``checkpoint_every`` arrivals the
+    # event loop blocks on an atomic npz save — the durability cost rides
+    # the replay, visible as isolated RTT spikes, not on the rank path).
+    tenant_latencies = [
+        tenant["latency_ms"] for tenant in report["server_status"]["tenants"].values()
+    ]
+    return {
+        "label": label,
+        "tenants": aggregate["tenants"],
+        "events_sent": aggregate["events_sent"],
+        "errors": aggregate["errors"],
+        "elapsed_s": aggregate["elapsed_s"],
+        "events_per_s": aggregate["events_per_s"],
+        "rank_p50_ms": max(t["p50_ms"] for t in tenant_latencies),
+        "rank_p99_ms": max(t["p99_ms"] for t in tenant_latencies),
+        "rank_count": sum(t["count"] for t in tenant_latencies),
+        "rtt_p50_ms": rtt["p50_ms"],
+        "rtt_p99_ms": rtt["p99_ms"],
+        "batching": report["server_status"]["batching"],
+    }
+
+
+def run(config: ServingConfig, cache_dir: Path) -> dict:
+    ci_spec = ServeSpec.load(CI_SPEC)
+    ci_row = _measure_spec(ci_spec, cache_dir, max_events=None, label="serve_ci")
+    ci_row["meets_events_per_s"] = ci_row["events_per_s"] >= MIN_EVENTS_PER_S
+    ci_row["meets_p99"] = ci_row["rank_p99_ms"] <= MAX_P99_MS
+
+    scaling = []
+    for mode in config.modes:
+        for count in config.tenant_counts:
+            spec = config.build_spec(count, mode)
+            row = _measure_spec(
+                spec, cache_dir, config.max_events, label=f"{mode}-x{count}"
+            )
+            row["mode"] = mode
+            scaling.append(row)
+
+    return {
+        "benchmark": "serving events/sec + rank latency",
+        "config": asdict(config),
+        "bounds": {"min_events_per_s": MIN_EVENTS_PER_S, "max_p99_ms": MAX_P99_MS},
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "threads": nn_threads.thread_info(),
+        },
+        "serve_ci": ci_row,
+        "scaling": scaling,
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"{'row':<12} {'tenants':>7} {'events':>7} {'ev/s':>9} "
+        f"{'rank p50':>9} {'rank p99':>9} {'rtt p99':>9}"
+    ]
+    rows = [report["serve_ci"], *report["scaling"]]
+    for row in rows:
+        lines.append(
+            f"{row['label']:<12} {row['tenants']:>7} {row['events_sent']:>7} "
+            f"{row['events_per_s']:>9.1f} {row['rank_p50_ms']:>9.2f} "
+            f"{row['rank_p99_ms']:>9.2f} {row['rtt_p99_ms']:>9.2f}"
+        )
+    ci = report["serve_ci"]
+    lines.append(
+        f"\nserve_ci bounds: events/s >= {report['bounds']['min_events_per_s']:.0f} "
+        f"({'PASS' if ci['meets_events_per_s'] else 'FAIL'}), "
+        f"p99 <= {report['bounds']['max_p99_ms']:.0f} ms "
+        f"({'PASS' if ci['meets_p99'] else 'FAIL'})"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sweep (CI smoke run, seconds)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the serve_ci row meets the acceptance bounds",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, help="dataset cache directory"
+    )
+    args = parser.parse_args(argv)
+
+    config = ServingConfig.quick() if args.quick else ServingConfig()
+    if args.cache_dir is not None:
+        cache_context = None
+        cache_dir = args.cache_dir
+    else:
+        cache_context = tempfile.TemporaryDirectory(prefix="bench-serving-cache-")
+        cache_dir = Path(cache_context.name)
+    try:
+        report = run(config, Path(cache_dir))
+    finally:
+        if cache_context is not None:
+            cache_context.cleanup()
+    report["mode"] = "quick" if args.quick else "full"
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(render(report))
+    print(f"\nwrote {args.output}")
+    if args.check:
+        ci = report["serve_ci"]
+        if not (ci["meets_events_per_s"] and ci["meets_p99"]):
+            raise SystemExit(
+                f"serve_ci bounds violated: {ci['events_per_s']:.1f} events/s "
+                f"(need >= {MIN_EVENTS_PER_S}), rank p99 {ci['rank_p99_ms']:.2f} ms "
+                f"(need <= {MAX_P99_MS})"
+            )
+        if ci["errors"]:
+            raise SystemExit(f"serve_ci replay saw {ci['errors']} errors")
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Five subcommands, all built on the registry/spec/sweep layers:
+Seven subcommands, all built on the registry/spec/sweep/serve layers:
 
 * ``run spec.json`` — execute a declarative :class:`ExperimentSpec` file and
   print (optionally write) the final measure table;
@@ -9,7 +9,12 @@ Five subcommands, all built on the registry/spec/sweep layers:
 * ``sweep run|resume|status`` — execute a declarative :class:`SweepSpec`
   grid across a worker pool, cell-by-cell and resumable (see
   :mod:`repro.api.sweep`);
-* ``policies`` — list every registered policy name;
+* ``policies`` — list every registered policy name (``--json`` for the
+  machine-readable document the serving layer also exposes);
+* ``serve`` — host a multi-tenant serving endpoint from a ServeSpec JSON
+  (see :mod:`repro.serve`);
+* ``loadgen`` — replay a ServeSpec's tenant traces against a running server
+  and report throughput / rank-latency percentiles;
 * ``bench`` — forward to the perf harnesses (engine microbenchmarks in
   ``benchmarks/perf/bench_engine.py`` and the end-to-end arrivals/sec
   harness in ``benchmarks/perf/bench_endtoend.py``; run from the repository
@@ -26,7 +31,7 @@ from pathlib import Path
 
 from ..eval.metrics import EvaluationResult
 from ..eval.reporting import format_final_table, result_payload
-from .registry import available_policies
+from .registry import available_policies, registry_payload
 from .spec import ExperimentSpec, run_spec
 from .sweep import SweepRunner, SweepSpec, format_sweep_table
 
@@ -181,11 +186,28 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_policies(args: argparse.Namespace) -> int:
+    if args.json:
+        print(json.dumps(registry_payload(), indent=2))
+        return 0
     entries = available_policies()
     width = max(len(name) for name in entries)
     for name, entry in entries.items():
         print(f"{name:<{width}}  {entry.description}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serve layer pulls in asyncio plumbing the other
+    # subcommands never need.
+    from ..serve.server import main as serve_main
+
+    return serve_main(args.rest)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from ..serve.loadgen import main as loadgen_main
+
+    return loadgen_main(args.rest)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -348,7 +370,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_status.set_defaults(func=_cmd_sweep_status)
 
     policies_parser = sub.add_parser("policies", help="list the registered policies")
+    policies_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable registry document (same payload as the "
+        "serving layer's 'policies' op)",
+    )
     policies_parser.set_defaults(func=_cmd_policies)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="host a multi-tenant serving endpoint from a ServeSpec JSON",
+        add_help=False,
+    )
+    serve_parser.add_argument("rest", nargs=argparse.REMAINDER)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="replay a ServeSpec's tenant traces against a running server",
+        add_help=False,
+    )
+    loadgen_parser.add_argument("rest", nargs=argparse.REMAINDER)
+    loadgen_parser.set_defaults(func=_cmd_loadgen)
 
     bench_parser = sub.add_parser(
         "bench", help="run the perf harnesses (engine microbenchmarks + end-to-end throughput)"
@@ -394,5 +438,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # The serve/loadgen subcommands own their full argument surface
+    # (argparse.REMAINDER does not forward *leading* optionals like
+    # ``--help``), so dispatch them before the top-level parser runs.
+    if argv and argv[0] in ("serve", "loadgen"):
+        if argv[0] == "serve":
+            from ..serve.server import main as serve_main
+
+            return serve_main(argv[1:])
+        from ..serve.loadgen import main as loadgen_main
+
+        return loadgen_main(argv[1:])
     args = _build_parser().parse_args(argv)
     return args.func(args)

@@ -39,6 +39,7 @@ __all__ = [
     "build_policy",
     "available_policies",
     "policy_entry",
+    "registry_payload",
 ]
 
 #: A builder receives the trace's feature schema plus free-form kwargs and
@@ -96,6 +97,22 @@ def policy_entry(name: str) -> RegisteredPolicy:
 def available_policies() -> dict[str, RegisteredPolicy]:
     """Snapshot of the registry, keyed by stable name (sorted)."""
     return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+def registry_payload() -> dict:
+    """Machine-readable registry listing (``policies --json``, serve op).
+
+    The same document everywhere a tool needs to ask "which policy names
+    does this build know": the CLI's ``--json`` flag, the serving layer's
+    ``policies`` op, and the load generator's pre-flight spec validation.
+    """
+    return {
+        "count": len(_REGISTRY),
+        "policies": [
+            {"name": entry.name, "description": entry.description}
+            for entry in available_policies().values()
+        ],
+    }
 
 
 def _resolve_schema(dataset_or_schema) -> FeatureSchema:

@@ -200,15 +200,25 @@ class SumTree:
         return float(self._tree[1])
 
     def update(self, index: int, priority: float) -> None:
-        """Set the priority of leaf ``index``."""
+        """Set the priority of leaf ``index``.
+
+        Ancestors are recomputed as the sum of their children — never
+        maintained with ``+= delta`` — so every internal node is a pure
+        function of the current leaves.  This keeps the tree bit-identical
+        across maintenance orders: incremental updates, :meth:`update_batch`
+        and a checkpoint-restore rebuild from the leaves all agree exactly,
+        which run-state resume relies on (a delta-maintained root drifts by
+        ulps from the rebuilt one and perturbs stratified sampling).
+        """
         if not 0 <= index < self.capacity:
             raise IndexError(f"leaf index {index} out of range [0, {self.capacity})")
         if priority < 0:
             raise ValueError("priorities must be non-negative")
         node = index + self._leaf_count
-        delta = priority - self._tree[node]
+        self._tree[node] = priority
+        node //= 2
         while node >= 1:
-            self._tree[node] += delta
+            self._tree[node] = self._tree[2 * node] + self._tree[2 * node + 1]
             node //= 2
 
     def update_batch(self, indices: np.ndarray, priorities: np.ndarray) -> None:
@@ -353,9 +363,11 @@ class PrioritizedReplayMemory:
 
         Every push enters at the same priority (``max_priority**alpha`` never
         changes during pushes), so the tree work of the whole batch collapses
-        into one vectorized delta propagation: each ancestor receives its
-        leaves' deltas with ``np.add.at`` in push order — the exact addition
-        sequence the scalar walks would have performed.
+        into one :meth:`SumTree.update_batch` call.  Because every internal
+        node is a pure function of the leaves (each parent recomputed as the
+        sum of its children), the batched rebuild matches the scalar walks
+        exactly — including when a batch larger than the remaining ring
+        revisits a leaf, where last-write-wins equals sequential updates.
         """
         if not transitions:
             return
@@ -370,19 +382,7 @@ class PrioritizedReplayMemory:
                 self._storage[index] = transition
                 self._cursor = (self._cursor + 1) % self.capacity
             indices[j] = index
-        nodes = indices + self._tree._leaf_count
-        if np.unique(nodes).size != nodes.size:
-            # A batch larger than the remaining ring can revisit a leaf; the
-            # second visit's delta depends on the first's rounding, so replay
-            # the scalar walks exactly.
-            for node in nodes:
-                self._tree.update(int(node - self._tree._leaf_count), priority)
-            return
-        tree = self._tree._tree
-        deltas = priority - tree[nodes]
-        while nodes[0] >= 1:
-            np.add.at(tree, nodes, deltas)
-            nodes = nodes // 2
+        self._tree.update_batch(indices, np.full(indices.size, priority, dtype=np.float64))
 
     def sample(self, batch_size: int) -> tuple[list[Transition], np.ndarray, np.ndarray]:
         """Priority-proportional sample with importance-sampling weights."""

@@ -29,7 +29,28 @@ from typing import Generator, Iterable, Sequence
 from .events import EventTrace
 from .platform import ArrivalContext, CrowdsourcingPlatform
 
-__all__ = ["ReplicaStream", "VectorizedPlatform", "partition_requests"]
+__all__ = ["STARVED", "ReplicaStream", "VectorizedPlatform", "partition_requests"]
+
+
+class _Starved:
+    """Sentinel returned by *push-fed* streams when no arrival is buffered yet.
+
+    Trace-backed :class:`ReplicaStream` cursors never return it (a trace is
+    either exhausted — ``None`` — or has a next arrival), so the offline
+    serial and lockstep drivers never see it.  The serving layer's push
+    streams return it to make the replica loop yield an ``("idle",)`` request
+    instead of finishing, keeping one loop implementation for both offline
+    replay and live serving (see :class:`repro.serve.tenant.PushStream`).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<STARVED>"
+
+
+#: The singleton starvation sentinel (compare with ``is``).
+STARVED = _Starved()
 
 
 class ReplicaStream:

@@ -15,6 +15,7 @@ from .reporting import (
 )
 from .runner import (
     RUNSTATE_FORMAT,
+    ReplicaRun,
     RunnerConfig,
     SimulationRunner,
     VectorizedRunner,
@@ -24,6 +25,7 @@ from .runner import (
 
 __all__ = [
     "RUNSTATE_FORMAT",
+    "ReplicaRun",
     "VectorizedRunner",
     "runstate_path",
     "rank_discount",

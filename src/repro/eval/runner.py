@@ -7,7 +7,7 @@ arrival triggers a recommendation, simulated feedback, metric updates and a
 policy update.  Supervised baselines additionally re-train at every simulated
 day boundary through :meth:`ArrangementPolicy.end_of_day`.
 
-The loop itself lives in :class:`_ReplicaRun.loop`, a generator that *yields*
+The loop itself lives in :class:`ReplicaRun.loop`, a generator that *yields*
 its two policy interactions — ``("rank", context)`` and ``("observe",
 context, presented, feedback)`` — instead of calling the policy directly.
 :class:`SimulationRunner` answers one loop's requests immediately (the serial
@@ -16,6 +16,14 @@ round's requests together, fusing the framework replicas' network forwards
 and train steps across replicas (see :mod:`repro.core.vectorized`).  Both
 paths execute the identical loop code, which is what makes a vectorized
 replica's results float-for-float equal to its serial run.
+
+A third driver lives outside this module: the serving layer
+(:mod:`repro.serve`) runs the same loop against a *push-fed* event stream.
+When that stream has no buffered arrival it returns the
+:data:`repro.crowd.vectorized.STARVED` sentinel and the loop yields an
+``("idle",)`` request, pausing until the server feeds more events (or closes
+the stream, which ends the loop exactly like an exhausted trace).  Trace
+cursors never starve, so the offline drivers never see idle requests.
 """
 
 from __future__ import annotations
@@ -34,12 +42,13 @@ from ..crowd.behavior import CascadeBehavior, InterestModel
 from ..crowd.entities import MINUTES_PER_DAY, MINUTES_PER_MONTH
 from ..crowd.platform import CrowdsourcingPlatform
 from ..crowd.quality import DixitStiglitzQuality
-from ..crowd.vectorized import ReplicaStream, VectorizedPlatform, partition_requests
+from ..crowd.vectorized import STARVED, ReplicaStream, VectorizedPlatform, partition_requests
 from ..datasets.crowdspring import CrowdDataset
 from ..nn.serialization import load_checkpoint, save_checkpoint
 from .metrics import EvaluationResult, RequesterBenefitTracker, WorkerBenefitTracker
 
 __all__ = [
+    "ReplicaRun",
     "RunnerConfig",
     "SimulationRunner",
     "VectorizedRunner",
@@ -163,14 +172,23 @@ def _build_platform(
     return platform, behavior
 
 
-class _ReplicaRun:
+class ReplicaRun:
     """One (dataset, policy) evaluation as a request-yielding loop.
 
     The generator returned by :meth:`loop` performs everything except the
     policy interactions itself — platform evolution, metric tracking, day
     boundaries, checkpointing, resume — and yields ``("rank", context)`` /
     ``("observe", context, presented, feedback)`` requests for the driver to
-    answer (serially or fused across replicas).
+    answer (serially, fused across replicas, or from a network server).
+
+    ``stream_factory`` overrides how the online event stream is built: it is
+    called as ``stream_factory(platform, online_trace, start_event)`` and
+    must return a :class:`~repro.crowd.vectorized.ReplicaStream`-shaped
+    cursor (``next_arrival()`` + ``events_consumed``).  The default replays
+    the dataset's own trace; the serving layer injects a push-fed stream
+    whose events arrive over the network instead.  A stream may return
+    :data:`~repro.crowd.vectorized.STARVED` from ``next_arrival`` to make
+    the loop yield ``("idle",)`` (answer: ``None``) until events show up.
     """
 
     def __init__(
@@ -180,12 +198,31 @@ class _ReplicaRun:
         config: RunnerConfig,
         checkpoint_path: str | Path | None = None,
         resume: bool = False,
+        stream_factory=None,
+        final_checkpoint: bool = True,
     ) -> None:
         self.dataset = dataset
         self.policy = policy
         self.config = config
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
         self.resume = resume
+        # When False, only the periodic (schedule-aligned) checkpoints are
+        # written, never the end-of-run save at an arbitrary arrival count.
+        # The serving layer needs this for exact warm restarts: checkpointing
+        # invalidates the learners' transient target-network memos, so a
+        # resumable point is only bit-reproducible when the uninterrupted run
+        # checkpoints (and thus invalidates) at the very same arrival — which
+        # is true for the ``checkpoint_every`` schedule and false for a drain
+        # that can land anywhere.  Clients re-feed the tail past the last
+        # periodic checkpoint on restart (the run-state records its offset).
+        self.final_checkpoint = final_checkpoint
+        self.stream_factory = (
+            stream_factory
+            if stream_factory is not None
+            else lambda platform, trace, start_event: ReplicaStream(
+                platform, trace, start_event=start_event
+            )
+        )
 
     # ------------------------------------------------------------------ #
     def _presented(self, ranked: list[int]) -> list[int]:
@@ -210,10 +247,23 @@ class _ReplicaRun:
         if not path.exists():
             return None
         tree = load_checkpoint(path)
-        if tree.get("format") != RUNSTATE_FORMAT:
+        found = tree.get("format")
+        if found != RUNSTATE_FORMAT:
+            # Distinguish "not a runstate file at all" from "a runstate file
+            # of a version this build does not read" — the latter must fail
+            # with a clear, actionable error *before* any field parsing, not
+            # with a KeyError halfway through the tree.
+            prefix = RUNSTATE_FORMAT.rsplit("/", 1)[0] + "/"
+            if isinstance(found, str) and found.startswith(prefix):
+                raise ValueError(
+                    f"{path} is a run-state checkpoint of unknown format "
+                    f"{found!r}; this build reads {RUNSTATE_FORMAT!r} only "
+                    "(delete the sidecar to restart the run from scratch, or "
+                    "load it with the build that wrote it)"
+                )
             raise ValueError(
                 f"{path} is not a run-state checkpoint "
-                f"(format={tree.get('format')!r}, expected {RUNSTATE_FORMAT!r})"
+                f"(format={found!r}, expected {RUNSTATE_FORMAT!r})"
             )
         return tree
 
@@ -295,8 +345,8 @@ class _ReplicaRun:
             update_seconds = float(runner_tree["update_seconds"])
             retrain_seconds = [float(x) for x in np.asarray(runner_tree["retrain_seconds"])]
             next_day_boundary = float(runner_tree["next_day_boundary"])
-            stream = ReplicaStream(
-                platform, online_trace, start_event=int(runner_tree["events_consumed"])
+            stream = self.stream_factory(
+                platform, online_trace, int(runner_tree["events_consumed"])
             )
         else:
             policy.reset()
@@ -311,7 +361,7 @@ class _ReplicaRun:
                 if config.learn_from_warmup and (limit is None or observed < limit):
                     yield ("observe", context, preferred, feedback)
                     observed += 1
-            stream = ReplicaStream(platform, online_trace)
+            stream = self.stream_factory(platform, online_trace, 0)
 
         def runner_state() -> dict:
             """Loop state for the run-state sidecar (reads the live locals)."""
@@ -332,6 +382,12 @@ class _ReplicaRun:
         )
         while not reached_cap:
             context = stream.next_arrival()
+            while context is STARVED:
+                # Push-fed stream with nothing buffered: hand control back to
+                # the driver until more events arrive (trace cursors never
+                # starve, so the offline drivers never reach this yield).
+                yield ("idle",)
+                context = stream.next_arrival()
             if context is None:
                 break
             while context.timestamp >= next_day_boundary:
@@ -377,8 +433,14 @@ class _ReplicaRun:
         policy.flush_training()
         update_seconds += time.perf_counter() - started
 
-        # Final save, unless the last arrival already checkpointed.
-        if checkpointing and arrivals and arrivals % config.checkpoint_every != 0:
+        # Final save, unless the last arrival already checkpointed (or the
+        # driver asked for schedule-aligned checkpoints only).
+        if (
+            checkpointing
+            and self.final_checkpoint
+            and arrivals
+            and arrivals % config.checkpoint_every != 0
+        ):
             self._save_checkpoint(platform, runner_state())
 
         mean_retrain = sum(retrain_seconds) / len(retrain_seconds) if retrain_seconds else 0.0
@@ -396,6 +458,11 @@ class _ReplicaRun:
             mean_decision_seconds=decision_seconds / max(arrivals, 1),
             mean_retrain_seconds=mean_retrain,
         )
+
+
+#: Backwards-compatible alias from before the serving layer made the replica
+#: loop a public extension point.
+_ReplicaRun = ReplicaRun
 
 
 class SimulationRunner:
@@ -424,7 +491,7 @@ class SimulationRunner:
         the run to the checkpointed arrival instead of redoing finished
         arrivals, continuing bit-identically to an uninterrupted run.
         """
-        drive = _ReplicaRun(self.dataset, policy, self.config, checkpoint_path, resume)
+        drive = ReplicaRun(self.dataset, policy, self.config, checkpoint_path, resume)
         loop = drive.loop()
         response: object = None
         while True:
@@ -534,7 +601,7 @@ class VectorizedRunner:
     def run(self) -> list[EvaluationResult]:
         """Run all replicas to completion, returning results in replica order."""
         loops = [
-            _ReplicaRun(dataset, policy, self.config, checkpoint_path, self.resume).loop()
+            ReplicaRun(dataset, policy, self.config, checkpoint_path, self.resume).loop()
             for dataset, policy, checkpoint_path in self._replicas
         ]
         policies = self.policies

@@ -1,0 +1,41 @@
+"""repro.serve — async multi-tenant task-arrangement serving.
+
+One asyncio process hosts N tenants — each a (dataset, policy) pair driven
+through the *same* replica-loop generator the offline runners use — behind a
+newline-delimited-JSON TCP protocol, with cross-tenant rank batching, warm
+restarts from run-state checkpoints, and a trace-replaying load generator.
+"""
+
+from .batching import RankBatcher, decide_batch, decide_snapshots
+from .loadgen import run_loadgen
+from .protocol import (
+    ProtocolError,
+    ServeClient,
+    decode_line,
+    encode_line,
+    event_from_wire,
+    event_to_wire,
+)
+from .server import ArrangementServer
+from .spec import ServeSpec, TenantSpec
+from .tenant import ArrivalTicket, PushStream, Tenant, latency_percentiles
+
+__all__ = [
+    "ArrangementServer",
+    "ArrivalTicket",
+    "ProtocolError",
+    "PushStream",
+    "RankBatcher",
+    "ServeClient",
+    "ServeSpec",
+    "Tenant",
+    "TenantSpec",
+    "decide_batch",
+    "decide_snapshots",
+    "decode_line",
+    "encode_line",
+    "event_from_wire",
+    "event_to_wire",
+    "latency_percentiles",
+    "run_loadgen",
+]

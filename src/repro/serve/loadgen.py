@@ -1,0 +1,322 @@
+"""Load generator: replay tenant traces as concurrent serving clients.
+
+``repro loadgen <serve spec>`` rebuilds each tenant's dataset locally (same
+spec, same seeds → the exact trace the server expects), asks the server which
+trace offset every tenant has already consumed (warm restarts continue where
+the previous process stopped), then drives one asyncio client per tenant
+feeding the online events in trace order over its own connection.
+
+Pacing:
+
+``--accel N``
+    replay at ``N``× wall-clock speed — trace timestamps are minutes, so an
+    event gap of *m* minutes sleeps ``m·60/N`` seconds.  ``--accel 0`` (the
+    default) replays as fast as the request/response round-trip allows.
+``--rate R``
+    cap each tenant at ``R`` events per second (a simple token schedule);
+    combine with ``--max-events`` for fixed-size runs.
+
+The generator validates every tenant's policy name against the server's
+``policies`` op before building anything, and reports per-tenant and
+aggregate throughput plus client-side rank round-trip percentiles.  With
+``--shutdown`` it drains the server afterwards and includes the drain
+summary (the CI benchmark uses exactly this path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from ..crowd.events import Event, EventType
+from .protocol import decode_line, encode_line, event_to_wire
+from .spec import ServeSpec
+from .tenant import latency_percentiles
+
+__all__ = ["run_loadgen", "main"]
+
+
+async def _request_once(host: str, port: int, payload: dict) -> dict:
+    """One request on a throwaway connection (control ops)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(encode_line(payload))
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _drive_tenant(
+    host: str,
+    port: int,
+    tenant: str,
+    events: list[Event],
+    offset: int,
+    rate: float,
+    accel: float,
+    max_events: int | None,
+) -> dict:
+    """Feed one tenant's remaining trace over one connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    rtts_ms: list[float] = []
+    sent = arrivals = decisions = completions = errors = 0
+    started = time.perf_counter()
+    first_ts: float | None = None
+    try:
+        for event in events[offset:]:
+            if max_events is not None and sent >= max_events:
+                break
+            if rate > 0:
+                target = started + sent / rate
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            elif accel > 0:
+                if first_ts is None:
+                    first_ts = event.timestamp
+                target = started + (event.timestamp - first_ts) * 60.0 / accel
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            is_arrival = event.event_type is EventType.WORKER_ARRIVAL
+            sent_at = time.perf_counter()
+            writer.write(encode_line(event_to_wire(tenant, event)))
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError(f"server closed the connection to tenant {tenant!r}")
+            response = decode_line(line)
+            sent += 1
+            if not response.get("ok"):
+                errors += 1
+                continue
+            if is_arrival:
+                arrivals += 1
+                rtts_ms.append((time.perf_counter() - sent_at) * 1e3)
+                decision = response.get("decision")
+                if decision is not None:
+                    decisions += 1
+                    if decision.get("completed_task_id") is not None:
+                        completions += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    elapsed = time.perf_counter() - started
+    return {
+        "tenant": tenant,
+        "offset": offset,
+        "events_sent": sent,
+        "arrivals": arrivals,
+        "decisions": decisions,
+        "completions": completions,
+        "errors": errors,
+        "elapsed_s": elapsed,
+        "events_per_s": sent / elapsed if elapsed > 0 else 0.0,
+        "rank_rtt_ms": latency_percentiles(rtts_ms),
+        "_rtts_ms": rtts_ms,
+    }
+
+
+async def _run(
+    spec: ServeSpec,
+    host: str,
+    port: int,
+    rate: float,
+    accel: float,
+    max_events: int | None,
+    tenant_names: list[str] | None,
+    dataset_cache_dir: str | Path | None,
+    shutdown: bool,
+) -> dict:
+    # Registry validation via the server's own surface: fail before any
+    # dataset generation if the server build does not know a policy name.
+    policies = await _request_once(host, port, {"op": "policies"})
+    if not policies.get("ok"):
+        raise RuntimeError(f"policies op failed: {policies.get('error')}")
+    known = {entry["name"] for entry in policies["policies"]["policies"]}
+    chosen = [
+        tenant
+        for tenant in spec.tenants
+        if tenant_names is None or tenant.name in tenant_names
+    ]
+    if tenant_names is not None:
+        missing = set(tenant_names) - {tenant.name for tenant in chosen}
+        if missing:
+            raise ValueError(f"spec has no tenants named {sorted(missing)}")
+    for tenant in chosen:
+        if tenant.policy.policy not in known:
+            raise ValueError(
+                f"tenant {tenant.name!r} uses policy {tenant.policy.policy!r}, "
+                f"which the server does not register"
+            )
+
+    status = await _request_once(host, port, {"op": "status"})
+    if not status.get("ok"):
+        raise RuntimeError(f"status op failed: {status.get('error')}")
+    server_tenants = status["status"]["tenants"]
+    offsets: dict[str, int] = {}
+    for tenant in chosen:
+        if tenant.name not in server_tenants:
+            raise ValueError(
+                f"server does not host tenant {tenant.name!r}; "
+                f"hosted: {sorted(server_tenants)}"
+            )
+        offsets[tenant.name] = int(server_tenants[tenant.name]["events_consumed"])
+
+    # Rebuild each tenant's trace locally (deterministic from the spec).
+    traces: dict[str, list[Event]] = {}
+    for tenant in chosen:
+        dataset = tenant.dataset.build(cache_dir=dataset_cache_dir)
+        _, online = dataset.trace.split_warmup(dataset.warmup_end)
+        traces[tenant.name] = online.events
+
+    started = time.perf_counter()
+    per_tenant = await asyncio.gather(
+        *(
+            _drive_tenant(
+                host,
+                port,
+                tenant.name,
+                traces[tenant.name],
+                offsets[tenant.name],
+                rate,
+                accel,
+                max_events,
+            )
+            for tenant in chosen
+        )
+    )
+    elapsed = time.perf_counter() - started
+
+    all_rtts: list[float] = []
+    total_sent = total_errors = 0
+    for row in per_tenant:
+        all_rtts.extend(row.pop("_rtts_ms"))
+        total_sent += row["events_sent"]
+        total_errors += row["errors"]
+
+    final_status = await _request_once(host, port, {"op": "status"})
+    report = {
+        "spec": spec.name,
+        "host": host,
+        "port": port,
+        "rate": rate,
+        "accel": accel,
+        "max_events": max_events,
+        "tenants": {row["tenant"]: row for row in per_tenant},
+        "aggregate": {
+            "tenants": len(per_tenant),
+            "events_sent": total_sent,
+            "errors": total_errors,
+            "elapsed_s": elapsed,
+            "events_per_s": total_sent / elapsed if elapsed > 0 else 0.0,
+            "rank_rtt_ms": latency_percentiles(all_rtts),
+        },
+        "server_status": final_status.get("status"),
+    }
+    if shutdown:
+        drained = await _request_once(host, port, {"op": "shutdown"})
+        if not drained.get("ok"):
+            raise RuntimeError(f"shutdown op failed: {drained.get('error')}")
+        report["shutdown"] = drained["shutdown"]
+    return report
+
+
+def run_loadgen(
+    spec: ServeSpec,
+    host: str | None = None,
+    port: int | None = None,
+    rate: float = 0.0,
+    accel: float = 0.0,
+    max_events: int | None = None,
+    tenant_names: list[str] | None = None,
+    dataset_cache_dir: str | Path | None = None,
+    shutdown: bool = False,
+) -> dict:
+    """Drive a running server with the spec's tenant traces; returns the report."""
+    return asyncio.run(
+        _run(
+            spec,
+            host if host is not None else spec.host,
+            port if port is not None else spec.port,
+            rate,
+            accel,
+            max_events,
+            tenant_names,
+            dataset_cache_dir,
+            shutdown,
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro loadgen`` — replay tenant traces against a server."""
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Replay a ServeSpec's tenant traces against a running server.",
+    )
+    parser.add_argument("spec", type=Path, help="ServeSpec JSON file (same one the server runs)")
+    parser.add_argument("--host", default=None, help="server host (default: spec host)")
+    parser.add_argument("--port", type=int, default=None, help="server port (default: spec port)")
+    parser.add_argument(
+        "--rate", type=float, default=0.0, help="per-tenant cap in events/s (0 = unpaced)"
+    )
+    parser.add_argument(
+        "--accel",
+        type=float,
+        default=0.0,
+        help="replay at N× wall-clock speed (0 = as fast as possible)",
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=None, help="stop each tenant after this many events"
+    )
+    parser.add_argument(
+        "--tenants", nargs="+", default=None, help="drive only these tenants (default: all)"
+    )
+    parser.add_argument("--cache-dir", type=Path, default=None, help="dataset cache directory")
+    parser.add_argument(
+        "--shutdown", action="store_true", help="drain the server after the replay"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="also write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+
+    spec = ServeSpec.load(args.spec)
+    report = run_loadgen(
+        spec,
+        host=args.host,
+        port=args.port,
+        rate=args.rate,
+        accel=args.accel,
+        max_events=args.max_events,
+        tenant_names=args.tenants,
+        dataset_cache_dir=args.cache_dir,
+        shutdown=args.shutdown,
+    )
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""The newline-delimited JSON wire protocol of the serving layer.
+
+One request per line, one response line per request, answered strictly in
+request order per connection.  Requests are JSON objects dispatched on their
+``"op"`` key:
+
+``event``
+    ``{"op": "event", "tenant": <name>, "kind": <event type>,
+    "subject_id": <int>, "timestamp": <minutes>}`` — one platform event,
+    exactly the trace's event model (:class:`repro.crowd.events.Event`).
+    Task events are acknowledged with ``{"ok": true, "queued": <depth>}``;
+    worker arrivals block until the tenant's replica loop has processed the
+    arrival and answer ``{"ok": true, "decision": {…} | null}`` with the
+    presented ranking, the simulated feedback outcome and the server-side
+    rank latency (``null`` when the loop skipped the arrival — empty pool or
+    empty ranking).
+``status``
+    ``{"op": "status"}`` — the health surface: per-tenant queue depth, event
+    counts, decision-latency percentiles, trainer stats, plus server-level
+    uptime and batching counters.
+``policies``
+    ``{"op": "policies"}`` — the machine-readable policy registry (the same
+    payload as ``python -m repro policies --json``).
+``shutdown``
+    ``{"op": "shutdown"}`` — graceful drain: every tenant's event stream is
+    closed, the replica loops run to completion (writing their final
+    checkpoints), and the response carries the per-tenant results.  The
+    server exits afterwards.  ``SIGTERM``/``SIGINT`` trigger the same drain.
+
+Every response carries ``"ok"``; failures answer ``{"ok": false, "error":
+<message>}`` without closing the connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from ..crowd.events import Event, EventType
+
+__all__ = [
+    "encode_line",
+    "decode_line",
+    "event_to_wire",
+    "event_from_wire",
+    "ProtocolError",
+    "ServeClient",
+]
+
+#: Accepted ``kind`` values (the :class:`EventType` wire names).
+_KINDS = {member.value: member for member in EventType}
+
+
+class ProtocolError(ValueError):
+    """A malformed request or response line."""
+
+
+def encode_line(payload: dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one protocol line into a JSON object (loudly on garbage)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON line: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"protocol lines must be JSON objects, got {type(payload).__name__}")
+    return payload
+
+
+def event_to_wire(tenant: str, event: Event) -> dict:
+    """The ``op=event`` request for one trace event of one tenant."""
+    return {
+        "op": "event",
+        "tenant": tenant,
+        "kind": event.event_type.value,
+        "subject_id": int(event.subject_id),
+        "timestamp": float(event.timestamp),
+    }
+
+
+def event_from_wire(payload: dict) -> Event:
+    """Validate and convert an ``op=event`` request into a trace event."""
+    kind = payload.get("kind")
+    if kind not in _KINDS:
+        raise ProtocolError(
+            f"unknown event kind {kind!r}; expected one of {sorted(_KINDS)}"
+        )
+    try:
+        subject_id = int(payload["subject_id"])
+        timestamp = float(payload["timestamp"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(
+            f"event requires integer 'subject_id' and numeric 'timestamp': {error}"
+        ) from None
+    return Event(timestamp=timestamp, event_type=_KINDS[kind], subject_id=subject_id)
+
+
+class ServeClient:
+    """A minimal blocking client for tests, benchmarks and simple tooling.
+
+    One socket, strict request→response alternation (the load generator's
+    concurrent clients use asyncio streams instead; this class exists so a
+    test or a shell one-liner does not need an event loop).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def request(self, payload: dict) -> dict:
+        """Send one request line and block for its response line."""
+        self._sock.sendall(encode_line(payload))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

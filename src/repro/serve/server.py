@@ -1,0 +1,312 @@
+"""The asyncio serving process: N tenants behind one NDJSON TCP socket.
+
+:class:`ArrangementServer` hosts every tenant of a :class:`ServeSpec` on one
+event loop.  Connections speak the :mod:`repro.serve.protocol` line protocol;
+worker-arrival events block their request until the tenant's replica loop has
+served the decision, task events are acknowledged immediately, and rank
+requests that land on the same loop tick share stacked forwards through the
+:class:`~repro.serve.batching.RankBatcher`.  Asynchronously trained tenants
+run their gradient work on the :class:`~repro.core.trainer.AsyncTrainer`
+background thread, so decision latency stays decoupled from training cost.
+
+Shutdown (the ``shutdown`` op, ``SIGTERM`` or ``SIGINT``) drains: every
+tenant's event stream is closed, the replica loops consume what is buffered
+and finish exactly like an exhausted offline trace — flushing training and
+writing their final run-state checkpoints — and only then does the process
+exit.  A restarted server resumes every tenant from its checkpoint, and
+because a tenant's trajectory depends only on its own event sequence (own
+RNGs, own platform, batching bit-identical per replica), the resumed state
+matches an uninterrupted run fed the same events.
+
+``python -m repro serve <spec.json>`` runs this module's :func:`main`; on
+readiness it prints one JSON line ``{"serving": {...}}`` (host, bound port,
+pid, tenants, state dir) so drivers can discover an ephemeral port, and at
+exit one line ``{"shutdown": {...}}`` with the per-tenant drain summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+
+from ..api.registry import registry_payload
+from ..crowd.events import EventType
+from .batching import RankBatcher
+from .protocol import ProtocolError, decode_line, encode_line, event_from_wire
+from .spec import ServeSpec
+from .tenant import ArrivalTicket, Tenant
+
+__all__ = ["ArrangementServer", "main"]
+
+
+class ArrangementServer:
+    """One serving process: boots tenants, speaks the protocol, drains clean."""
+
+    def __init__(
+        self,
+        spec: ServeSpec,
+        state_dir: str | Path | None = None,
+        resume: bool = True,
+        dataset_cache_dir: str | Path | None = None,
+    ) -> None:
+        self.spec = spec
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.resume = resume
+        self.dataset_cache_dir = dataset_cache_dir
+        self.tenants: dict[str, Tenant] = {}
+        self.batcher = RankBatcher()
+        self.shutdown_summary: dict | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._started = time.perf_counter()
+        self._closing = False
+        self._shutdown_task: asyncio.Task | None = None
+        self._shutdown_complete = asyncio.Event()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------ #
+    def boot(self) -> None:
+        """Build and warm every tenant (datasets, policies, resume/warm-up)."""
+        for tenant_spec in self.spec.tenants:
+            tenant = Tenant(
+                tenant_spec,
+                state_dir=self.state_dir,
+                resume=self.resume,
+                dataset_cache_dir=self.dataset_cache_dir,
+            )
+            tenant.boot()
+            self.tenants[tenant_spec.name] = tenant
+
+    async def start(self) -> tuple[str, int]:
+        """Boot (if needed) and bind; returns the bound (host, port)."""
+        if not self.tenants:
+            self.boot()
+        self._server = await asyncio.start_server(
+            self._handle, self.spec.host, self.spec.port
+        )
+        self._started = time.perf_counter()
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None, "server not started"
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = decode_line(line)
+                    response = await self._dispatch(request)
+                except ProtocolError as error:
+                    request, response = {}, {"ok": False, "error": str(error)}
+                except Exception as error:  # noqa: BLE001 - answered on the wire
+                    request, response = {}, {
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                writer.write(encode_line(response))
+                await writer.drain()
+                if request.get("op") == "shutdown":
+                    # The drain summary was this connection's answer; close it
+                    # so drivers blocking on the shutdown op see EOF next.
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "event":
+            return await self._op_event(request)
+        if op == "status":
+            return {"ok": True, "status": self.status()}
+        if op == "policies":
+            return {"ok": True, "policies": registry_payload()}
+        if op == "ping":
+            return {"ok": True}
+        if op == "shutdown":
+            summary = await self.shutdown()
+            return {"ok": True, "shutdown": summary}
+        raise ProtocolError(f"unknown op {op!r}")
+
+    async def _op_event(self, request: dict) -> dict:
+        if self._closing:
+            return {"ok": False, "error": "server is draining; no new events accepted"}
+        name = request.get("tenant")
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            raise ProtocolError(
+                f"unknown tenant {name!r}; hosted tenants: {sorted(self.tenants)}"
+            )
+        event = event_from_wire(request)
+        if event.event_type is EventType.WORKER_ARRIVAL:
+            future = asyncio.get_running_loop().create_future()
+            tenant.feed(event, ArrivalTicket(future))
+            asyncio.ensure_future(tenant.pump(self.batcher))
+            decision = await future
+            return {"ok": True, "tenant": name, "decision": decision}
+        tenant.feed(event)
+        asyncio.ensure_future(tenant.pump(self.batcher))
+        return {"ok": True, "tenant": name, "queued": tenant.stream.pending}
+
+    # ------------------------------------------------------------------ #
+    def status(self) -> dict:
+        """The ``/status`` health surface."""
+        return {
+            "name": self.spec.name,
+            "pid": os.getpid(),
+            "uptime_s": time.perf_counter() - self._started,
+            "closing": self._closing,
+            "tenants": {name: tenant.status() for name, tenant in self.tenants.items()},
+            "batching": self.batcher.stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    async def shutdown(self) -> dict:
+        """Drain every tenant to completion; idempotent, safe to race."""
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.ensure_future(self._drain())
+        return await asyncio.shield(self._shutdown_task)
+
+    async def _drain(self) -> dict:
+        self._closing = True
+        for tenant in self.tenants.values():
+            tenant.stream.close()
+            asyncio.ensure_future(tenant.pump(self.batcher))
+        await asyncio.gather(*(tenant.done.wait() for tenant in self.tenants.values()))
+        summary: dict = {}
+        for name, tenant in self.tenants.items():
+            entry = {
+                "events_consumed": tenant.stream.events_consumed,
+                "decisions": tenant.decisions,
+                "error": repr(tenant.error) if tenant.error is not None else None,
+                "checkpoint": str(tenant.checkpoint_path) if tenant.checkpoint_path else None,
+            }
+            if tenant.result is not None:
+                entry["result"] = {
+                    key: value for key, value in tenant.result.summary_row().items()
+                }
+                entry["arrivals"] = tenant.result.arrivals
+                entry["completions"] = tenant.result.completions
+            summary[name] = entry
+        self.shutdown_summary = summary
+        self._shutdown_complete.set()
+        return summary
+
+    async def run_until_shutdown(self) -> dict:
+        """Serve until a drain completes, then close the listener cleanly."""
+        assert self._server is not None, "server not started"
+        await self._shutdown_complete.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        if self._conn_tasks:
+            # Give in-flight responses (including the shutdown op's own
+            # answer) a moment to flush, then drop lingering idle clients.
+            _, pending = await asyncio.wait(set(self._conn_tasks), timeout=2.0)
+            for task in pending:
+                task.cancel()
+        return self.shutdown_summary or {}
+
+
+# ---------------------------------------------------------------------- #
+async def _amain(
+    spec: ServeSpec,
+    state_dir: Path | None,
+    resume: bool,
+    dataset_cache_dir: Path | None,
+    announce: bool = True,
+) -> dict:
+    server = ArrangementServer(
+        spec, state_dir=state_dir, resume=resume, dataset_cache_dir=dataset_cache_dir
+    )
+    host, port = await server.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(sig, lambda: asyncio.ensure_future(server.shutdown()))
+    if announce:
+        print(
+            json.dumps(
+                {
+                    "serving": {
+                        "name": spec.name,
+                        "host": host,
+                        "port": port,
+                        "pid": os.getpid(),
+                        "tenants": sorted(server.tenants),
+                        "state_dir": str(state_dir) if state_dir is not None else None,
+                    }
+                }
+            ),
+            flush=True,
+        )
+    summary = await server.run_until_shutdown()
+    if announce:
+        print(json.dumps({"shutdown": summary}), flush=True)
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro serve`` — boot a serving process from a spec."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a multi-tenant task-arrangement endpoint from a ServeSpec JSON.",
+    )
+    parser.add_argument("spec", type=Path, help="ServeSpec JSON file")
+    parser.add_argument("--host", default=None, help="override the spec's bind host")
+    parser.add_argument(
+        "--port", type=int, default=None, help="override the spec's port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        help="checkpoint directory (default: serve-state/<spec name>)",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore existing checkpoints instead of resuming from them",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, help="dataset cache directory"
+    )
+    args = parser.parse_args(argv)
+
+    spec = ServeSpec.load(args.spec)
+    if args.host is not None:
+        spec.host = args.host
+    if args.port is not None:
+        spec.port = args.port
+    state_dir = args.state_dir if args.state_dir is not None else Path("serve-state") / spec.name
+    try:
+        asyncio.run(_amain(spec, state_dir, not args.fresh, args.cache_dir))
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C before handlers
+        return 130
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Declarative serving specifications (dataclass ⇄ JSON dict).
+
+A :class:`ServeSpec` describes one server process: the TCP endpoint plus one
+:class:`TenantSpec` per hosted tenant — a (dataset, policy) pair with its own
+runner configuration, mirroring the offline :class:`repro.api.spec
+.ExperimentSpec` building blocks so a serving tenant is configured with
+exactly the vocabulary an offline experiment already uses.  The JSON shape::
+
+    {
+      "name": "serve-ci",
+      "host": "127.0.0.1",
+      "port": 7601,
+      "tenants": [
+        {
+          "name": "alpha",
+          "dataset": {"scale": 0.03, "num_months": 2, "seed": 1},
+          "runner": {"seed": 0, "checkpoint_every": 25},
+          "policy": {"policy": "ddqn-worker", "kwargs": {"hidden_dim": 16}}
+        }
+      ]
+    }
+
+Unknown keys anywhere raise at parse time (the spec layer's usual loud
+rejection), tenant names must be unique filesystem-safe slugs (they become
+checkpoint file stems), and every policy name is validated against the
+registry before any dataset is generated.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..api.registry import policy_entry
+from ..api.spec import DatasetSpec, PolicySpec, _from_known_fields
+from ..eval.runner import RunnerConfig
+
+__all__ = ["TenantSpec", "ServeSpec"]
+
+#: Tenant names become checkpoint file stems (``<state_dir>/<name>.npz``), so
+#: they are restricted to the registry's slug alphabet.
+_TENANT_NAME = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
+
+
+@dataclass
+class TenantSpec:
+    """One hosted tenant: a named (dataset, runner, policy) triple."""
+
+    name: str
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    runner: RunnerConfig = field(default_factory=RunnerConfig)
+    policy: PolicySpec = field(default_factory=lambda: PolicySpec(policy="random"))
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            "name": self.name,
+            "dataset": self.dataset.to_dict(),
+            "runner": asdict(self.runner),
+            "policy": self.policy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        if not isinstance(data, dict):
+            raise ValueError(f"tenant spec must be a JSON object, got {type(data).__name__}")
+        unknown = set(data) - {"name", "dataset", "runner", "policy"}
+        if unknown:
+            raise ValueError(f"unknown tenant spec keys: {sorted(unknown)}")
+        name = data.get("name")
+        if not isinstance(name, str) or not _TENANT_NAME.match(name):
+            raise ValueError(
+                f"tenant name {name!r} must be a lowercase slug "
+                "(letters, digits, '-' and '_', starting with a letter or digit)"
+            )
+        if "policy" not in data:
+            raise ValueError(f"tenant {name!r} is missing its 'policy' section")
+        return cls(
+            name=name,
+            dataset=DatasetSpec.from_dict(data.get("dataset", {})),
+            runner=_from_known_fields(RunnerConfig, data.get("runner", {}), "runner"),
+            policy=PolicySpec.from_dict(data["policy"]),
+        )
+
+
+@dataclass
+class ServeSpec:
+    """A full server: TCP endpoint + tenant line-up."""
+
+    name: str = "serve"
+    host: str = "127.0.0.1"
+    port: int = 7600
+    tenants: list[TenantSpec] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "host": self.host,
+            "port": self.port,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeSpec":
+        if not isinstance(data, dict):
+            raise ValueError(f"serve spec must be a JSON object, got {type(data).__name__}")
+        unknown = set(data) - {"name", "host", "port", "tenants"}
+        if unknown:
+            raise ValueError(f"unknown serve spec keys: {sorted(unknown)}")
+        tenants_data = data.get("tenants", [])
+        if not isinstance(tenants_data, list):
+            raise ValueError("tenants section must be a JSON array")
+        spec = cls(
+            name=str(data.get("name", "serve")),
+            host=str(data.get("host", "127.0.0.1")),
+            port=int(data.get("port", 7600)),
+            tenants=[TenantSpec.from_dict(entry) for entry in tenants_data],
+        )
+        if not spec.tenants:
+            raise ValueError(f"serve spec {spec.name!r} lists no tenants")
+        if not (0 <= spec.port <= 65535):
+            raise ValueError(f"port must be in [0, 65535], got {spec.port}")
+        seen: set[str] = set()
+        for tenant in spec.tenants:
+            if tenant.name in seen:
+                raise ValueError(
+                    f"serve spec {spec.name!r} lists tenant {tenant.name!r} twice; "
+                    "tenant names must be unique"
+                )
+            seen.add(tenant.name)
+            # Fail fast on typo'd policy names before any dataset generation.
+            policy_entry(tenant.policy.policy)
+        return spec
+
+    # ------------------------------------------------------------------ #
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ServeSpec":
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no serve spec at {path}")
+        return cls.from_json(path.read_text())

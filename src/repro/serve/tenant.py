@@ -1,0 +1,339 @@
+"""One hosted tenant: a replica loop fed by pushed events.
+
+A :class:`Tenant` owns everything one (dataset, policy) pair needs to serve:
+the platform replica loop (:class:`repro.eval.ReplicaRun` — the *identical*
+loop code the offline runners drive), a :class:`PushStream` standing in for
+the trace cursor, the policy itself, and the checkpoint wiring.  The server
+feeds wire events into the stream and *pumps* the loop; the loop pulls the
+buffered events through ``platform.apply_event`` exactly like offline
+replay, asks for rankings (answered through the server's cross-tenant
+batcher), simulates feedback server-side and trains the policy.
+
+Because serving runs the same generator as offline evaluation, everything
+the runner already guarantees carries over for free: warm-up observation at
+boot, day-boundary retraining, periodic run-state checkpoints every
+``checkpoint_every`` arrivals, and — once the stream is closed at shutdown —
+the end-of-run training drain.  Persistence is *schedule-aligned*: only the
+periodic checkpoints are written (never a drain-time save at an arbitrary
+arrival), because a resume point is bit-reproducible exactly when the
+uninterrupted run checkpointed at the same arrival.  A restarted tenant
+resumes from its run-state sidecar and reports the restored trace offset
+(``events_consumed``) so clients re-feed the tail past the last checkpoint
+(at-least-once delivery); the replayed tail is decided identically, so the
+resumed trajectory matches an uninterrupted run fed the same events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+from ..api.registry import build_policy
+from ..core.framework import TaskArrangementFramework
+from ..crowd.events import Event, EventType
+from ..crowd.vectorized import STARVED
+from ..eval.runner import ReplicaRun
+from .spec import TenantSpec
+
+__all__ = ["ArrivalTicket", "PushStream", "Tenant", "latency_percentiles"]
+
+
+def latency_percentiles(samples_ms) -> dict:
+    """p50/p90/p99/max summary of a latency sample set (milliseconds)."""
+    samples = np.asarray(list(samples_ms), dtype=np.float64)
+    if samples.size == 0:
+        return {"count": 0, "p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+    return {
+        "count": int(samples.size),
+        "p50_ms": float(np.percentile(samples, 50)),
+        "p90_ms": float(np.percentile(samples, 90)),
+        "p99_ms": float(np.percentile(samples, 99)),
+        "max_ms": float(samples.max()),
+    }
+
+
+class ArrivalTicket:
+    """The pending response slot of one fed worker-arrival event.
+
+    Resolves to the decision payload once the replica loop has processed the
+    arrival, to ``None`` when the loop skipped it (empty pool or empty
+    ranking — mirroring the offline loop's ``continue`` branches), or to an
+    exception when the tenant failed.
+    """
+
+    __slots__ = ("future",)
+
+    def __init__(self, future: asyncio.Future) -> None:
+        self.future = future
+
+    def resolve(self, decision: dict | None) -> None:
+        if not self.future.done():
+            self.future.set_result(decision)
+
+    def fail(self, error: BaseException) -> None:
+        if not self.future.done():
+            self.future.set_exception(error)
+
+
+class PushStream:
+    """A :class:`~repro.crowd.vectorized.ReplicaStream`-shaped push cursor.
+
+    The replica loop pulls arrivals via :meth:`next_arrival` exactly as it
+    does from a trace cursor; here the events come from a bounded-by-nobody
+    FIFO the server feeds.  An empty buffer returns the ``STARVED`` sentinel
+    (the loop yields idle and waits) until :meth:`close`, after which an
+    empty buffer returns ``None`` and the loop finishes exactly like an
+    exhausted trace.  ``events_consumed`` keeps the trace-offset semantics of
+    the offline cursor, so run-state checkpoints and resume work unchanged —
+    clients must feed the online trace's events in trace order.
+    """
+
+    def __init__(self) -> None:
+        self.platform = None
+        self.events_consumed = 0
+        self.closed = False
+        self.fed = 0
+        self.arrivals_fed = 0
+        self.skipped_arrivals = 0
+        self._buffer: deque[tuple[Event, ArrivalTicket | None]] = deque()
+        self._active_ticket: ArrivalTicket | None = None
+
+    # ------------------------------------------------------------------ #
+    def bind(self, platform, start_event: int) -> None:
+        """Attach the loop's platform (called via the stream factory)."""
+        self.platform = platform
+        self.events_consumed = int(start_event)
+
+    def feed(self, event: Event, ticket: ArrivalTicket | None = None) -> None:
+        if self.closed:
+            raise RuntimeError("event stream is closed (server shutting down)")
+        self._buffer.append((event, ticket))
+        self.fed += 1
+        if event.event_type is EventType.WORKER_ARRIVAL:
+            self.arrivals_fed += 1
+
+    def close(self) -> None:
+        self.closed = True
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------ #
+    def resolve_active(self, decision: dict) -> None:
+        """Resolve the in-flight arrival's ticket with its decision payload."""
+        if self._active_ticket is not None:
+            self._active_ticket.resolve(decision)
+            self._active_ticket = None
+
+    def _settle_active(self) -> None:
+        """The loop moved past the previous arrival without deciding: skipped."""
+        if self._active_ticket is not None:
+            self._active_ticket.resolve(None)
+            self._active_ticket = None
+            self.skipped_arrivals += 1
+
+    def fail_all(self, error: BaseException) -> None:
+        """Fail the in-flight and every buffered ticket (tenant error path)."""
+        if self._active_ticket is not None:
+            self._active_ticket.fail(error)
+            self._active_ticket = None
+        while self._buffer:
+            _, ticket = self._buffer.popleft()
+            if ticket is not None:
+                ticket.fail(error)
+
+    def settle_all(self) -> None:
+        """Resolve every outstanding ticket as skipped (loop ended early)."""
+        self._settle_active()
+        while self._buffer:
+            _, ticket = self._buffer.popleft()
+            if ticket is not None:
+                ticket.resolve(None)
+
+    # ------------------------------------------------------------------ #
+    def next_arrival(self):
+        if self.platform is None:
+            raise RuntimeError("PushStream.next_arrival called before bind()")
+        self._settle_active()
+        while self._buffer:
+            event, ticket = self._buffer.popleft()
+            self.events_consumed += 1
+            context = self.platform.apply_event(event)
+            if context is not None:
+                self._active_ticket = ticket
+                return context
+            if ticket is not None:  # pragma: no cover - defensive
+                ticket.resolve(None)
+        return None if self.closed else STARVED
+
+
+def _decision_payload(presented, feedback, latency_ms: float) -> dict:
+    """The wire payload of one served decision + its simulated outcome."""
+    return {
+        "presented": [int(task_id) for task_id in presented],
+        "completed_task_id": (
+            int(feedback.completed_task_id) if feedback.completed_task_id is not None else None
+        ),
+        "completed_rank": (
+            int(feedback.completed_rank) if feedback.completed_rank is not None else None
+        ),
+        "quality_gain": float(feedback.quality_gain),
+        "latency_ms": float(latency_ms),
+    }
+
+
+class Tenant:
+    """One (dataset, policy) pair served live through its replica loop."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        state_dir: str | Path | None = None,
+        resume: bool = True,
+        dataset_cache_dir: str | Path | None = None,
+    ) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.dataset = spec.dataset.build(cache_dir=dataset_cache_dir)
+        self.policy = build_policy(spec.policy.policy, self.dataset, **spec.policy.kwargs)
+        self.stream = PushStream()
+        self.checkpoint_path = (
+            Path(state_dir) / f"{spec.name}.npz" if state_dir is not None else None
+        )
+        self.run = ReplicaRun(
+            self.dataset,
+            self.policy,
+            spec.runner,
+            checkpoint_path=self.checkpoint_path,
+            resume=resume and self.checkpoint_path is not None,
+            stream_factory=self._bind_stream,
+            # Schedule-aligned checkpoints only: a drain-time save at an
+            # arbitrary arrival would create a resume point whose transient
+            # learner caches the uninterrupted run never rebuilt there,
+            # breaking bit-exact warm restarts.  Clients re-feed the tail
+            # past the last periodic checkpoint instead (at-least-once).
+            final_checkpoint=False,
+        )
+        self._gen = None
+        self.result = None
+        self.error: BaseException | None = None
+        self.resumed_at_event = 0
+        self.decisions = 0
+        self._last_latency_ms = 0.0
+        self._latencies_ms: deque[float] = deque(maxlen=8192)
+        self._pump_running = False
+        self.done = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    def _bind_stream(self, platform, online_trace, start_event: int):
+        self.stream.bind(platform, start_event)
+        self.resumed_at_event = int(start_event)
+        return self.stream
+
+    def _advance(self, response):
+        """Send one response into the loop; ``None`` once the loop finished."""
+        try:
+            return self._gen.send(response)
+        except StopIteration as stop:
+            self.result = stop.value
+            self._finish()
+            return None
+
+    def _finish(self) -> None:
+        self.stream.settle_all()
+        if isinstance(self.policy, TaskArrangementFramework):
+            self.policy.trainer.close()
+        self.done.set()
+
+    # ------------------------------------------------------------------ #
+    def boot(self) -> None:
+        """Run the loop to its first idle point (warm-up or resume restore).
+
+        A fresh tenant replays its warm-up month here (the policy observes
+        the self-selected interactions inline, as in offline runs); a
+        resumed tenant restores its checkpoint and fast-forwards instead.
+        """
+        self._gen = self.run.loop()
+        request = self._advance(None)
+        while request is not None and request[0] == "observe":
+            _, context, presented, feedback = request
+            self.policy.observe_feedback(context, presented, feedback)
+            request = self._advance(None)
+        if request is not None and request[0] != "idle":  # pragma: no cover - defensive
+            raise RuntimeError(f"tenant {self.name!r}: unexpected boot request {request[0]!r}")
+
+    def feed(self, event: Event, ticket: ArrivalTicket | None = None) -> None:
+        if self.error is not None:
+            raise RuntimeError(f"tenant {self.name!r} failed earlier: {self.error!r}")
+        if self.result is not None:
+            raise RuntimeError(f"tenant {self.name!r} has finished its run")
+        self.stream.feed(event, ticket)
+
+    # ------------------------------------------------------------------ #
+    async def pump(self, batcher) -> None:
+        """Advance the loop through everything the buffered events allow.
+
+        Single-threaded re-entrancy: at most one pump per tenant is ever
+        inside the generator (``_pump_running``); events fed while a pump is
+        awaiting its rank response are picked up by the same pump's next
+        iteration, so a guarded early return never strands an event.
+        """
+        if self._pump_running or self._gen is None:
+            return
+        if self.result is not None or self.error is not None:
+            return
+        self._pump_running = True
+        try:
+            while self.result is None and (self.stream.pending or self.stream.closed):
+                request = self._advance(None)
+                while request is not None and request[0] != "idle":
+                    if request[0] == "rank":
+                        started = time.perf_counter()
+                        ranking = await batcher.submit(self, request[1])
+                        self._record_latency((time.perf_counter() - started) * 1e3)
+                        request = self._advance(ranking)
+                    else:  # observe
+                        _, context, presented, feedback = request
+                        self.stream.resolve_active(
+                            _decision_payload(presented, feedback, self._last_latency_ms)
+                        )
+                        self.policy.observe_feedback(context, presented, feedback)
+                        request = self._advance(None)
+        except BaseException as error:
+            self.error = error
+            self.stream.fail_all(error)
+            self.done.set()
+        finally:
+            self._pump_running = False
+
+    def _record_latency(self, latency_ms: float) -> None:
+        self.decisions += 1
+        self._last_latency_ms = latency_ms
+        self._latencies_ms.append(latency_ms)
+
+    # ------------------------------------------------------------------ #
+    def status(self) -> dict:
+        """The per-tenant block of the ``/status`` health surface."""
+        trainer_stats = None
+        if isinstance(self.policy, TaskArrangementFramework):
+            trainer_stats = self.policy.trainer.stats() or {"mode": "sync"}
+        return {
+            "policy": self.spec.policy.policy,
+            "finished": self.result is not None,
+            "error": repr(self.error) if self.error is not None else None,
+            "resumed_at_event": self.resumed_at_event,
+            "events_consumed": self.stream.events_consumed,
+            "queue_depth": self.stream.pending,
+            "events_fed": self.stream.fed,
+            "arrivals_fed": self.stream.arrivals_fed,
+            "decisions": self.decisions,
+            "skipped_arrivals": self.stream.skipped_arrivals,
+            "latency_ms": latency_percentiles(self._latencies_ms),
+            "trainer": trainer_stats,
+            "checkpoint": str(self.checkpoint_path) if self.checkpoint_path else None,
+        }

@@ -47,6 +47,31 @@ def test_cli_policies_lists_the_registry():
         assert name in completed.stdout
 
 
+def test_cli_policies_json_is_machine_readable():
+    completed = run_cli("policies", "--json")
+    assert completed.returncode == 0, completed.stderr
+    payload = json.loads(completed.stdout)
+    assert payload["count"] == len(payload["policies"])
+    names = {entry["name"] for entry in payload["policies"]}
+    assert {"random", "linucb", "ddqn-worker"} <= names
+    for entry in payload["policies"]:
+        assert entry["description"]
+
+
+def test_cli_serve_and_loadgen_forward_help():
+    for subcommand in ("serve", "loadgen"):
+        completed = run_cli(subcommand, "--help")
+        assert completed.returncode == 0, completed.stderr
+        assert f"repro {subcommand}" in completed.stdout
+        assert "spec" in completed.stdout
+
+
+def test_cli_serve_missing_spec_fails_cleanly(tmp_path):
+    completed = run_cli("serve", str(tmp_path / "nope.json"))
+    assert completed.returncode != 0
+    assert "nope.json" in completed.stderr
+
+
 def test_cli_run_executes_the_bundled_spec(tmp_path):
     output = tmp_path / "results.json"
     completed = run_cli("run", str(TINY_SPEC), "--output", str(output))

@@ -96,6 +96,48 @@ class TestRunstateResume:
                 other, checkpoint_path=path, resume=True
             )
 
+    def test_resume_with_unknown_format_version_is_rejected(self, dataset, tmp_path):
+        """A future-format sidecar fails loudly, naming the file and version."""
+        from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+        path = tmp_path / "future.npz"
+        SimulationRunner(dataset, config(15)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN), checkpoint_path=path
+        )
+        sidecar = runstate_path(path)
+        tree = load_checkpoint(sidecar)
+        tree["format"] = "repro.runstate/99"
+        save_checkpoint(tree, sidecar)
+        with pytest.raises(ValueError) as excinfo:
+            SimulationRunner(dataset, config(20)).run(
+                build_policy("ddqn-worker", dataset, **TINY_DDQN),
+                checkpoint_path=path,
+                resume=True,
+            )
+        message = str(excinfo.value)
+        assert str(sidecar) in message
+        assert "repro.runstate/99" in message
+        assert "unknown format" in message
+
+    def test_resume_with_non_runstate_file_is_rejected(self, dataset, tmp_path):
+        """A checkpoint that is not a run-state sidecar at all says so."""
+        from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+        path = tmp_path / "alien.npz"
+        SimulationRunner(dataset, config(15)).run(
+            build_policy("ddqn-worker", dataset, **TINY_DDQN), checkpoint_path=path
+        )
+        sidecar = runstate_path(path)
+        tree = load_checkpoint(sidecar)
+        tree["format"] = "something/else"
+        save_checkpoint(tree, sidecar)
+        with pytest.raises(ValueError, match="not a run-state checkpoint"):
+            SimulationRunner(dataset, config(20)).run(
+                build_policy("ddqn-worker", dataset, **TINY_DDQN),
+                checkpoint_path=path,
+                resume=True,
+            )
+
     def test_baselines_never_write_runstate(self, dataset, tmp_path):
         path = tmp_path / "random.npz"
         SimulationRunner(dataset, config(10, checkpoint_every=2)).run(

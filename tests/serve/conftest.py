@@ -1,0 +1,118 @@
+"""Shared fixtures for the serving-layer tests.
+
+The serving tests all run against the bundled CI spec
+(``examples/specs/serve_ci.json`` — two tiny ddqn-worker tenants) with a
+session-scoped dataset cache, so every server boot after the first loads its
+traces from disk instead of regenerating them.
+"""
+
+import asyncio
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import ArrangementServer, ServeSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CI_SPEC_PATH = REPO_ROOT / "examples" / "specs" / "serve_ci.json"
+
+#: Wall-clock timing accumulators: the only run-state fields legitimately
+#: different between an uninterrupted run and a warm-restarted one.
+TIMING_JSON_KEYS = {"runner/decision_seconds", "runner/update_seconds"}
+TIMING_ARRAY_KEYS = {"runner/retrain_seconds"}
+
+
+@pytest.fixture(scope="session")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("dataset-cache")
+
+
+@pytest.fixture()
+def ci_spec():
+    return ServeSpec.load(CI_SPEC_PATH)
+
+
+class ServerThread:
+    """An :class:`ArrangementServer` on its own event loop in a thread.
+
+    Tests talk to it over real TCP from the main thread (blocking
+    :class:`~repro.serve.protocol.ServeClient` or ``run_loadgen``); sending
+    the ``shutdown`` op drains the server, after which :meth:`join` returns.
+    """
+
+    def __init__(self, spec, state_dir=None, resume=True, dataset_cache_dir=None):
+        self._ready = threading.Event()
+        self._error = None
+        self.server = None
+        self.address = None
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(spec, state_dir, resume, dataset_cache_dir),
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=120):
+            raise TimeoutError("server thread did not become ready")
+        if self._error is not None:
+            raise self._error
+
+    def _run(self, spec, state_dir, resume, dataset_cache_dir):
+        async def amain():
+            server = ArrangementServer(
+                spec,
+                state_dir=state_dir,
+                resume=resume,
+                dataset_cache_dir=dataset_cache_dir,
+            )
+            try:
+                await server.start()
+            except BaseException as error:  # noqa: BLE001 - surfaced to the test
+                self._error = error
+                self._ready.set()
+                raise
+            self.server = server
+            self.address = server.address
+            self._ready.set()
+            await server.run_until_shutdown()
+
+        try:
+            asyncio.run(amain())
+        except BaseException as error:  # noqa: BLE001 - surfaced via join()
+            if self._error is None:
+                self._error = error
+            self._ready.set()
+
+    def join(self, timeout=120):
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("server thread did not exit")
+        if self._error is not None:
+            raise self._error
+
+
+def assert_state_dirs_equal(dir_a: Path, dir_b: Path) -> None:
+    """Every checkpoint in both trees is bit-identical modulo timing fields."""
+    files_a = sorted(p.name for p in Path(dir_a).glob("*.npz"))
+    files_b = sorted(p.name for p in Path(dir_b).glob("*.npz"))
+    assert files_a == files_b, f"checkpoint sets differ: {files_a} vs {files_b}"
+    assert files_a, f"no checkpoints written under {dir_a}"
+    for name in files_a:
+        with np.load(Path(dir_a) / name, allow_pickle=False) as za, np.load(
+            Path(dir_b) / name, allow_pickle=False
+        ) as zb:
+            assert sorted(za.files) == sorted(zb.files), name
+            for key in za.files:
+                if key in TIMING_ARRAY_KEYS:
+                    continue
+                if key == "__json__":
+                    ja = json.loads(str(za[key][()]))
+                    jb = json.loads(str(zb[key][()]))
+                    for field in sorted(set(ja) | set(jb)):
+                        if field in TIMING_JSON_KEYS:
+                            continue
+                        assert ja.get(field) == jb.get(field), f"{name}:{field}"
+                    continue
+                assert za[key].tobytes() == zb[key].tobytes(), f"{name}:{key}"

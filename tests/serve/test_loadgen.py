@@ -1,0 +1,122 @@
+"""Load-generator tests: validation, offsets, pacing knobs and the report."""
+
+import pytest
+
+from repro.serve import ServeSpec, run_loadgen
+from repro.serve.spec import TenantSpec
+
+from tests.serve.conftest import CI_SPEC_PATH, ServerThread
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory, cache_dir):
+    spec = ServeSpec.load(CI_SPEC_PATH)
+    thread = ServerThread(
+        spec,
+        state_dir=tmp_path_factory.mktemp("loadgen-state"),
+        dataset_cache_dir=cache_dir,
+    )
+    yield spec, thread
+    from repro.serve import ServeClient
+
+    try:
+        with ServeClient(*thread.address) as client:
+            client.request({"op": "shutdown"})
+    except OSError:
+        pass
+    thread.join()
+
+
+def test_unknown_tenant_selection_raises(served, cache_dir):
+    spec, thread = served
+    with pytest.raises(ValueError, match="no tenants named"):
+        run_loadgen(
+            spec,
+            port=thread.address[1],
+            tenant_names=["ghost"],
+            dataset_cache_dir=cache_dir,
+        )
+
+
+def test_unhosted_tenant_raises(served, cache_dir, tmp_path):
+    """A spec tenant the server does not host fails before any events flow."""
+    spec, thread = served
+    widened = ServeSpec.from_dict(spec.to_dict())
+    extra = TenantSpec.from_dict(
+        {"name": "gamma", "policy": {"policy": "random"}}
+    )
+    widened.tenants.append(extra)
+    with pytest.raises(ValueError, match="does not host tenant 'gamma'"):
+        run_loadgen(
+            widened,
+            port=thread.address[1],
+            tenant_names=["gamma"],
+            dataset_cache_dir=cache_dir,
+        )
+
+
+def test_max_events_and_report_shape(served, cache_dir):
+    spec, thread = served
+    report = run_loadgen(
+        spec,
+        port=thread.address[1],
+        max_events=30,
+        dataset_cache_dir=cache_dir,
+    )
+    assert set(report["tenants"]) == {"alpha", "beta"}
+    for row in report["tenants"].values():
+        assert row["events_sent"] == 30
+        assert row["errors"] == 0
+        assert row["arrivals"] > 0
+        assert row["decisions"] > 0
+        assert row["rank_rtt_ms"]["count"] == row["arrivals"]
+        assert row["rank_rtt_ms"]["p99_ms"] >= row["rank_rtt_ms"]["p50_ms"] > 0
+    aggregate = report["aggregate"]
+    assert aggregate["tenants"] == 2
+    assert aggregate["events_sent"] == 60
+    assert aggregate["events_per_s"] > 0
+    assert report["server_status"]["tenants"]["alpha"]["decisions"] > 0
+
+
+def test_second_run_continues_at_server_offset(served, cache_dir):
+    """The generator reads each tenant's consumed offset and feeds the tail."""
+    spec, thread = served
+    before = run_loadgen(
+        spec, port=thread.address[1], max_events=0, dataset_cache_dir=cache_dir
+    )
+    offsets = {name: row["offset"] for name, row in before["tenants"].items()}
+    assert all(offset >= 30 for offset in offsets.values()), offsets
+
+    report = run_loadgen(
+        spec,
+        port=thread.address[1],
+        max_events=10,
+        tenant_names=["alpha"],
+        dataset_cache_dir=cache_dir,
+    )
+    assert set(report["tenants"]) == {"alpha"}
+    assert report["tenants"]["alpha"]["offset"] == offsets["alpha"]
+    assert report["tenants"]["alpha"]["events_sent"] == 10
+    after = report["server_status"]["tenants"]
+    assert after["alpha"]["events_consumed"] >= offsets["alpha"] + 10 - int(
+        after["alpha"]["queue_depth"]
+    )
+    # The untouched tenant did not move.
+    assert after["beta"]["events_consumed"] == offsets["beta"]
+
+
+def test_rate_pacing_caps_throughput(served, cache_dir):
+    """--rate spends at least (events-1)/rate seconds per tenant."""
+    spec, thread = served
+    report = run_loadgen(
+        spec,
+        port=thread.address[1],
+        max_events=8,
+        rate=40.0,
+        tenant_names=["alpha"],
+        dataset_cache_dir=cache_dir,
+    )
+    row = report["tenants"]["alpha"]
+    assert row["events_sent"] == 8
+    assert row["elapsed_s"] >= 7 / 40.0
+    assert row["events_per_s"] <= 50.0

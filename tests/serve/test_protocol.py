@@ -1,0 +1,53 @@
+"""Wire codec unit tests: line framing and the event translation."""
+
+import pytest
+
+from repro.crowd.events import Event, EventType
+from repro.serve import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    event_from_wire,
+    event_to_wire,
+)
+
+
+class TestLineCodec:
+    def test_encode_decode_round_trip(self):
+        payload = {"op": "status", "n": 3, "nested": {"ok": True}}
+        line = encode_line(payload)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert decode_line(line) == payload
+
+    def test_decode_accepts_str(self):
+        assert decode_line('{"op":"ping"}') == {"op": "ping"}
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_line(b"{nope\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError, match="JSON objects"):
+            decode_line(b"[1, 2]\n")
+
+
+class TestEventWire:
+    def test_event_round_trip(self):
+        for kind in EventType:
+            event = Event(timestamp=123.5, event_type=kind, subject_id=7)
+            wire = event_to_wire("alpha", event)
+            assert wire["op"] == "event"
+            assert wire["tenant"] == "alpha"
+            back = event_from_wire(wire)
+            assert back.event_type is kind
+            assert back.subject_id == 7
+            assert back.timestamp == 123.5
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ProtocolError, match="unknown event kind"):
+            event_from_wire({"op": "event", "kind": "meteor", "subject_id": 1, "timestamp": 0})
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(ProtocolError, match="subject_id"):
+            event_from_wire({"op": "event", "kind": "worker_arrival"})

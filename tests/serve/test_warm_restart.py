@@ -1,0 +1,158 @@
+"""Warm restart: SIGTERM a serving process, restart it, end state identical.
+
+The satellite acceptance path, run through the real CLI: boot
+``python -m repro serve``, ingest part of each tenant's trace through the
+load generator, ``SIGTERM`` the process (graceful drain — loops finish,
+periodic checkpoints stand), restart it against the same state directory and
+feed the remainder.  The final per-tenant run-state checkpoints must be
+bit-identical (modulo wall-clock timing accumulators) to an uninterrupted
+server fed the same events in one life.
+
+Persistence is schedule-aligned: the drain writes no extra checkpoint, the
+restarted server reports each tenant's restored trace offset, and the load
+generator re-feeds the tail past it — at-least-once delivery with exact
+replay, so the resumed trajectory merges back onto the uninterrupted one.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.serve import ServeSpec, run_loadgen
+
+from tests.serve.conftest import CI_SPEC_PATH, assert_state_dirs_equal
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def launch_server(state_dir, cache_dir):
+    """Start the serve CLI; returns (process, port) once it announces."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            str(CI_SPEC_PATH),
+            "--state-dir",
+            str(state_dir),
+            "--cache-dir",
+            str(cache_dir),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = process.stdout.readline()
+    if not line:
+        process.kill()
+        raise RuntimeError(f"server died before announcing: {process.stderr.read()}")
+    announce = json.loads(line)["serving"]
+    return process, announce
+
+
+def wait_for_exit(process, timeout=120):
+    """Collect the shutdown line and exit code of a draining server."""
+    try:
+        stdout, stderr = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise
+    assert process.returncode == 0, stderr
+    shutdown_lines = [line for line in stdout.splitlines() if '"shutdown"' in line]
+    assert shutdown_lines, f"no shutdown summary printed:\n{stdout}\n{stderr}"
+    return json.loads(shutdown_lines[-1])["shutdown"]
+
+
+def test_sigterm_restart_matches_uninterrupted_run(tmp_path, cache_dir):
+    spec = ServeSpec.load(CI_SPEC_PATH)
+    uncut_dir = tmp_path / "uncut"
+    cut_dir = tmp_path / "cut"
+
+    # Uninterrupted baseline: one server life, full traces, drained clean.
+    process, announce = launch_server(uncut_dir, cache_dir)
+    run_loadgen(
+        spec, port=announce["port"], dataset_cache_dir=cache_dir, shutdown=True
+    )
+    baseline_summary = wait_for_exit(process)
+
+    # Interrupted run, life 1: part of the trace, then SIGTERM.
+    process, announce = launch_server(cut_dir, cache_dir)
+    first = run_loadgen(
+        spec, port=announce["port"], dataset_cache_dir=cache_dir, max_events=110
+    )
+    assert all(row["events_sent"] == 110 for row in first["tenants"].values())
+    process.send_signal(signal.SIGTERM)
+    interrupted_summary = wait_for_exit(process)
+    for name, entry in interrupted_summary.items():
+        assert entry["error"] is None
+        # The drain consumed everything the load generator fed.
+        assert entry["events_consumed"] == 110, name
+
+    # Life 2: resume from the periodic checkpoints and feed the remainder.
+    process, announce = launch_server(cut_dir, cache_dir)
+    second = run_loadgen(
+        spec, port=announce["port"], dataset_cache_dir=cache_dir, shutdown=True
+    )
+    resumed_summary = wait_for_exit(process)
+
+    for name in ("alpha", "beta"):
+        offset = second["tenants"][name]["offset"]
+        # Schedule-aligned persistence: the restart resumes from the last
+        # periodic checkpoint (strictly before the SIGTERM point, no
+        # drain-time save) and the load generator re-fed the tail.
+        assert 0 < offset < 110, (name, offset)
+        assert (
+            resumed_summary[name]["events_consumed"]
+            == baseline_summary[name]["events_consumed"]
+        )
+        # Result rows match exactly, minus the wall-clock timing columns.
+        resumed_row = {
+            k: v for k, v in resumed_summary[name]["result"].items() if not k.endswith("_s")
+        }
+        baseline_row = {
+            k: v for k, v in baseline_summary[name]["result"].items() if not k.endswith("_s")
+        }
+        assert resumed_row == baseline_row
+
+    assert_state_dirs_equal(uncut_dir, cut_dir)
+
+
+def test_restarted_server_reports_restored_offsets(tmp_path, cache_dir):
+    """Status after a restart shows the checkpointed trace offsets."""
+    spec = ServeSpec.load(CI_SPEC_PATH)
+    state_dir = tmp_path / "state"
+
+    process, announce = launch_server(state_dir, cache_dir)
+    run_loadgen(spec, port=announce["port"], dataset_cache_dir=cache_dir, max_events=80)
+    process.send_signal(signal.SIGTERM)
+    wait_for_exit(process)
+    checkpoints = sorted(p.name for p in state_dir.glob("*.runstate.npz"))
+    assert checkpoints == ["alpha.runstate.npz", "beta.runstate.npz"]
+    mtimes = {p.name: p.stat().st_mtime_ns for p in state_dir.glob("*.npz")}
+
+    process, announce = launch_server(state_dir, cache_dir)
+    try:
+        report = run_loadgen(
+            spec, port=announce["port"], dataset_cache_dir=cache_dir, max_events=0
+        )
+        for name in ("alpha", "beta"):
+            tenant = report["server_status"]["tenants"][name]
+            assert tenant["resumed_at_event"] > 0
+            assert tenant["events_consumed"] == tenant["resumed_at_event"]
+            assert report["tenants"][name]["offset"] == tenant["resumed_at_event"]
+    finally:
+        process.send_signal(signal.SIGTERM)
+        wait_for_exit(process)
+    # No events were fed this life, so no checkpoint was rewritten: the
+    # drain performs no save of its own (schedule-aligned persistence).
+    assert {p.name: p.stat().st_mtime_ns for p in state_dir.glob("*.npz")} == mtimes
