@@ -10,12 +10,14 @@ EXPERIMENTS.md.  Paper-scale runs are available by constructing
 
 from __future__ import annotations
 
+import json
 from dataclasses import replace
 from pathlib import Path
 
 import pytest
 
 from repro.eval.experiments import ExperimentScale, make_dataset
+from repro.obs.figures import FigureDocument, render_document
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -51,8 +53,21 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def write_result(results_dir: Path, name: str, content: str) -> None:
-    """Persist a rendered table and echo it to stdout."""
+def write_result(results_dir: Path, name: str, content) -> None:
+    """Persist a rendered table and echo it to stdout.
+
+    ``content`` is either the rendered text (legacy: ``.txt`` only) or a
+    :class:`~repro.obs.figures.FigureDocument`, in which case the rendered
+    text *and* the structured ``.json`` twin are written — the pair is two
+    views of one value, so ingesting the document and rendering it back
+    reproduces the ``.txt`` byte-for-byte.
+    """
+    if isinstance(content, FigureDocument):
+        content.figure = name
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(content.to_payload(), indent=2) + "\n"
+        )
+        content = render_document(content)
     path = results_dir / f"{name}.txt"
     path.write_text(content + "\n")
     print(f"\n===== {name} =====\n{content}\n")

@@ -11,7 +11,7 @@ import numpy as np
 
 from conftest import write_result
 from repro.eval.experiments import run_scalability_experiment
-from repro.eval.reporting import format_series_comparison
+from repro.obs.figures import FigureDocument, series_section
 
 POOL_SIZES = (10, 50, 100, 500)
 
@@ -24,10 +24,19 @@ def test_fig10d_update_cost_scalability(benchmark, results_dir):
         iterations=1,
     )
 
-    report = "Fig 10(d) per-update seconds vs #available tasks\n" + format_series_comparison(
-        POOL_SIZES, result.seconds_by_policy, x_label="tasks", float_format="{:.5f}"
+    document = FigureDocument(
+        figure="fig10d_scalability",
+        sections=[
+            series_section(
+                "Fig 10(d) per-update seconds vs #available tasks",
+                POOL_SIZES,
+                result.seconds_by_policy,
+                x_label="tasks",
+                float_format="{:.5f}",
+            )
+        ],
     )
-    write_result(results_dir, "fig10d_scalability", report)
+    write_result(results_dir, "fig10d_scalability", document)
 
     for name, series in result.seconds_by_policy.items():
         assert len(series) == len(POOL_SIZES)

@@ -14,7 +14,7 @@ from dataclasses import replace
 
 from conftest import write_result
 from repro.eval.experiments import run_arrival_density_experiment, run_quality_noise_experiment
-from repro.eval.reporting import format_series_comparison
+from repro.obs.figures import FigureDocument, series_section
 
 RATES = (0.5, 1.0, 2.0)
 NOISE_MEANS = (-0.4, 0.0, 0.2)
@@ -32,15 +32,20 @@ def test_fig10ab_arrival_density(benchmark, results_dir, quick_scale):
     policy_names = [r.policy_name for r in outcomes[RATES[0]].results]
     cr_series = {name: [outcomes[rate].final("CR")[name] for rate in RATES] for name in policy_names}
     qg_series = {name: [outcomes[rate].final("QG")[name] for rate in RATES] for name in policy_names}
-    report = "\n\n".join(
-        [
-            "Fig 10(a) CR vs sampling rate\n"
-            + format_series_comparison(RATES, cr_series, x_label="rate"),
-            "Fig 10(b) QG vs sampling rate\n"
-            + format_series_comparison(RATES, qg_series, x_label="rate", float_format="{:.2f}"),
-        ]
+    document = FigureDocument(
+        figure="fig10ab_arrival_density",
+        sections=[
+            series_section("Fig 10(a) CR vs sampling rate", RATES, cr_series, x_label="rate"),
+            series_section(
+                "Fig 10(b) QG vs sampling rate",
+                RATES,
+                qg_series,
+                x_label="rate",
+                float_format="{:.2f}",
+            ),
+        ],
     )
-    write_result(results_dir, "fig10ab_arrival_density", report)
+    write_result(results_dir, "fig10ab_arrival_density", document)
 
     # Fig. 10(b)'s cumulative-QG growth with the sampling rate requires
     # evaluating *all* arrivals; the CI bench caps the evaluated arrivals for
@@ -72,10 +77,19 @@ def test_fig10c_worker_quality_noise(benchmark, results_dir, quick_scale):
     qg_series = {
         name: [outcomes[mean].final("QG")[name] for mean in NOISE_MEANS] for name in policy_names
     }
-    report = "Fig 10(c) QG vs worker-quality noise mean\n" + format_series_comparison(
-        NOISE_MEANS, qg_series, x_label="noise", float_format="{:.2f}"
+    document = FigureDocument(
+        figure="fig10c_quality_noise",
+        sections=[
+            series_section(
+                "Fig 10(c) QG vs worker-quality noise mean",
+                NOISE_MEANS,
+                qg_series,
+                x_label="noise",
+                float_format="{:.2f}",
+            )
+        ],
     )
-    write_result(results_dir, "fig10c_quality_noise", report)
+    write_result(results_dir, "fig10c_quality_noise", document)
 
     # Higher worker quality -> higher attainable quality gain (Fig. 10c).
     for name in policy_names:

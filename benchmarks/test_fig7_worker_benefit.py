@@ -9,7 +9,7 @@ DDQN's margin grows over time as it keeps learning online.
 
 from conftest import write_result
 from repro.eval.experiments import run_worker_benefit_experiment
-from repro.eval.reporting import format_final_table, format_monthly_series
+from repro.obs.figures import FigureDocument, monthly_section, table_section
 
 
 def test_fig7_worker_benefit(benchmark, results_dir, bench_scale, bench_dataset):
@@ -21,19 +21,33 @@ def test_fig7_worker_benefit(benchmark, results_dir, bench_scale, bench_dataset)
     )
 
     by_policy = result.by_policy()
-    monthly_cr = {name: res.cr for name, res in by_policy.items()}
-    monthly_kcr = {name: res.kcr for name, res in by_policy.items()}
-    monthly_ndcg = {name: res.ndcg_cr for name, res in by_policy.items()}
-    report = "\n\n".join(
-        [
-            "Fig 7(a) cumulative CR per month\n" + format_monthly_series(monthly_cr, "CR"),
-            "Fig 7(b) cumulative kCR per month\n" + format_monthly_series(monthly_kcr, "kCR"),
-            "Fig 7(c) cumulative nDCG-CR per month\n" + format_monthly_series(monthly_ndcg, "nDCG-CR"),
-            "Fig 7 final table\n"
-            + format_final_table(result.results, measures=("CR", "kCR", "nDCG-CR")),
-        ]
+    measures = ("CR", "kCR", "nDCG-CR")
+    final_rows = [
+        {"policy": res.summary_row()["policy"], **{m: res.summary_row()[m] for m in measures}}
+        for res in result.results
+    ]
+    document = FigureDocument(
+        figure="fig7_worker_benefit",
+        sections=[
+            monthly_section(
+                "Fig 7(a) cumulative CR per month",
+                {name: res.cr for name, res in by_policy.items()},
+                "CR",
+            ),
+            monthly_section(
+                "Fig 7(b) cumulative kCR per month",
+                {name: res.kcr for name, res in by_policy.items()},
+                "kCR",
+            ),
+            monthly_section(
+                "Fig 7(c) cumulative nDCG-CR per month",
+                {name: res.ndcg_cr for name, res in by_policy.items()},
+                "nDCG-CR",
+            ),
+            table_section("Fig 7 final table", final_rows, row_header="policy"),
+        ],
     )
-    write_result(results_dir, "fig7_worker_benefit", report)
+    write_result(results_dir, "fig7_worker_benefit", document)
 
     finals = result.final("nDCG-CR")
     # Shape checks: every learned method beats Random; DDQN beats the

@@ -8,7 +8,7 @@ the number of worker arrivals rather than increasing monotonically.
 
 from conftest import write_result
 from repro.eval.experiments import run_requester_benefit_experiment
-from repro.eval.reporting import format_final_table, format_monthly_series
+from repro.obs.figures import FigureDocument, monthly_section, table_section
 
 
 def test_fig8_requester_benefit(benchmark, results_dir, bench_scale, bench_dataset):
@@ -20,19 +20,38 @@ def test_fig8_requester_benefit(benchmark, results_dir, bench_scale, bench_datas
     )
 
     by_policy = result.by_policy()
-    report = "\n\n".join(
-        [
-            "Fig 8(a) QG per month\n"
-            + format_monthly_series({n: r.qg for n, r in by_policy.items()}, "QG", float_format="{:.2f}"),
-            "Fig 8(b) kQG per month\n"
-            + format_monthly_series({n: r.kqg for n, r in by_policy.items()}, "kQG", float_format="{:.2f}"),
-            "Fig 8(c) nDCG-QG per month\n"
-            + format_monthly_series({n: r.ndcg_qg for n, r in by_policy.items()}, "nDCG-QG", float_format="{:.2f}"),
-            "Fig 8 final table\n"
-            + format_final_table(result.results, measures=("QG", "kQG", "nDCG-QG"), float_format="{:.2f}"),
-        ]
+    measures = ("QG", "kQG", "nDCG-QG")
+    final_rows = [
+        {"policy": res.summary_row()["policy"], **{m: res.summary_row()[m] for m in measures}}
+        for res in result.results
+    ]
+    document = FigureDocument(
+        figure="fig8_requester_benefit",
+        sections=[
+            monthly_section(
+                "Fig 8(a) QG per month",
+                {n: r.qg for n, r in by_policy.items()},
+                "QG",
+                float_format="{:.2f}",
+            ),
+            monthly_section(
+                "Fig 8(b) kQG per month",
+                {n: r.kqg for n, r in by_policy.items()},
+                "kQG",
+                float_format="{:.2f}",
+            ),
+            monthly_section(
+                "Fig 8(c) nDCG-QG per month",
+                {n: r.ndcg_qg for n, r in by_policy.items()},
+                "nDCG-QG",
+                float_format="{:.2f}",
+            ),
+            table_section(
+                "Fig 8 final table", final_rows, row_header="policy", float_format="{:.2f}"
+            ),
+        ],
     )
-    write_result(results_dir, "fig8_requester_benefit", report)
+    write_result(results_dir, "fig8_requester_benefit", document)
 
     finals = result.final("nDCG-QG")
     assert all(finals[name] >= finals["Random"] for name in finals)

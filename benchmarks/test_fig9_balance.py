@@ -9,7 +9,7 @@ the two extreme points must bracket the trade-off.
 
 from conftest import write_result
 from repro.eval.experiments import run_balance_experiment
-from repro.eval.reporting import format_series_comparison
+from repro.obs.figures import FigureDocument, series_section
 
 
 WEIGHTS = (0.0, 0.25, 0.5, 0.75, 1.0)
@@ -23,29 +23,30 @@ def test_fig9_balance_of_benefits(benchmark, results_dir, quick_scale, bench_dat
         iterations=1,
     )
 
-    report = "\n\n".join(
-        [
-            "Fig 9(a) CR and QG vs w\n"
-            + format_series_comparison(
+    document = FigureDocument(
+        figure="fig9_balance",
+        sections=[
+            series_section(
+                "Fig 9(a) CR and QG vs w",
                 WEIGHTS,
                 {"CR": result.series("CR"), "QG": result.series("QG")},
                 x_label="w",
             ),
-            "Fig 9(b) kCR and kQG vs w\n"
-            + format_series_comparison(
+            series_section(
+                "Fig 9(b) kCR and kQG vs w",
                 WEIGHTS,
                 {"kCR": result.series("kCR"), "kQG": result.series("kQG")},
                 x_label="w",
             ),
-            "Fig 9(c) nDCG-CR and nDCG-QG vs w\n"
-            + format_series_comparison(
+            series_section(
+                "Fig 9(c) nDCG-CR and nDCG-QG vs w",
                 WEIGHTS,
                 {"nDCG-CR": result.series("nDCG-CR"), "nDCG-QG": result.series("nDCG-QG")},
                 x_label="w",
             ),
-        ]
+        ],
     )
-    write_result(results_dir, "fig9_balance", report)
+    write_result(results_dir, "fig9_balance", document)
 
     cr_series = result.series("CR")
     qg_series = result.series("QG")

@@ -12,7 +12,7 @@ from dataclasses import replace
 
 from conftest import write_result
 from repro.eval.experiments import run_efficiency_experiment
-from repro.eval.reporting import format_table
+from repro.obs.figures import FigureDocument, table_section
 
 
 def test_table1_update_time(benchmark, results_dir, bench_scale, bench_dataset):
@@ -34,7 +34,11 @@ def test_table1_update_time(benchmark, results_dir, bench_scale, bench_dataset):
         }
         for name in reported
     ]
-    write_result(results_dir, "table1_efficiency", format_table(rows, float_format="{:.5f}"))
+    document = FigureDocument(
+        figure="table1_efficiency",
+        sections=[table_section(None, rows, row_header="method", float_format="{:.5f}")],
+    )
+    write_result(results_dir, "table1_efficiency", document)
 
     # RL methods update per feedback far faster than one daily re-training of
     # the supervised methods (the paper's milliseconds-vs-seconds gap).

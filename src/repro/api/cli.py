@@ -1,6 +1,8 @@
 """The ``python -m repro`` command line.
 
-Seven subcommands, all built on the registry/spec/sweep/serve layers:
+Eight subcommands, all built on the registry/spec/sweep/serve/obs layers
+and all dispatched through one argparse tree (so ``--help`` lists every one
+of them and forwards into each subcommand's own surface):
 
 * ``run spec.json`` — execute a declarative :class:`ExperimentSpec` file and
   print (optionally write) the final measure table;
@@ -8,13 +10,16 @@ Seven subcommands, all built on the registry/spec/sweep/serve layers:
   requester / balance) at a chosen preset without writing a spec first;
 * ``sweep run|resume|status`` — execute a declarative :class:`SweepSpec`
   grid across a worker pool, cell-by-cell and resumable (see
-  :mod:`repro.api.sweep`);
+  :mod:`repro.api.sweep`); ``--store`` ingests the finished cells straight
+  into an observability store;
 * ``policies`` — list every registered policy name (``--json`` for the
   machine-readable document the serving layer also exposes);
 * ``serve`` — host a multi-tenant serving endpoint from a ServeSpec JSON
   (see :mod:`repro.serve`);
 * ``loadgen`` — replay a ServeSpec's tenant traces against a running server
   and report throughput / rank-latency percentiles;
+* ``report`` — the observability store front end (``ingest`` / ``sql`` /
+  ``tables`` / ``bench-history``; see :mod:`repro.obs.report`);
 * ``bench`` — forward to the perf harnesses (engine microbenchmarks in
   ``benchmarks/perf/bench_engine.py`` and the end-to-end arrivals/sec
   harness in ``benchmarks/perf/bench_endtoend.py``; run from the repository
@@ -31,6 +36,9 @@ from pathlib import Path
 
 from ..eval.metrics import EvaluationResult
 from ..eval.reporting import format_final_table, result_payload
+from ..obs import report as obs_report
+from ..serve import loadgen as serve_loadgen
+from ..serve import server as serve_server
 from .registry import available_policies, registry_payload
 from .spec import ExperimentSpec, run_spec
 from .sweep import SweepRunner, SweepSpec, format_sweep_table
@@ -145,28 +153,34 @@ def _run_sweep_runner(runner: SweepRunner) -> int:
 def _cmd_sweep_run(args: argparse.Namespace) -> int:
     spec = SweepSpec.load(args.spec)
     directory = args.dir if args.dir is not None else Path("sweeps") / spec.name
-    return _run_sweep_runner(
-        SweepRunner(
-            spec,
-            directory,
-            workers=args.workers,
-            vectorize=args.vectorize,
-            cell_threads=args.cell_threads,
-        )
+    runner = SweepRunner(
+        spec,
+        directory,
+        workers=args.workers,
+        vectorize=args.vectorize,
+        cell_threads=args.cell_threads,
     )
+    code = _run_sweep_runner(runner)
+    if code == 0 and args.store is not None:
+        summary = runner.ingest(args.store)
+        print(f"ingested {summary['cells']} cells into {args.store}")
+    return code
 
 
 def _cmd_sweep_resume(args: argparse.Namespace) -> int:
     spec = SweepSpec.load(Path(args.dir) / "sweep.json")
-    return _run_sweep_runner(
-        SweepRunner(
-            spec,
-            args.dir,
-            workers=args.workers,
-            vectorize=args.vectorize,
-            cell_threads=args.cell_threads,
-        )
+    runner = SweepRunner(
+        spec,
+        args.dir,
+        workers=args.workers,
+        vectorize=args.vectorize,
+        cell_threads=args.cell_threads,
     )
+    code = _run_sweep_runner(runner)
+    if code == 0 and args.store is not None:
+        summary = runner.ingest(args.store)
+        print(f"ingested {summary['cells']} cells into {args.store}")
+    return code
 
 
 def _cmd_sweep_status(args: argparse.Namespace) -> int:
@@ -194,20 +208,6 @@ def _cmd_policies(args: argparse.Namespace) -> int:
     for name, entry in entries.items():
         print(f"{name:<{width}}  {entry.description}")
     return 0
-
-
-def _cmd_serve(args: argparse.Namespace) -> int:
-    # Imported lazily: the serve layer pulls in asyncio plumbing the other
-    # subcommands never need.
-    from ..serve.server import main as serve_main
-
-    return serve_main(args.rest)
-
-
-def _cmd_loadgen(args: argparse.Namespace) -> int:
-    from ..serve.loadgen import main as loadgen_main
-
-    return loadgen_main(args.rest)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -352,6 +352,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fan each cell's policies out over up to N threads "
         "(results float-identical to the serial sweep)",
     )
+    sweep_run.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DB",
+        help="after the sweep finishes, ingest its cells into this "
+        "observability store (see 'repro report')",
+    )
     sweep_run.set_defaults(func=_cmd_sweep_run)
 
     sweep_resume = sweep_sub.add_parser(
@@ -361,6 +369,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_resume.add_argument("--workers", type=int, default=1)
     sweep_resume.add_argument("--vectorize", type=int, default=None, metavar="N")
     sweep_resume.add_argument("--cell-threads", type=int, default=None, metavar="N")
+    sweep_resume.add_argument("--store", type=Path, default=None, metavar="DB")
     sweep_resume.set_defaults(func=_cmd_sweep_resume)
 
     sweep_status = sweep_sub.add_parser(
@@ -379,20 +388,24 @@ def _build_parser() -> argparse.ArgumentParser:
     policies_parser.set_defaults(func=_cmd_policies)
 
     serve_parser = sub.add_parser(
-        "serve",
-        help="host a multi-tenant serving endpoint from a ServeSpec JSON",
-        add_help=False,
+        "serve", help="host a multi-tenant serving endpoint from a ServeSpec JSON"
     )
-    serve_parser.add_argument("rest", nargs=argparse.REMAINDER)
-    serve_parser.set_defaults(func=_cmd_serve)
+    serve_server.configure_parser(serve_parser)
+    serve_parser.set_defaults(func=serve_server.run)
 
     loadgen_parser = sub.add_parser(
-        "loadgen",
-        help="replay a ServeSpec's tenant traces against a running server",
-        add_help=False,
+        "loadgen", help="replay a ServeSpec's tenant traces against a running server"
     )
-    loadgen_parser.add_argument("rest", nargs=argparse.REMAINDER)
-    loadgen_parser.set_defaults(func=_cmd_loadgen)
+    serve_loadgen.configure_parser(loadgen_parser)
+    loadgen_parser.set_defaults(func=serve_loadgen.run)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="query and regenerate tables from the observability store "
+        "(ingest / sql / tables / bench-history)",
+    )
+    obs_report.configure_parser(report_parser)
+    report_parser.set_defaults(func=obs_report.run)
 
     bench_parser = sub.add_parser(
         "bench", help="run the perf harnesses (engine microbenchmarks + end-to-end throughput)"
@@ -438,17 +451,5 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
-    # The serve/loadgen subcommands own their full argument surface
-    # (argparse.REMAINDER does not forward *leading* optionals like
-    # ``--help``), so dispatch them before the top-level parser runs.
-    if argv and argv[0] in ("serve", "loadgen"):
-        if argv[0] == "serve":
-            from ..serve.server import main as serve_main
-
-            return serve_main(argv[1:])
-        from ..serve.loadgen import main as loadgen_main
-
-        return loadgen_main(argv[1:])
     args = _build_parser().parse_args(argv)
     return args.func(args)

@@ -686,6 +686,18 @@ class SweepRunner:
         os.replace(temporary, self.results_path)
         return aggregate
 
+    def ingest(self, store_path: str | Path, label: str = "") -> dict:
+        """Ingest this sweep's finished cells into an observability store.
+
+        Returns the ingest summary (``cells`` / ``missing_cells`` counts).
+        """
+        # Imported lazily: the obs layer is optional for plain sweep runs.
+        from ..obs import MetricsStore
+        from ..obs.ingest import ingest_sweep_directory
+
+        with MetricsStore(store_path) as store:
+            return ingest_sweep_directory(store, self.directory, label=label)
+
 
 def run_sweep(
     spec: SweepSpec,

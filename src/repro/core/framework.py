@@ -32,6 +32,7 @@ from .aggregator import QValueAggregator
 from .explorer import EpsilonGreedyExplorer, GaussianPerturbationExplorer
 from .interfaces import ArrangementPolicy
 from .predictor import FutureStatePredictorR, FutureStatePredictorW
+from .qnetwork import SetQNetwork
 from .replay import Transition
 from .state import StateMatrix, StateTransformer
 from .trainer import AsyncTrainer, SyncTrainer, TrainerLoop
@@ -450,6 +451,43 @@ class TaskArrangementFramework(ArrangementPolicy):
         self._build_components()
         if self._restore_state is not None:
             self.load_state_dict(self._restore_state)
+
+    def measure_drift(self, context: ArrivalContext) -> dict:
+        """Q-value drift of the configured precision against a float64 mirror.
+
+        Pure inference: the online networks' weights are upcast into fresh
+        float64 mirrors (``load_state_dict`` casts in place) and both score
+        the arrival's own state.  No RNG is drawn and no learner state is
+        touched, so probing never perturbs the run.  Under a float64 config
+        the mirrors are exact copies and both deltas are identically zero.
+        """
+        reading = {
+            "dtype": self.config.dtype,
+            "tasks": len(context.available_tasks),
+            "max_abs": 0.0,
+            "max_rel": 0.0,
+        }
+        if not context.available_tasks:
+            return reading
+        state_w, state_r = self._build_states(context)
+        for agent, state in ((self.agent_w, state_w), (self.agent_r, state_r)):
+            if agent is None or state is None:
+                continue
+            network = agent.network
+            mirror = SetQNetwork(
+                input_dim=network.input_dim,
+                hidden_dim=network.hidden_dim,
+                num_heads=network.num_heads,
+                dtype="float64",
+            )
+            mirror.load_state_dict(network.state_dict())
+            native = np.asarray(network.q_values(state), dtype=np.float64)
+            reference = np.asarray(mirror.q_values(state), dtype=np.float64)
+            abs_diff = np.abs(native - reference)
+            scale = np.maximum(np.abs(reference), 1e-12)
+            reading["max_abs"] = max(reading["max_abs"], float(abs_diff.max()))
+            reading["max_rel"] = max(reading["max_rel"], float((abs_diff / scale).max()))
+        return reading
 
     # ------------------------------------------------------------------ #
     # Internal helpers

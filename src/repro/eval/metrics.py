@@ -231,6 +231,9 @@ class EvaluationResult:
     mean_decision_seconds: float
     #: Mean seconds of one end-of-day re-training pass (supervised methods learn here).
     mean_retrain_seconds: float = 0.0
+    #: Periodic float32-vs-float64 drift probe readings (``RunnerConfig
+    #: .drift_every``): dicts of arrivals/dtype/tasks/max_abs/max_rel.
+    drift: list = field(default_factory=list)
 
     def summary_row(self) -> dict[str, float | str]:
         """Flat dict used by the reporting helpers."""

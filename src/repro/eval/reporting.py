@@ -33,7 +33,7 @@ def result_payload(result: EvaluationResult) -> dict:
     out of sweep aggregation for that reason.
     """
     summary = result.summary_row()
-    return {
+    payload = {
         "policy_name": result.policy_name,
         "arrivals": result.arrivals,
         "completions": result.completions,
@@ -50,6 +50,11 @@ def result_payload(result: EvaluationResult) -> dict:
         "mean_decision_seconds": result.mean_decision_seconds,
         "mean_retrain_seconds": result.mean_retrain_seconds,
     }
+    if result.drift:
+        # Drift probe readings (``RunnerConfig.drift_every``); absent when
+        # the probe is off so existing payloads stay byte-identical.
+        payload["drift"] = [dict(record) for record in result.drift]
+    return payload
 
 
 def format_table(

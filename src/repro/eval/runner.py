@@ -100,6 +100,11 @@ class RunnerConfig:
     #: policies with :attr:`ArrangementPolicy.supports_checkpointing` write
     #: anything, and only when ``run`` is given a ``checkpoint_path``.
     checkpoint_every: int | None = None
+    #: Re-measure the framework's Q-values against a float64 mirror every N
+    #: online arrivals (None = never).  The probe is pure inference on the
+    #: arrival's own context — no RNG, no learner state touched — and its
+    #: readings land on :attr:`EvaluationResult.drift` as queryable facts.
+    drift_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("list", "single", "topk"):
@@ -116,6 +121,10 @@ class RunnerConfig:
         if self.checkpoint_every is not None and self.checkpoint_every <= 0:
             raise ValueError(
                 f"checkpoint_every must be positive or None, got {self.checkpoint_every}"
+            )
+        if self.drift_every is not None and self.drift_every <= 0:
+            raise ValueError(
+                f"drift_every must be positive or None, got {self.drift_every}"
             )
 
     def clamped_k(self, pool_size: int) -> int:
@@ -200,6 +209,8 @@ class ReplicaRun:
         resume: bool = False,
         stream_factory=None,
         final_checkpoint: bool = True,
+        checkpoint_writer=None,
+        checkpoint_phase: int = 0,
     ) -> None:
         self.dataset = dataset
         self.policy = policy
@@ -223,6 +234,23 @@ class ReplicaRun:
                 platform, trace, start_event=start_event
             )
         )
+        # How checkpoint trees reach disk.  The default writes inline (atomic
+        # tmp-then-replace); the serving layer injects an offloader that deep
+        # copies the tree and performs the write on a worker thread so the
+        # asyncio loop thread never blocks on serialization + fsync.
+        self.checkpoint_writer = (
+            checkpoint_writer if checkpoint_writer is not None else save_checkpoint
+        )
+        # Periodic checkpoints fire at ``arrivals % checkpoint_every ==
+        # checkpoint_phase``.  A multi-tenant driver staggers phases so
+        # co-hosted loops never all snapshot in the same tick; the phase must
+        # be deterministic from the spec (the serving layer derives it from
+        # tenant order) so interrupted and uninterrupted runs keep the
+        # identical schedule and warm restarts stay bit-exact.
+        if config.checkpoint_every is not None:
+            self.checkpoint_phase = checkpoint_phase % config.checkpoint_every
+        else:
+            self.checkpoint_phase = 0
 
     # ------------------------------------------------------------------ #
     def _presented(self, ranked: list[int]) -> list[int]:
@@ -288,7 +316,6 @@ class ReplicaRun:
         policy = self.policy
         if isinstance(policy, TaskArrangementFramework):
             policy_tree = policy.checkpoint_tree()
-            save_checkpoint(policy_tree, self.checkpoint_path)
             runner_tree = {
                 "arrivals": state["arrivals"],
                 "completions": state["completions"],
@@ -301,10 +328,24 @@ class ReplicaRun:
                 "requester_metrics": state["requester_metrics"].state_dict(),
                 "platform": platform.state_dict(),
             }
-            save_checkpoint(
-                {"format": RUNSTATE_FORMAT, "policy": policy_tree, "runner": runner_tree},
-                runstate_path(self.checkpoint_path),
-            )
+            runstate_tree = {
+                "format": RUNSTATE_FORMAT,
+                "policy": policy_tree,
+                "runner": runner_tree,
+            }
+            write_many = getattr(self.checkpoint_writer, "write_many", None)
+            if write_many is not None:
+                # Batched writers snapshot the shared policy subtree once
+                # instead of deep-copying it for each of the two files.
+                write_many(
+                    [
+                        (policy_tree, self.checkpoint_path),
+                        (runstate_tree, runstate_path(self.checkpoint_path)),
+                    ]
+                )
+            else:
+                self.checkpoint_writer(policy_tree, self.checkpoint_path)
+                self.checkpoint_writer(runstate_tree, runstate_path(self.checkpoint_path))
         else:
             policy.save(self.checkpoint_path)
 
@@ -328,6 +369,9 @@ class ReplicaRun:
         decision_seconds = 0.0
         update_seconds = 0.0
         retrain_seconds: list[float] = []
+        # Drift readings restart empty on resume: the probe is diagnostic
+        # only, so the run-state format stays unchanged.
+        drift_records: list[dict] = []
         next_day_boundary = self.dataset.warmup_end + MINUTES_PER_DAY
 
         runstate = self._load_runstate()
@@ -420,7 +464,14 @@ class ReplicaRun:
             yield ("observe", context, presented, feedback)
             update_seconds += time.perf_counter() - started
 
-            if checkpointing and arrivals % config.checkpoint_every == 0:
+            if (
+                config.drift_every is not None
+                and arrivals % config.drift_every == 0
+                and isinstance(policy, TaskArrangementFramework)
+            ):
+                drift_records.append({"arrivals": arrivals, **policy.measure_drift(context)})
+
+            if checkpointing and arrivals % config.checkpoint_every == self.checkpoint_phase:
                 self._save_checkpoint(platform, runner_state())
 
             if config.max_arrivals is not None and arrivals >= config.max_arrivals:
@@ -439,7 +490,7 @@ class ReplicaRun:
             checkpointing
             and self.final_checkpoint
             and arrivals
-            and arrivals % config.checkpoint_every != 0
+            and arrivals % config.checkpoint_every != self.checkpoint_phase
         ):
             self._save_checkpoint(platform, runner_state())
 
@@ -457,6 +508,7 @@ class ReplicaRun:
             mean_update_seconds=update_seconds / max(arrivals, 1),
             mean_decision_seconds=decision_seconds / max(arrivals, 1),
             mean_retrain_seconds=mean_retrain,
+            drift=drift_records,
         )
 
 

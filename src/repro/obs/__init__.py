@@ -1,0 +1,33 @@
+"""Queryable observability layer over runs, sweeps, benches and serving.
+
+Everything the repository's workloads emit — sweep cell directories, the
+perf harnesses' ``BENCH_*.json`` reports, per-run ``EvaluationResult``
+documents, the benchmark suite's figure tables and the serving layer's
+per-arrival NDJSON event logs — lands as bespoke files on disk.  This
+package turns those files into rows of one stdlib-sqlite store
+(:class:`~repro.obs.store.MetricsStore`) so that a perf regression, a
+float32 drift excursion or a figure regeneration is a SQL query instead of
+archaeology:
+
+* :mod:`repro.obs.store` — the schema-versioned sqlite store (migration
+  table mirroring the checkpoint-format migration pattern);
+* :mod:`repro.obs.ingest` — ingesters with format auto-detection;
+* :mod:`repro.obs.figures` — the figure-table document model the benchmark
+  suite writes next to its rendered ``benchmarks/results/*.txt`` files,
+  round-trippable through the store byte-for-byte;
+* :mod:`repro.obs.report` — the ``python -m repro report`` CLI
+  (``ingest`` / ``sql`` / ``tables`` / ``bench-history``).
+"""
+
+from .figures import FigureDocument, FigureSection, render_document
+from .ingest import ingest_path
+from .store import SCHEMA_VERSION, MetricsStore
+
+__all__ = [
+    "FigureDocument",
+    "FigureSection",
+    "MetricsStore",
+    "SCHEMA_VERSION",
+    "ingest_path",
+    "render_document",
+]

@@ -1,0 +1,184 @@
+"""The figure-table document model: structured twins of the rendered tables.
+
+The benchmark suite regenerates the paper's figure tables as monospaced text
+(``benchmarks/results/*.txt``).  Those renders are great to read and useless
+to query, so each benchmark now *builds* a :class:`FigureDocument` — sections
+of labelled rows over labelled columns, all-float cells — and the rendered
+text is derived from it through the exact same
+:func:`repro.eval.reporting.format_table` helper the legacy code paths used.
+That makes the ``.txt`` and the ``.json`` document two views of one value:
+ingesting the document into the :class:`~repro.obs.store.MetricsStore` and
+rendering it back reproduces the checked-in text byte-for-byte.
+
+Builders mirror the three legacy render shapes:
+
+* :func:`series_section` — a metric as a function of a swept parameter
+  (``format_series_comparison``; Fig. 9 / Fig. 10 style);
+* :func:`monthly_section` — per-month values of one metric
+  (``format_monthly_series``; Fig. 7 / Fig. 8 style);
+* :func:`table_section` — a generic labelled-row table (Table I style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..eval.reporting import format_table
+
+__all__ = [
+    "FigureDocument",
+    "FigureSection",
+    "monthly_section",
+    "render_document",
+    "render_section",
+    "series_section",
+    "table_section",
+]
+
+
+@dataclass
+class FigureSection:
+    """One titled table: float cells over labelled rows and columns."""
+
+    columns: list[str]
+    #: ``(row label, cell values)`` pairs, one value per column.
+    rows: list[tuple[str, list[float]]]
+    title: str | None = None
+    row_header: str = "policy"
+    float_format: str = "{:.3f}"
+
+    def to_payload(self) -> dict:
+        return {
+            "title": self.title,
+            "row_header": self.row_header,
+            "float_format": self.float_format,
+            "columns": list(self.columns),
+            "rows": [{"label": label, "values": list(values)} for label, values in self.rows],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "FigureSection":
+        return cls(
+            columns=[str(column) for column in payload["columns"]],
+            rows=[
+                (str(row["label"]), [float(value) for value in row["values"]])
+                for row in payload["rows"]
+            ],
+            title=payload.get("title"),
+            row_header=str(payload.get("row_header", "policy")),
+            float_format=str(payload.get("float_format", "{:.3f}")),
+        )
+
+
+@dataclass
+class FigureDocument:
+    """One figure (or table) as an ordered list of sections."""
+
+    figure: str
+    sections: list[FigureSection] = field(default_factory=list)
+
+    def to_payload(self) -> dict:
+        return {
+            "figure": self.figure,
+            "sections": [section.to_payload() for section in self.sections],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "FigureDocument":
+        return cls(
+            figure=str(payload["figure"]),
+            sections=[FigureSection.from_payload(entry) for entry in payload["sections"]],
+        )
+
+
+# --------------------------------------------------------------------- #
+# Rendering (shared with the legacy .txt outputs, byte-for-byte)
+# --------------------------------------------------------------------- #
+def render_section(section: FigureSection) -> str:
+    """``title\\n`` + the aligned table, exactly as the legacy helpers print."""
+    columns = [section.row_header, *section.columns]
+    rows = [
+        {section.row_header: label, **dict(zip(section.columns, values))}
+        for label, values in section.rows
+    ]
+    table = format_table(rows, columns=columns, float_format=section.float_format)
+    return table if section.title is None else f"{section.title}\n{table}"
+
+
+def render_document(document: FigureDocument) -> str:
+    return "\n\n".join(render_section(section) for section in document.sections)
+
+
+# --------------------------------------------------------------------- #
+# Builders
+# --------------------------------------------------------------------- #
+def series_section(
+    title: str | None,
+    x_values: Sequence[object],
+    series_by_policy: Mapping[str, Sequence[float]],
+    x_label: str,
+    float_format: str = "{:.3f}",
+) -> FigureSection:
+    """A metric versus a swept parameter (``format_series_comparison`` shape)."""
+    return FigureSection(
+        columns=[f"{x_label}={x}" for x in x_values],
+        rows=[
+            (policy, [float(value) for value in values])
+            for policy, values in series_by_policy.items()
+        ],
+        title=title,
+        float_format=float_format,
+    )
+
+
+def monthly_section(
+    title: str | None,
+    series_by_policy: Mapping,
+    metric_name: str,
+    float_format: str = "{:.3f}",
+) -> FigureSection:
+    """Per-month values of one metric (``format_monthly_series`` shape).
+
+    ``series_by_policy`` maps policy name to a
+    :class:`~repro.eval.metrics.MetricSeries`; shorter series are padded with
+    NaN, and the final column repeats the series' final value — exactly the
+    legacy layout.
+    """
+    months = max((len(series.monthly) for series in series_by_policy.values()), default=0)
+    rows = []
+    for policy, series in series_by_policy.items():
+        values = [
+            float(series.monthly[month]) if month < len(series.monthly) else float("nan")
+            for month in range(months)
+        ]
+        values.append(float(series.final))
+        rows.append((policy, values))
+    return FigureSection(
+        columns=[f"M{month + 1}" for month in range(months)] + [f"final {metric_name}"],
+        rows=rows,
+        title=title,
+        float_format=float_format,
+    )
+
+
+def table_section(
+    title: str | None,
+    rows: Sequence[Mapping[str, object]],
+    row_header: str,
+    float_format: str = "{:.3f}",
+) -> FigureSection:
+    """A generic labelled-row table (``format_table`` over dict rows)."""
+    if not rows:
+        raise ValueError("table_section requires at least one row")
+    columns = [column for column in rows[0] if column != row_header]
+    return FigureSection(
+        columns=list(columns),
+        rows=[
+            (str(row[row_header]), [float(row[column]) for column in columns])
+            for row in rows
+        ],
+        title=title,
+        row_header=row_header,
+        float_format=float_format,
+    )

@@ -1,0 +1,325 @@
+"""``python -m repro report`` — query and regenerate from the metrics store.
+
+Four subcommands:
+
+* ``ingest <db> <path>...`` — auto-detect and ingest artefacts (sweep
+  directories, BENCH reports, run results, figure documents, serve event
+  logs) into a sqlite store;
+* ``sql <db> <query>`` — run a query and print the rows as an aligned table
+  (``--json`` for machine-readable output);
+* ``tables <path>`` — regenerate the paper's figure/series tables from an
+  ingested artefact: a ``benchmarks/results`` directory (or a single figure
+  document) reproduces the checked-in ``.txt`` renders byte-for-byte, a
+  sweep directory yields one per-measure series table over its groups, a
+  run results JSON yields the final table plus monthly series, and an
+  existing store path renders every figure it holds;
+* ``bench-history <db>`` — diff BENCH metrics across two ingest labels, so
+  a perf regression is one query; ``--check`` exits non-zero when a
+  throughput metric drops more than ``--max-drop``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..eval.reporting import MEASURES, format_table
+from .figures import (
+    FigureDocument,
+    FigureSection,
+    monthly_section,
+    render_document,
+    table_section,
+)
+from .ingest import ingest_path, list_figures, load_figure_document
+from .store import MetricsStore
+
+__all__ = ["configure_parser", "main", "run"]
+
+#: Throughput-like metric substrings checked by ``bench-history --check``.
+DEFAULT_HISTORY_METRICS = ("events_per_s", "arrivals_per_s")
+
+
+# --------------------------------------------------------------------- #
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    with MetricsStore(args.db) as store:
+        for path in args.paths:
+            for summary in ingest_path(store, path, label=args.label):
+                detail = ", ".join(
+                    f"{key}={value}"
+                    for key, value in summary.items()
+                    if key not in ("kind", "ingest_id")
+                )
+                print(f"ingested {path} [{summary['kind']}] ({detail})")
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    with MetricsStore(args.db) as store:
+        columns, rows = store.query(args.query)
+    if args.json:
+        print(json.dumps([dict(zip(columns, row)) for row in rows], indent=2))
+        return 0
+    if not rows:
+        print("(no rows)")
+        return 0
+    print(format_table([dict(zip(columns, row)) for row in rows], columns=columns))
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def _sweep_tables(store: MetricsStore) -> str:
+    """One series table per measure: group means over the sweep's groups."""
+    _, names = store.query("SELECT DISTINCT name FROM results ORDER BY result_id")
+    sections = []
+    for (name,) in names:
+        for measure, column in zip(MEASURES, ("cr", "kcr", "ndcg_cr", "qg", "kqg", "ndcg_qg")):
+            _, rows = store.query(
+                f"""
+                SELECT label, group_id, AVG({column}) AS mean
+                FROM results WHERE name = ?
+                GROUP BY label, group_id
+                ORDER BY MIN(result_id)
+                """,
+                (name,),
+            )
+            if not rows or all(row[2] is None for row in rows):
+                continue
+            groups: list[str] = []
+            series: dict[str, list[float]] = {}
+            for label, group_id, mean in rows:
+                if group_id not in groups:
+                    groups.append(group_id)
+                series.setdefault(label, []).append(
+                    float("nan") if mean is None else float(mean)
+                )
+            sections.append(
+                FigureSection(
+                    columns=[str(group) for group in groups],
+                    rows=sorted(series.items()),
+                    title=f"{name}: mean {measure} per group (over replicates)",
+                )
+            )
+    return render_document(FigureDocument(figure="sweep", sections=sections))
+
+
+def _run_tables(store: MetricsStore) -> str:
+    """Final-measure table + per-measure monthly series of an ingested run."""
+    columns, rows = store.query(
+        "SELECT label, cr, kcr, ndcg_cr, qg, kqg, ndcg_qg FROM results ORDER BY result_id"
+    )
+    final_rows = [
+        {
+            "policy": row[0],
+            **{measure: float("nan") if value is None else float(value)
+               for measure, value in zip(MEASURES, row[1:])},
+        }
+        for row in rows
+    ]
+    sections = [table_section("final measures", final_rows, row_header="policy")]
+
+    class _Series:
+        def __init__(self, monthly: list[float], final: float) -> None:
+            self.monthly = monthly
+            self.final = final
+
+    for measure in MEASURES:
+        _, monthly = store.query(
+            """
+            SELECT results.label, monthly.month, monthly.value, results.result_id
+            FROM monthly JOIN results ON results.result_id = monthly.result_id
+            WHERE monthly.measure = ?
+            ORDER BY results.result_id, monthly.month
+            """,
+            (measure,),
+        )
+        if not monthly:
+            continue
+        by_policy: dict[str, list[float]] = {}
+        for label, _month, value, _rid in monthly:
+            by_policy.setdefault(label, []).append(
+                float("nan") if value is None else float(value)
+            )
+        sections.append(
+            monthly_section(
+                f"monthly {measure}",
+                {
+                    label: _Series(values, values[-1] if values else float("nan"))
+                    for label, values in by_policy.items()
+                },
+                measure,
+            )
+        )
+    return render_document(FigureDocument(figure="run", sections=sections))
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if path.is_file() and path.suffix in (".sqlite", ".db"):
+        store = MetricsStore(path)
+        ingested_kinds = {"figure"}
+    else:
+        store = MetricsStore()  # in-memory: ingest, then render straight back
+        summaries = ingest_path(store, path)
+        ingested_kinds = {summary["kind"] for summary in summaries}
+    try:
+        outputs: list[str] = []
+        if "figure" in ingested_kinds:
+            for figure in list_figures(store):
+                outputs.append(render_document(load_figure_document(store, figure)))
+        if "sweep" in ingested_kinds:
+            outputs.append(_sweep_tables(store))
+        if "run" in ingested_kinds:
+            outputs.append(_run_tables(store))
+        if not outputs:
+            print(f"nothing tabular ingested from {path} (kinds: {sorted(ingested_kinds)})")
+            return 1
+        print("\n\n".join(outputs))
+    finally:
+        store.close()
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def _latest_metrics(store: MetricsStore, label: str) -> dict[tuple[str, str], float]:
+    """Last ingested value per (benchmark, metric path) under one label."""
+    _, rows = store.query(
+        """
+        SELECT bench_reports.benchmark, bench_metrics.path, bench_metrics.value
+        FROM bench_metrics
+        JOIN bench_reports ON bench_reports.report_id = bench_metrics.report_id
+        JOIN ingests ON ingests.ingest_id = bench_reports.ingest_id
+        WHERE ingests.label = ?
+        ORDER BY bench_reports.report_id
+        """,
+        (label,),
+    )
+    metrics: dict[tuple[str, str], float] = {}
+    for benchmark, metric_path, value in rows:
+        metrics[(str(benchmark), str(metric_path))] = float(value)
+    return metrics
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    patterns = tuple(args.metric) if args.metric else DEFAULT_HISTORY_METRICS
+    with MetricsStore(args.db) as store:
+        baseline = _latest_metrics(store, args.baseline)
+        current = _latest_metrics(store, args.current)
+    if not baseline:
+        print(f"no BENCH metrics ingested under label {args.baseline!r}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"no BENCH metrics ingested under label {args.current!r}", file=sys.stderr)
+        return 2
+    shared = sorted(
+        key
+        for key in baseline.keys() & current.keys()
+        if any(pattern in key[1] for pattern in patterns)
+    )
+    if not shared:
+        print(f"no shared metrics match {list(patterns)}", file=sys.stderr)
+        return 2
+    rows = []
+    regressions = []
+    for benchmark, metric_path in shared:
+        before, after = baseline[(benchmark, metric_path)], current[(benchmark, metric_path)]
+        change = (after - before) / before if before else float("nan")
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "metric": metric_path,
+                args.baseline: before,
+                args.current: after,
+                "change": f"{change:+.1%}",
+            }
+        )
+        if before > 0 and change < -args.max_drop:
+            regressions.append((benchmark, metric_path, change))
+    print(format_table(rows))
+    if args.check and regressions:
+        for benchmark, metric_path, change in regressions:
+            print(
+                f"REGRESSION {benchmark} :: {metric_path} dropped {change:.1%} "
+                f"(allowed: -{args.max_drop:.0%})",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the report subcommands to ``parser`` (shared with the CLI)."""
+    sub = parser.add_subparsers(dest="report_command", required=True)
+
+    ingest = sub.add_parser("ingest", help="ingest artefacts into a sqlite store")
+    ingest.add_argument("db", type=Path, help="sqlite store (created if missing)")
+    ingest.add_argument(
+        "paths",
+        nargs="+",
+        type=Path,
+        help="sweep dirs, BENCH_*.json, run results JSON, figure documents or "
+        "*.ndjson serve event logs",
+    )
+    ingest.add_argument(
+        "--label", default="", help="ingest label (bench-history compares labels)"
+    )
+    ingest.set_defaults(report_func=_cmd_ingest)
+
+    sql = sub.add_parser("sql", help="run a SQL query against a store")
+    sql.add_argument("db", type=Path)
+    sql.add_argument("query", help="SQL text (the schema is plain relational tables)")
+    sql.add_argument("--json", action="store_true", help="emit rows as JSON")
+    sql.set_defaults(report_func=_cmd_sql)
+
+    tables = sub.add_parser(
+        "tables", help="regenerate figure/series tables from an ingested artefact"
+    )
+    tables.add_argument(
+        "path",
+        type=Path,
+        help="a results directory with figure documents, a sweep directory, a "
+        "run results JSON, or an existing store (.sqlite/.db)",
+    )
+    tables.set_defaults(report_func=_cmd_tables)
+
+    history = sub.add_parser(
+        "bench-history", help="diff BENCH metrics across two ingest labels"
+    )
+    history.add_argument("db", type=Path)
+    history.add_argument("--baseline", default="baseline", help="baseline ingest label")
+    history.add_argument("--current", default="current", help="current ingest label")
+    history.add_argument(
+        "--metric",
+        nargs="+",
+        default=None,
+        metavar="SUBSTR",
+        help="metric-path substrings to compare "
+        f"(default: {list(DEFAULT_HISTORY_METRICS)})",
+    )
+    history.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.25,
+        help="with --check, fail when a metric drops more than this fraction",
+    )
+    history.add_argument(
+        "--check", action="store_true", help="exit non-zero on a regression"
+    )
+    history.set_defaults(report_func=_cmd_bench_history)
+
+
+def run(args: argparse.Namespace) -> int:
+    return args.report_func(args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro report`` forwards here)."""
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Query and regenerate tables from the observability store.",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))

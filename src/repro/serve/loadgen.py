@@ -36,7 +36,7 @@ from .protocol import decode_line, encode_line, event_to_wire
 from .spec import ServeSpec
 from .tenant import latency_percentiles
 
-__all__ = ["run_loadgen", "main"]
+__all__ = ["configure_parser", "main", "run", "run_loadgen"]
 
 
 async def _request_once(host: str, port: int, payload: dict) -> dict:
@@ -263,12 +263,8 @@ def run_loadgen(
     )
 
 
-def main(argv: list[str] | None = None) -> int:
-    """``python -m repro loadgen`` — replay tenant traces against a server."""
-    parser = argparse.ArgumentParser(
-        prog="repro loadgen",
-        description="Replay a ServeSpec's tenant traces against a running server.",
-    )
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the loadgen arguments to ``parser`` (shared with the unified CLI)."""
     parser.add_argument("spec", type=Path, help="ServeSpec JSON file (same one the server runs)")
     parser.add_argument("--host", default=None, help="server host (default: spec host)")
     parser.add_argument("--port", type=int, default=None, help="server port (default: spec port)")
@@ -294,8 +290,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", type=Path, default=None, help="also write the JSON report here"
     )
-    args = parser.parse_args(argv)
 
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed loadgen invocation (the unified CLI's dispatch target)."""
     spec = ServeSpec.load(args.spec)
     report = run_loadgen(
         spec,
@@ -314,6 +312,16 @@ def main(argv: list[str] | None = None) -> int:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(text + "\n")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro loadgen`` — replay tenant traces against a server."""
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Replay a ServeSpec's tenant traces against a running server.",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,7 +43,7 @@ from .protocol import ProtocolError, decode_line, encode_line, event_from_wire
 from .spec import ServeSpec
 from .tenant import ArrivalTicket, Tenant
 
-__all__ = ["ArrangementServer", "main"]
+__all__ = ["ArrangementServer", "configure_parser", "main", "run"]
 
 
 class ArrangementServer:
@@ -55,11 +55,15 @@ class ArrangementServer:
         state_dir: str | Path | None = None,
         resume: bool = True,
         dataset_cache_dir: str | Path | None = None,
+        event_log_dir: str | Path | None = None,
     ) -> None:
         self.spec = spec
         self.state_dir = Path(state_dir) if state_dir is not None else None
         if self.state_dir is not None:
             self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.event_log_dir = Path(event_log_dir) if event_log_dir is not None else None
+        if self.event_log_dir is not None:
+            self.event_log_dir.mkdir(parents=True, exist_ok=True)
         self.resume = resume
         self.dataset_cache_dir = dataset_cache_dir
         self.tenants: dict[str, Tenant] = {}
@@ -75,12 +79,25 @@ class ArrangementServer:
     # ------------------------------------------------------------------ #
     def boot(self) -> None:
         """Build and warm every tenant (datasets, policies, resume/warm-up)."""
-        for tenant_spec in self.spec.tenants:
+        count = max(1, len(self.spec.tenants))
+        for index, tenant_spec in enumerate(self.spec.tenants):
+            # Stagger periodic checkpoints across the tenant's own period so
+            # co-hosted loops never all deep-copy their trees in one tick.
+            # Derived from spec order alone, so interrupted and uninterrupted
+            # runs share the schedule and warm restarts stay bit-exact.
+            every = tenant_spec.runner.checkpoint_every
+            phase = (index * every) // count if every is not None else 0
             tenant = Tenant(
                 tenant_spec,
                 state_dir=self.state_dir,
                 resume=self.resume,
                 dataset_cache_dir=self.dataset_cache_dir,
+                event_log=(
+                    self.event_log_dir / f"{tenant_spec.name}.ndjson"
+                    if self.event_log_dir is not None
+                    else None
+                ),
+                checkpoint_phase=phase,
             )
             tenant.boot()
             self.tenants[tenant_spec.name] = tenant
@@ -237,9 +254,14 @@ async def _amain(
     resume: bool,
     dataset_cache_dir: Path | None,
     announce: bool = True,
+    event_log_dir: Path | None = None,
 ) -> dict:
     server = ArrangementServer(
-        spec, state_dir=state_dir, resume=resume, dataset_cache_dir=dataset_cache_dir
+        spec,
+        state_dir=state_dir,
+        resume=resume,
+        dataset_cache_dir=dataset_cache_dir,
+        event_log_dir=event_log_dir,
     )
     host, port = await server.start()
     loop = asyncio.get_running_loop()
@@ -268,12 +290,8 @@ async def _amain(
     return summary
 
 
-def main(argv: list[str] | None = None) -> int:
-    """``python -m repro serve`` — boot a serving process from a spec."""
-    parser = argparse.ArgumentParser(
-        prog="repro serve",
-        description="Serve a multi-tenant task-arrangement endpoint from a ServeSpec JSON.",
-    )
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the serve arguments to ``parser`` (shared with the unified CLI)."""
     parser.add_argument("spec", type=Path, help="ServeSpec JSON file")
     parser.add_argument("--host", default=None, help="override the spec's bind host")
     parser.add_argument(
@@ -293,8 +311,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-dir", type=Path, default=None, help="dataset cache directory"
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--event-log",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write one NDJSON event log per tenant into this directory "
+        "(ingestable with 'repro report ingest')",
+    )
 
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed serve invocation (the unified CLI's dispatch target)."""
     spec = ServeSpec.load(args.spec)
     if args.host is not None:
         spec.host = args.host
@@ -302,10 +330,28 @@ def main(argv: list[str] | None = None) -> int:
         spec.port = args.port
     state_dir = args.state_dir if args.state_dir is not None else Path("serve-state") / spec.name
     try:
-        asyncio.run(_amain(spec, state_dir, not args.fresh, args.cache_dir))
+        asyncio.run(
+            _amain(
+                spec,
+                state_dir,
+                not args.fresh,
+                args.cache_dir,
+                event_log_dir=args.event_log,
+            )
+        )
     except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C before handlers
         return 130
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro serve`` — boot a serving process from a spec."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a multi-tenant task-arrangement endpoint from a ServeSpec JSON.",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ resumed trajectory matches an uninterrupted run fed the same events.
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from collections import deque
 from pathlib import Path
@@ -37,6 +38,7 @@ from ..core.framework import TaskArrangementFramework
 from ..crowd.events import Event, EventType
 from ..crowd.vectorized import STARVED
 from ..eval.runner import ReplicaRun
+from .offload import CheckpointOffloader
 from .spec import TenantSpec
 
 __all__ = ["ArrivalTicket", "PushStream", "Tenant", "latency_percentiles"]
@@ -196,6 +198,8 @@ class Tenant:
         state_dir: str | Path | None = None,
         resume: bool = True,
         dataset_cache_dir: str | Path | None = None,
+        event_log: str | Path | None = None,
+        checkpoint_phase: int = 0,
     ) -> None:
         self.spec = spec
         self.name = spec.name
@@ -205,6 +209,9 @@ class Tenant:
         self.checkpoint_path = (
             Path(state_dir) / f"{spec.name}.npz" if state_dir is not None else None
         )
+        # Checkpoint writes run on the offloader's worker thread so the loop
+        # thread (and with it every other tenant) never blocks on the save.
+        self.checkpoint_offloader = CheckpointOffloader()
         self.run = ReplicaRun(
             self.dataset,
             self.policy,
@@ -218,7 +225,13 @@ class Tenant:
             # breaking bit-exact warm restarts.  Clients re-feed the tail
             # past the last periodic checkpoint instead (at-least-once).
             final_checkpoint=False,
+            checkpoint_writer=self.checkpoint_offloader,
+            # Staggered per tenant by the server so co-hosted loops never all
+            # snapshot in the same tick (the on-loop deep copies would stack).
+            checkpoint_phase=checkpoint_phase,
         )
+        self.event_log_path = Path(event_log) if event_log is not None else None
+        self._event_log_file = None
         self._gen = None
         self.result = None
         self.error: BaseException | None = None
@@ -248,6 +261,12 @@ class Tenant:
         self.stream.settle_all()
         if isinstance(self.policy, TaskArrangementFramework):
             self.policy.trainer.close()
+        # Land every queued checkpoint write before reporting done; a failed
+        # write surfaces here and is recorded like any other tenant error.
+        self.checkpoint_offloader.close()
+        if self._event_log_file is not None:
+            self._event_log_file.close()
+            self._event_log_file = None
         self.done.set()
 
     # ------------------------------------------------------------------ #
@@ -303,6 +322,7 @@ class Tenant:
                             _decision_payload(presented, feedback, self._last_latency_ms)
                         )
                         self.policy.observe_feedback(context, presented, feedback)
+                        self._log_event(feedback)
                         request = self._advance(None)
         except BaseException as error:
             self.error = error
@@ -315,6 +335,34 @@ class Tenant:
         self.decisions += 1
         self._last_latency_ms = latency_ms
         self._latencies_ms.append(latency_ms)
+
+    def _log_event(self, feedback) -> None:
+        """Append one NDJSON record per served arrival to the event log.
+
+        Opened lazily in append mode so a warm-restarted tenant extends its
+        previous log; each line is flushed immediately (the store's ingester
+        may read the log while the server is still running).
+        """
+        if self.event_log_path is None:
+            return
+        if self._event_log_file is None:
+            self.event_log_path.parent.mkdir(parents=True, exist_ok=True)
+            self._event_log_file = self.event_log_path.open("a", encoding="utf-8")
+        trainer_stats = None
+        if isinstance(self.policy, TaskArrangementFramework):
+            trainer_stats = self.policy.trainer.stats() or {"mode": "sync"}
+        record = {
+            "tenant": self.name,
+            "seq": self.decisions,
+            "events_consumed": self.stream.events_consumed,
+            "queue_depth": self.stream.pending,
+            "latency_ms": float(self._last_latency_ms),
+            "completed": bool(feedback.completed),
+            "quality_gain": float(feedback.quality_gain),
+            "trainer": trainer_stats,
+        }
+        self._event_log_file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._event_log_file.flush()
 
     # ------------------------------------------------------------------ #
     def status(self) -> dict:
@@ -336,4 +384,6 @@ class Tenant:
             "latency_ms": latency_percentiles(self._latencies_ms),
             "trainer": trainer_stats,
             "checkpoint": str(self.checkpoint_path) if self.checkpoint_path else None,
+            "checkpoint_offload": self.checkpoint_offloader.stats(),
+            "event_log": str(self.event_log_path) if self.event_log_path else None,
         }

@@ -1,0 +1,220 @@
+"""Unified CLI dispatch + the ``repro report`` subcommands, end to end.
+
+Everything runs the real subprocess, so what is asserted here is exactly
+what a user typing ``python -m repro …`` gets: one argparse tree whose
+``--help`` lists every subcommand (serve and loadgen included), proper exit
+codes for bare invocations, and the report pipeline from artefact files to
+SQL facts — the float32 drift guard among them.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SUBCOMMANDS = ("run", "compare", "sweep", "policies", "bench", "serve", "loadgen", "report")
+
+
+def run_cli(*args: str, timeout: int = 600) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Dispatch: one argparse tree for every subcommand
+# --------------------------------------------------------------------- #
+def test_top_level_help_lists_every_subcommand():
+    completed = run_cli("--help")
+    assert completed.returncode == 0, completed.stderr
+    for subcommand in SUBCOMMANDS:
+        assert subcommand in completed.stdout, subcommand
+
+
+def test_bare_invocation_is_a_usage_error():
+    completed = run_cli()
+    assert completed.returncode == 2
+    assert "usage" in completed.stderr.lower()
+    for subcommand in ("serve", "loadgen", "report"):
+        assert subcommand in completed.stderr
+
+
+@pytest.mark.parametrize("subcommand", ["serve", "loadgen", "report"])
+def test_subcommand_help_forwards(subcommand):
+    completed = run_cli(subcommand, "--help")
+    assert completed.returncode == 0, completed.stderr
+    assert f"repro {subcommand}" in completed.stdout
+
+
+def test_report_help_lists_its_subcommands():
+    completed = run_cli("report", "--help")
+    assert completed.returncode == 0, completed.stderr
+    for name in ("ingest", "sql", "tables", "bench-history"):
+        assert name in completed.stdout
+
+
+# --------------------------------------------------------------------- #
+# The float32 drift guard as queryable facts
+# --------------------------------------------------------------------- #
+DRIFT_SPEC = {
+    "name": "drift-ci",
+    "dataset": {"scale": 0.03, "num_months": 2, "seed": 1},
+    "runner": {"seed": 0, "max_arrivals": 40, "drift_every": 10},
+    "policies": [
+        {
+            "policy": "ddqn-worker",
+            "kwargs": {
+                "hidden_dim": 16,
+                "num_heads": 2,
+                "batch_size": 8,
+                "train_interval": 4,
+                "seed": 0,
+                "dtype": "float32",
+            },
+        }
+    ],
+}
+
+
+def test_drift_probe_lands_in_the_store_and_stays_bounded(tmp_path):
+    spec_path = tmp_path / "drift_spec.json"
+    spec_path.write_text(json.dumps(DRIFT_SPEC))
+    output = tmp_path / "results.json"
+    db = tmp_path / "obs.sqlite"
+
+    completed = run_cli("run", str(spec_path), "--output", str(output))
+    assert completed.returncode == 0, completed.stderr
+    document = json.loads(output.read_text())
+    (row,) = document["results"].values()
+    assert [record["arrivals"] for record in row["drift"]] == [10, 20, 30, 40]
+    assert all(record["dtype"] == "float32" for record in row["drift"])
+
+    ingest = run_cli("report", "ingest", str(db), str(output), "--label", "ci")
+    assert ingest.returncode == 0, ingest.stderr
+
+    # The satellite's acceptance query: float32 inference never drifts far
+    # from the float64 mirror over the served run.
+    query = run_cli(
+        "report",
+        "sql",
+        str(db),
+        "SELECT COUNT(*) AS probes, MAX(max_rel) AS worst FROM drift",
+        "--json",
+    )
+    assert query.returncode == 0, query.stderr
+    (facts,) = json.loads(query.stdout)
+    assert facts["probes"] == 4
+    assert 0.0 <= facts["worst"] < 1e-3
+
+
+def test_drift_probe_off_by_default(tmp_path):
+    spec = dict(DRIFT_SPEC, runner={"seed": 0, "max_arrivals": 10})
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    output = tmp_path / "results.json"
+    completed = run_cli("run", str(spec_path), "--output", str(output))
+    assert completed.returncode == 0, completed.stderr
+    (row,) = json.loads(output.read_text())["results"].values()
+    assert "drift" not in row
+
+
+# --------------------------------------------------------------------- #
+# bench-history: perf regressions as one query
+# --------------------------------------------------------------------- #
+def bench_payload(events_per_s: float) -> dict:
+    return {
+        "benchmark": "serving layer",
+        "mode": "quick",
+        "serve_ci": {"events_per_s": events_per_s, "rank_p99_ms": 4.0},
+    }
+
+
+def test_bench_history_passes_and_fails_on_a_drop(tmp_path):
+    db = tmp_path / "obs.sqlite"
+    good = tmp_path / "BENCH_good.json"
+    bad = tmp_path / "BENCH_bad.json"
+    good.write_text(json.dumps(bench_payload(200.0)))
+    bad.write_text(json.dumps(bench_payload(100.0)))
+
+    assert run_cli("report", "ingest", str(db), str(good), "--label", "baseline").returncode == 0
+    assert run_cli("report", "ingest", str(db), str(good), "--label", "current").returncode == 0
+    steady = run_cli("report", "bench-history", str(db), "--check")
+    assert steady.returncode == 0, steady.stderr
+    assert "events_per_s" in steady.stdout
+
+    assert run_cli("report", "ingest", str(db), str(bad), "--label", "current").returncode == 0
+    dropped = run_cli("report", "bench-history", str(db), "--check", "--max-drop", "0.25")
+    assert dropped.returncode == 1
+    assert "REGRESSION" in dropped.stderr
+
+    # The latest ingest under a label wins; tolerant thresholds still pass.
+    lenient = run_cli("report", "bench-history", str(db), "--check", "--max-drop", "0.6")
+    assert lenient.returncode == 0, lenient.stderr
+
+
+def test_bench_history_missing_label_is_an_error(tmp_path):
+    db = tmp_path / "obs.sqlite"
+    good = tmp_path / "BENCH_good.json"
+    good.write_text(json.dumps(bench_payload(200.0)))
+    assert run_cli("report", "ingest", str(db), str(good), "--label", "baseline").returncode == 0
+    completed = run_cli("report", "bench-history", str(db), "--check")
+    assert completed.returncode == 2
+    assert "current" in completed.stderr
+
+
+# --------------------------------------------------------------------- #
+# sweep --store: run a grid and land it in the store in one command
+# --------------------------------------------------------------------- #
+STORE_SWEEP = {
+    "name": "store-sweep",
+    "base": {
+        "name": "store-sweep-cell",
+        "dataset": {"scale": 0.03, "num_months": 2, "seed": 1},
+        "runner": {"seed": 0, "max_arrivals": 20},
+        "policies": [{"policy": "random", "kwargs": {"seed": 0}}],
+    },
+    "axes": [{"target": "dataset", "key": "seed", "values": [1, 2]}],
+    "replicate_axis": "dataset.seed",
+}
+
+
+def test_sweep_run_with_store_ingests_the_cells(tmp_path):
+    spec_path = tmp_path / "sweep.json"
+    spec_path.write_text(json.dumps(STORE_SWEEP))
+    sweep_dir = tmp_path / "sweep"
+    db = tmp_path / "obs.sqlite"
+
+    completed = run_cli(
+        "sweep", "run", str(spec_path), "--dir", str(sweep_dir), "--store", str(db)
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "ingested 2 cells" in completed.stdout
+
+    query = run_cli(
+        "report",
+        "sql",
+        str(db),
+        "SELECT name, COUNT(*) AS cells FROM results GROUP BY name",
+        "--json",
+    )
+    assert query.returncode == 0, query.stderr
+    (facts,) = json.loads(query.stdout)
+    assert facts == {"name": "store-sweep", "cells": 2}
+
+    # The same directory renders as per-measure series tables.
+    tables = run_cli("report", "tables", str(sweep_dir))
+    assert tables.returncode == 0, tables.stderr
+    assert "mean CR per group" in tables.stdout

@@ -1,0 +1,110 @@
+"""Serving event log: real server + loadgen round trip into the store.
+
+Boots the bundled two-tenant CI spec with ``--event-log`` semantics (the
+``event_log_dir`` server argument), replays part of each tenant's trace
+through the load generator, and checks that (a) every served arrival became
+one NDJSON record, (b) the records ingest into ``serve_events`` rows that
+match the server's own accounting, and (c) the checkpoint writes went
+through the per-tenant offload worker, not the event-loop thread.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import MetricsStore
+from repro.obs.ingest import ingest_serve_events
+from repro.serve import ServeSpec, run_loadgen
+
+from tests.serve.conftest import CI_SPEC_PATH, ServerThread
+
+MAX_EVENTS = 60  # past both tenants' checkpoint_every=25, so offload writes happen
+
+
+@pytest.fixture(scope="module")
+def served_round_trip(tmp_path_factory):
+    """One served life with event logging on; returns its artefacts."""
+    root = tmp_path_factory.mktemp("serve-events")
+    cache_dir = root / "cache"
+    event_dir = root / "events"
+    spec = ServeSpec.load(CI_SPEC_PATH)
+    thread = ServerThread(
+        spec,
+        state_dir=root / "state",
+        dataset_cache_dir=cache_dir,
+        event_log_dir=event_dir,
+    )
+    report = run_loadgen(
+        spec,
+        port=thread.address[1],
+        dataset_cache_dir=cache_dir,
+        max_events=MAX_EVENTS,
+        shutdown=True,
+    )
+    thread.join()
+    return {"spec": spec, "event_dir": event_dir, "report": report}
+
+
+def test_one_record_per_served_arrival(served_round_trip):
+    event_dir = served_round_trip["event_dir"]
+    report = served_round_trip["report"]
+    logs = sorted(path.name for path in event_dir.glob("*.ndjson"))
+    assert logs == ["alpha.ndjson", "beta.ndjson"]
+    for name in ("alpha", "beta"):
+        assert report["tenants"][name]["events_sent"] == MAX_EVENTS
+        lines = (event_dir / f"{name}.ndjson").read_text().splitlines()
+        # One record per decision (worker arrival), not per raw trace event.
+        decisions = report["tenants"][name]["decisions"]
+        assert decisions > 0
+        assert len(lines) == decisions
+        records = [json.loads(line) for line in lines]
+        assert [record["seq"] for record in records] == list(range(1, decisions + 1))
+        assert all(record["tenant"] == name for record in records)
+        assert all(record["latency_ms"] >= 0.0 for record in records)
+        # The async trainer stats ride along on every record.
+        assert all(record["trainer"] is not None for record in records)
+
+
+def test_event_log_ingests_and_matches_server_accounting(served_round_trip):
+    event_dir = served_round_trip["event_dir"]
+    report = served_round_trip["report"]
+    total_decisions = sum(report["tenants"][name]["decisions"] for name in ("alpha", "beta"))
+    with MetricsStore() as store:
+        summary = ingest_serve_events(store, event_dir, label="ci")
+        assert summary["events"] == total_decisions
+        assert summary["files"] == 2
+        _, rows = store.query(
+            "SELECT tenant, COUNT(*), MAX(seq), MAX(events_consumed) "
+            "FROM serve_events GROUP BY tenant ORDER BY tenant"
+        )
+    for (tenant, count, max_seq, max_consumed), name in zip(rows, ("alpha", "beta")):
+        assert tenant == name
+        assert count == max_seq == report["tenants"][name]["decisions"]
+        server_consumed = report["server_status"]["tenants"][name]["events_consumed"]
+        assert 0 < max_consumed <= server_consumed == MAX_EVENTS
+
+
+def test_checkpoints_went_through_the_offload_worker(served_round_trip):
+    status = served_round_trip["report"]["server_status"]["tenants"]
+    for name in ("alpha", "beta"):
+        offload = status[name]["checkpoint_offload"]
+        # checkpoint_every=25 with 60 events: periodic saves happened, and
+        # each wrote its policy tree + run state through the worker.
+        assert offload["writes"] >= 2
+        assert status[name]["event_log"].endswith(f"{name}.ndjson")
+
+
+def test_event_log_directory_is_optional(tmp_path):
+    """Without ``event_log_dir`` nothing is written and status reports None."""
+    cache_dir = tmp_path / "cache"
+    spec = ServeSpec.load(CI_SPEC_PATH)
+    thread = ServerThread(spec, dataset_cache_dir=cache_dir)
+    report = run_loadgen(
+        spec, port=thread.address[1], dataset_cache_dir=cache_dir, max_events=5, shutdown=True
+    )
+    thread.join()
+    for name in ("alpha", "beta"):
+        tenant = report["server_status"]["tenants"][name]
+        assert tenant["event_log"] is None
+        assert tenant["checkpoint_offload"]["pending"] == 0

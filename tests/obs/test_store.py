@@ -1,0 +1,106 @@
+"""Schema lifecycle of the metrics store: creation, migration, versioning."""
+
+import sqlite3
+
+import pytest
+
+from repro.obs.store import _SCHEMA_MIGRATIONS, SCHEMA_VERSION, MetricsStore
+
+
+def table_names(store: MetricsStore) -> set:
+    _, rows = store.query("SELECT name FROM sqlite_master WHERE type = 'table'")
+    return {row[0] for row in rows}
+
+
+def test_fresh_store_is_at_current_version():
+    with MetricsStore() as store:
+        assert store.schema_version == SCHEMA_VERSION
+        assert {
+            "schema_migrations",
+            "ingests",
+            "results",
+            "monthly",
+            "bench_reports",
+            "bench_metrics",
+            "figures",
+            "figure_cells",
+            "serve_events",
+            "drift",
+        } <= table_names(store)
+
+
+def test_every_migration_step_is_recorded():
+    with MetricsStore() as store:
+        _, rows = store.query("SELECT version, description FROM schema_migrations ORDER BY version")
+    assert [row[0] for row in rows] == sorted(_SCHEMA_MIGRATIONS)
+    assert [row[1] for row in rows] == [
+        _SCHEMA_MIGRATIONS[version][0] for version in sorted(_SCHEMA_MIGRATIONS)
+    ]
+
+
+def make_v1_store(path) -> None:
+    """Write a version-1 store by hand, as an older build would have."""
+    conn = sqlite3.connect(path)
+    conn.execute(
+        "CREATE TABLE schema_migrations (version INTEGER PRIMARY KEY, description TEXT NOT NULL)"
+    )
+    description, statements = _SCHEMA_MIGRATIONS[1]
+    for statement in statements:
+        conn.execute(statement)
+    conn.execute(
+        "INSERT INTO schema_migrations (version, description) VALUES (?, ?)", (1, description)
+    )
+    conn.execute(
+        "INSERT INTO ingests (kind, source, label) VALUES ('run', 'old.json', 'legacy')"
+    )
+    conn.commit()
+    conn.close()
+
+
+def test_v1_store_migrates_in_place_and_keeps_rows(tmp_path):
+    path = tmp_path / "old.sqlite"
+    make_v1_store(path)
+    with MetricsStore(path) as store:
+        assert store.schema_version == SCHEMA_VERSION
+        assert {"serve_events", "drift"} <= table_names(store)
+        # Pre-migration rows survive untouched.
+        _, rows = store.query("SELECT kind, source, label FROM ingests")
+        assert rows == [("run", "old.json", "legacy")]
+        # The migration steps were recorded, not just applied.
+        _, versions = store.query("SELECT version FROM schema_migrations ORDER BY version")
+        assert [row[0] for row in versions] == sorted(_SCHEMA_MIGRATIONS)
+
+
+def test_reopening_a_migrated_store_is_idempotent(tmp_path):
+    path = tmp_path / "store.sqlite"
+    MetricsStore(path).close()
+    with MetricsStore(path) as store:
+        _, rows = store.query("SELECT COUNT(*) FROM schema_migrations")
+    assert rows[0][0] == len(_SCHEMA_MIGRATIONS)
+
+
+def test_store_from_a_newer_build_is_rejected(tmp_path):
+    path = tmp_path / "future.sqlite"
+    store = MetricsStore(path)
+    store.execute(
+        "INSERT INTO schema_migrations (version, description) VALUES (?, 'from the future')",
+        (SCHEMA_VERSION + 1,),
+    )
+    store.close()
+    with pytest.raises(ValueError, match="newer|version"):
+        MetricsStore(path)
+
+
+def test_dump_is_identical_for_identical_operations():
+    def build() -> str:
+        with MetricsStore() as store:
+            ingest_id = store.begin_ingest("bench", "BENCH_x.json", "baseline")
+            store.execute(
+                "INSERT INTO bench_reports (ingest_id, benchmark, mode, source) "
+                "VALUES (?, 'x', 'quick', 'BENCH_x.json')",
+                (ingest_id,),
+            )
+            store.commit()
+            return store.dump()
+
+    assert build() == build()

@@ -1,0 +1,97 @@
+"""``.json`` figure documents and checked-in ``.txt`` renders are one value.
+
+Every benchmark writes a structured :class:`FigureDocument` next to its
+monospaced render (``benchmarks/conftest.write_result``).  Ingesting the
+document into the store and rendering it back must reproduce the ``.txt``
+byte-for-byte — that equality is what makes the store a faithful, queryable
+twin of the paper's tables.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import MetricsStore, render_document
+from repro.obs.ingest import ingest_figure_document, list_figures, load_figure_document
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+FIGURE_DOCUMENTS = sorted(RESULTS_DIR.glob("*.json"))
+
+
+def test_benchmark_results_include_figure_documents():
+    """The structured twins are checked in alongside the rendered tables."""
+    names = {path.stem for path in FIGURE_DOCUMENTS}
+    assert {
+        "fig7_worker_benefit",
+        "fig8_requester_benefit",
+        "fig9_balance",
+        "fig10ab_arrival_density",
+        "fig10c_quality_noise",
+        "fig10d_scalability",
+        "table1_efficiency",
+    } <= names
+
+
+@pytest.mark.parametrize("path", FIGURE_DOCUMENTS, ids=lambda path: path.stem)
+def test_store_round_trip_reproduces_checked_in_render(path):
+    rendered_txt = path.with_suffix(".txt").read_text()
+    with MetricsStore() as store:
+        ingest_figure_document(store, path)
+        document = load_figure_document(store, path.stem)
+    assert render_document(document) + "\n" == rendered_txt
+
+
+def test_report_tables_cli_reproduces_the_results_directory(tmp_path):
+    """``python -m repro report tables`` over the results dir prints every render."""
+    if not FIGURE_DOCUMENTS:
+        pytest.skip("no figure documents present")
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "report", "tables", str(RESULTS_DIR)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for path in FIGURE_DOCUMENTS:
+        assert path.with_suffix(".txt").read_text().rstrip("\n") in completed.stdout
+
+
+def test_figures_survive_a_persistent_store(tmp_path):
+    """Ingest into a file-backed store, reopen, render — still byte-exact."""
+    if not FIGURE_DOCUMENTS:
+        pytest.skip("no figure documents present")
+    path = FIGURE_DOCUMENTS[0]
+    db = tmp_path / "obs.sqlite"
+    with MetricsStore(db) as store:
+        ingest_figure_document(store, path)
+    with MetricsStore(db) as store:
+        assert list_figures(store) == [path.stem]
+        document = load_figure_document(store, path.stem)
+    assert render_document(document) + "\n" == path.with_suffix(".txt").read_text()
+
+
+def test_latest_ingest_wins(tmp_path):
+    """Re-ingesting a figure shadows the earlier rows (newest ingest is read)."""
+    if not FIGURE_DOCUMENTS:
+        pytest.skip("no figure documents present")
+    path = FIGURE_DOCUMENTS[0]
+    payload = json.loads(path.read_text())
+    edited = tmp_path / path.name
+    payload["sections"][0]["rows"][0]["values"][0] = 123.456
+    edited.write_text(json.dumps(payload))
+    with MetricsStore() as store:
+        ingest_figure_document(store, path)
+        ingest_figure_document(store, edited)
+        document = load_figure_document(store, path.stem)
+    assert document.sections[0].rows[0][1][0] == 123.456

@@ -43,14 +43,16 @@ class ServerThread:
     the ``shutdown`` op drains the server, after which :meth:`join` returns.
     """
 
-    def __init__(self, spec, state_dir=None, resume=True, dataset_cache_dir=None):
+    def __init__(
+        self, spec, state_dir=None, resume=True, dataset_cache_dir=None, event_log_dir=None
+    ):
         self._ready = threading.Event()
         self._error = None
         self.server = None
         self.address = None
         self._thread = threading.Thread(
             target=self._run,
-            args=(spec, state_dir, resume, dataset_cache_dir),
+            args=(spec, state_dir, resume, dataset_cache_dir, event_log_dir),
             daemon=True,
         )
         self._thread.start()
@@ -59,13 +61,14 @@ class ServerThread:
         if self._error is not None:
             raise self._error
 
-    def _run(self, spec, state_dir, resume, dataset_cache_dir):
+    def _run(self, spec, state_dir, resume, dataset_cache_dir, event_log_dir):
         async def amain():
             server = ArrangementServer(
                 spec,
                 state_dir=state_dir,
                 resume=resume,
                 dataset_cache_dir=dataset_cache_dir,
+                event_log_dir=event_log_dir,
             )
             try:
                 await server.start()
