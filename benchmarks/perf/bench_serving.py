@@ -16,7 +16,13 @@ generator, twice over:
   counts, in synchronous and asynchronous training modes, and reports one
   row per (count, mode) — how aggregate throughput and tail latency move as
   tenants share the loop, and what moving the gradient work to the
-  :class:`~repro.core.trainer.AsyncTrainer` thread buys.
+  :class:`~repro.core.trainer.AsyncTrainer` thread buys;
+* with ``--faults``, a **chaos row** replays the CI spec again under the
+  bundled fault plan (``examples/specs/faults_ci.json`` — checkpoint I/O
+  failure, a tenant crash with supervised restart, connection drops, slow
+  frames) with the resilient client retrying through, and records what the
+  faults cost: throughput, RTT tail, retries/reconnects/resyncs, restarts.
+  Informational only — never gated by ``--check``.
 
 Usage::
 
@@ -42,11 +48,19 @@ from pathlib import Path
 import numpy as np
 
 from repro.nn import threads as nn_threads
-from repro.serve import ArrangementServer, ServeClient, ServeSpec, run_loadgen
+from repro.serve import (
+    ArrangementServer,
+    FaultPlan,
+    Resilience,
+    ServeClient,
+    ServeSpec,
+    run_loadgen,
+)
 from repro.serve.spec import TenantSpec
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_serving.json"
 CI_SPEC = Path(__file__).resolve().parents[2] / "examples" / "specs" / "serve_ci.json"
+CI_FAULT_PLAN = Path(__file__).resolve().parents[2] / "examples" / "specs" / "faults_ci.json"
 
 #: The CI acceptance bounds (mirrored by the workflow's serving job).
 MIN_EVENTS_PER_S = 100.0
@@ -115,12 +129,18 @@ class ServingConfig:
 class _ServerThread:
     """A served spec on its own event loop; drained via the shutdown op."""
 
-    def __init__(self, spec: ServeSpec, state_dir: Path, cache_dir: Path) -> None:
+    def __init__(
+        self,
+        spec: ServeSpec,
+        state_dir: Path,
+        cache_dir: Path,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self._ready = threading.Event()
         self._error: BaseException | None = None
         self.address: tuple[str, int] | None = None
         self._thread = threading.Thread(
-            target=self._run, args=(spec, state_dir, cache_dir), daemon=True
+            target=self._run, args=(spec, state_dir, cache_dir, fault_plan), daemon=True
         )
         self._thread.start()
         self._ready.wait(timeout=300)
@@ -129,9 +149,20 @@ class _ServerThread:
         if self.address is None:
             raise TimeoutError("serving thread did not become ready")
 
-    def _run(self, spec: ServeSpec, state_dir: Path, cache_dir: Path) -> None:
+    def _run(
+        self,
+        spec: ServeSpec,
+        state_dir: Path,
+        cache_dir: Path,
+        fault_plan: FaultPlan | None,
+    ) -> None:
         async def amain():
-            server = ArrangementServer(spec, state_dir=state_dir, dataset_cache_dir=cache_dir)
+            server = ArrangementServer(
+                spec,
+                state_dir=state_dir,
+                dataset_cache_dir=cache_dir,
+                fault_plan=fault_plan,
+            )
             await server.start()
             self.address = server.address
             self._ready.set()
@@ -150,11 +181,15 @@ class _ServerThread:
 
 
 def _measure_spec(
-    spec: ServeSpec, cache_dir: Path, max_events: int | None, label: str
+    spec: ServeSpec,
+    cache_dir: Path,
+    max_events: int | None,
+    label: str,
+    fault_plan: FaultPlan | None = None,
 ) -> dict:
     """Boot, replay, drain; one throughput/latency row."""
     with tempfile.TemporaryDirectory(prefix="bench-serving-") as state_dir:
-        served = _ServerThread(spec, Path(state_dir), cache_dir)
+        served = _ServerThread(spec, Path(state_dir), cache_dir, fault_plan=fault_plan)
         try:
             report = run_loadgen(
                 spec,
@@ -162,6 +197,7 @@ def _measure_spec(
                 max_events=max_events,
                 dataset_cache_dir=cache_dir,
                 shutdown=True,
+                resilience=Resilience() if fault_plan is not None else None,
             )
         except BaseException:
             # Best-effort drain so the thread does not outlive the failure.
@@ -185,7 +221,7 @@ def _measure_spec(
     tenant_latencies = [
         tenant["latency_ms"] for tenant in report["server_status"]["tenants"].values()
     ]
-    return {
+    row = {
         "label": label,
         "tenants": aggregate["tenants"],
         "events_sent": aggregate["events_sent"],
@@ -199,9 +235,26 @@ def _measure_spec(
         "rtt_p99_ms": rtt["p99_ms"],
         "batching": report["server_status"]["batching"],
     }
+    if fault_plan is not None:
+        # Resilience accounting of the faulted row: what the chaos run cost
+        # the clients and how much supervised recovery the server performed.
+        per_tenant = report["tenants"].values()
+        row["retries"] = sum(entry["retries"] for entry in per_tenant)
+        row["reconnects"] = sum(entry["reconnects"] for entry in per_tenant)
+        row["resyncs"] = sum(entry["resyncs"] for entry in per_tenant)
+        row["duplicates"] = sum(entry["duplicates"] for entry in per_tenant)
+        row["restarts"] = sum(
+            entry["restarts"] for entry in report["shutdown"].values()
+        )
+        row["faults_fired"] = report["server_status"]["faults"]["fired"]
+        row["faults_by_site"] = report["server_status"]["faults"]["by_site"]
+        row["final_health"] = {
+            name: entry["health"] for name, entry in report["shutdown"].items()
+        }
+    return row
 
 
-def run(config: ServingConfig, cache_dir: Path) -> dict:
+def run(config: ServingConfig, cache_dir: Path, faults: bool = False) -> dict:
     ci_spec = ServeSpec.load(CI_SPEC)
     # Best-of-N on the gated row: the replay is deterministic, so repeats
     # only differ in OS scheduling noise (single-core CI boxes occasionally
@@ -235,6 +288,21 @@ def run(config: ServingConfig, cache_dir: Path) -> dict:
             row["mode"] = mode
             scaling.append(row)
 
+    faults_row = None
+    if faults:
+        # The chaos row: the same serve_ci replay under the bundled CI fault
+        # plan (checkpoint failure, tenant crash + supervised restart,
+        # connection drops, slow frames) with the resilient client retrying
+        # through.  Informational — no acceptance bound; the chaos *correctness*
+        # gates live in tests/serve/test_faults.py and the CI chaos job.
+        faults_row = _measure_spec(
+            ci_spec,
+            cache_dir,
+            max_events=None,
+            label="serve_ci+faults",
+            fault_plan=FaultPlan.load(CI_FAULT_PLAN),
+        )
+
     return {
         "benchmark": "serving events/sec + rank latency",
         "config": asdict(config),
@@ -251,18 +319,21 @@ def run(config: ServingConfig, cache_dir: Path) -> dict:
         },
         "serve_ci": ci_row,
         "scaling": scaling,
+        "faults": faults_row,
     }
 
 
 def render(report: dict) -> str:
     lines = [
-        f"{'row':<12} {'tenants':>7} {'events':>7} {'ev/s':>9} "
+        f"{'row':<16} {'tenants':>7} {'events':>7} {'ev/s':>9} "
         f"{'rank p50':>9} {'rank p99':>9} {'rtt p99':>9}"
     ]
     rows = [report["serve_ci"], *report["scaling"]]
+    if report.get("faults") is not None:
+        rows.append(report["faults"])
     for row in rows:
         lines.append(
-            f"{row['label']:<12} {row['tenants']:>7} {row['events_sent']:>7} "
+            f"{row['label']:<16} {row['tenants']:>7} {row['events_sent']:>7} "
             f"{row['events_per_s']:>9.1f} {row['rank_p50_ms']:>9.2f} "
             f"{row['rank_p99_ms']:>9.2f} {row['rtt_p99_ms']:>9.2f}"
         )
@@ -275,6 +346,15 @@ def render(report: dict) -> str:
         f"rtt p99 <= {report['bounds']['max_rtt_p99_ms']:.0f} ms "
         f"({'PASS' if ci.get('meets_rtt_p99') else 'FAIL'})"
     )
+    faulted = report.get("faults")
+    if faulted is not None:
+        lines.append(
+            f"faults row: {faulted['faults_fired']} injected "
+            f"({faulted['faults_by_site']}), {faulted['restarts']} tenant "
+            f"restart(s), client retries={faulted['retries']} "
+            f"reconnects={faulted['reconnects']} resyncs={faulted['resyncs']}, "
+            f"final health {faulted['final_health']}"
+        )
     return "\n".join(lines)
 
 
@@ -287,6 +367,14 @@ def main(argv: list[str] | None = None) -> dict:
         "--check",
         action="store_true",
         help="exit non-zero unless the serve_ci row meets the acceptance bounds",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="also measure the serve_ci replay under the bundled CI fault plan "
+        "(examples/specs/faults_ci.json): throughput/RTT with injected "
+        "failures, supervised restarts and client retries (informational; "
+        "never gated by --check)",
     )
     parser.add_argument(
         "--output",
@@ -307,7 +395,7 @@ def main(argv: list[str] | None = None) -> dict:
         cache_context = tempfile.TemporaryDirectory(prefix="bench-serving-cache-")
         cache_dir = Path(cache_context.name)
     try:
-        report = run(config, Path(cache_dir))
+        report = run(config, Path(cache_dir), faults=args.faults)
     finally:
         if cache_context is not None:
             cache_context.cleanup()

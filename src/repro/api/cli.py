@@ -15,9 +15,14 @@ of them and forwards into each subcommand's own surface):
 * ``policies`` — list every registered policy name (``--json`` for the
   machine-readable document the serving layer also exposes);
 * ``serve`` — host a multi-tenant serving endpoint from a ServeSpec JSON
-  (see :mod:`repro.serve`);
+  (see :mod:`repro.serve`), with supervised tenant restarts, protocol
+  hardening and optional deterministic fault injection
+  (``--fault-plan``, see :mod:`repro.serve.faults`);
 * ``loadgen`` — replay a ServeSpec's tenant traces against a running server
-  and report throughput / rank-latency percentiles;
+  and report throughput / rank-latency percentiles plus the resilience
+  accounting (seeded retry/backoff via ``--retries``/``--backoff-base``/
+  ``--backoff-max``/``--timeout``/``--retry-seed``, reconnects, seq
+  resyncs);
 * ``report`` — the observability store front end (``ingest`` / ``sql`` /
   ``tables`` / ``bench-history``; see :mod:`repro.obs.report`);
 * ``bench`` — forward to the perf harnesses (engine microbenchmarks in

@@ -9,8 +9,10 @@ Each ingester understands one of the repository's output formats:
   ``cells/*.json``), one result row per (cell, policy) in expansion order;
 * ``ingest_bench_report`` — a ``BENCH_*.json`` perf-harness report, every
   numeric leaf flattened to a dotted path;
-* ``ingest_serve_events`` — the serving layer's per-arrival NDJSON event
-  log (``repro serve --event-log``), one row per served arrival;
+* ``ingest_serve_events`` — the serving layer's NDJSON event log
+  (``repro serve --event-log``): one ``serve_events`` row per served
+  arrival, plus one ``faults`` row per fault / health-transition /
+  supervisor record;
 * ``ingest_figure_document`` — a :class:`~repro.obs.figures.FigureDocument`
   JSON written next to the benchmark suite's rendered tables.
 
@@ -215,12 +217,52 @@ def ingest_bench_report(store: MetricsStore, path: str | Path, label: str = "") 
 
 
 # --------------------------------------------------------------------- #
+#: Record fields that land in dedicated ``faults`` columns; anything else a
+#: fault/health/supervisor record carries goes into the JSON ``detail``.
+_FAULT_COLUMN_FIELDS = frozenset(
+    {"kind", "tenant", "site", "from_state", "to_state", "reason", "events_consumed"}
+)
+
+
+def _insert_fault_record(store: MetricsStore, ingest_id: int, record: dict) -> None:
+    detail = {
+        key: value for key, value in record.items() if key not in _FAULT_COLUMN_FIELDS
+    }
+    store.execute(
+        """
+        INSERT INTO faults (ingest_id, tenant, kind, site, from_state, to_state,
+                            reason, events_consumed, detail)
+        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+        """,
+        (
+            ingest_id,
+            str(record.get("tenant", "")),
+            str(record["kind"]),
+            record.get("site"),
+            record.get("from_state"),
+            record.get("to_state"),
+            record.get("reason"),
+            record.get("events_consumed"),
+            json.dumps(detail, sort_keys=True) if detail else None,
+        ),
+    )
+
+
 def ingest_serve_events(store: MetricsStore, path: str | Path, label: str = "") -> dict:
-    """A per-arrival NDJSON event log (file or directory of ``*.ndjson``)."""
+    """A serving NDJSON event log (file or directory of ``*.ndjson``).
+
+    Records route on their ``"kind"`` discriminator: ``"decision"`` (the
+    default for logs written before fault tolerance landed) fills the
+    per-arrival ``serve_events`` table; ``"fault"``, ``"health"`` and
+    ``"supervisor"`` records — injected faults, health transitions, restart
+    actions — fill the ``faults`` table, with fields beyond the dedicated
+    columns preserved as sorted-key JSON in ``detail``.
+    """
     path = Path(path)
     files = sorted(path.glob("*.ndjson")) if path.is_dir() else [path]
     ingest_id = store.begin_ingest("serve-events", path.name, label)
     events = 0
+    faults = 0
     for file in files:
         with file.open(encoding="utf-8") as handle:
             for line in handle:
@@ -228,6 +270,11 @@ def ingest_serve_events(store: MetricsStore, path: str | Path, label: str = "") 
                 if not line:
                     continue
                 record = json.loads(line)
+                kind = record.get("kind", "decision")
+                if kind != "decision":
+                    _insert_fault_record(store, ingest_id, record)
+                    faults += 1
+                    continue
                 store.execute(
                     """
                     INSERT INTO serve_events (ingest_id, tenant, seq, events_consumed,
@@ -251,7 +298,13 @@ def ingest_serve_events(store: MetricsStore, path: str | Path, label: str = "") 
                 )
                 events += 1
     store.commit()
-    return {"kind": "serve-events", "ingest_id": ingest_id, "events": events, "files": len(files)}
+    return {
+        "kind": "serve-events",
+        "ingest_id": ingest_id,
+        "events": events,
+        "faults": faults,
+        "files": len(files),
+    }
 
 
 # --------------------------------------------------------------------- #

@@ -28,12 +28,13 @@ __all__ = ["MetricsStore", "SCHEMA_VERSION"]
 #: Version written by this build.  Bump together with a new entry in
 #: :data:`_SCHEMA_MIGRATIONS`; never edit an existing entry — stores in the
 #: wild replay exactly the recorded steps.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Ordered migration steps ``version -> (description, [DDL statements])``,
 #: the relational mirror of ``repro.core.framework._CONFIG_MIGRATIONS``.
 #: Version 1 is the base schema (runs, sweeps, benches, figure tables);
-#: version 2 adds the serving event log and the float32 drift facts.
+#: version 2 adds the serving event log and the float32 drift facts;
+#: version 3 adds the serving fault/health/supervisor record table.
 _SCHEMA_MIGRATIONS: dict[int, tuple[str, list[str]]] = {
     1: (
         "base schema: ingests, results, monthly, bench reports, figure tables",
@@ -143,6 +144,24 @@ _SCHEMA_MIGRATIONS: dict[int, tuple[str, list[str]]] = {
                 tasks     INTEGER,
                 max_abs   REAL NOT NULL,
                 max_rel   REAL NOT NULL
+            )
+            """,
+        ],
+    ),
+    3: (
+        "serving fault injection / health transition / supervisor action records",
+        [
+            """
+            CREATE TABLE faults (
+                ingest_id       INTEGER NOT NULL REFERENCES ingests(ingest_id),
+                tenant          TEXT NOT NULL,
+                kind            TEXT NOT NULL,
+                site            TEXT,
+                from_state      TEXT,
+                to_state        TEXT,
+                reason          TEXT,
+                events_consumed INTEGER,
+                detail          TEXT
             )
             """,
         ],

@@ -1,10 +1,26 @@
-"""Load generator: replay tenant traces as concurrent serving clients.
+"""Load generator: replay tenant traces as concurrent, *resilient* clients.
 
 ``repro loadgen <serve spec>`` rebuilds each tenant's dataset locally (same
 spec, same seeds → the exact trace the server expects), asks the server which
 trace offset every tenant has already consumed (warm restarts continue where
 the previous process stopped), then drives one asyncio client per tenant
 feeding the online events in trace order over its own connection.
+
+Every event request carries its absolute trace index (``seq``), which makes
+delivery idempotent and the client fault-tolerant:
+
+* transient failures — ``overloaded`` backpressure, ``tenant_restarting``
+  supervision windows, ``deadline_exceeded``, injected chaos responses —
+  are retried with seeded exponential backoff + jitter (``--retries``,
+  ``--backoff-base``, ``--backoff-max``, ``--retry-seed``);
+* dropped or reset connections reconnect and resend the in-flight event —
+  the server acks it as a duplicate if the original delivery landed;
+* ``sequence_gap`` responses rewind the client cursor to the server's
+  expected offset, which is exactly the tail re-feed a restarted tenant
+  needs to converge bit-exact with an uninterrupted run;
+* request timeouts (``--timeout``) drop the connection (the late response
+  would desynchronise the request/response pairing) and are accounted
+  separately from errors.
 
 Pacing:
 
@@ -18,9 +34,11 @@ Pacing:
 
 The generator validates every tenant's policy name against the server's
 ``policies`` op before building anything, and reports per-tenant and
-aggregate throughput plus client-side rank round-trip percentiles.  With
-``--shutdown`` it drains the server afterwards and includes the drain
-summary (the CI benchmark uses exactly this path).
+aggregate throughput, client-side rank round-trip percentiles and the full
+resilience accounting (retries, reconnects, timeouts, duplicates, resyncs).
+With ``--shutdown`` it drains the server afterwards and includes the drain
+summary (the CI benchmark uses exactly this path).  An unreachable server
+is a clean one-line error and a nonzero exit, not a traceback.
 """
 
 from __future__ import annotations
@@ -28,15 +46,39 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import random
+import sys
 import time
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..crowd.events import Event, EventType
-from .protocol import decode_line, encode_line, event_to_wire
+from .protocol import RETRYABLE_CODES, decode_line, encode_line, event_to_wire
 from .spec import ServeSpec
 from .tenant import latency_percentiles
 
-__all__ = ["configure_parser", "main", "run", "run_loadgen"]
+__all__ = ["LoadgenError", "Resilience", "configure_parser", "main", "run", "run_loadgen"]
+
+
+class LoadgenError(RuntimeError):
+    """A load-generator failure with a clean operator-facing message."""
+
+
+@dataclass
+class Resilience:
+    """Client-side retry/backoff knobs (seeded, so chaos runs reproduce)."""
+
+    retries: int = 8
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    timeout_s: float = 60.0
+    seed: int = 0
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Jittered exponential backoff before retry ``attempt`` (1-based)."""
+        base = min(self.backoff_base_s * (2.0 ** (attempt - 1)), self.backoff_max_s)
+        return base * (0.5 + rng.random())
 
 
 async def _request_once(host: str, port: int, payload: dict) -> dict:
@@ -57,6 +99,206 @@ async def _request_once(host: str, port: int, payload: dict) -> dict:
             pass
 
 
+async def _control_request(host: str, port: int, payload: dict, what: str) -> dict:
+    try:
+        response = await _request_once(host, port, payload)
+    except (ConnectionError, OSError) as error:
+        raise LoadgenError(
+            f"cannot reach server at {host}:{port} for {what}: {error}"
+        ) from None
+    if not response.get("ok"):
+        raise LoadgenError(f"{what} op failed: {response.get('error')}")
+    return response
+
+
+class _TenantDriver:
+    """One tenant's resilient replay client: connection, cursor, accounting."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        events: list[Event],
+        offset: int,
+        rate: float,
+        accel: float,
+        max_events: int | None,
+        resilience: Resilience,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.events = events
+        self.offset = offset
+        self.rate = rate
+        self.accel = accel
+        # The replay window is a trace slice, so a mid-run rewind (tenant
+        # restart) re-feeds inside the same window instead of shifting it —
+        # a faulted run and a fault-free run end at the same trace position.
+        self.end = len(events) if max_events is None else min(len(events), offset + max_events)
+        self.resilience = resilience
+        # Seeded per tenant (stable digest, not hash()) so concurrent chaos
+        # runs draw reproducible jitter.
+        self.rng = random.Random(resilience.seed ^ zlib.crc32(tenant.encode("utf-8")))
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.rtts_ms: list[float] = []
+        self.sent = 0
+        self.arrivals = 0
+        self.decisions = 0
+        self.completions = 0
+        self.errors = 0
+        self.retries = 0
+        self.reconnects = 0
+        self.timeouts = 0
+        self.duplicates = 0
+        self.resyncs = 0
+
+    # -------------------------------------------------------------- #
+    async def _connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(self.host, self.port)
+
+    async def _disconnect(self) -> None:
+        if self.writer is None:
+            return
+        writer, self.writer, self.reader = self.writer, None, None
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def _exchange(self, payload: dict) -> dict | None:
+        """One request/response; ``None`` means the connection is unusable."""
+        try:
+            if self.writer is None:
+                await self._connect()
+                self.reconnects += 1
+            self.writer.write(encode_line(payload))
+            await self.writer.drain()
+            line = await asyncio.wait_for(
+                self.reader.readline(), timeout=self.resilience.timeout_s
+            )
+            if not line:
+                raise ConnectionError("server closed the connection")
+            return decode_line(line)
+        except TimeoutError:
+            # A late response would desynchronise request/response pairing on
+            # this connection; drop it and resend (idempotent via seq).
+            self.timeouts += 1
+            await self._disconnect()
+            return None
+        except (ConnectionError, OSError):
+            await self._disconnect()
+            return None
+
+    # -------------------------------------------------------------- #
+    async def drive(self) -> dict:
+        started = time.perf_counter()
+        first_ts: float | None = None
+        cursor = self.offset
+        # The first _exchange reconnect is the initial connection, not a
+        # recovery; start the counter at -1 so it reports recoveries only.
+        self.reconnects = -1
+        try:
+            while cursor < self.end:
+                event = self.events[cursor]
+                if self.rate > 0:
+                    target = started + self.sent / self.rate
+                    delay = target - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                elif self.accel > 0:
+                    if first_ts is None:
+                        first_ts = event.timestamp
+                    target = started + (event.timestamp - first_ts) * 60.0 / self.accel
+                    delay = target - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                cursor = await self._send_event(cursor, event)
+        finally:
+            await self._disconnect()
+        elapsed = time.perf_counter() - started
+        return {
+            "tenant": self.tenant,
+            "offset": self.offset,
+            "events_sent": self.sent,
+            "arrivals": self.arrivals,
+            "decisions": self.decisions,
+            "completions": self.completions,
+            "errors": self.errors,
+            "retries": self.retries,
+            "reconnects": max(self.reconnects, 0),
+            "timeouts": self.timeouts,
+            "duplicates": self.duplicates,
+            "resyncs": self.resyncs,
+            "elapsed_s": elapsed,
+            "events_per_s": self.sent / elapsed if elapsed > 0 else 0.0,
+            "rank_rtt_ms": latency_percentiles(self.rtts_ms),
+            "_rtts_ms": self.rtts_ms,
+        }
+
+    async def _send_event(self, cursor: int, event: Event) -> int:
+        """Deliver one event (with retries); returns the next cursor."""
+        is_arrival = event.event_type is EventType.WORKER_ARRIVAL
+        payload = event_to_wire(self.tenant, event, seq=cursor)
+        attempts = 0
+        while True:
+            sent_at = time.perf_counter()
+            response = await self._exchange(payload)
+            if response is None:  # connection-level failure or timeout
+                attempts += 1
+                if attempts > self.resilience.retries:
+                    raise LoadgenError(
+                        f"tenant {self.tenant!r}: gave up on event seq {cursor} "
+                        f"after {attempts} attempts (connection failures/timeouts)"
+                    )
+                self.retries += 1
+                await asyncio.sleep(self.resilience.backoff_s(attempts, self.rng))
+                continue
+            if response.get("ok"):
+                self.sent += 1
+                if response.get("duplicate"):
+                    # The original delivery landed before the connection died;
+                    # its decision (if any) was lost with that connection.
+                    self.duplicates += 1
+                elif is_arrival:
+                    self.arrivals += 1
+                    self.rtts_ms.append((time.perf_counter() - sent_at) * 1e3)
+                    decision = response.get("decision")
+                    if decision is not None:
+                        self.decisions += 1
+                        if decision.get("completed_task_id") is not None:
+                            self.completions += 1
+                return cursor + 1
+            code = response.get("code")
+            if code == "sequence_gap":
+                # The tenant restarted from a checkpoint behind us: rewind to
+                # its expected offset and re-feed the tail (idempotent).
+                expected = int(response.get("expected", self.offset))
+                self.resyncs += 1
+                return min(expected, cursor)
+            if code in RETRYABLE_CODES or response.get("injected"):
+                attempts += 1
+                if attempts > self.resilience.retries:
+                    self.errors += 1
+                    self.sent += 1
+                    return cursor + 1  # budget spent: record and move on
+                self.retries += 1
+                await asyncio.sleep(self.resilience.backoff_s(attempts, self.rng))
+                continue
+            if code in ("draining", "tenant_failed"):
+                raise LoadgenError(
+                    f"tenant {self.tenant!r}: server answered {code} at event "
+                    f"seq {cursor}: {response.get('error')}"
+                )
+            # Non-retryable request error: count it and continue the replay.
+            self.errors += 1
+            self.sent += 1
+            return cursor + 1
+
+
 async def _drive_tenant(
     host: str,
     port: int,
@@ -66,69 +308,13 @@ async def _drive_tenant(
     rate: float,
     accel: float,
     max_events: int | None,
+    resilience: Resilience,
 ) -> dict:
-    """Feed one tenant's remaining trace over one connection."""
-    reader, writer = await asyncio.open_connection(host, port)
-    rtts_ms: list[float] = []
-    sent = arrivals = decisions = completions = errors = 0
-    started = time.perf_counter()
-    first_ts: float | None = None
-    try:
-        for event in events[offset:]:
-            if max_events is not None and sent >= max_events:
-                break
-            if rate > 0:
-                target = started + sent / rate
-                delay = target - time.perf_counter()
-                if delay > 0:
-                    await asyncio.sleep(delay)
-            elif accel > 0:
-                if first_ts is None:
-                    first_ts = event.timestamp
-                target = started + (event.timestamp - first_ts) * 60.0 / accel
-                delay = target - time.perf_counter()
-                if delay > 0:
-                    await asyncio.sleep(delay)
-            is_arrival = event.event_type is EventType.WORKER_ARRIVAL
-            sent_at = time.perf_counter()
-            writer.write(encode_line(event_to_wire(tenant, event)))
-            await writer.drain()
-            line = await reader.readline()
-            if not line:
-                raise ConnectionError(f"server closed the connection to tenant {tenant!r}")
-            response = decode_line(line)
-            sent += 1
-            if not response.get("ok"):
-                errors += 1
-                continue
-            if is_arrival:
-                arrivals += 1
-                rtts_ms.append((time.perf_counter() - sent_at) * 1e3)
-                decision = response.get("decision")
-                if decision is not None:
-                    decisions += 1
-                    if decision.get("completed_task_id") is not None:
-                        completions += 1
-    finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
-    elapsed = time.perf_counter() - started
-    return {
-        "tenant": tenant,
-        "offset": offset,
-        "events_sent": sent,
-        "arrivals": arrivals,
-        "decisions": decisions,
-        "completions": completions,
-        "errors": errors,
-        "elapsed_s": elapsed,
-        "events_per_s": sent / elapsed if elapsed > 0 else 0.0,
-        "rank_rtt_ms": latency_percentiles(rtts_ms),
-        "_rtts_ms": rtts_ms,
-    }
+    """Feed one tenant's trace window, retrying through transient failures."""
+    driver = _TenantDriver(
+        host, port, tenant, events, offset, rate, accel, max_events, resilience
+    )
+    return await driver.drive()
 
 
 async def _run(
@@ -141,12 +327,11 @@ async def _run(
     tenant_names: list[str] | None,
     dataset_cache_dir: str | Path | None,
     shutdown: bool,
+    resilience: Resilience,
 ) -> dict:
     # Registry validation via the server's own surface: fail before any
     # dataset generation if the server build does not know a policy name.
-    policies = await _request_once(host, port, {"op": "policies"})
-    if not policies.get("ok"):
-        raise RuntimeError(f"policies op failed: {policies.get('error')}")
+    policies = await _control_request(host, port, {"op": "policies"}, "policies")
     known = {entry["name"] for entry in policies["policies"]["policies"]}
     chosen = [
         tenant
@@ -164,9 +349,7 @@ async def _run(
                 f"which the server does not register"
             )
 
-    status = await _request_once(host, port, {"op": "status"})
-    if not status.get("ok"):
-        raise RuntimeError(f"status op failed: {status.get('error')}")
+    status = await _control_request(host, port, {"op": "status"}, "status")
     server_tenants = status["status"]["tenants"]
     offsets: dict[str, int] = {}
     for tenant in chosen:
@@ -175,7 +358,8 @@ async def _run(
                 f"server does not host tenant {tenant.name!r}; "
                 f"hosted: {sorted(server_tenants)}"
             )
-        offsets[tenant.name] = int(server_tenants[tenant.name]["events_consumed"])
+        entry = server_tenants[tenant.name]
+        offsets[tenant.name] = int(entry.get("next_seq", entry["events_consumed"]))
 
     # Rebuild each tenant's trace locally (deterministic from the spec).
     traces: dict[str, list[Event]] = {}
@@ -196,6 +380,7 @@ async def _run(
                 rate,
                 accel,
                 max_events,
+                resilience,
             )
             for tenant in chosen
         )
@@ -203,13 +388,14 @@ async def _run(
     elapsed = time.perf_counter() - started
 
     all_rtts: list[float] = []
-    total_sent = total_errors = 0
+    total_sent = total_errors = total_retries = 0
     for row in per_tenant:
         all_rtts.extend(row.pop("_rtts_ms"))
         total_sent += row["events_sent"]
         total_errors += row["errors"]
+        total_retries += row["retries"]
 
-    final_status = await _request_once(host, port, {"op": "status"})
+    final_status = await _control_request(host, port, {"op": "status"}, "status")
     report = {
         "spec": spec.name,
         "host": host,
@@ -217,11 +403,19 @@ async def _run(
         "rate": rate,
         "accel": accel,
         "max_events": max_events,
+        "resilience": {
+            "retries": resilience.retries,
+            "backoff_base_s": resilience.backoff_base_s,
+            "backoff_max_s": resilience.backoff_max_s,
+            "timeout_s": resilience.timeout_s,
+            "seed": resilience.seed,
+        },
         "tenants": {row["tenant"]: row for row in per_tenant},
         "aggregate": {
             "tenants": len(per_tenant),
             "events_sent": total_sent,
             "errors": total_errors,
+            "retries": total_retries,
             "elapsed_s": elapsed,
             "events_per_s": total_sent / elapsed if elapsed > 0 else 0.0,
             "rank_rtt_ms": latency_percentiles(all_rtts),
@@ -229,9 +423,7 @@ async def _run(
         "server_status": final_status.get("status"),
     }
     if shutdown:
-        drained = await _request_once(host, port, {"op": "shutdown"})
-        if not drained.get("ok"):
-            raise RuntimeError(f"shutdown op failed: {drained.get('error')}")
+        drained = await _control_request(host, port, {"op": "shutdown"}, "shutdown")
         report["shutdown"] = drained["shutdown"]
     return report
 
@@ -246,6 +438,7 @@ def run_loadgen(
     tenant_names: list[str] | None = None,
     dataset_cache_dir: str | Path | None = None,
     shutdown: bool = False,
+    resilience: Resilience | None = None,
 ) -> dict:
     """Drive a running server with the spec's tenant traces; returns the report."""
     return asyncio.run(
@@ -259,6 +452,7 @@ def run_loadgen(
             tenant_names,
             dataset_cache_dir,
             shutdown,
+            resilience if resilience is not None else Resilience(),
         )
     )
 
@@ -290,22 +484,66 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--output", type=Path, default=None, help="also write the JSON report here"
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=8,
+        help="retry budget per event for transient failures (0 = fail fast)",
+    )
+    parser.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="base of the exponential retry backoff in seconds",
+    )
+    parser.add_argument(
+        "--backoff-max",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="cap of the exponential retry backoff in seconds",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="per-request response timeout in seconds",
+    )
+    parser.add_argument(
+        "--retry-seed",
+        type=int,
+        default=0,
+        help="seed of the backoff jitter RNG (reproducible chaos runs)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
     """Execute a parsed loadgen invocation (the unified CLI's dispatch target)."""
     spec = ServeSpec.load(args.spec)
-    report = run_loadgen(
-        spec,
-        host=args.host,
-        port=args.port,
-        rate=args.rate,
-        accel=args.accel,
-        max_events=args.max_events,
-        tenant_names=args.tenants,
-        dataset_cache_dir=args.cache_dir,
-        shutdown=args.shutdown,
-    )
+    try:
+        report = run_loadgen(
+            spec,
+            host=args.host,
+            port=args.port,
+            rate=args.rate,
+            accel=args.accel,
+            max_events=args.max_events,
+            tenant_names=args.tenants,
+            dataset_cache_dir=args.cache_dir,
+            shutdown=args.shutdown,
+            resilience=Resilience(
+                retries=args.retries,
+                backoff_base_s=args.backoff_base,
+                backoff_max_s=args.backoff_max,
+                timeout_s=args.timeout,
+                seed=args.retry_seed,
+            ),
+        )
+    except LoadgenError as error:
+        print(f"loadgen: {error}", file=sys.stderr)
+        return 1
     text = json.dumps(report, indent=2)
     print(text)
     if args.output is not None:
@@ -325,6 +563,4 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    import sys
-
     sys.exit(main())

@@ -13,15 +13,27 @@ and hands the write to a single worker thread.
 One worker thread per offloader — i.e. per tenant — keeps writes for one
 checkpoint path serialized and ordered, so the atomic tmp-then-``os.replace``
 inside :func:`~repro.nn.serialization.save_checkpoint` retains its
-crash-safety story unchanged.  Write errors surface on the next save (or at
-:meth:`drain`), which the tenant pump records as a tenant error exactly like
-an inline failure.
+crash-safety story unchanged.
+
+Error propagation has two modes.  With an ``on_result`` callback installed
+(the serving layer's mode), the callback fires from the worker thread as
+soon as each batch lands — ``on_result(None)`` on success,
+``on_result(error)`` on failure — so a failed write degrades the tenant's
+health *promptly* instead of silently serving with a stale checkpoint until
+the next save.  Without a callback (the legacy mode), errors re-raise into
+the caller on the next :meth:`write_many` or at :meth:`drain`.
+
+``fault_hook`` is the :mod:`repro.serve.faults` probe: called on the worker
+thread before each batch is written, it raises when the fault plan schedules
+a checkpoint I/O failure, exercising the exact error path a real ``OSError``
+takes.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -64,32 +76,58 @@ def _copy_tree(node, memo: dict | None = None):
 class CheckpointOffloader:
     """A drop-in ``checkpoint_writer`` that performs writes off-thread."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        on_result: Callable[[BaseException | None], None] | None = None,
+        fault_hook: Callable[[], None] | None = None,
+    ) -> None:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="ckpt-offload"
         )
         self._pending: list[Future] = []
+        self._on_result = on_result
+        self._fault_hook = fault_hook
         self.writes = 0
+        self.failures = 0
 
     def __call__(self, tree: dict, path: str | Path) -> None:
         self.write_many([(tree, path)])
 
     def write_many(self, items: list[tuple[dict, str | Path]]) -> None:
-        """Snapshot and queue several trees at once, copying shared subtrees once.
+        """Snapshot and queue several trees as one batch, sharing subtree copies.
 
-        All trees are snapshotted before any write is queued, so the batch is
+        All trees are snapshotted before the write is queued, so the batch is
         one consistent cut of the learner state; the memo is scoped to this
-        call — identity says nothing about value across separate bursts.
+        call — identity says nothing about value across separate bursts.  The
+        batch writes (or fails) as a unit, so the policy checkpoint and its
+        run-state sidecar never land torn.
         """
         self._reap()
         memo: dict[int, object] = {}
         snapshots = [(_copy_tree(tree, memo), path) for tree, path in items]
+        future = self._executor.submit(self._write_batch, snapshots)
+        if self._on_result is not None:
+            future.add_done_callback(self._notify)
+        self._pending.append(future)
+        self.writes += len(snapshots)
+
+    def _write_batch(self, snapshots: list[tuple[dict, str | Path]]) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook()
         for snapshot, path in snapshots:
-            self._pending.append(self._executor.submit(save_checkpoint, snapshot, path))
-            self.writes += 1
+            save_checkpoint(snapshot, path)
+
+    def _notify(self, future: Future) -> None:
+        """Worker-side completion callback: report each batch the moment it lands."""
+        if future.cancelled():  # pragma: no cover - executor never cancels
+            return
+        error = future.exception()
+        if error is not None:
+            self.failures += 1
+        self._on_result(error)
 
     def _reap(self) -> None:
-        """Collect finished writes; re-raise the first failure into the caller."""
+        """Collect finished writes; without ``on_result``, re-raise the first failure."""
         still_pending: list[Future] = []
         error: BaseException | None = None
         for future in self._pending:
@@ -100,18 +138,22 @@ class CheckpointOffloader:
             if exc is not None and error is None:
                 error = exc
         self._pending = still_pending
-        if error is not None:
+        if error is not None and self._on_result is None:
             raise error
 
     def drain(self) -> None:
-        """Block until every queued write has landed; re-raise any failure."""
+        """Block until every queued write has landed.
+
+        Without ``on_result``, the first failure re-raises here; with it,
+        failures were already reported as they happened and drain only waits.
+        """
         pending, self._pending = self._pending, []
         error: BaseException | None = None
         for future in pending:
             exc = future.exception()  # waits for completion
             if exc is not None and error is None:
                 error = exc
-        if error is not None:
+        if error is not None and self._on_result is None:
             raise error
 
     def close(self) -> None:
@@ -121,4 +163,4 @@ class CheckpointOffloader:
             self._executor.shutdown(wait=True)
 
     def stats(self) -> dict:
-        return {"writes": self.writes, "pending": len(self._pending)}
+        return {"writes": self.writes, "failures": self.failures, "pending": len(self._pending)}

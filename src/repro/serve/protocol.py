@@ -27,25 +27,132 @@ request order per connection.  Requests are JSON objects dispatched on their
     checkpoints), and the response carries the per-tenant results.  The
     server exits afterwards.  ``SIGTERM``/``SIGINT`` trigger the same drain.
 
-Every response carries ``"ok"``; failures answer ``{"ok": false, "error":
-<message>}`` without closing the connection.
+Every response carries ``"ok"``; failures answer ``{"ok": false, "code":
+<error code>, "error": <message>}`` without closing the connection.  The
+``code`` is one of :data:`ERROR_CODES` — a machine-matchable identity the
+clients branch on (``error`` stays a human message, never a traceback).
+Codes in :data:`RETRYABLE_CODES` describe transient conditions
+(``overloaded`` backpressure, a ``tenant_restarting`` supervision window,
+a ``deadline_exceeded`` dispatch) that a client should retry with backoff;
+everything else is a request or terminal-state problem retries cannot fix.
+Responses to *injected* protocol faults additionally carry
+``"injected": true`` so chaos-run clients retry through them.
+
+``event`` requests may carry an optional ``"seq"`` — the event's absolute
+index in the tenant's online trace.  The server acknowledges ``seq <
+expected`` duplicates without re-applying them (``"duplicate": true``) and
+rejects ``seq > expected`` gaps with the expected value, which makes tail
+re-feeding after reconnects and tenant restarts idempotent: a client can
+always resend from its cursor and converge on the server's.
+
+:class:`ProtocolLimits` bundles the hardening knobs (max frame size,
+per-request deadline, queue-depth backpressure, trainer-lag degradation)
+a :class:`~repro.serve.spec.ServeSpec` can override under ``"limits"``.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+from dataclasses import dataclass
 
 from ..crowd.events import Event, EventType
 
 __all__ = [
+    "ERROR_CODES",
+    "RETRYABLE_CODES",
+    "ProtocolLimits",
     "encode_line",
     "decode_line",
+    "error_response",
     "event_to_wire",
     "event_from_wire",
     "ProtocolError",
     "ServeClient",
 ]
+
+#: Structured error codes answered on the wire.
+ERROR_CODES = frozenset(
+    {
+        "bad_request",  # undecodable frame / invalid or missing fields
+        "unknown_op",
+        "unknown_tenant",
+        "frame_too_large",  # request line exceeded max_frame_bytes
+        "deadline_exceeded",  # dispatch exceeded request_timeout_s
+        "overloaded",  # tenant queue at max_queue_depth; retry with backoff
+        "tenant_restarting",  # tenant failed; supervisor is restarting it
+        "tenant_failed",  # tenant failed permanently (restart budget spent)
+        "sequence_gap",  # event seq ahead of the tenant's cursor
+        "draining",  # server shutting down; no new events
+        "internal",  # unexpected server-side error
+    }
+)
+
+#: Transient conditions a client should retry (with backoff + jitter).
+RETRYABLE_CODES = frozenset({"overloaded", "tenant_restarting", "deadline_exceeded"})
+
+
+def error_response(code: str, message: str, **extra) -> dict:
+    """One structured failure response line (``ok``/``code``/``error``)."""
+    assert code in ERROR_CODES, f"unregistered error code {code!r}"
+    payload = {"ok": False, "code": code, "error": message}
+    payload.update(extra)
+    return payload
+
+
+@dataclass
+class ProtocolLimits:
+    """Hardening knobs of one serving endpoint (spec section ``"limits"``)."""
+
+    #: Largest accepted request line; longer frames answer ``frame_too_large``.
+    max_frame_bytes: int = 1 << 20
+    #: Per-request dispatch deadline (the ``shutdown`` drain is exempt).
+    request_timeout_s: float = 60.0
+    #: Per-tenant buffered-event cap; deeper queues answer ``overloaded``.
+    max_queue_depth: int = 4096
+    #: Async-trainer plan backlog past which the tenant reports ``degraded``
+    #: (decisions keep flowing on the stale snapshot — shed training, not
+    #: serving).
+    degrade_queue_lag: int = 512
+
+    _KEYS = frozenset(
+        {"max_frame_bytes", "request_timeout_s", "max_queue_depth", "degrade_queue_lag"}
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_frame_bytes < 256:
+            raise ValueError(f"max_frame_bytes must be >= 256, got {self.max_frame_bytes}")
+        if self.request_timeout_s <= 0:
+            raise ValueError(f"request_timeout_s must be > 0, got {self.request_timeout_s}")
+        if self.max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        if self.degrade_queue_lag < 1:
+            raise ValueError(f"degrade_queue_lag must be >= 1, got {self.degrade_queue_lag}")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_frame_bytes": self.max_frame_bytes,
+            "request_timeout_s": self.request_timeout_s,
+            "max_queue_depth": self.max_queue_depth,
+            "degrade_queue_lag": self.degrade_queue_lag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProtocolLimits":
+        if not isinstance(data, dict):
+            raise ValueError(f"limits must be a JSON object, got {type(data).__name__}")
+        unknown = set(data) - cls._KEYS
+        if unknown:
+            raise ValueError(f"unknown limits keys: {sorted(unknown)}")
+        defaults = cls()
+        return cls(
+            max_frame_bytes=int(data.get("max_frame_bytes", defaults.max_frame_bytes)),
+            request_timeout_s=float(
+                data.get("request_timeout_s", defaults.request_timeout_s)
+            ),
+            max_queue_depth=int(data.get("max_queue_depth", defaults.max_queue_depth)),
+            degrade_queue_lag=int(data.get("degrade_queue_lag", defaults.degrade_queue_lag)),
+        )
 
 #: Accepted ``kind`` values (the :class:`EventType` wire names).
 _KINDS = {member.value: member for member in EventType}
@@ -73,15 +180,24 @@ def decode_line(line: bytes | str) -> dict:
     return payload
 
 
-def event_to_wire(tenant: str, event: Event) -> dict:
-    """The ``op=event`` request for one trace event of one tenant."""
-    return {
+def event_to_wire(tenant: str, event: Event, seq: int | None = None) -> dict:
+    """The ``op=event`` request for one trace event of one tenant.
+
+    ``seq`` (the event's absolute online-trace index) opts the request into
+    idempotent delivery: the server acks duplicates without re-applying them
+    and rejects gaps with the expected index, so retries and tail re-feeds
+    after reconnects or tenant restarts are safe.
+    """
+    payload = {
         "op": "event",
         "tenant": tenant,
         "kind": event.event_type.value,
         "subject_id": int(event.subject_id),
         "timestamp": float(event.timestamp),
     }
+    if seq is not None:
+        payload["seq"] = int(seq)
+    return payload
 
 
 def event_from_wire(payload: dict) -> Event:

@@ -18,6 +18,23 @@ because a tenant's trajectory depends only on its own event sequence (own
 RNGs, own platform, batching bit-identical per replica), the resumed state
 matches an uninterrupted run fed the same events.
 
+The server is **fault-tolerant by supervision**: every tenant carries the
+health state machine of :mod:`repro.serve.tenant`, a tenant whose replica
+loop raises is isolated (its neighbours' pumps and tickets are untouched)
+and restarted in-process from its last periodic checkpoint under the spec's
+:class:`~repro.serve.spec.SupervisorSpec` (bounded attempts, exponential
+backoff); clients re-feed the tail through ``sequence_gap`` resynchronisation
+and the recovered trajectory is bit-exact versus an uninterrupted run.  The
+wire surface is hardened by :class:`~repro.serve.protocol.ProtocolLimits`:
+oversized frames answer ``frame_too_large`` without killing the connection,
+every non-shutdown request dispatches under a deadline
+(``deadline_exceeded``), and queue-depth backpressure answers ``overloaded``.
+``--fault-plan`` arms a seeded :class:`~repro.serve.faults.FaultPlan` that
+injects failures at named sites for chaos tests and CI; every injected
+fault, health transition and restart flows into the NDJSON event logs
+(``kind="fault"`` / ``"health"`` / ``"supervisor"``, server-level records in
+``_server.ndjson``) and is queryable after ``repro report ingest``.
+
 ``python -m repro serve <spec.json>`` runs this module's :func:`main`; on
 readiness it prints one JSON line ``{"serving": {...}}`` (host, bound port,
 pid, tenants, state dir) so drivers can discover an ephemeral port, and at
@@ -33,17 +50,30 @@ import json
 import os
 import signal
 import sys
+import threading
 import time
 from pathlib import Path
 
 from ..api.registry import registry_payload
 from ..crowd.events import EventType
 from .batching import RankBatcher
-from .protocol import ProtocolError, decode_line, encode_line, event_from_wire
+from .faults import FaultEvent, FaultPlan
+from .protocol import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+    event_from_wire,
+)
 from .spec import ServeSpec
-from .tenant import ArrivalTicket, Tenant
+from .tenant import FAILED, RESTARTING, ArrivalTicket, Tenant
 
 __all__ = ["ArrangementServer", "configure_parser", "main", "run"]
+
+#: Sentinel returned by the frame reader for an over-limit request line.
+_OVERSIZED = object()
+#: Sentinel: a conn_drop fault fired — close the connection unanswered.
+_DROP = object()
 
 
 class ArrangementServer:
@@ -56,6 +86,7 @@ class ArrangementServer:
         resume: bool = True,
         dataset_cache_dir: str | Path | None = None,
         event_log_dir: str | Path | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.spec = spec
         self.state_dir = Path(state_dir) if state_dir is not None else None
@@ -66,6 +97,9 @@ class ArrangementServer:
             self.event_log_dir.mkdir(parents=True, exist_ok=True)
         self.resume = resume
         self.dataset_cache_dir = dataset_cache_dir
+        self.fault_plan = fault_plan
+        if self.fault_plan is not None:
+            self.fault_plan.on_fire = self._record_fault
         self.tenants: dict[str, Tenant] = {}
         self.batcher = RankBatcher()
         self.shutdown_summary: dict | None = None
@@ -75,6 +109,11 @@ class ArrangementServer:
         self._shutdown_task: asyncio.Task | None = None
         self._shutdown_complete = asyncio.Event()
         self._conn_tasks: set[asyncio.Task] = set()
+        #: Tenant names with an in-flight supervised restart task.
+        self._supervising: set[str] = set()
+        self._restart_tasks: set[asyncio.Task] = set()
+        self._server_log_file = None
+        self._server_log_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def boot(self) -> None:
@@ -98,6 +137,9 @@ class ArrangementServer:
                     else None
                 ),
                 checkpoint_phase=phase,
+                limits=self.spec.limits,
+                fault_plan=self.fault_plan,
+                on_failure=self._tenant_failed,
             )
             tenant.boot()
             self.tenants[tenant_spec.name] = tenant
@@ -107,7 +149,13 @@ class ArrangementServer:
         if not self.tenants:
             self.boot()
         self._server = await asyncio.start_server(
-            self._handle, self.spec.host, self.spec.port
+            self._handle,
+            self.spec.host,
+            self.spec.port,
+            # The stream reader's buffer limit is what readuntil() enforces;
+            # one byte past max_frame_bytes must overrun, so the limit is the
+            # frame budget itself (frame = payload + newline).
+            limit=self.spec.limits.max_frame_bytes,
         )
         self._started = time.perf_counter()
         return self.address
@@ -119,25 +167,59 @@ class ArrangementServer:
         return sockname[0], sockname[1]
 
     # ------------------------------------------------------------------ #
+    async def _read_frame(self, reader: asyncio.StreamReader):
+        """One request line, EOF (``None``) or the ``_OVERSIZED`` sentinel.
+
+        An over-limit line is discarded up to its terminating newline so the
+        connection survives the ``frame_too_large`` answer; bytes a client
+        pipelined *behind* an oversized frame in the same burst may be lost
+        with it (clients should not pipeline past an unread response).
+        """
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError:
+            return None  # EOF, possibly mid-frame; nothing to answer
+        except asyncio.LimitOverrunError:
+            while True:
+                chunk = await reader.read(self.spec.limits.max_frame_bytes)
+                if not chunk or b"\n" in chunk:
+                    return _OVERSIZED
+
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                line = await self._read_frame(reader)
+                if line is None:
                     break
+                if line is _OVERSIZED:
+                    writer.write(
+                        encode_line(
+                            error_response(
+                                "frame_too_large",
+                                f"request line exceeds max_frame_bytes "
+                                f"({self.spec.limits.max_frame_bytes})",
+                                max_frame_bytes=self.spec.limits.max_frame_bytes,
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    continue
                 try:
                     request = decode_line(line)
-                    response = await self._dispatch(request)
                 except ProtocolError as error:
-                    request, response = {}, {"ok": False, "error": str(error)}
-                except Exception as error:  # noqa: BLE001 - answered on the wire
-                    request, response = {}, {
-                        "ok": False,
-                        "error": f"{type(error).__name__}: {error}",
-                    }
+                    writer.write(encode_line(error_response("bad_request", str(error))))
+                    await writer.drain()
+                    continue
+                injected = self._injected_frame_fault(request)
+                if injected is _DROP:
+                    break  # conn_drop fired: close without answering
+                if injected is not None:
+                    response = injected
+                else:
+                    response = await self._dispatch_guarded(request)
                 writer.write(encode_line(response))
                 await writer.drain()
                 if request.get("op") == "shutdown":
@@ -153,7 +235,68 @@ class ArrangementServer:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    async def _dispatch(self, request: dict) -> dict:
+    def _injected_frame_fault(self, request: dict):
+        """Probe the connection-level fault sites for one decoded frame.
+
+        Returns ``_DROP`` when ``conn_drop`` fires, an injected error
+        response for ``malformed_frame`` / ``oversized_frame``, else
+        ``None``.  The probes run after decoding — matching needs the
+        frame's tenant/op — and mirror exactly the responses the real
+        conditions produce, plus ``"injected": true`` so resilient clients
+        retry through them.
+        """
+        if self.fault_plan is None:
+            return None
+        tenant, op = request.get("tenant"), request.get("op")
+        if self.fault_plan.fire("conn_drop", tenant=tenant, op=op) is not None:
+            return _DROP
+        event = self.fault_plan.fire("malformed_frame", tenant=tenant, op=op)
+        if event is not None:
+            return error_response(
+                "bad_request", f"invalid JSON line ({event.message})", injected=True
+            )
+        event = self.fault_plan.fire("oversized_frame", tenant=tenant, op=op)
+        if event is not None:
+            return error_response(
+                "frame_too_large",
+                f"request line exceeds max_frame_bytes ({event.message})",
+                injected=True,
+            )
+        return None
+
+    async def _dispatch_guarded(self, request: dict) -> dict:
+        """Dispatch under the per-request deadline, answering structured errors."""
+        slow = (
+            self.fault_plan.fire(
+                "slow_frame", tenant=request.get("tenant"), op=request.get("op")
+            )
+            if self.fault_plan is not None
+            else None
+        )
+        try:
+            if request.get("op") == "shutdown":
+                # The drain legitimately outlives any request deadline.
+                return await self._dispatch(request)
+            return await asyncio.wait_for(
+                self._dispatch(request, delay_s=(slow.delay_ms / 1e3 if slow else 0.0)),
+                timeout=self.spec.limits.request_timeout_s,
+            )
+        except TimeoutError:
+            return error_response(
+                "deadline_exceeded",
+                f"request exceeded the {self.spec.limits.request_timeout_s}s deadline",
+                injected=slow is not None,
+            )
+        except ProtocolError as error:
+            return error_response("bad_request", str(error))
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - answered on the wire
+            return error_response("internal", f"{type(error).__name__}: {error}")
+
+    async def _dispatch(self, request: dict, delay_s: float = 0.0) -> dict:
+        if delay_s > 0:
+            await asyncio.sleep(delay_s)  # slow_frame: stall inside the deadline
         op = request.get("op")
         if op == "event":
             return await self._op_event(request)
@@ -166,27 +309,189 @@ class ArrangementServer:
         if op == "shutdown":
             summary = await self.shutdown()
             return {"ok": True, "shutdown": summary}
-        raise ProtocolError(f"unknown op {op!r}")
+        return error_response("unknown_op", f"unknown op {op!r}")
 
     async def _op_event(self, request: dict) -> dict:
         if self._closing:
-            return {"ok": False, "error": "server is draining; no new events accepted"}
+            return error_response("draining", "server is draining; no new events accepted")
         name = request.get("tenant")
         tenant = self.tenants.get(name)
         if tenant is None:
-            raise ProtocolError(
-                f"unknown tenant {name!r}; hosted tenants: {sorted(self.tenants)}"
+            return error_response(
+                "unknown_tenant",
+                f"unknown tenant {name!r}; hosted tenants: {sorted(self.tenants)}",
+            )
+        if tenant.health in (FAILED, RESTARTING) or tenant.error is not None:
+            if tenant.supervision_exhausted:
+                return error_response(
+                    "tenant_failed",
+                    f"tenant {name!r} failed permanently: {tenant.health_reason}",
+                )
+            return error_response(
+                "tenant_restarting",
+                f"tenant {name!r} is restarting after a failure; retry shortly",
+                retry_after_ms=50,
+            )
+        if tenant.result is not None:
+            return error_response(
+                "tenant_failed", f"tenant {name!r} has finished its run"
             )
         event = event_from_wire(request)
-        if event.event_type is EventType.WORKER_ARRIVAL:
+        is_arrival = event.event_type is EventType.WORKER_ARRIVAL
+        seq = request.get("seq")
+        if seq is not None:
+            try:
+                seq = int(seq)
+            except (TypeError, ValueError):
+                return error_response("bad_request", f"event seq must be an integer, got {seq!r}")
+            expected = tenant.stream.next_seq
+            if seq < expected:
+                # Already consumed or buffered: idempotent duplicate ack
+                # (the original decision, if any, went to the first delivery).
+                ack = {"ok": True, "tenant": name, "duplicate": True}
+                ack["decision" if is_arrival else "queued"] = (
+                    None if is_arrival else tenant.stream.pending
+                )
+                return ack
+            if seq > expected:
+                return error_response(
+                    "sequence_gap",
+                    f"tenant {name!r} expects event seq {expected}, got {seq}; "
+                    "re-feed from the expected offset",
+                    expected=expected,
+                )
+        if tenant.stream.pending >= self.spec.limits.max_queue_depth:
+            return error_response(
+                "overloaded",
+                f"tenant {name!r} queue depth {tenant.stream.pending} at "
+                f"max_queue_depth ({self.spec.limits.max_queue_depth}); retry with backoff",
+                retry_after_ms=50,
+            )
+        if is_arrival:
             future = asyncio.get_running_loop().create_future()
             tenant.feed(event, ArrivalTicket(future))
             asyncio.ensure_future(tenant.pump(self.batcher))
-            decision = await future
+            try:
+                decision = await future
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:  # noqa: BLE001 - tenant failed mid-arrival
+                if tenant.supervision_exhausted:
+                    return error_response(
+                        "tenant_failed", f"tenant {name!r} failed: {error!r}"
+                    )
+                return error_response(
+                    "tenant_restarting",
+                    f"tenant {name!r} failed while serving and is being "
+                    f"restarted: {error!r}",
+                    retry_after_ms=50,
+                )
             return {"ok": True, "tenant": name, "decision": decision}
         tenant.feed(event)
         asyncio.ensure_future(tenant.pump(self.batcher))
         return {"ok": True, "tenant": name, "queued": tenant.stream.pending}
+
+    # ------------------------------------------------------------------ #
+    # Supervision: isolate, back off, restart from the last checkpoint
+    # ------------------------------------------------------------------ #
+    def _tenant_failed(self, tenant: Tenant) -> None:
+        """Tenant pump error callback: schedule a supervised restart.
+
+        Called on the loop thread from the failing pump.  The crash is
+        already isolated — only this tenant's stream and tickets were failed
+        — so the supervisor task just owns the backoff/restart cycle.
+        """
+        if self._closing or tenant.name in self._supervising:
+            return
+        self._supervising.add(tenant.name)
+        task = asyncio.ensure_future(self._supervise(tenant))
+        self._restart_tasks.add(task)
+        task.add_done_callback(self._restart_tasks.discard)
+
+    async def _supervise(self, tenant: Tenant) -> None:
+        """Restart one failed tenant with bounded attempts + exponential backoff."""
+        supervisor = self.spec.supervisor
+        try:
+            while not self._closing:
+                if tenant.restarts >= supervisor.max_restarts:
+                    tenant.supervision_exhausted = True
+                    reason = (
+                        f"restart budget exhausted ({supervisor.max_restarts} "
+                        f"restarts); tenant stays failed"
+                    )
+                    tenant.set_health(FAILED, reason)
+                    self._log_supervisor(tenant, "gave_up", reason)
+                    return
+                delay_s = supervisor.backoff_s(tenant.restarts)
+                attempt = tenant.restarts + 1
+                tenant.set_health(
+                    RESTARTING,
+                    f"restart attempt {attempt}/{supervisor.max_restarts} "
+                    f"after {delay_s:.3f}s backoff",
+                )
+                self._log_supervisor(
+                    tenant, "backoff", f"attempt {attempt} in {delay_s:.3f}s"
+                )
+                await asyncio.sleep(delay_s)
+                if self._closing:
+                    return
+                try:
+                    # boot() replays/fast-forwards synchronously on the loop
+                    # thread; neighbours pause briefly but never fail.
+                    tenant.restart()
+                except Exception as error:  # noqa: BLE001 - retried or given up
+                    tenant.set_health(FAILED, f"restart attempt {attempt} failed: {error!r}")
+                    self._log_supervisor(tenant, "restart_failed", repr(error))
+                    continue
+                self._log_supervisor(
+                    tenant,
+                    "restarted",
+                    f"attempt {attempt}; resumed at event {tenant.resumed_at_event}",
+                )
+                return
+        finally:
+            self._supervising.discard(tenant.name)
+
+    def _log_supervisor(self, tenant: Tenant, action: str, detail: str) -> None:
+        tenant.log_record(
+            {
+                "kind": "supervisor",
+                "tenant": tenant.name,
+                "action": action,
+                "reason": detail,
+                "restarts": tenant.restarts,
+                "events_consumed": tenant.stream.events_consumed,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fault + server-level event logging
+    # ------------------------------------------------------------------ #
+    def _record_fault(self, event: FaultEvent) -> None:
+        """Route one fired fault into the event logs (any thread)."""
+        record = event.to_record()
+        tenant = self.tenants.get(event.tenant) if event.tenant else None
+        if tenant is not None:
+            record["events_consumed"] = tenant.stream.events_consumed
+            tenant.log_record(record)
+        else:
+            self._log_server_record(record)
+
+    def _log_server_record(self, record: dict) -> None:
+        """Append one record to ``_server.ndjson`` (server-level faults).
+
+        The leading underscore cannot collide with a tenant log: tenant
+        slugs must start with a letter or digit.
+        """
+        if self.event_log_dir is None:
+            return
+        with self._server_log_lock:
+            if self._server_log_file is None:
+                self._server_log_file = (self.event_log_dir / "_server.ndjson").open(
+                    "a", encoding="utf-8"
+                )
+            self._server_log_file.write(json.dumps(record, sort_keys=True) + "\n")
+            self._server_log_file.flush()
 
     # ------------------------------------------------------------------ #
     def status(self) -> dict:
@@ -198,6 +503,9 @@ class ArrangementServer:
             "closing": self._closing,
             "tenants": {name: tenant.status() for name, tenant in self.tenants.items()},
             "batching": self.batcher.stats(),
+            "limits": self.spec.limits.to_dict(),
+            "supervisor": self.spec.supervisor.to_dict(),
+            "faults": self.fault_plan.stats() if self.fault_plan is not None else None,
         }
 
     # ------------------------------------------------------------------ #
@@ -209,6 +517,13 @@ class ArrangementServer:
 
     async def _drain(self) -> dict:
         self._closing = True
+        # Stop any in-flight supervised restarts first: a tenant mid-backoff
+        # stays failed (its done event is already set), one that finished
+        # restarting drains like any healthy tenant.
+        for task in list(self._restart_tasks):
+            task.cancel()
+        if self._restart_tasks:
+            await asyncio.gather(*self._restart_tasks, return_exceptions=True)
         for tenant in self.tenants.values():
             tenant.stream.close()
             asyncio.ensure_future(tenant.pump(self.batcher))
@@ -219,6 +534,8 @@ class ArrangementServer:
                 "events_consumed": tenant.stream.events_consumed,
                 "decisions": tenant.decisions,
                 "error": repr(tenant.error) if tenant.error is not None else None,
+                "health": tenant.health,
+                "restarts": tenant.restarts,
                 "checkpoint": str(tenant.checkpoint_path) if tenant.checkpoint_path else None,
             }
             if tenant.result is not None:
@@ -229,6 +546,10 @@ class ArrangementServer:
                 entry["completions"] = tenant.result.completions
             summary[name] = entry
         self.shutdown_summary = summary
+        if self._server_log_file is not None:
+            with self._server_log_lock:
+                self._server_log_file.close()
+                self._server_log_file = None
         self._shutdown_complete.set()
         return summary
 
@@ -255,6 +576,7 @@ async def _amain(
     dataset_cache_dir: Path | None,
     announce: bool = True,
     event_log_dir: Path | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> dict:
     server = ArrangementServer(
         spec,
@@ -262,6 +584,7 @@ async def _amain(
         resume=resume,
         dataset_cache_dir=dataset_cache_dir,
         event_log_dir=event_log_dir,
+        fault_plan=fault_plan,
     )
     host, port = await server.start()
     loop = asyncio.get_running_loop()
@@ -319,6 +642,15 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="write one NDJSON event log per tenant into this directory "
         "(ingestable with 'repro report ingest')",
     )
+    parser.add_argument(
+        "--fault-plan",
+        type=Path,
+        default=None,
+        metavar="PLAN",
+        help="arm a seeded deterministic FaultPlan JSON (chaos testing): "
+        "inject checkpoint/loop/trainer/frame/connection failures at the "
+        "planned sites",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -328,6 +660,7 @@ def run(args: argparse.Namespace) -> int:
         spec.host = args.host
     if args.port is not None:
         spec.port = args.port
+    fault_plan = FaultPlan.load(args.fault_plan) if args.fault_plan is not None else None
     state_dir = args.state_dir if args.state_dir is not None else Path("serve-state") / spec.name
     try:
         asyncio.run(
@@ -337,6 +670,7 @@ def run(args: argparse.Namespace) -> int:
                 not args.fresh,
                 args.cache_dir,
                 event_log_dir=args.event_log,
+                fault_plan=fault_plan,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C before handlers

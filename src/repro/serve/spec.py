@@ -20,6 +20,13 @@ exactly the vocabulary an offline experiment already uses.  The JSON shape::
       ]
     }
 
+Two optional top-level sections harden the endpoint: ``"limits"``
+(:class:`~repro.serve.protocol.ProtocolLimits` — max frame size, per-request
+deadline, queue-depth backpressure, trainer-lag degradation threshold) and
+``"supervisor"`` (:class:`SupervisorSpec` — how many times a failed tenant
+is restarted from its last checkpoint, and the exponential backoff between
+attempts).  Both default sensibly when omitted.
+
 Unknown keys anywhere raise at parse time (the spec layer's usual loud
 rejection), tenant names must be unique filesystem-safe slugs (they become
 checkpoint file stems), and every policy name is validated against the
@@ -36,12 +43,67 @@ from pathlib import Path
 from ..api.registry import policy_entry
 from ..api.spec import DatasetSpec, PolicySpec, _from_known_fields
 from ..eval.runner import RunnerConfig
+from .protocol import ProtocolLimits
 
-__all__ = ["TenantSpec", "ServeSpec"]
+__all__ = ["SupervisorSpec", "TenantSpec", "ServeSpec"]
 
 #: Tenant names become checkpoint file stems (``<state_dir>/<name>.npz``), so
 #: they are restricted to the registry's slug alphabet.
 _TENANT_NAME = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
+
+
+@dataclass
+class SupervisorSpec:
+    """Restart policy for failed tenants (spec section ``"supervisor"``).
+
+    A tenant that raises out of its replica loop is restarted in-process from
+    its last periodic checkpoint at most ``max_restarts`` times over its
+    lifetime, with exponential backoff ``backoff_base_s · 2^restarts`` capped
+    at ``backoff_max_s`` before each attempt.  Once the budget is spent the
+    tenant stays ``failed`` and its requests answer ``tenant_failed``.
+    """
+
+    max_restarts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+
+    _KEYS = frozenset({"max_restarts", "backoff_base_s", "backoff_max_s"})
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.backoff_base_s < 0:
+            raise ValueError(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_max_s ({self.backoff_max_s}) must be >= "
+                f"backoff_base_s ({self.backoff_base_s})"
+            )
+
+    def backoff_s(self, restarts: int) -> float:
+        """The sleep before restart attempt ``restarts + 1``."""
+        return min(self.backoff_base_s * (2.0**restarts), self.backoff_max_s)
+
+    def to_dict(self) -> dict:
+        return {
+            "max_restarts": self.max_restarts,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_max_s": self.backoff_max_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SupervisorSpec":
+        if not isinstance(data, dict):
+            raise ValueError(f"supervisor must be a JSON object, got {type(data).__name__}")
+        unknown = set(data) - cls._KEYS
+        if unknown:
+            raise ValueError(f"unknown supervisor keys: {sorted(unknown)}")
+        defaults = cls()
+        return cls(
+            max_restarts=int(data.get("max_restarts", defaults.max_restarts)),
+            backoff_base_s=float(data.get("backoff_base_s", defaults.backoff_base_s)),
+            backoff_max_s=float(data.get("backoff_max_s", defaults.backoff_max_s)),
+        )
 
 
 @dataclass
@@ -94,6 +156,8 @@ class ServeSpec:
     host: str = "127.0.0.1"
     port: int = 7600
     tenants: list[TenantSpec] = field(default_factory=list)
+    limits: ProtocolLimits = field(default_factory=ProtocolLimits)
+    supervisor: SupervisorSpec = field(default_factory=SupervisorSpec)
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
@@ -102,13 +166,15 @@ class ServeSpec:
             "host": self.host,
             "port": self.port,
             "tenants": [tenant.to_dict() for tenant in self.tenants],
+            "limits": self.limits.to_dict(),
+            "supervisor": self.supervisor.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServeSpec":
         if not isinstance(data, dict):
             raise ValueError(f"serve spec must be a JSON object, got {type(data).__name__}")
-        unknown = set(data) - {"name", "host", "port", "tenants"}
+        unknown = set(data) - {"name", "host", "port", "tenants", "limits", "supervisor"}
         if unknown:
             raise ValueError(f"unknown serve spec keys: {sorted(unknown)}")
         tenants_data = data.get("tenants", [])
@@ -119,6 +185,8 @@ class ServeSpec:
             host=str(data.get("host", "127.0.0.1")),
             port=int(data.get("port", 7600)),
             tenants=[TenantSpec.from_dict(entry) for entry in tenants_data],
+            limits=ProtocolLimits.from_dict(data.get("limits", {})),
+            supervisor=SupervisorSpec.from_dict(data.get("supervisor", {})),
         )
         if not spec.tenants:
             raise ValueError(f"serve spec {spec.name!r} lists no tenants")

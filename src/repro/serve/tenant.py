@@ -21,12 +21,28 @@ resumes from its run-state sidecar and reports the restored trace offset
 (``events_consumed``) so clients re-feed the tail past the last checkpoint
 (at-least-once delivery); the replayed tail is decided identically, so the
 resumed trajectory matches an uninterrupted run fed the same events.
+
+Each tenant carries a **health state machine** — ``healthy → degraded →
+failed → restarting`` (:data:`HEALTH_STATES`) — that the server's supervisor
+and the ``status`` op read.  ``degraded`` means the tenant keeps serving
+with a known defect (a failed checkpoint write reported promptly from the
+offload worker, or an async-trainer backlog past the configured lag, i.e.
+decisions are being served from a stale snapshot); ``failed`` means the
+replica loop raised and the tenant stopped; ``restarting`` covers the
+supervised backoff window before :meth:`Tenant.restart` rebuilds the loop
+from the last periodic checkpoint.  Because every tenant owns its own loop,
+stream and error handling, one tenant's crash never interrupts its
+neighbours — their pumps, queues and tickets are untouched.  Health
+transitions and injected faults append ``kind="health"`` / ``kind="fault"``
+records to the tenant's NDJSON event log next to the per-arrival
+``kind="decision"`` records.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import time
 from collections import deque
 from pathlib import Path
@@ -38,10 +54,44 @@ from ..core.framework import TaskArrangementFramework
 from ..crowd.events import Event, EventType
 from ..crowd.vectorized import STARVED
 from ..eval.runner import ReplicaRun
+from .faults import FaultPlan
 from .offload import CheckpointOffloader
+from .protocol import ProtocolLimits
 from .spec import TenantSpec
 
-__all__ = ["ArrivalTicket", "PushStream", "Tenant", "latency_percentiles"]
+__all__ = [
+    "ArrivalTicket",
+    "HEALTH_STATES",
+    "HEALTHY",
+    "DEGRADED",
+    "FAILED",
+    "RESTARTING",
+    "PushStream",
+    "Tenant",
+    "latency_percentiles",
+]
+
+#: The tenant health state machine (see the module docstring).
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+FAILED = "failed"
+RESTARTING = "restarting"
+HEALTH_STATES = (HEALTHY, DEGRADED, FAILED, RESTARTING)
+
+
+class _TrainerPoison:
+    """A plan that raises when the trainer loop consumes it.
+
+    Submitted by the ``trainer_thread`` fault site: an ``AsyncTrainer``
+    worker dies iterating it (the captured error re-raises on the loop
+    thread at the next handoff — the real background-failure path), a
+    ``SyncTrainer`` raises inline.
+    """
+
+    def __iter__(self):
+        from .faults import InjectedFault
+
+        raise InjectedFault("injected trainer_thread fault (poison plan)")
 
 
 def latency_percentiles(samples_ms) -> dict:
@@ -125,6 +175,18 @@ class PushStream:
     def pending(self) -> int:
         return len(self._buffer)
 
+    @property
+    def next_seq(self) -> int:
+        """The absolute trace index of the next event this stream expects.
+
+        Everything consumed plus everything buffered: a client feeding with
+        explicit ``seq`` values must send exactly this index next.  After a
+        restart the stream rewinds to the restored checkpoint offset, so
+        clients resynchronise through ``sequence_gap`` responses and re-feed
+        the tail idempotently.
+        """
+        return self.events_consumed + len(self._buffer)
+
     # ------------------------------------------------------------------ #
     def resolve_active(self, decision: dict) -> None:
         """Resolve the in-flight arrival's ticket with its decision payload."""
@@ -200,24 +262,67 @@ class Tenant:
         dataset_cache_dir: str | Path | None = None,
         event_log: str | Path | None = None,
         checkpoint_phase: int = 0,
+        limits: ProtocolLimits | None = None,
+        fault_plan: FaultPlan | None = None,
+        on_failure=None,
     ) -> None:
         self.spec = spec
         self.name = spec.name
+        self.limits = limits if limits is not None else ProtocolLimits()
+        self.fault_plan = fault_plan
+        #: Called (with this tenant) when the replica loop raises; the server
+        #: installs its supervisor here.
+        self.on_failure = on_failure
         self.dataset = spec.dataset.build(cache_dir=dataset_cache_dir)
-        self.policy = build_policy(spec.policy.policy, self.dataset, **spec.policy.kwargs)
-        self.stream = PushStream()
         self.checkpoint_path = (
             Path(state_dir) / f"{spec.name}.npz" if state_dir is not None else None
         )
+        self._checkpoint_phase = checkpoint_phase
+        self.event_log_path = Path(event_log) if event_log is not None else None
+        self._event_log_file = None
+        #: Fault records arrive from the offload worker thread too.
+        self._log_lock = threading.Lock()
+        self.health = HEALTHY
+        self.health_reason = ""
+        self.restarts = 0
+        #: Set by the supervisor once the restart budget is spent.
+        self.supervision_exhausted = False
+        self.last_checkpoint_error: str | None = None
+        self.resumed_at_event = 0
+        self.decisions = 0
+        self._last_latency_ms = 0.0
+        self._latencies_ms: deque[float] = deque(maxlen=8192)
+        self._build_loop(resume=resume and self.checkpoint_path is not None)
+
+    def _build_loop(self, resume: bool) -> None:
+        """(Re)create everything one life of the replica loop owns.
+
+        Called at construction and again by :meth:`restart`; the dataset,
+        event log, health history and latency window survive across lives,
+        the policy / stream / offloader / generator do not.
+        """
+        self.policy = build_policy(
+            self.spec.policy.policy, self.dataset, **self.spec.policy.kwargs
+        )
+        self.stream = PushStream()
         # Checkpoint writes run on the offloader's worker thread so the loop
         # thread (and with it every other tenant) never blocks on the save.
-        self.checkpoint_offloader = CheckpointOffloader()
+        # Batch results come back through _checkpoint_result the moment they
+        # land, so a failed write degrades health promptly.
+        self.checkpoint_offloader = CheckpointOffloader(
+            on_result=self._checkpoint_result,
+            fault_hook=(
+                (lambda: self.fault_plan.raise_if("checkpoint_write", tenant=self.name))
+                if self.fault_plan is not None
+                else None
+            ),
+        )
         self.run = ReplicaRun(
             self.dataset,
             self.policy,
-            spec.runner,
+            self.spec.runner,
             checkpoint_path=self.checkpoint_path,
-            resume=resume and self.checkpoint_path is not None,
+            resume=resume,
             stream_factory=self._bind_stream,
             # Schedule-aligned checkpoints only: a drain-time save at an
             # arbitrary arrival would create a resume point whose transient
@@ -228,17 +333,11 @@ class Tenant:
             checkpoint_writer=self.checkpoint_offloader,
             # Staggered per tenant by the server so co-hosted loops never all
             # snapshot in the same tick (the on-loop deep copies would stack).
-            checkpoint_phase=checkpoint_phase,
+            checkpoint_phase=self._checkpoint_phase,
         )
-        self.event_log_path = Path(event_log) if event_log is not None else None
-        self._event_log_file = None
         self._gen = None
         self.result = None
         self.error: BaseException | None = None
-        self.resumed_at_event = 0
-        self.decisions = 0
-        self._last_latency_ms = 0.0
-        self._latencies_ms: deque[float] = deque(maxlen=8192)
         self._pump_running = False
         self.done = asyncio.Event()
 
@@ -261,12 +360,13 @@ class Tenant:
         self.stream.settle_all()
         if isinstance(self.policy, TaskArrangementFramework):
             self.policy.trainer.close()
-        # Land every queued checkpoint write before reporting done; a failed
-        # write surfaces here and is recorded like any other tenant error.
+        # Land every queued checkpoint write before reporting done; failures
+        # were reported promptly through _checkpoint_result as they happened.
         self.checkpoint_offloader.close()
-        if self._event_log_file is not None:
-            self._event_log_file.close()
-            self._event_log_file = None
+        with self._log_lock:
+            if self._event_log_file is not None:
+                self._event_log_file.close()
+                self._event_log_file = None
         self.done.set()
 
     # ------------------------------------------------------------------ #
@@ -312,9 +412,16 @@ class Tenant:
                 request = self._advance(None)
                 while request is not None and request[0] != "idle":
                     if request[0] == "rank":
+                        if self.fault_plan is not None:
+                            # Deterministic per-tenant schedule: the N-th rank
+                            # request of this tenant, independent of batching.
+                            self.fault_plan.raise_if("tenant_loop", tenant=self.name)
+                            if self.fault_plan.fire("trainer_thread", tenant=self.name):
+                                self._poison_trainer()
                         started = time.perf_counter()
                         ranking = await batcher.submit(self, request[1])
                         self._record_latency((time.perf_counter() - started) * 1e3)
+                        self._check_trainer_lag()
                         request = self._advance(ranking)
                     else:  # observe
                         _, context, presented, feedback = request
@@ -327,42 +434,158 @@ class Tenant:
         except BaseException as error:
             self.error = error
             self.stream.fail_all(error)
+            self.set_health(FAILED, f"replica loop raised: {error!r}")
             self.done.set()
+            if self.on_failure is not None:
+                self.on_failure(self)
         finally:
             self._pump_running = False
+
+    def _poison_trainer(self) -> None:
+        """Push a poison plan through the trainer loop (``trainer_thread`` site)."""
+        if isinstance(self.policy, TaskArrangementFramework):
+            self.policy.trainer.submit(_TrainerPoison())
+
+    def _check_trainer_lag(self) -> None:
+        """Degrade (and recover) on async-trainer backlog.
+
+        An ``AsyncTrainer`` running free never blocks decisions — they are
+        served from the published snapshot — so a backlog past
+        ``degrade_queue_lag`` is *shed training*, not shed serving: the
+        tenant keeps answering on increasingly stale parameters.  Surface
+        that as ``degraded`` so operators (and the chaos suite) can see the
+        interval instead of silently losing quality.
+        """
+        if not isinstance(self.policy, TaskArrangementFramework):
+            return
+        stats = self.policy.trainer.stats()
+        if not stats:
+            return
+        lag = int(stats.get("plans_submitted", 0)) - int(stats.get("plans_consumed", 0))
+        if lag > self.limits.degrade_queue_lag:
+            self.set_health(
+                DEGRADED,
+                f"trainer backlog {lag} plans > degrade_queue_lag "
+                f"{self.limits.degrade_queue_lag}; serving snapshot-only decisions",
+            )
+        elif self.health == DEGRADED and "trainer backlog" in self.health_reason:
+            self.set_health(HEALTHY, "trainer backlog recovered")
 
     def _record_latency(self, latency_ms: float) -> None:
         self.decisions += 1
         self._last_latency_ms = latency_ms
         self._latencies_ms.append(latency_ms)
 
-    def _log_event(self, feedback) -> None:
-        """Append one NDJSON record per served arrival to the event log.
+    # ------------------------------------------------------------------ #
+    # Health, supervision and fault plumbing
+    # ------------------------------------------------------------------ #
+    def set_health(self, state: str, reason: str = "") -> None:
+        """Transition the health state machine, logging every edge."""
+        assert state in HEALTH_STATES, state
+        if state == self.health and reason == self.health_reason:
+            return
+        previous = self.health
+        self.health = state
+        self.health_reason = reason
+        self.log_record(
+            {
+                "kind": "health",
+                "tenant": self.name,
+                "from_state": previous,
+                "to_state": state,
+                "reason": reason,
+                "events_consumed": self.stream.events_consumed,
+                "decisions": self.decisions,
+                "restarts": self.restarts,
+            }
+        )
+
+    def _checkpoint_result(self, error: BaseException | None) -> None:
+        """Offload-worker callback: one checkpoint batch landed (or failed).
+
+        Runs on the worker thread the moment the batch completes, so a
+        failed write shows up in health/``status`` promptly — not on the
+        next save.  Availability over durability: the tenant keeps serving
+        (the on-disk checkpoint is merely stale), flagged ``degraded`` until
+        a later batch lands cleanly.
+        """
+        if error is None:
+            if self.last_checkpoint_error is not None:
+                self.last_checkpoint_error = None
+                if self.health == DEGRADED and "checkpoint" in self.health_reason:
+                    self.set_health(HEALTHY, "checkpoint write recovered")
+            return
+        self.last_checkpoint_error = repr(error)
+        self.set_health(DEGRADED, f"checkpoint write failed: {error!r}")
+
+    def restart(self) -> None:
+        """Rebuild the replica loop from the last periodic checkpoint.
+
+        The supervised recovery path: tears down the failed life (trainer
+        thread, offload worker), rebuilds policy/stream/loop with
+        ``resume=True`` and boots — restoring the run-state sidecar and
+        fast-forwarding exactly like a process-level warm restart, so the
+        recovered tenant is bit-exact once clients re-feed the tail past the
+        restored ``events_consumed``.  With no checkpoint on disk (a crash
+        before the first periodic save) the tenant simply starts over from
+        its warm-up, which is the same at-least-once contract from offset 0.
+        """
+        self.restarts += 1
+        try:
+            if isinstance(self.policy, TaskArrangementFramework):
+                self.policy.trainer.close()
+        except BaseException:  # noqa: BLE001 - the old life is already failed
+            pass
+        try:
+            self.checkpoint_offloader.close()
+        except BaseException:  # noqa: BLE001
+            pass
+        self._build_loop(resume=self.checkpoint_path is not None)
+        self.boot()
+        self.set_health(
+            HEALTHY,
+            f"restarted from checkpoint (restart {self.restarts}, "
+            f"resumed at event {self.resumed_at_event})",
+        )
+
+    # ------------------------------------------------------------------ #
+    def log_record(self, record: dict) -> None:
+        """Append one NDJSON record to the tenant's event log (thread-safe).
 
         Opened lazily in append mode so a warm-restarted tenant extends its
         previous log; each line is flushed immediately (the store's ingester
-        may read the log while the server is still running).
+        may read the log while the server is still running).  Fault records
+        can arrive from the checkpoint-offload worker thread, hence the lock.
         """
         if self.event_log_path is None:
             return
-        if self._event_log_file is None:
-            self.event_log_path.parent.mkdir(parents=True, exist_ok=True)
-            self._event_log_file = self.event_log_path.open("a", encoding="utf-8")
+        with self._log_lock:
+            if self._event_log_file is None:
+                self.event_log_path.parent.mkdir(parents=True, exist_ok=True)
+                self._event_log_file = self.event_log_path.open("a", encoding="utf-8")
+            self._event_log_file.write(json.dumps(record, sort_keys=True) + "\n")
+            self._event_log_file.flush()
+
+    def _log_event(self, feedback) -> None:
+        """Append the ``kind="decision"`` record of one served arrival."""
+        if self.event_log_path is None:
+            return
         trainer_stats = None
         if isinstance(self.policy, TaskArrangementFramework):
             trainer_stats = self.policy.trainer.stats() or {"mode": "sync"}
-        record = {
-            "tenant": self.name,
-            "seq": self.decisions,
-            "events_consumed": self.stream.events_consumed,
-            "queue_depth": self.stream.pending,
-            "latency_ms": float(self._last_latency_ms),
-            "completed": bool(feedback.completed),
-            "quality_gain": float(feedback.quality_gain),
-            "trainer": trainer_stats,
-        }
-        self._event_log_file.write(json.dumps(record, sort_keys=True) + "\n")
-        self._event_log_file.flush()
+        self.log_record(
+            {
+                "kind": "decision",
+                "tenant": self.name,
+                "seq": self.decisions,
+                "events_consumed": self.stream.events_consumed,
+                "queue_depth": self.stream.pending,
+                "latency_ms": float(self._last_latency_ms),
+                "completed": bool(feedback.completed),
+                "quality_gain": float(feedback.quality_gain),
+                "trainer": trainer_stats,
+            }
+        )
 
     # ------------------------------------------------------------------ #
     def status(self) -> dict:
@@ -374,8 +597,12 @@ class Tenant:
             "policy": self.spec.policy.policy,
             "finished": self.result is not None,
             "error": repr(self.error) if self.error is not None else None,
+            "health": self.health,
+            "health_reason": self.health_reason,
+            "restarts": self.restarts,
             "resumed_at_event": self.resumed_at_event,
             "events_consumed": self.stream.events_consumed,
+            "next_seq": self.stream.next_seq,
             "queue_depth": self.stream.pending,
             "events_fed": self.stream.fed,
             "arrivals_fed": self.stream.arrivals_fed,
@@ -385,5 +612,6 @@ class Tenant:
             "trainer": trainer_stats,
             "checkpoint": str(self.checkpoint_path) if self.checkpoint_path else None,
             "checkpoint_offload": self.checkpoint_offloader.stats(),
+            "last_checkpoint_error": self.last_checkpoint_error,
             "event_log": str(self.event_log_path) if self.event_log_path else None,
         }

@@ -125,7 +125,13 @@ def test_serve_events_ingest_from_directory(tmp_path):
 
     with MetricsStore() as store:
         summary = ingest_serve_events(store, log_dir, label="ci")
-        assert summary == {"kind": "serve-events", "ingest_id": 1, "events": 5, "files": 2}
+        assert summary == {
+            "kind": "serve-events",
+            "ingest_id": 1,
+            "events": 5,
+            "faults": 0,
+            "files": 2,
+        }
         _, rows = store.query(
             "SELECT tenant, COUNT(*), MAX(seq) FROM serve_events GROUP BY tenant ORDER BY tenant"
         )

@@ -44,7 +44,13 @@ class ServerThread:
     """
 
     def __init__(
-        self, spec, state_dir=None, resume=True, dataset_cache_dir=None, event_log_dir=None
+        self,
+        spec,
+        state_dir=None,
+        resume=True,
+        dataset_cache_dir=None,
+        event_log_dir=None,
+        fault_plan=None,
     ):
         self._ready = threading.Event()
         self._error = None
@@ -52,7 +58,7 @@ class ServerThread:
         self.address = None
         self._thread = threading.Thread(
             target=self._run,
-            args=(spec, state_dir, resume, dataset_cache_dir, event_log_dir),
+            args=(spec, state_dir, resume, dataset_cache_dir, event_log_dir, fault_plan),
             daemon=True,
         )
         self._thread.start()
@@ -61,7 +67,7 @@ class ServerThread:
         if self._error is not None:
             raise self._error
 
-    def _run(self, spec, state_dir, resume, dataset_cache_dir, event_log_dir):
+    def _run(self, spec, state_dir, resume, dataset_cache_dir, event_log_dir, fault_plan):
         async def amain():
             server = ArrangementServer(
                 spec,
@@ -69,6 +75,7 @@ class ServerThread:
                 resume=resume,
                 dataset_cache_dir=dataset_cache_dir,
                 event_log_dir=event_log_dir,
+                fault_plan=fault_plan,
             )
             try:
                 await server.start()

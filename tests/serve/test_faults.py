@@ -1,0 +1,491 @@
+"""Fault tolerance: deterministic injection, supervision, hardening, chaos.
+
+Four layers of coverage:
+
+* **FaultPlan unit tests** — deterministic scheduling (``after``/``every``/
+  ``times``/``probability``), scoping, JSON round trips, loud rejection of
+  unknown sites/keys.
+* **Offloader error propagation** — a failed checkpoint write reaches the
+  ``on_result`` callback promptly (before any drain), the serving layer's
+  prompt-degradation contract.
+* **Protocol hardening over real TCP** — oversized frames, garbage JSON and
+  mid-frame disconnects leave the server serving; per-request deadlines and
+  queue-depth backpressure answer their structured codes; ``seq`` delivery
+  is idempotent (duplicate acks, ``sequence_gap`` resync).
+* **Chaos integration** — the bundled two-tenant CI spec replayed under a
+  fault plan that crashes one tenant (supervised restart from checkpoint)
+  and fails the other's checkpoint write (degrade + recover).  The faulted
+  run must converge on the fault-free baseline: checkpoints bit-identical,
+  the non-crashed sibling's decision stream untouched, every fault/health/
+  supervisor record in the event logs and ingestable into the obs store.
+"""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.obs.ingest import ingest_serve_events
+from repro.obs.store import MetricsStore
+from repro.serve import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    LoadgenError,
+    ProtocolLimits,
+    Resilience,
+    ServeClient,
+    ServeSpec,
+    SupervisorSpec,
+    error_response,
+    event_to_wire,
+    run_loadgen,
+)
+from repro.serve.offload import CheckpointOffloader
+from repro.serve.server import ArrangementServer
+
+from tests.serve.conftest import CI_SPEC_PATH, ServerThread, assert_state_dirs_equal
+
+# --------------------------------------------------------------------- #
+# FaultPlan unit tests
+# --------------------------------------------------------------------- #
+def test_fault_spec_schedule_after_every_times():
+    plan = FaultPlan([FaultSpec(site="tenant_loop", after=3, every=2, times=2)])
+    fired = [plan.fire("tenant_loop") is not None for _ in range(10)]
+    # Visits are 1-based: eligible at 3, 5, 7, ... but capped at two firings.
+    assert fired == [False, False, True, False, True, False, False, False, False, False]
+
+
+def test_fault_plan_scoping_ticks_only_matching_visits():
+    plan = FaultPlan([FaultSpec(site="conn_drop", tenant="beta", op="event", after=2)])
+    assert plan.fire("conn_drop", tenant="alpha", op="event") is None  # tenant mismatch
+    assert plan.fire("conn_drop", tenant="beta", op="status") is None  # op mismatch
+    assert plan.fire("tenant_loop", tenant="beta", op="event") is None  # site mismatch
+    # None of the above ticked the counter; these two are visits 1 and 2.
+    assert plan.fire("conn_drop", tenant="beta", op="event") is None
+    event = plan.fire("conn_drop", tenant="beta", op="event")
+    assert event is not None and event.visit == 2 and event.firing == 1
+
+
+def test_probability_firing_is_seed_deterministic():
+    spec = {"site": "slow_frame", "probability": 0.5, "times": None}
+    sequences = {}
+    for seed in (3, 3, 9):
+        plan = FaultPlan.from_dict({"seed": seed, "faults": [dict(spec)]})
+        key = tuple(plan.fire("slow_frame") is not None for _ in range(64))
+        sequences.setdefault(seed, []).append(key)
+    assert sequences[3][0] == sequences[3][1]  # same seed, same schedule
+    assert sequences[3][0] != sequences[9][0]  # different seed, different coins
+    assert any(sequences[3][0]) and not all(sequences[3][0])
+
+
+def test_fault_plan_json_round_trip(tmp_path):
+    plan = FaultPlan.from_dict(
+        {
+            "name": "rt",
+            "seed": 5,
+            "faults": [
+                {"site": "checkpoint_write", "tenant": "beta", "after": 2, "times": 1},
+                {"site": "slow_frame", "op": "event", "delay_ms": 12.5, "times": None},
+            ],
+        }
+    )
+    path = plan.save(tmp_path / "plan.json")
+    loaded = FaultPlan.load(path)
+    assert loaded.to_dict() == plan.to_dict()
+    assert loaded.specs[1].delay_ms == 12.5 and loaded.specs[1].times is None
+
+
+def test_fault_plan_rejects_unknown_sites_and_keys():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultSpec(site="disk_on_fire")
+    with pytest.raises(ValueError, match="unknown fault spec keys"):
+        FaultSpec.from_dict({"site": "conn_drop", "when": "now"})
+    with pytest.raises(ValueError, match="unknown fault plan keys"):
+        FaultPlan.from_dict({"faults": [], "surprise": 1})
+    with pytest.raises(ValueError, match="'after' must be >= 1"):
+        FaultSpec(site="conn_drop", after=0)
+
+
+def test_raise_if_raises_injected_fault_and_records():
+    plan = FaultPlan([FaultSpec(site="tenant_loop", message="kaboom")])
+    seen = []
+    plan.on_fire = seen.append
+    with pytest.raises(InjectedFault, match="kaboom"):
+        plan.raise_if("tenant_loop", tenant="alpha")
+    assert len(seen) == 1 and seen[0].to_record()["kind"] == "fault"
+    assert plan.stats()["by_site"] == {"tenant_loop": 1}
+
+
+def test_error_response_and_spec_knobs():
+    payload = error_response("overloaded", "busy", retry_after_ms=50)
+    assert payload == {"ok": False, "code": "overloaded", "error": "busy", "retry_after_ms": 50}
+    with pytest.raises(ValueError, match="unknown limits keys"):
+        ProtocolLimits.from_dict({"max_frame_byte": 1024})
+    supervisor = SupervisorSpec(max_restarts=5, backoff_base_s=0.1, backoff_max_s=0.5)
+    assert [supervisor.backoff_s(n) for n in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+
+# --------------------------------------------------------------------- #
+# Offloader: prompt error propagation
+# --------------------------------------------------------------------- #
+def test_offloader_reports_write_failure_promptly(tmp_path):
+    import threading
+
+    results = []
+    reported = threading.Event()
+
+    def on_result(error):
+        results.append(error)
+        reported.set()
+
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("a file where a directory must go")
+    offloader = CheckpointOffloader(on_result=on_result)
+    try:
+        offloader.write_many([({"weights": [1.0]}, blocker / "ckpt.npz")])
+        # The callback fires from the worker the moment the batch fails —
+        # no drain() needed (that is the promptness contract).
+        assert reported.wait(timeout=10), "on_result never fired"
+        assert isinstance(results[0], OSError)
+        assert offloader.stats()["failures"] == 1
+        offloader.drain()  # with on_result installed, drain does not re-raise
+    finally:
+        offloader.close()
+
+
+# --------------------------------------------------------------------- #
+# Protocol hardening over real TCP
+# --------------------------------------------------------------------- #
+def _solo_spec(**limits) -> ServeSpec:
+    """One cheap random-policy tenant (alpha's cached dataset) + limits."""
+    return ServeSpec.from_dict(
+        {
+            "name": "harden",
+            "host": "127.0.0.1",
+            "port": 0,
+            "limits": limits,
+            "tenants": [
+                {
+                    "name": "solo",
+                    "dataset": {"scale": 0.03, "num_months": 2, "seed": 1},
+                    "runner": {"seed": 0, "checkpoint_every": 25},
+                    "policy": {"policy": "random"},
+                }
+            ],
+        }
+    )
+
+
+def _solo_trace(cache_dir):
+    spec = _solo_spec()
+    dataset = spec.tenants[0].dataset.build(cache_dir=cache_dir)
+    _, online = dataset.trace.split_warmup(dataset.warmup_end)
+    return online.events
+
+
+def _drain(thread: ServerThread) -> None:
+    try:
+        with ServeClient(*thread.address) as client:
+            client.request({"op": "shutdown"})
+    except OSError:
+        pass
+    thread.join()
+
+
+def test_oversized_frame_answers_without_killing_connection(cache_dir):
+    thread = ServerThread(_solo_spec(max_frame_bytes=512), dataset_cache_dir=cache_dir)
+    try:
+        with ServeClient(*thread.address) as client:
+            client._sock.sendall(
+                json.dumps({"op": "ping", "pad": "x" * 2048}).encode() + b"\n"
+            )
+            response = json.loads(client._file.readline())
+            assert response["ok"] is False
+            assert response["code"] == "frame_too_large"
+            assert response["max_frame_bytes"] == 512
+            # The connection survives; the next (well-sized) request works.
+            assert client.request({"op": "ping"}) == {"ok": True}
+            # Garbage JSON gets the structured bad_request code.
+            client._sock.sendall(b"{not json\n")
+            garbage = json.loads(client._file.readline())
+            assert garbage["code"] == "bad_request"
+            assert "invalid JSON" in garbage["error"]
+    finally:
+        _drain(thread)
+
+
+def test_mid_frame_disconnect_leaves_server_serving(cache_dir):
+    thread = ServerThread(_solo_spec(), dataset_cache_dir=cache_dir)
+    try:
+        with socket.create_connection(thread.address, timeout=30) as sock:
+            sock.sendall(b'{"op":"ping"')  # no newline: the frame never completes
+        # EOF mid-frame is not an error; a fresh connection serves normally.
+        with ServeClient(*thread.address) as client:
+            assert client.request({"op": "ping"}) == {"ok": True}
+    finally:
+        _drain(thread)
+
+
+def test_deadline_expiry_answers_deadline_exceeded(cache_dir):
+    plan = FaultPlan.from_dict(
+        {"faults": [{"site": "slow_frame", "op": "ping", "delay_ms": 800, "times": 1}]}
+    )
+    thread = ServerThread(
+        _solo_spec(request_timeout_s=0.25), dataset_cache_dir=cache_dir, fault_plan=plan
+    )
+    try:
+        with ServeClient(*thread.address) as client:
+            slow = client.request({"op": "ping"})
+            assert slow["ok"] is False
+            assert slow["code"] == "deadline_exceeded"
+            assert slow["injected"] is True
+            assert client.request({"op": "ping"}) == {"ok": True}
+    finally:
+        _drain(thread)
+
+
+def test_backpressure_answers_overloaded(cache_dir):
+    spec = _solo_spec(max_queue_depth=4)
+    events = _solo_trace(cache_dir)
+
+    async def scenario():
+        server = ArrangementServer(spec, dataset_cache_dir=cache_dir)
+        server.boot()
+        tenant = server.tenants["solo"]
+        # Fill the queue directly (no pump scheduled), then knock once more.
+        for event in events[:4]:
+            tenant.stream.feed(event)
+        response = await server._op_event(event_to_wire("solo", events[4]))
+        assert response["ok"] is False
+        assert response["code"] == "overloaded"
+        assert response["retry_after_ms"] > 0
+        # Drain the loop so the fed events are consumed and threads close.
+        tenant.stream.close()
+        await tenant.pump(server.batcher)
+        assert tenant.error is None
+
+    asyncio.run(scenario())
+
+
+def test_seq_duplicates_and_gaps(cache_dir):
+    thread = ServerThread(_solo_spec(), dataset_cache_dir=cache_dir)
+    events = _solo_trace(cache_dir)
+    try:
+        with ServeClient(*thread.address) as client:
+            ahead = client.request(event_to_wire("solo", events[5], seq=5))
+            assert ahead["ok"] is False
+            assert ahead["code"] == "sequence_gap"
+            assert ahead["expected"] == 0
+            first = client.request(event_to_wire("solo", events[0], seq=0))
+            assert first["ok"], first
+            again = client.request(event_to_wire("solo", events[0], seq=0))
+            assert again["ok"] and again["duplicate"] is True
+            unsequenced = client.request(event_to_wire("solo", events[1]))
+            assert unsequenced["ok"] and "duplicate" not in unsequenced
+    finally:
+        _drain(thread)
+
+
+# --------------------------------------------------------------------- #
+# Chaos integration: crash + degrade under load, converge on the baseline
+# --------------------------------------------------------------------- #
+def _decision_projection(log_path):
+    """The timing-free decision stream of one tenant's event log."""
+    rows = []
+    for line in log_path.read_text().splitlines():
+        record = json.loads(line)
+        if record.get("kind", "decision") != "decision":
+            continue
+        rows.append(
+            (
+                record["seq"],
+                record["events_consumed"],
+                record["completed"],
+                record["quality_gain"],
+            )
+        )
+    return rows
+
+
+def _records(log_path, kind):
+    return [
+        record
+        for record in map(json.loads, log_path.read_text().splitlines())
+        if record.get("kind") == kind
+    ]
+
+
+def test_chaos_run_converges_on_fault_free_baseline(tmp_path, cache_dir):
+    spec = ServeSpec.load(CI_SPEC_PATH)
+    base_state, base_logs = tmp_path / "base-state", tmp_path / "base-logs"
+    fault_state, fault_logs = tmp_path / "fault-state", tmp_path / "fault-logs"
+
+    # Fault-free baseline: full traces, drained clean.
+    thread = ServerThread(
+        spec, state_dir=base_state, dataset_cache_dir=cache_dir, event_log_dir=base_logs
+    )
+    baseline = run_loadgen(
+        spec, port=thread.address[1], dataset_cache_dir=cache_dir, shutdown=True
+    )
+    thread.join()
+
+    # Chaos run: alpha's replica loop crashes at its 30th ranking (after its
+    # arrival-25 checkpoint landed) and beta's first checkpoint batch fails.
+    plan = FaultPlan.from_dict(
+        {
+            "name": "chaos-test",
+            "seed": 11,
+            "faults": [
+                {"site": "tenant_loop", "tenant": "alpha", "after": 30, "times": 1},
+                {"site": "checkpoint_write", "tenant": "beta", "after": 1, "times": 1},
+            ],
+        }
+    )
+    thread = ServerThread(
+        spec,
+        state_dir=fault_state,
+        dataset_cache_dir=cache_dir,
+        event_log_dir=fault_logs,
+        fault_plan=plan,
+    )
+    chaos = run_loadgen(
+        spec,
+        port=thread.address[1],
+        dataset_cache_dir=cache_dir,
+        shutdown=True,
+        resilience=Resilience(retries=10, seed=5),
+    )
+    thread.join()
+
+    # The resilient client absorbed the faults: zero lost events, at least
+    # one retry (the supervision window) and one seq resync (the restart).
+    for name, row in chaos["tenants"].items():
+        assert row["errors"] == 0, (name, row)
+    assert chaos["tenants"]["alpha"]["retries"] >= 1
+    assert chaos["tenants"]["alpha"]["resyncs"] >= 1
+
+    # Both runs drained every event; the crashed tenant recovered fully.
+    for name, entry in chaos["shutdown"].items():
+        assert entry["error"] is None, (name, entry)
+        assert entry["health"] == "healthy", (name, entry)
+        assert entry["events_consumed"] == baseline["shutdown"][name]["events_consumed"]
+    assert chaos["shutdown"]["alpha"]["restarts"] == 1
+    assert chaos["shutdown"]["beta"]["restarts"] == 0
+
+    # Fault plan accounting reached the status surface.
+    faults = chaos["server_status"]["faults"]
+    assert faults["fired"] == 2
+    assert faults["by_site"] == {"tenant_loop": 1, "checkpoint_write": 1}
+
+    # Recovery is bit-exact: every checkpoint matches the baseline tree.
+    assert_state_dirs_equal(base_state, fault_state)
+
+    # Fault isolation: the sibling tenant's decision stream is untouched.
+    assert _decision_projection(fault_logs / "beta.ndjson") == _decision_projection(
+        base_logs / "beta.ndjson"
+    )
+
+    # The event logs tell the whole story: the injected faults, alpha's
+    # failed → restarting → healthy arc, beta's degrade/recover arc and the
+    # supervisor's actions.
+    alpha_log, beta_log = fault_logs / "alpha.ndjson", fault_logs / "beta.ndjson"
+    [alpha_fault] = _records(alpha_log, "fault")
+    assert alpha_fault["site"] == "tenant_loop"
+    [beta_fault] = _records(beta_log, "fault")
+    assert beta_fault["site"] == "checkpoint_write"
+    alpha_health = [(r["from_state"], r["to_state"]) for r in _records(alpha_log, "health")]
+    assert ("healthy", "failed") in alpha_health
+    assert ("restarting", "healthy") in alpha_health
+    beta_health = _records(beta_log, "health")
+    assert any(
+        r["to_state"] == "degraded" and "checkpoint write failed" in r["reason"]
+        for r in beta_health
+    )
+    assert any(
+        r["to_state"] == "healthy" and "recovered" in r["reason"] for r in beta_health
+    )
+    actions = [r["action"] for r in _records(alpha_log, "supervisor")]
+    assert actions == ["backoff", "restarted"]
+
+    # And they ingest: decisions land in serve_events, everything else in
+    # the faults table, queryable through the store.
+    with MetricsStore() as store:
+        summary = ingest_serve_events(store, fault_logs, label="chaos")
+        assert summary["events"] > 0 and summary["faults"] >= 6
+        _, kinds = store.query(
+            "SELECT kind, COUNT(*) FROM faults GROUP BY kind ORDER BY kind"
+        )
+        assert [kind for kind, _ in kinds] == ["fault", "health", "supervisor"]
+        _, sites = store.query(
+            "SELECT site FROM faults WHERE kind = 'fault' ORDER BY site"
+        )
+        assert [site for (site,) in sites] == ["checkpoint_write", "tenant_loop"]
+
+
+def test_trainer_poison_and_frame_faults_recover(tmp_path, cache_dir):
+    """Trainer death + injected frame faults on one tenant: client rides through."""
+    ci = ServeSpec.load(CI_SPEC_PATH)
+    spec = ServeSpec.from_dict(
+        {**ci.to_dict(), "name": "chaos-solo", "tenants": [ci.tenants[0].to_dict()]}
+    )
+    plan = FaultPlan.from_dict(
+        {
+            "name": "chaos-solo",
+            "seed": 3,
+            "faults": [
+                {"site": "trainer_thread", "tenant": "alpha", "after": 60, "times": 1},
+                {"site": "conn_drop", "tenant": "alpha", "op": "event", "after": 50, "times": 1},
+                {"site": "malformed_frame", "op": "event", "after": 20, "times": 1},
+                {"site": "oversized_frame", "op": "event", "after": 30, "times": 1},
+            ],
+        }
+    )
+    thread = ServerThread(
+        spec, state_dir=tmp_path / "state", dataset_cache_dir=cache_dir, fault_plan=plan
+    )
+    report = run_loadgen(
+        spec,
+        port=thread.address[1],
+        dataset_cache_dir=cache_dir,
+        shutdown=True,
+        resilience=Resilience(retries=10, seed=2),
+    )
+    thread.join()
+    row = report["tenants"]["alpha"]
+    assert row["errors"] == 0
+    assert row["reconnects"] >= 1  # the dropped connection
+    assert row["retries"] >= 2  # the injected frame errors + supervision window
+    entry = report["shutdown"]["alpha"]
+    assert entry["health"] == "healthy" and entry["error"] is None
+    assert entry["restarts"] == 1  # the poisoned trainer killed the loop once
+    assert report["server_status"]["faults"]["fired"] == 4
+
+
+# --------------------------------------------------------------------- #
+# Loadgen against a dead endpoint: clean error, nonzero exit
+# --------------------------------------------------------------------- #
+def test_loadgen_refused_connection_is_clean_error(capsys):
+    from repro.serve import loadgen as loadgen_cli
+
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()  # nothing listens here any more
+
+    code = loadgen_cli.main([str(CI_SPEC_PATH), "--port", str(port)])
+    assert code == 1
+    err = capsys.readouterr().err.strip()
+    assert err.startswith("loadgen: cannot reach server at 127.0.0.1:")
+    assert len(err.splitlines()) == 1  # one line, no traceback
+
+
+def test_run_loadgen_raises_loadgen_error_on_unreachable_server(cache_dir):
+    spec = ServeSpec.load(CI_SPEC_PATH)
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    with pytest.raises(LoadgenError, match="cannot reach server"):
+        run_loadgen(spec, port=port, dataset_cache_dir=cache_dir)
