@@ -1,0 +1,83 @@
+"""Exact map-reduce helpers for worker-partition decision sharding (ROADMAP item 3).
+
+Between train syncs, per-arrival decisions are independent, so a batch of
+candidate scorings can be partitioned into P contiguous batch-axis chunks,
+scored independently (on threads — numpy releases the GIL inside BLAS — or
+in separate processes) and merged back in order.  The bitwise rules of
+``tests/core/test_stacked_equivalence.py`` apply: fusion (and therefore
+sharding) happens along the **batch axis only**, never the rows axis or the
+gradient path.
+
+The one hazard is padding: :func:`repro.core.qnetwork.pad_state_batch` pads
+every chunk to *that chunk's* largest row count, so a ragged pool split into
+chunks would see different padded widths than the unsharded mega-batch —
+same Q values analytically, but not guaranteed bit-identical.
+:func:`pad_states_uniform` removes the hazard by pre-padding all states to
+the *global* maximum row count (zero rows, mask ``True``), which makes every
+chunk's padded arrays exact batch-axis slices of the unsharded batch.  The
+trimmed per-state Q arrays are unaffected because every consumer slices by
+``state.num_tasks`` (the real-task count), never by the padded row count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .state import StateMatrix
+
+__all__ = ["shard_slices", "pad_states_uniform"]
+
+
+def shard_slices(count: int, shards: int) -> list[slice]:
+    """Partition ``range(count)`` into at most ``shards`` contiguous slices.
+
+    The split is deterministic and near-even (the first ``count % shards``
+    slices get one extra element); empty slices are dropped, so fewer than
+    ``shards`` slices come back when ``count < shards``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    used = min(shards, count)
+    if used == 0:
+        return []
+    base, extra = divmod(count, used)
+    slices: list[slice] = []
+    start = 0
+    for i in range(used):
+        size = base + (1 if i < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+def pad_states_uniform(states: Sequence[StateMatrix]) -> list[StateMatrix]:
+    """Zero-pad every state to the batch's maximum row count (at least 1).
+
+    Mirrors the padding :func:`repro.core.qnetwork.pad_state_batch` applies
+    to the whole batch — added rows are zero and masked ``True`` — so that
+    any contiguous chunk of the result pads to the same width the unsharded
+    batch would.  States already at the maximum are returned as-is (the
+    uniform steady state under a fixed ``max_tasks`` copies nothing).
+    """
+    if not states:
+        return []
+    rows = max(1, max(state.matrix.shape[0] for state in states))
+    if all(state.matrix.shape[0] == rows for state in states):
+        return list(states)
+    padded: list[StateMatrix] = []
+    for state in states:
+        count = state.matrix.shape[0]
+        if count == rows:
+            padded.append(state)
+            continue
+        matrix = np.zeros((rows, state.matrix.shape[1]), dtype=state.matrix.dtype)
+        mask = np.ones(rows, dtype=bool)
+        if count:
+            matrix[:count] = state.matrix
+            mask[:count] = state.mask
+        padded.append(StateMatrix(matrix=matrix, mask=mask, task_ids=list(state.task_ids)))
+    return padded

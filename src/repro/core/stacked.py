@@ -135,6 +135,14 @@ class StackedForward:
         weight = self._params[f"{prefix}.weight"]
         bias = self._params[f"{prefix}.bias"]
         lead = x.shape[1:-1]
+        out_features = weight.shape[-1]
+        if x.ndim > 3 and out_features == 1:
+            # Serial ``Linear`` keeps the single-column value head per batch
+            # item (batch-slice-stable bits; see ``Linear.forward``), so the
+            # mirror must too: broadcast the weight/bias over the batch axis
+            # instead of flattening it into the row axis.
+            out = x @ weight.reshape((self.count, 1) + weight.shape[1:])
+            return out + bias.reshape((self.count,) + (1,) * (x.ndim - 2) + (1,))
         if x.ndim > 3:
             x = x.reshape((self.count, -1, weight.shape[-2]))
         out = x @ weight
@@ -143,7 +151,7 @@ class StackedForward:
         # the row axis is bitwise equal to the serial axis-0 sum).
         out = out + bias.reshape((self.count, 1, bias.shape[-1]))
         if len(lead) > 1:
-            out = out.reshape((self.count,) + lead + (weight.shape[-1],))
+            out = out.reshape((self.count,) + lead + (out_features,))
         return out
 
     def _rff(self, x: Tensor, prefix: str, activation: bool = True) -> Tensor:
@@ -207,6 +215,11 @@ class StackedForward:
         weight = self._arrays[f"{prefix}.weight"]
         bias = self._arrays[f"{prefix}.bias"]
         lead = x.shape[1:-1]
+        if x.ndim > 3 and weight.shape[-1] == 1:
+            # Keep the single-column head per batch item, like the graph
+            # mirror and serial ``Linear.forward``.
+            out = x @ weight.reshape((self.count, 1) + weight.shape[1:])
+            return out + bias.reshape((self.count,) + (1,) * (x.ndim - 2) + (1,))
         if x.ndim > 3:
             x = x.reshape((self.count, -1, weight.shape[-2]))
         out = x @ weight

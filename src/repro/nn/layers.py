@@ -182,14 +182,23 @@ class Linear(Module):
     def forward(self, x: Tensor) -> Tensor:
         # Flatten leading (batch) dims so the product is one large GEMM —
         # numpy's N-D matmul would otherwise loop tiny GEMMs per batch item,
-        # which dominates the batched engine's runtime.
+        # which dominates the batched engine's runtime.  The single-column
+        # case (the Q value head) is the exception: BLAS runs an
+        # ``(M, K) @ (K, 1)`` product as a vectorized main loop plus a scalar
+        # tail over the last ``M % width`` rows, so collapsing would make the
+        # tail rows' bits depend on the *total* batch size.  Keeping the N-D
+        # per-batch-item product makes every row batch-slice stable, which
+        # the exact decision sharding relies on (see
+        # :mod:`repro.core.sharding`); the loop of tiny ``(rows, K) @ (K, 1)``
+        # products is cheap next to the hidden-layer GEMMs.
         lead = x.shape[:-1]
-        if x.ndim > 2:
+        collapse = x.ndim > 2 and self.out_features > 1
+        if collapse:
             x = x.reshape((-1, self.in_features))
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
-        if len(lead) > 1:
+        if collapse and len(lead) > 1:
             out = out.reshape(lead + (self.out_features,))
         return out
 

@@ -16,6 +16,7 @@ topological sort of that implicit graph and accumulates gradients.
 from __future__ import annotations
 
 import functools
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -27,8 +28,21 @@ __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 #: Floating dtypes preserved as-is by the Tensor constructor.
 _PRESERVED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
-# Global autograd switch (mirrors torch.no_grad semantics).
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread autograd switch (mirrors torch.no_grad semantics).
+
+    Thread-local rather than a module global: the lockstep replica threads
+    and the decision-sharding thread pool enter/exit ``no_grad`` concurrently,
+    and a shared flag would let one thread's inference scope strand training
+    on another thread with gradient tracking silently disabled.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 class no_grad:
@@ -43,17 +57,18 @@ class no_grad:
         @no_grad()
         def inference(...):
             ...
+
+    The switch is per-thread, so worker threads running inference never
+    disable gradient tracking for a thread that is training.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_val, exc_tb) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_MODE.enabled = self._previous
 
     def __call__(self, func: Callable) -> Callable:
         @functools.wraps(func)
@@ -66,8 +81,8 @@ class no_grad:
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient tracking is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether gradient tracking is currently enabled (this thread)."""
+    return _GRAD_MODE.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -136,7 +151,7 @@ class Tensor:
         else:
             # Lists, scalars, integer arrays, …: the global default decides.
             self.data = np.asarray(data, dtype=get_default_dtype())
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_MODE.enabled
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -200,7 +215,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Build a result tensor wired into the autograd graph."""
-        tracked = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        tracked = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=tracked)
         if tracked:
             out._parents = tuple(parents)

@@ -220,7 +220,7 @@ def ingest_bench_report(store: MetricsStore, path: str | Path, label: str = "") 
 #: Record fields that land in dedicated ``faults`` columns; anything else a
 #: fault/health/supervisor record carries goes into the JSON ``detail``.
 _FAULT_COLUMN_FIELDS = frozenset(
-    {"kind", "tenant", "site", "from_state", "to_state", "reason", "events_consumed"}
+    {"kind", "tenant", "site", "from_state", "to_state", "reason", "events_consumed", "shard"}
 )
 
 
@@ -231,8 +231,8 @@ def _insert_fault_record(store: MetricsStore, ingest_id: int, record: dict) -> N
     store.execute(
         """
         INSERT INTO faults (ingest_id, tenant, kind, site, from_state, to_state,
-                            reason, events_consumed, detail)
-        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+                            reason, events_consumed, shard, detail)
+        VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
         """,
         (
             ingest_id,
@@ -243,6 +243,7 @@ def _insert_fault_record(store: MetricsStore, ingest_id: int, record: dict) -> N
             record.get("to_state"),
             record.get("reason"),
             record.get("events_consumed"),
+            record.get("shard"),
             json.dumps(detail, sort_keys=True) if detail else None,
         ),
     )
@@ -279,8 +280,8 @@ def ingest_serve_events(store: MetricsStore, path: str | Path, label: str = "") 
                     """
                     INSERT INTO serve_events (ingest_id, tenant, seq, events_consumed,
                                               queue_depth, latency_ms, completed,
-                                              quality_gain, trainer)
-                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+                                              quality_gain, trainer, shard)
+                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                     """,
                     (
                         ingest_id,
@@ -294,6 +295,7 @@ def ingest_serve_events(store: MetricsStore, path: str | Path, label: str = "") 
                         json.dumps(record["trainer"], sort_keys=True)
                         if record.get("trainer") is not None
                         else None,
+                        record.get("shard"),
                     ),
                 )
                 events += 1

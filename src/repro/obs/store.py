@@ -28,13 +28,14 @@ __all__ = ["MetricsStore", "SCHEMA_VERSION"]
 #: Version written by this build.  Bump together with a new entry in
 #: :data:`_SCHEMA_MIGRATIONS`; never edit an existing entry — stores in the
 #: wild replay exactly the recorded steps.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Ordered migration steps ``version -> (description, [DDL statements])``,
 #: the relational mirror of ``repro.core.framework._CONFIG_MIGRATIONS``.
 #: Version 1 is the base schema (runs, sweeps, benches, figure tables);
 #: version 2 adds the serving event log and the float32 drift facts;
-#: version 3 adds the serving fault/health/supervisor record table.
+#: version 3 adds the serving fault/health/supervisor record table;
+#: version 4 adds the shard column (process-sharded serving) to both.
 _SCHEMA_MIGRATIONS: dict[int, tuple[str, list[str]]] = {
     1: (
         "base schema: ingests, results, monthly, bench reports, figure tables",
@@ -164,6 +165,14 @@ _SCHEMA_MIGRATIONS: dict[int, tuple[str, list[str]]] = {
                 detail          TEXT
             )
             """,
+        ],
+    ),
+    4: (
+        "shard column on serving records (process-sharded deployments); "
+        "NULL means a single-process server",
+        [
+            "ALTER TABLE serve_events ADD COLUMN shard INTEGER",
+            "ALTER TABLE faults ADD COLUMN shard INTEGER",
         ],
     ),
 }

@@ -11,6 +11,10 @@ from the last checkpoint, protocol hardening (frame-size limits, per-request
 deadlines, structured error codes, backpressure), seeded deterministic fault
 injection (:mod:`repro.serve.faults`), and a load generator that retries
 through transient failures with seq-based idempotent delivery.
+
+It also scales out: ``shards > 1`` (spec field or ``--shards``) runs the
+endpoint as K worker processes behind a routing front-end
+(:mod:`repro.serve.shard`), bit-identical to a single-process deployment.
 """
 
 from .batching import RankBatcher, decide_batch, decide_snapshots
@@ -28,7 +32,8 @@ from .protocol import (
     event_from_wire,
     event_to_wire,
 )
-from .server import ArrangementServer
+from .server import ArrangementServer, checkpoint_phases
+from .shard import ShardedFrontend, partition_tenants, worker_spec
 from .spec import ServeSpec, SupervisorSpec, TenantSpec
 from .tenant import (
     DEGRADED,
@@ -65,9 +70,11 @@ __all__ = [
     "Resilience",
     "ServeClient",
     "ServeSpec",
+    "ShardedFrontend",
     "SupervisorSpec",
     "Tenant",
     "TenantSpec",
+    "checkpoint_phases",
     "decide_batch",
     "decide_snapshots",
     "decode_line",
@@ -76,5 +83,7 @@ __all__ = [
     "event_from_wire",
     "event_to_wire",
     "latency_percentiles",
+    "partition_tenants",
     "run_loadgen",
+    "worker_spec",
 ]

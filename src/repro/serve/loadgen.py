@@ -20,7 +20,13 @@ delivery idempotent and the client fault-tolerant:
   needs to converge bit-exact with an uninterrupted run;
 * request timeouts (``--timeout``) drop the connection (the late response
   would desynchronise the request/response pairing) and are accounted
-  separately from errors.
+  separately from errors;
+* against a *sharded* front-end (``--shards``; the ``status`` op advertises
+  ``routes``), each tenant client resolves the shard worker that owns its
+  tenant and connects straight to it — and **re-resolves on every
+  reconnect**, so a client follows its tenant to a restarted shard's new
+  ephemeral port, falling back to the front-end (whose
+  ``tenant_restarting`` answers are retried) while the shard is down.
 
 Pacing:
 
@@ -111,6 +117,30 @@ async def _control_request(host: str, port: int, payload: dict, what: str) -> di
     return response
 
 
+def _make_resolver(host: str, port: int, tenant: str):
+    """A per-tenant shard-address resolver against a sharded front-end.
+
+    Asks the front-end's ``status`` op for the tenant's current route and
+    returns the owning worker's (host, port) — re-queried on *every* call,
+    so a reconnecting client follows its tenant to a restarted shard's new
+    ephemeral port.  While the shard is down (route unannounced) or the
+    front-end is unreachable, falls back to the front-end address itself,
+    whose ``tenant_restarting`` answers the driver retries through.
+    """
+
+    async def resolve() -> tuple[str, int]:
+        try:
+            response = await _request_once(host, port, {"op": "status"})
+        except (ConnectionError, OSError):
+            return host, port
+        route = (response.get("status") or {}).get("routes", {}).get(tenant)
+        if route and route.get("host") is not None and route.get("port") is not None:
+            return str(route["host"]), int(route["port"])
+        return host, port
+
+    return resolve
+
+
 class _TenantDriver:
     """One tenant's resilient replay client: connection, cursor, accounting."""
 
@@ -125,9 +155,13 @@ class _TenantDriver:
         accel: float,
         max_events: int | None,
         resilience: Resilience,
+        resolver=None,
     ) -> None:
         self.host = host
         self.port = port
+        #: Async () -> (host, port): where this tenant lives *right now*
+        #: (sharded front-ends move tenants across worker restarts).
+        self.resolver = resolver
         self.tenant = tenant
         self.events = events
         self.offset = offset
@@ -157,6 +191,8 @@ class _TenantDriver:
 
     # -------------------------------------------------------------- #
     async def _connect(self) -> None:
+        if self.resolver is not None:
+            self.host, self.port = await self.resolver()
         self.reader, self.writer = await asyncio.open_connection(self.host, self.port)
 
     async def _disconnect(self) -> None:
@@ -309,10 +345,12 @@ async def _drive_tenant(
     accel: float,
     max_events: int | None,
     resilience: Resilience,
+    resolver=None,
 ) -> dict:
     """Feed one tenant's trace window, retrying through transient failures."""
     driver = _TenantDriver(
-        host, port, tenant, events, offset, rate, accel, max_events, resilience
+        host, port, tenant, events, offset, rate, accel, max_events, resilience,
+        resolver=resolver,
     )
     return await driver.drive()
 
@@ -351,6 +389,9 @@ async def _run(
 
     status = await _control_request(host, port, {"op": "status"}, "status")
     server_tenants = status["status"]["tenants"]
+    # A sharded front-end advertises per-tenant routes; drive each tenant
+    # straight at its owning shard worker, re-resolving on reconnect.
+    sharded = status["status"].get("routes") is not None
     offsets: dict[str, int] = {}
     for tenant in chosen:
         if tenant.name not in server_tenants:
@@ -381,6 +422,7 @@ async def _run(
                 accel,
                 max_events,
                 resilience,
+                resolver=_make_resolver(host, port, tenant.name) if sharded else None,
             )
             for tenant in chosen
         )

@@ -68,7 +68,25 @@ from .protocol import (
 from .spec import ServeSpec
 from .tenant import FAILED, RESTARTING, ArrivalTicket, Tenant
 
-__all__ = ["ArrangementServer", "configure_parser", "main", "run"]
+__all__ = ["ArrangementServer", "checkpoint_phases", "configure_parser", "main", "run"]
+
+
+def checkpoint_phases(spec: ServeSpec) -> dict[str, int]:
+    """The global checkpoint-phase stagger, tenant name → phase.
+
+    Derived from the spec's full tenant order alone (see :meth:`
+    ArrangementServer.boot`), so every deployment shape — single process,
+    any shard count, interrupted or not — staggers identically and the
+    schedule-aligned checkpoints stay bit-exact across them.  Shard workers
+    host a tenant *subset* but must keep the global phases, hence this
+    helper instead of recomputing from the subset.
+    """
+    count = max(1, len(spec.tenants))
+    phases: dict[str, int] = {}
+    for index, tenant_spec in enumerate(spec.tenants):
+        every = tenant_spec.runner.checkpoint_every
+        phases[tenant_spec.name] = (index * every) // count if every is not None else 0
+    return phases
 
 #: Sentinel returned by the frame reader for an over-limit request line.
 _OVERSIZED = object()
@@ -87,8 +105,16 @@ class ArrangementServer:
         dataset_cache_dir: str | Path | None = None,
         event_log_dir: str | Path | None = None,
         fault_plan: FaultPlan | None = None,
+        shard_index: int | None = None,
+        checkpoint_phase_overrides: dict[str, int] | None = None,
     ) -> None:
         self.spec = spec
+        #: Which shard of a sharded deployment this process is (None when the
+        #: server stands alone); stamped into status and every event record.
+        self.shard_index = shard_index
+        #: Tenant name → checkpoint phase, computed by the front-end from the
+        #: *full* spec so a shard worker's subset keeps the global stagger.
+        self.checkpoint_phase_overrides = checkpoint_phase_overrides
         self.state_dir = Path(state_dir) if state_dir is not None else None
         if self.state_dir is not None:
             self.state_dir.mkdir(parents=True, exist_ok=True)
@@ -118,14 +144,19 @@ class ArrangementServer:
     # ------------------------------------------------------------------ #
     def boot(self) -> None:
         """Build and warm every tenant (datasets, policies, resume/warm-up)."""
-        count = max(1, len(self.spec.tenants))
-        for index, tenant_spec in enumerate(self.spec.tenants):
-            # Stagger periodic checkpoints across the tenant's own period so
-            # co-hosted loops never all deep-copy their trees in one tick.
-            # Derived from spec order alone, so interrupted and uninterrupted
-            # runs share the schedule and warm restarts stay bit-exact.
-            every = tenant_spec.runner.checkpoint_every
-            phase = (index * every) // count if every is not None else 0
+        # Stagger periodic checkpoints across the tenant's own period so
+        # co-hosted loops never all deep-copy their trees in one tick.
+        # Derived from spec order alone, so interrupted and uninterrupted
+        # runs share the schedule and warm restarts stay bit-exact.  Shard
+        # workers receive the phases of the full tenant line-up instead, so
+        # sharded and single-process deployments checkpoint identically.
+        phases = (
+            self.checkpoint_phase_overrides
+            if self.checkpoint_phase_overrides is not None
+            else checkpoint_phases(self.spec)
+        )
+        for tenant_spec in self.spec.tenants:
+            phase = phases.get(tenant_spec.name, 0)
             tenant = Tenant(
                 tenant_spec,
                 state_dir=self.state_dir,
@@ -140,6 +171,7 @@ class ArrangementServer:
                 limits=self.spec.limits,
                 fault_plan=self.fault_plan,
                 on_failure=self._tenant_failed,
+                shard=self.shard_index,
             )
             tenant.boot()
             self.tenants[tenant_spec.name] = tenant
@@ -485,9 +517,16 @@ class ArrangementServer:
         """
         if self.event_log_dir is None:
             return
+        if self.shard_index is not None:
+            record = {"shard": self.shard_index, **record}
+        stem = (
+            "_server.ndjson"
+            if self.shard_index is None
+            else f"_server-shard{self.shard_index}.ndjson"
+        )
         with self._server_log_lock:
             if self._server_log_file is None:
-                self._server_log_file = (self.event_log_dir / "_server.ndjson").open(
+                self._server_log_file = (self.event_log_dir / stem).open(
                     "a", encoding="utf-8"
                 )
             self._server_log_file.write(json.dumps(record, sort_keys=True) + "\n")
@@ -499,6 +538,7 @@ class ArrangementServer:
         return {
             "name": self.spec.name,
             "pid": os.getpid(),
+            "shard": self.shard_index,
             "uptime_s": time.perf_counter() - self._started,
             "closing": self._closing,
             "tenants": {name: tenant.status() for name, tenant in self.tenants.items()},
@@ -577,6 +617,8 @@ async def _amain(
     announce: bool = True,
     event_log_dir: Path | None = None,
     fault_plan: FaultPlan | None = None,
+    shard_index: int | None = None,
+    checkpoint_phase_overrides: dict[str, int] | None = None,
 ) -> dict:
     server = ArrangementServer(
         spec,
@@ -585,6 +627,8 @@ async def _amain(
         dataset_cache_dir=dataset_cache_dir,
         event_log_dir=event_log_dir,
         fault_plan=fault_plan,
+        shard_index=shard_index,
+        checkpoint_phase_overrides=checkpoint_phase_overrides,
     )
     host, port = await server.start()
     loop = asyncio.get_running_loop()
@@ -600,6 +644,7 @@ async def _amain(
                         "host": host,
                         "port": port,
                         "pid": os.getpid(),
+                        "shard": shard_index,
                         "tenants": sorted(server.tenants),
                         "state_dir": str(state_dir) if state_dir is not None else None,
                     }
@@ -651,6 +696,22 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "inject checkpoint/loop/trainer/frame/connection failures at the "
         "planned sites",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="scale out across K worker processes behind a routing front-end "
+        "(overrides the spec's 'shards'; tenants partition round-robin by "
+        "spec order, checkpoints stay bit-identical to a single process)",
+    )
+    parser.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help=argparse.SUPPRESS,  # internal: run as worker I of a sharded front-end
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -660,8 +721,38 @@ def run(args: argparse.Namespace) -> int:
         spec.host = args.host
     if args.port is not None:
         spec.port = args.port
+    shards = args.shards if args.shards is not None else spec.shards
+    if shards < 1:
+        print(f"serve: --shards must be >= 1, got {shards}", file=sys.stderr)
+        return 2
     fault_plan = FaultPlan.load(args.fault_plan) if args.fault_plan is not None else None
     state_dir = args.state_dir if args.state_dir is not None else Path("serve-state") / spec.name
+    if args.shard_index is not None:
+        # Worker mode (spawned by the front-end): host one round-robin
+        # partition of the tenants on an ephemeral port, with the global
+        # checkpoint phases so sharded state matches a single-process run.
+        from .shard import worker_spec
+
+        try:
+            asyncio.run(
+                _amain(
+                    worker_spec(spec, args.shard_index, shards),
+                    state_dir,
+                    not args.fresh,
+                    args.cache_dir,
+                    event_log_dir=args.event_log,
+                    fault_plan=fault_plan,
+                    shard_index=args.shard_index,
+                    checkpoint_phase_overrides=checkpoint_phases(spec),
+                )
+            )
+        except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C
+            return 130
+        return 0
+    if shards > 1:
+        from .shard import run_frontend
+
+        return run_frontend(spec, shards, args)
     try:
         asyncio.run(
             _amain(

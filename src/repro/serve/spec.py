@@ -150,7 +150,17 @@ class TenantSpec:
 
 @dataclass
 class ServeSpec:
-    """A full server: TCP endpoint + tenant line-up."""
+    """A full server: TCP endpoint + tenant line-up.
+
+    ``shards > 1`` asks ``repro serve`` to scale the endpoint out across
+    that many worker *processes*: a thin front-end at (host, port) routes by
+    tenant name while each worker hosts a deterministic round-robin
+    partition of the tenants on its own event loop (see
+    :mod:`repro.serve.shard`).  The partition, checkpoint layout and
+    schedule-aligned checkpoint phases all derive from the spec's global
+    tenant order, so a sharded deployment drains bit-identical state to a
+    single-process one fed the same events.
+    """
 
     name: str = "serve"
     host: str = "127.0.0.1"
@@ -158,6 +168,7 @@ class ServeSpec:
     tenants: list[TenantSpec] = field(default_factory=list)
     limits: ProtocolLimits = field(default_factory=ProtocolLimits)
     supervisor: SupervisorSpec = field(default_factory=SupervisorSpec)
+    shards: int = 1
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
@@ -168,13 +179,16 @@ class ServeSpec:
             "tenants": [tenant.to_dict() for tenant in self.tenants],
             "limits": self.limits.to_dict(),
             "supervisor": self.supervisor.to_dict(),
+            "shards": self.shards,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServeSpec":
         if not isinstance(data, dict):
             raise ValueError(f"serve spec must be a JSON object, got {type(data).__name__}")
-        unknown = set(data) - {"name", "host", "port", "tenants", "limits", "supervisor"}
+        unknown = set(data) - {
+            "name", "host", "port", "tenants", "limits", "supervisor", "shards"
+        }
         if unknown:
             raise ValueError(f"unknown serve spec keys: {sorted(unknown)}")
         tenants_data = data.get("tenants", [])
@@ -187,11 +201,14 @@ class ServeSpec:
             tenants=[TenantSpec.from_dict(entry) for entry in tenants_data],
             limits=ProtocolLimits.from_dict(data.get("limits", {})),
             supervisor=SupervisorSpec.from_dict(data.get("supervisor", {})),
+            shards=int(data.get("shards", 1)),
         )
         if not spec.tenants:
             raise ValueError(f"serve spec {spec.name!r} lists no tenants")
         if not (0 <= spec.port <= 65535):
             raise ValueError(f"port must be in [0, 65535], got {spec.port}")
+        if spec.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {spec.shards}")
         seen: set[str] = set()
         for tenant in spec.tenants:
             if tenant.name in seen:

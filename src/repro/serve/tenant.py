@@ -265,9 +265,13 @@ class Tenant:
         limits: ProtocolLimits | None = None,
         fault_plan: FaultPlan | None = None,
         on_failure=None,
+        shard: int | None = None,
     ) -> None:
         self.spec = spec
         self.name = spec.name
+        #: Shard index of the hosting worker process (None single-process);
+        #: stamped into every event-log record for per-shard observability.
+        self.shard = shard
         self.limits = limits if limits is not None else ProtocolLimits()
         self.fault_plan = fault_plan
         #: Called (with this tenant) when the replica loop raises; the server
@@ -559,6 +563,8 @@ class Tenant:
         """
         if self.event_log_path is None:
             return
+        if self.shard is not None:
+            record = {**record, "shard": self.shard}
         with self._log_lock:
             if self._event_log_file is None:
                 self.event_log_path.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,245 @@
+"""Worker-partition decision sharding: sharded scoring ≡ unsharded, bitwise.
+
+Between train syncs per-arrival decisions are independent, so
+``rank_tasks_batch(shards=P)`` may partition the candidate scoring into P
+contiguous batch-axis chunks, score them independently and merge.  The rules
+of ``test_stacked_equivalence.py`` apply — fusion along the batch axis only —
+and the result must be *bit-identical* to the unsharded path for every
+registered policy, including ragged pools (where per-chunk padding would
+diverge from the global padding without the uniform pre-pad).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import available_policies, build_policy
+from repro.core import FrameworkConfig, TaskArrangementFramework
+from repro.core.sharding import pad_states_uniform, shard_slices
+from repro.core.state import StateMatrix
+from repro.crowd.entities import MINUTES_PER_DAY
+from repro.crowd.platform import ArrivalContext
+from repro.datasets import generate_crowdspring, scalability_snapshot
+from repro.eval import RunnerConfig, SimulationRunner
+
+from test_checkpoint import make_context, snapshot  # noqa: F401 (fixture)
+
+TINY = dict(hidden_dim=16, num_heads=2, batch_size=8, train_interval=1, seed=5)
+
+
+def ragged_context(snapshot, timestamp: float, pool_size: int) -> ArrivalContext:
+    """An arrival whose candidate pool is truncated to ``pool_size`` tasks."""
+    tasks, worker, schema, features = snapshot
+    assert 0 < pool_size <= len(tasks)
+    return ArrivalContext(
+        timestamp=timestamp,
+        worker=worker,
+        worker_feature=schema.empty_worker_features(),
+        available_tasks=list(tasks[:pool_size]),
+        task_features=features[:pool_size],
+        task_qualities=np.zeros(pool_size),
+    )
+
+
+def ragged_contexts(snapshot, count: int = 11) -> list[ArrivalContext]:
+    tasks = snapshot[0]
+    sizes = [((3 * i) % len(tasks)) + 1 for i in range(count)]
+    return [
+        ragged_context(snapshot, MINUTES_PER_DAY + 7.0 * i, size)
+        for i, size in enumerate(sizes)
+    ]
+
+
+class TestShardSlices:
+    def test_covers_the_range_contiguously(self):
+        for count in (0, 1, 5, 16, 17):
+            for shards in (1, 2, 4, 7, 32):
+                slices = shard_slices(count, shards)
+                covered = [i for piece in slices for i in range(piece.start, piece.stop)]
+                assert covered == list(range(count))
+                assert all(piece.stop > piece.start for piece in slices)
+                assert len(slices) == min(shards, count)
+
+    def test_near_even_split(self):
+        sizes = [piece.stop - piece.start for piece in shard_slices(10, 4)]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError, match="shards"):
+            shard_slices(4, 0)
+        with pytest.raises(ValueError, match="count"):
+            shard_slices(-1, 2)
+
+
+class TestPadStatesUniform:
+    def _state(self, rows: int, dim: int = 3) -> StateMatrix:
+        rng = np.random.default_rng(rows * 13 + dim)
+        return StateMatrix(
+            matrix=rng.normal(size=(rows, dim)),
+            mask=np.zeros(rows, dtype=bool),
+            task_ids=list(range(rows)),
+        )
+
+    def test_uniform_batch_is_returned_untouched(self):
+        states = [self._state(4) for _ in range(3)]
+        assert all(a is b for a, b in zip(pad_states_uniform(states), states))
+
+    def test_ragged_batch_pads_to_global_max(self):
+        states = [self._state(2), self._state(5), self._state(1)]
+        padded = pad_states_uniform(states)
+        for original, uniform in zip(states, padded):
+            assert uniform.matrix.shape == (5, 3)
+            rows = original.matrix.shape[0]
+            assert np.array_equal(uniform.matrix[:rows], original.matrix)
+            assert not uniform.matrix[rows:].any()
+            assert np.array_equal(uniform.mask[:rows], original.mask)
+            assert uniform.mask[rows:].all()
+            assert uniform.task_ids == original.task_ids
+            assert uniform.num_tasks == original.num_tasks
+
+    def test_chunks_pad_like_the_global_batch(self):
+        """The property the sharded scorer relies on: any contiguous chunk of
+        the pre-padded batch produces the exact batch-axis slice of the
+        unsharded ``pad_state_batch`` arrays."""
+        from repro.core.qnetwork import pad_state_batch
+
+        states = [self._state(2), self._state(5), self._state(1), self._state(4)]
+        full_batch, full_mask = pad_state_batch(states)
+        uniform = pad_states_uniform(states)
+        for piece in shard_slices(len(states), 3):
+            chunk_batch, chunk_mask = pad_state_batch(uniform[piece])
+            assert np.array_equal(chunk_batch, full_batch[piece])
+            assert np.array_equal(chunk_mask, full_mask[piece])
+
+
+def _policy_variants(tmp_path, snapshot, dataset):
+    """One (name, builder) per registered policy; builders give fresh instances."""
+    _, _, schema, _ = snapshot
+    checkpoint = tmp_path / "ddqn.npz"
+    if not checkpoint.exists():
+        build_policy("ddqn-worker", schema, **TINY).save(checkpoint)
+    kwargs_by_name = {
+        "ddqn": TINY,
+        "ddqn-worker": TINY,
+        "ddqn-requester": TINY,
+        "ddqn-checkpoint": {"path": str(checkpoint)},
+        "random": {"seed": 3},
+    }
+    variants = []
+    for name in available_policies():
+        kwargs = kwargs_by_name.get(name, {})
+        source = dataset if name == "taskrec" else schema
+        variants.append((name, lambda n=name, s=source, k=kwargs: build_policy(n, s, **k)))
+    return variants
+
+
+class TestShardedRankTasksBatch:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_crowdspring(scale=0.03, num_months=2, seed=1)
+
+    def test_every_registered_policy_is_shard_invariant(
+        self, tmp_path_factory, snapshot, dataset
+    ):
+        """P=1/2/4 produce identical rankings for every registered policy."""
+        tmp_path = tmp_path_factory.mktemp("sharding")
+        contexts = ragged_contexts(snapshot)
+        for name, build in _policy_variants(tmp_path, snapshot, dataset):
+            reference = build().rank_tasks_batch(contexts, shards=1)
+            for shards in (2, 4):
+                assert (
+                    build().rank_tasks_batch(contexts, shards=shards) == reference
+                ), f"policy {name!r} diverged at shards={shards}"
+
+    @pytest.mark.parametrize("variant", ["balanced", "worker_only", "requester_only"])
+    @pytest.mark.parametrize("shards", [2, 4, 11])
+    def test_framework_q_values_bitwise_on_ragged_pools(self, snapshot, variant, shards):
+        """Not just the rankings: the stored per-decision Q arrays match bitwise."""
+        _, _, schema, _ = snapshot
+        build = {
+            "balanced": lambda: TaskArrangementFramework.balanced(
+                schema, 0.25, FrameworkConfig(**TINY)
+            ),
+            "worker_only": lambda: TaskArrangementFramework.worker_only(
+                schema, FrameworkConfig(**TINY)
+            ),
+            "requester_only": lambda: TaskArrangementFramework.requester_only(
+                schema, FrameworkConfig(**TINY)
+            ),
+        }[variant]
+        contexts = ragged_contexts(snapshot)
+        unsharded, sharded = build(), build()
+        expected = unsharded.rank_tasks_batch(contexts, shards=1)
+        assert sharded.rank_tasks_batch(contexts, shards=shards) == expected
+        for key, reference in unsharded._pending.items():
+            decision = sharded._pending[key]
+            for role in ("worker_q", "requester_q"):
+                lhs, rhs = getattr(reference, role), getattr(decision, role)
+                if lhs is None:
+                    assert rhs is None
+                else:
+                    assert np.array_equal(lhs, rhs), f"{role} diverged at {key}"
+
+    def test_threaded_chunk_scoring_is_bitwise(self, snapshot, monkeypatch):
+        """With budget for real concurrency the thread-pool path stays exact."""
+        monkeypatch.setenv("REPRO_MAX_THREADS", "8")
+        _, _, schema, _ = snapshot
+        contexts = ragged_contexts(snapshot)
+        reference = TaskArrangementFramework.worker_only(schema, FrameworkConfig(**TINY))
+        threaded = TaskArrangementFramework.worker_only(schema, FrameworkConfig(**TINY))
+        assert threaded.rank_tasks_batch(contexts, shards=4) == reference.rank_tasks_batch(
+            contexts, shards=1
+        )
+
+    def test_rng_consumption_matches_unsharded(self, snapshot):
+        _, _, schema, _ = snapshot
+        contexts = ragged_contexts(snapshot)
+        unsharded = TaskArrangementFramework.worker_only(schema, FrameworkConfig(**TINY))
+        sharded = TaskArrangementFramework.worker_only(schema, FrameworkConfig(**TINY))
+        unsharded.rank_tasks_batch(contexts, shards=1)
+        sharded.rank_tasks_batch(contexts, shards=3)
+        follow_up = make_context(snapshot, MINUTES_PER_DAY + 999.0)
+        assert sharded.rank_tasks(follow_up) == unsharded.rank_tasks(follow_up)
+
+    def test_rejects_invalid_shards(self, snapshot):
+        _, _, schema, _ = snapshot
+        framework = TaskArrangementFramework.worker_only(schema, FrameworkConfig(**TINY))
+        with pytest.raises(ValueError, match="shards"):
+            framework.rank_tasks_batch([], shards=0)
+
+
+class TestReplayDecisionShards:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_crowdspring(scale=0.03, num_months=2, seed=1)
+
+    @pytest.mark.parametrize("decision_shards", [1, 2, 4])
+    def test_sharded_replay_ranks_identically(self, dataset, decision_shards):
+        runner = SimulationRunner(dataset, RunnerConfig(seed=0))
+        policy = build_policy("ddqn-worker", dataset, **TINY)
+        ranked = runner.replay_decisions(
+            policy, batch_size=16, max_arrivals=20, decision_shards=decision_shards
+        )
+        assert ranked == 20
+
+    def test_sharded_replay_pending_matches_unsharded(self, dataset):
+        """The frozen-policy scoring itself is bitwise shard-invariant."""
+        results = {}
+        for shards in (1, 3):
+            runner = SimulationRunner(dataset, RunnerConfig(seed=0))
+            policy = build_policy("ddqn-worker", dataset, **TINY)
+            runner.replay_decisions(
+                policy, batch_size=16, max_arrivals=24, decision_shards=shards
+            )
+            results[shards] = {
+                key: decision.worker_q for key, decision in policy._pending.items()
+            }
+        assert results[1].keys() == results[3].keys()
+        for key, reference in results[1].items():
+            assert np.array_equal(reference, results[3][key])
+
+    def test_rejects_invalid_decision_shards(self, dataset):
+        runner = SimulationRunner(dataset, RunnerConfig(seed=0))
+        with pytest.raises(ValueError, match="decision_shards"):
+            runner.replay_decisions(
+                build_policy("random", dataset), decision_shards=0
+            )

@@ -75,3 +75,52 @@ class TestUncontrollableFallback:
         monkeypatch.setenv(threads.ENV_VAR, "3")
         threads._apply_env()
         assert calls == [3]
+
+
+class TestThreadBudget:
+    """The shared scale-out budget: shards × replicas × BLAS never oversubscribes."""
+
+    def test_max_threads_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(threads.BUDGET_ENV_VAR, raising=False)
+        import os
+
+        assert threads.max_threads() == (os.cpu_count() or 1)
+
+    def test_budget_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(threads.BUDGET_ENV_VAR, "12")
+        assert threads.max_threads() == 12
+
+    def test_invalid_budget_env_is_ignored(self, monkeypatch):
+        for bad in ("zero", "-3", "0", ""):
+            monkeypatch.setenv(threads.BUDGET_ENV_VAR, bad)
+            import os
+
+            assert threads.max_threads() == (os.cpu_count() or 1)
+
+    def test_budgeted_workers_passes_within_budget(self, monkeypatch):
+        monkeypatch.setenv(threads.BUDGET_ENV_VAR, "8")
+        assert threads.budgeted_workers(4, concurrent=2) == 4
+
+    def test_budgeted_workers_clamps_with_warning(self, monkeypatch):
+        monkeypatch.setenv(threads.BUDGET_ENV_VAR, "4")
+        with pytest.warns(RuntimeWarning, match="thread budget"):
+            assert threads.budgeted_workers(8, concurrent=2, label="replica threads") == 2
+
+    def test_budgeted_workers_never_clamps_below_one(self, monkeypatch):
+        monkeypatch.setenv(threads.BUDGET_ENV_VAR, "1")
+        with pytest.warns(RuntimeWarning):
+            assert threads.budgeted_workers(4, concurrent=3) == 1
+
+    def test_budgeted_workers_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError, match="workers"):
+            threads.budgeted_workers(0)
+        with pytest.raises(ValueError, match="concurrent"):
+            threads.budgeted_workers(2, concurrent=0)
+
+    def test_shard_blas_threads_splits_the_budget(self, monkeypatch):
+        monkeypatch.setenv(threads.BUDGET_ENV_VAR, "8")
+        assert threads.shard_blas_threads(2) == 4
+        assert threads.shard_blas_threads(3) == 2
+        assert threads.shard_blas_threads(16) == 1  # floor at one thread
+        with pytest.raises(ValueError, match="shards"):
+            threads.shard_blas_threads(0)

@@ -104,3 +104,49 @@ def test_dump_is_identical_for_identical_operations():
             return store.dump()
 
     assert build() == build()
+
+
+def make_v3_store(path) -> None:
+    """Write a version-3 store by hand, as the pre-sharding build would have."""
+    conn = sqlite3.connect(path)
+    conn.execute(
+        "CREATE TABLE schema_migrations (version INTEGER PRIMARY KEY, description TEXT NOT NULL)"
+    )
+    for version in (1, 2, 3):
+        description, statements = _SCHEMA_MIGRATIONS[version]
+        for statement in statements:
+            conn.execute(statement)
+        conn.execute(
+            "INSERT INTO schema_migrations (version, description) VALUES (?, ?)",
+            (version, description),
+        )
+    conn.execute("INSERT INTO ingests (kind, source, label) VALUES ('serve-events', 'logs', '')")
+    conn.execute(
+        "INSERT INTO serve_events (ingest_id, tenant, seq, latency_ms) VALUES (1, 'alpha', 1, 2.5)"
+    )
+    conn.execute(
+        "INSERT INTO faults (ingest_id, tenant, kind, reason) VALUES (1, 'alpha', 'health', 'boot')"
+    )
+    conn.commit()
+    conn.close()
+
+
+def test_v3_store_gains_shard_column_and_keeps_rows(tmp_path):
+    """v3 → v4: serving tables gain ``shard``; pre-sharding rows read NULL."""
+    path = tmp_path / "v3.sqlite"
+    make_v3_store(path)
+    with MetricsStore(path) as store:
+        assert store.schema_version == SCHEMA_VERSION
+        # Old rows survive with shard = NULL (single-process deployments).
+        _, rows = store.query("SELECT tenant, seq, shard FROM serve_events")
+        assert rows == [("alpha", 1, None)]
+        _, rows = store.query("SELECT tenant, kind, shard FROM faults")
+        assert rows == [("alpha", "health", None)]
+        # New rows can carry their shard index.
+        store.execute(
+            "INSERT INTO serve_events (ingest_id, tenant, seq, shard) VALUES (1, 'beta', 1, 1)"
+        )
+        _, rows = store.query(
+            "SELECT tenant, shard FROM serve_events WHERE shard IS NOT NULL"
+        )
+        assert rows == [("beta", 1)]

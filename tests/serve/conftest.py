@@ -15,6 +15,7 @@ import numpy as np
 import pytest
 
 from repro.serve import ArrangementServer, ServeSpec
+from repro.serve.shard import ShardedFrontend
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 CI_SPEC_PATH = REPO_ROOT / "examples" / "specs" / "serve_ci.json"
@@ -103,10 +104,90 @@ class ServerThread:
             raise self._error
 
 
-def assert_state_dirs_equal(dir_a: Path, dir_b: Path) -> None:
-    """Every checkpoint in both trees is bit-identical modulo timing fields."""
-    files_a = sorted(p.name for p in Path(dir_a).glob("*.npz"))
-    files_b = sorted(p.name for p in Path(dir_b).glob("*.npz"))
+class FrontendThread:
+    """A :class:`ShardedFrontend` (worker subprocesses) on its own loop thread.
+
+    The sharded sibling of :class:`ServerThread`: tests talk TCP to
+    ``address`` exactly as with a single-process server; a ``shutdown`` op
+    fans out to every worker, after which :meth:`join` returns.
+    """
+
+    def __init__(
+        self,
+        spec,
+        shards,
+        state_dir,
+        resume=True,
+        dataset_cache_dir=None,
+        event_log_dir=None,
+        fault_plan_path=None,
+    ):
+        self._ready = threading.Event()
+        self._error = None
+        self.frontend = None
+        self.address = None
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(spec, shards, state_dir, resume, dataset_cache_dir, event_log_dir, fault_plan_path),
+            daemon=True,
+        )
+        self._thread.start()
+        # Worker boots generate datasets and replay warm-up months serially.
+        if not self._ready.wait(timeout=600):
+            raise TimeoutError("frontend thread did not become ready")
+        if self._error is not None:
+            raise self._error
+
+    def _run(self, spec, shards, state_dir, resume, dataset_cache_dir, event_log_dir, fault_plan_path):
+        async def amain():
+            frontend = ShardedFrontend(
+                spec,
+                shards,
+                state_dir=state_dir,
+                resume=resume,
+                dataset_cache_dir=dataset_cache_dir,
+                event_log_dir=event_log_dir,
+                fault_plan_path=fault_plan_path,
+            )
+            try:
+                await frontend.start()
+            except BaseException as error:  # noqa: BLE001 - surfaced to the test
+                self._error = error
+                self._ready.set()
+                raise
+            self.frontend = frontend
+            self.address = frontend.address
+            self._ready.set()
+            await frontend.run_until_shutdown()
+
+        try:
+            asyncio.run(amain())
+        except BaseException as error:  # noqa: BLE001 - surfaced via join()
+            if self._error is None:
+                self._error = error
+            self._ready.set()
+
+    def join(self, timeout=300):
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("frontend thread did not exit")
+        if self._error is not None:
+            raise self._error
+
+
+def assert_state_dirs_equal(dir_a: Path, dir_b: Path, only=None) -> None:
+    """Every checkpoint in both trees is bit-identical modulo timing fields.
+
+    ``only`` restricts the comparison to the named tenants' checkpoints
+    (async-trained tenants serve from timing-dependent snapshot staleness,
+    so only their sync siblings are held to bitwise equality).
+    """
+
+    def keep(name: str) -> bool:
+        return only is None or name.split(".")[0] in only
+
+    files_a = sorted(p.name for p in Path(dir_a).glob("*.npz") if keep(p.name))
+    files_b = sorted(p.name for p in Path(dir_b).glob("*.npz") if keep(p.name))
     assert files_a == files_b, f"checkpoint sets differ: {files_a} vs {files_b}"
     assert files_a, f"no checkpoints written under {dir_a}"
     for name in files_a:

@@ -22,7 +22,11 @@ Four layers of coverage:
 
 import asyncio
 import json
+import os
+import signal
 import socket
+import threading
+import time
 
 import pytest
 
@@ -45,7 +49,12 @@ from repro.serve import (
 from repro.serve.offload import CheckpointOffloader
 from repro.serve.server import ArrangementServer
 
-from tests.serve.conftest import CI_SPEC_PATH, ServerThread, assert_state_dirs_equal
+from tests.serve.conftest import (
+    CI_SPEC_PATH,
+    FrontendThread,
+    ServerThread,
+    assert_state_dirs_equal,
+)
 
 # --------------------------------------------------------------------- #
 # FaultPlan unit tests
@@ -489,3 +498,75 @@ def test_run_loadgen_raises_loadgen_error_on_unreachable_server(cache_dir):
     probe.close()
     with pytest.raises(LoadgenError, match="cannot reach server"):
         run_loadgen(spec, port=port, dataset_cache_dir=cache_dir)
+
+
+# --------------------------------------------------------------------- #
+# Shard-kill chaos: a worker process dies mid-replay and is supervised
+# --------------------------------------------------------------------- #
+def test_shard_kill_recovers_bit_exact(tmp_path, cache_dir):
+    """SIGKILL one shard worker mid-replay; the deployment converges.
+
+    The front-end's supervisor respawns the dead worker, which resumes its
+    tenants from their last schedule-aligned checkpoints; the loadgen
+    clients follow the tenant to the restarted shard's new ephemeral port
+    (re-resolving through the front-end's ``routes``) and re-feed the tail
+    through ``sequence_gap``.  The drained state must be bit-identical to a
+    fault-free single-process baseline — the process-level version of the
+    tenant-crash chaos test above.
+    """
+    spec = ServeSpec.load(CI_SPEC_PATH)
+    # Beta's online trace holds 177 events; keep the window inside it.
+    events = 150
+
+    baseline_dir = tmp_path / "baseline"
+    server = ServerThread(spec, state_dir=baseline_dir, resume=False, dataset_cache_dir=cache_dir)
+    run_loadgen(
+        spec, port=server.address[1], max_events=events,
+        dataset_cache_dir=cache_dir, shutdown=True,
+    )
+    server.join()
+
+    chaos_dir = tmp_path / "chaos"
+    frontend = FrontendThread(
+        spec, 2, state_dir=chaos_dir, resume=False, dataset_cache_dir=cache_dir
+    )
+    victim_pid = frontend.frontend.workers[0].pid
+    victim_tenants = frontend.frontend.workers[0].tenants
+
+    holder = {}
+
+    def drive():
+        holder["report"] = run_loadgen(
+            spec,
+            port=frontend.address[1],
+            rate=80.0,  # pace the replay so the kill lands mid-window
+            max_events=events,
+            dataset_cache_dir=cache_dir,
+            shutdown=True,
+            resilience=Resilience(retries=14, seed=7),
+        )
+
+    loadgen_thread = threading.Thread(target=drive, daemon=True)
+    loadgen_thread.start()
+    time.sleep(0.8)  # ~64 events in: past the first checkpoint_every=25 save
+    os.kill(victim_pid, signal.SIGKILL)
+    loadgen_thread.join(timeout=300)
+    assert not loadgen_thread.is_alive(), "loadgen did not finish after the shard kill"
+    frontend.join()
+    report = holder["report"]
+
+    # Every tenant consumed its full window despite the kill...
+    for name, entry in report["shutdown"].items():
+        assert entry["events_consumed"] == events, name
+        assert entry["error"] is None, name
+        assert entry["health"] == "healthy", name
+    # ...the killed shard's tenant rode through reconnect + tail re-feed...
+    victim_rows = [report["tenants"][name] for name in victim_tenants]
+    assert sum(row["reconnects"] for row in victim_rows) >= 1
+    assert sum(row["retries"] for row in victim_rows) >= 1
+    # ...the front-end recorded exactly one supervised worker restart...
+    status = report["server_status"]
+    assert status["shards"]["0"]["restarts"] == 1
+    assert status["shards"]["1"]["restarts"] == 0
+    # ...and the drained state matches the fault-free baseline bit for bit.
+    assert_state_dirs_equal(baseline_dir, chaos_dir)
